@@ -1,0 +1,104 @@
+"""Shared benchmark fixtures: polystore bundles and result reporting.
+
+The paper's testbed holds ~30M objects and queries up to 10,000 results.
+A pure-Python in-process reproduction runs the *same code paths* at a
+reduced default scale (1,000 entities per store, queries up to 1,000
+results); set ``REPRO_FULL=1`` to run the paper's full query sizes.
+Times reported by the figures are **virtual seconds** from the
+deterministic cost model (see DESIGN.md), so the scale-down changes
+absolute numbers, not the shapes.
+
+Each figure writes its table to ``benchmarks/results/<fig>.txt`` and
+asserts the paper's qualitative claims.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.workloads import PolystoreScale, build_polyphony
+
+FULL = os.environ.get("REPRO_FULL") == "1"
+
+#: Query result sizes (the paper: 100, 500, 1000, 5000, 10000).
+QUERY_SIZES = (100, 500, 1000, 5000, 10000) if FULL else (100, 500, 1000)
+#: Largest query size; entities per store must cover it.
+N_ALBUMS = 10_000 if FULL else 1_000
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_BUNDLES: dict[int, object] = {}
+
+
+def get_bundle(stores: int):
+    """Build (once per session) the polystore variant with ``stores``."""
+    if stores not in _BUNDLES:
+        _BUNDLES[stores] = build_polyphony(
+            stores=stores,
+            scale=PolystoreScale(n_albums=N_ALBUMS),
+            seed=42,
+        )
+    return _BUNDLES[stores]
+
+
+@pytest.fixture(scope="session")
+def bundle4():
+    return get_bundle(4)
+
+
+@pytest.fixture(scope="session")
+def bundle7():
+    return get_bundle(7)
+
+
+@pytest.fixture(scope="session")
+def bundle10():
+    return get_bundle(10)
+
+
+@pytest.fixture(scope="session")
+def bundle13():
+    return get_bundle(13)
+
+
+class FigureReport:
+    """Collects one figure's series and writes them to disk."""
+
+    def __init__(self, name: str, title: str) -> None:
+        self.name = name
+        self.title = title
+        self.lines: list[str] = [f"# {name}: {title}", ""]
+
+    def section(self, label: str) -> None:
+        self.lines.append(f"## {label}")
+
+    def row(self, **fields) -> None:
+        parts = []
+        for key, value in fields.items():
+            if isinstance(value, float):
+                parts.append(f"{key}={value:.6f}")
+            else:
+                parts.append(f"{key}={value}")
+        self.lines.append("  " + "  ".join(parts))
+
+    def note(self, text: str) -> None:
+        self.lines.append(f"note: {text}")
+
+    def save(self) -> Path:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{self.name}.txt"
+        path.write_text("\n".join(self.lines) + "\n")
+        return path
+
+
+@pytest.fixture
+def report(request):
+    """A FigureReport named after the test; saved on teardown."""
+    name = request.node.name.replace("test_", "")
+    figure = FigureReport(name, str(request.node.nodeid))
+    yield figure
+    path = figure.save()
+    print(f"\n[figure data written to {path}]")

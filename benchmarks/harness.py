@@ -1,0 +1,77 @@
+"""Helpers shared by the figure benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import Quepa
+from repro.core.augmentation import AugmentationConfig
+from repro.network import centralized_profile, distributed_profile
+from repro.workloads import QueryWorkload
+from repro.workloads.queries import WorkloadQuery
+
+
+@dataclass
+class RunTimes:
+    """Virtual end-to-end times of a cold and a warm execution."""
+
+    cold: float
+    warm: float
+    queries_issued: int
+    augmented: int
+
+
+def make_profile(bundle, deployment: str):
+    names = bundle.database_names()
+    if deployment == "distributed":
+        return distributed_profile(names)
+    return centralized_profile(names)
+
+
+def run_cold_warm(
+    bundle,
+    query: WorkloadQuery,
+    config: AugmentationConfig,
+    level: int = 0,
+    deployment: str = "centralized",
+) -> RunTimes:
+    """Cold run (fresh QUEPA instance, empty cache) then warm re-run.
+
+    Mirrors the paper's protocol: the warm time is a subsequent
+    execution of the same query on the now-populated cache.
+    """
+    quepa = Quepa(
+        bundle.polystore, bundle.aindex,
+        profile=make_profile(bundle, deployment),
+    )
+    cold = quepa.augmented_search(
+        query.database, query.query, level=level, config=config
+    )
+    warm = quepa.augmented_search(
+        query.database, query.query, level=level, config=config
+    )
+    return RunTimes(
+        cold=cold.stats.elapsed,
+        warm=warm.stats.elapsed,
+        queries_issued=cold.stats.queries_issued,
+        augmented=len(cold.augmented),
+    )
+
+
+def average_over_stores(
+    bundle,
+    size: int,
+    config: AugmentationConfig,
+    level: int = 0,
+    deployment: str = "centralized",
+) -> float:
+    """Average cold time of one query per engine, as the paper reports
+    per-size numbers ('the average execution time of the corresponding
+    queries on each target database')."""
+    workload = QueryWorkload(bundle)
+    times = []
+    for query in workload.base_queries(size):
+        times.append(
+            run_cold_warm(bundle, query, config, level, deployment).cold
+        )
+    return sum(times) / len(times)

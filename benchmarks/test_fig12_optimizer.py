@@ -1,0 +1,194 @@
+"""Fig 12: quality of the adaptive optimization.
+
+Paper protocol (Section VII-C): generate queries not present in the
+training set; run each on several polystore variants at levels 0 and 1.
+For each run there are 13 candidate executions: 1 chosen by ADAPTIVE,
+6 with the HUMAN-expert parameters (one per augmenter) and 6 with
+RANDOM parameters (one per augmenter). Fig 12(a) counts how often each
+optimizer produced the overall-best run; Fig 12(b) counts how often the
+ADAPTIVE run landed in the top-1/2/3/5 of the 13.
+
+Claims checked:
+* ADAPTIVE wins the most head-to-heads despite having six times fewer
+  candidates;
+* the ADAPTIVE run is always within the top-5.
+
+Scale note: the paper trains on ~2M logged runs; we train on a few
+hundred (the grid below) — enough for the trees to learn the same
+split structure.
+"""
+
+from __future__ import annotations
+
+from repro.core import Quepa
+from repro.core.augmentation import AugmentationConfig
+from repro.core.augmenters import available_augmenters
+from repro.network import centralized_profile, distributed_profile
+from repro.optimizer import (
+    AdaptiveOptimizer,
+    HumanOptimizer,
+    RandomOptimizer,
+    RunLogRepository,
+)
+from repro.workloads import QueryWorkload
+
+from .conftest import get_bundle
+
+TRAIN_CONFIGS = [
+    AugmentationConfig("sequential", 1, 1, 4096),
+    AugmentationConfig("batch", 16, 1, 4096),
+    AugmentationConfig("batch", 256, 1, 4096),
+    AugmentationConfig("inner", 1, 8, 4096),
+    AugmentationConfig("outer", 1, 4, 4096),
+    AugmentationConfig("outer", 1, 16, 4096),
+    AugmentationConfig("outer_batch", 64, 4, 4096),
+    AugmentationConfig("outer_batch", 256, 16, 4096),
+    AugmentationConfig("outer_inner", 1, 8, 4096),
+]
+
+TRAIN_SIZES = (5, 40, 200, 600)
+EVAL_SIZES = (10, 100, 400)
+STORE_VARIANTS = (4, 7)
+LEVELS = (0, 1)
+
+
+def make_quepa(bundle, deployment: str, optimizer=None) -> Quepa:
+    names = bundle.database_names()
+    profile = (
+        distributed_profile(names)
+        if deployment == "distributed"
+        else centralized_profile(names)
+    )
+    return Quepa(bundle.polystore, bundle.aindex, profile=profile,
+                 optimizer=optimizer)
+
+
+def collect_logs() -> RunLogRepository:
+    logs = RunLogRepository()
+    for stores in STORE_VARIANTS:
+        bundle = get_bundle(stores)
+        workload = QueryWorkload(bundle)
+        for deployment in ("centralized", "distributed"):
+            for size in TRAIN_SIZES:
+                for database in ("transactions", "catalogue"):
+                    query = workload.query(database, size)
+                    for level in LEVELS:
+                        if level == 1 and size > 200:
+                            continue  # keep the grid affordable
+                        for config in TRAIN_CONFIGS:
+                            # Fresh instance per run: training labels
+                            # must be cold-cache times, not polluted by
+                            # the previous configuration's cache.
+                            quepa = make_quepa(bundle, deployment)
+                            quepa.run_listeners.append(logs)
+                            quepa.augmented_search(
+                                query.database, query.query,
+                                level=level, config=config,
+                            )
+    return logs
+
+
+def run_campaign(optimizer: AdaptiveOptimizer):
+    """25 unseen queries x store variants x levels, 13 candidates each."""
+    human = HumanOptimizer()
+    rng_random = RandomOptimizer(seed=77)
+    augmenters = available_augmenters()
+    wins = {"ADAPTIVE": 0, "HUMAN": 0, "RANDOM": 0}
+    top_counts = {1: 0, 2: 0, 3: 0, 5: 0}
+    scenarios = 0
+    queries = [
+        (database, size, variant)
+        for database in ("transactions", "catalogue")
+        for size in EVAL_SIZES
+        for variant in (3, 4, 5, 6)
+    ][:25]
+    for stores in STORE_VARIANTS:
+        bundle = get_bundle(stores)
+        workload = QueryWorkload(bundle)
+        for level in LEVELS:
+            for database, size, variant in queries:
+                if level == 1 and size > 100:
+                    continue
+                query = workload.query(database, size, variant)
+                deployment = "distributed" if variant % 2 else "centralized"
+                candidates: list[tuple[str, float]] = []
+
+                tuned = make_quepa(bundle, deployment, optimizer=optimizer)
+                answer = tuned.augmented_search(
+                    query.database, query.query, level=level
+                )
+                candidates.append(("ADAPTIVE", answer.stats.elapsed))
+
+                features_config = {
+                    "HUMAN": human.configure(
+                        tuned.last_record.features, 4096
+                    ),
+                    "RANDOM": rng_random.configure(
+                        tuned.last_record.features, 4096
+                    ),
+                }
+                for label, base in features_config.items():
+                    for augmenter in augmenters:
+                        config = AugmentationConfig(
+                            augmenter=augmenter,
+                            batch_size=base.batch_size,
+                            threads_size=base.threads_size,
+                            cache_size=base.cache_size,
+                        )
+                        # Fresh instance per candidate: every run is a
+                        # cold-cache run, like the ADAPTIVE one.
+                        plain = make_quepa(bundle, deployment)
+                        run = plain.augmented_search(
+                            query.database, query.query,
+                            level=level, config=config,
+                        )
+                        candidates.append((label, run.stats.elapsed))
+
+                ranked = sorted(candidates, key=lambda pair: pair[1])
+                wins[ranked[0][0]] += 1
+                adaptive_rank = 1 + next(
+                    i for i, (label, __) in enumerate(ranked)
+                    if label == "ADAPTIVE"
+                )
+                for k in top_counts:
+                    if adaptive_rank <= k:
+                        top_counts[k] += 1
+                scenarios += 1
+    return wins, top_counts, scenarios
+
+
+def test_fig12_optimizer_quality(benchmark, report):
+    def run():
+        logs = collect_logs()
+        optimizer = AdaptiveOptimizer(logs)
+        training = optimizer.train()
+        return training, run_campaign(optimizer)
+
+    training, (wins, top_counts, scenarios) = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    report.section("training")
+    report.row(
+        runs=training.runs,
+        signatures=training.signatures,
+        t1_accuracy=training.t1_accuracy,
+    )
+    report.section("Fig 12(a): number of times each optimizer is best")
+    for label, count in wins.items():
+        report.row(optimizer=label, wins=count)
+    report.section("Fig 12(b): ADAPTIVE run in top-k of the 13 candidates")
+    for k, count in sorted(top_counts.items()):
+        report.row(top=k, count=count, of=scenarios)
+
+    # Claim 1: ADAPTIVE is best most often despite 1 candidate vs 6+6.
+    assert wins["ADAPTIVE"] >= wins["HUMAN"]
+    assert wins["ADAPTIVE"] >= wins["RANDOM"]
+
+    # Claim 2: ADAPTIVE always finds a good configuration (top-5).
+    assert top_counts[5] == scenarios
+    assert top_counts[3] >= scenarios * 0.8
+
+    report.note(
+        "ADAPTIVE wins the most scenarios and is always within the top-5"
+    )

@@ -1,0 +1,81 @@
+"""The adaptive optimizer end to end (Section V).
+
+Run with:  python examples/adaptive_tuning.py
+
+Phase 1 collects run logs by executing a query mix under many
+configurations; Phase 2 trains T1 (C4.5) and T2-T4 (RepTree); Phase 3
+lets ADAPTIVE pick configurations for unseen queries, compared against
+a fixed default. Also prints T1 as text — the shape of the paper's
+Fig 8.
+"""
+
+from repro.core import Quepa
+from repro.core.augmentation import AugmentationConfig
+from repro.network import centralized_profile, distributed_profile
+from repro.optimizer import AdaptiveOptimizer, RunLogRepository
+from repro.workloads import PolystoreScale, QueryWorkload, build_polyphony
+
+TRAIN_CONFIGS = [
+    AugmentationConfig("sequential", 1, 1, 1024),
+    AugmentationConfig("batch", 128, 1, 1024),
+    AugmentationConfig("outer", 1, 8, 1024),
+    AugmentationConfig("outer_batch", 128, 8, 1024),
+    AugmentationConfig("inner", 1, 8, 1024),
+    AugmentationConfig("outer_inner", 1, 8, 1024),
+]
+
+
+def main() -> None:
+    bundle = build_polyphony(stores=7, scale=PolystoreScale(n_albums=600))
+    names = bundle.database_names()
+    workload = QueryWorkload(bundle)
+    logs = RunLogRepository()
+
+    print("=== Phase 1: collect run logs ===")
+    for profile in (centralized_profile(names), distributed_profile(names)):
+        quepa = Quepa(bundle.polystore, bundle.aindex, profile=profile)
+        quepa.run_listeners.append(logs)
+        for size in (20, 100, 400):
+            for database in ("transactions", "catalogue"):
+                query = workload.query(database, size)
+                for config in TRAIN_CONFIGS:
+                    quepa.augmented_search(
+                        query.database, query.query, level=0, config=config
+                    )
+    print(f"collected {len(logs)} run logs")
+
+    print("\n=== Phase 2: train T1-T4 ===")
+    optimizer = AdaptiveOptimizer(logs)
+    report = optimizer.train()
+    print(
+        f"signatures={report.signatures} "
+        f"T1 examples={report.t1_examples} (training accuracy "
+        f"{report.t1_accuracy:.2f}), T2={report.t2_examples}, "
+        f"T3={report.t3_examples}, T4={report.t4_examples}"
+    )
+    print("\nT1 decision tree (Fig 8 shape):")
+    print(optimizer.describe())
+
+    print("\n=== Phase 3: ADAPTIVE vs fixed default on unseen queries ===")
+    profile = distributed_profile(names)
+    adaptive_quepa = Quepa(
+        bundle.polystore, bundle.aindex, profile=profile, optimizer=optimizer
+    )
+    default_quepa = Quepa(bundle.polystore, bundle.aindex, profile=profile)
+    for size in (50, 250, 500):
+        query = workload.query("transactions", size, variant=3)
+        tuned = adaptive_quepa.augmented_search(
+            query.database, query.query, level=0
+        )
+        default = default_quepa.augmented_search(
+            query.database, query.query, level=0
+        )
+        print(
+            f"  size={size:4d}: ADAPTIVE chose {tuned.stats.augmenter:12s} "
+            f"-> {tuned.stats.elapsed:7.3f}s vs default "
+            f"{default.stats.augmenter}: {default.stats.elapsed:7.3f}s"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Augmented exploration with p-relation promotion.
+
+Run with:  python examples/exploration_and_promotion.py
+
+Demonstrates Definition 4 and Section III-D.a: a user walks the
+polystore click by click; when enough sessions traverse the same full
+path, QUEPA promotes a shortcut matching p-relation between its
+endpoints — after which the destination is reachable in a single step.
+"""
+
+from repro.core import Quepa
+from repro.core.promotion import PromotionPolicy
+from repro.network import centralized_profile
+from repro.workloads import PolystoreScale, QueryWorkload, build_polyphony
+
+
+def main() -> None:
+    bundle = build_polyphony(stores=4, scale=PolystoreScale(n_albums=100))
+    quepa = Quepa(
+        bundle.polystore,
+        bundle.aindex,
+        profile=centralized_profile(bundle.database_names()),
+        promotion_policy=PromotionPolicy(base=8, min_visits=2),
+    )
+    workload = QueryWorkload(bundle)
+    query = workload.query("transactions", 10)
+
+    print("=== One exploration session ===")
+    with quepa.explore(query.database, query.query) as session:
+        start = session.results[0].key
+        print(f"start from {start}")
+        step = session.select(start)
+        for link in step.links[:5]:
+            print(f"  link -> {link.key} (p={link.probability:.2f})")
+        # Follow the strongest link twice more, ending somewhere not
+        # directly related to the start (so a shortcut can be promoted).
+        second = step.links[0].key
+        step2 = session.select(second)
+        print(f"selected {second}")
+        third = next(
+            link.key
+            for link in step2.links
+            if link.key != start
+            and quepa.aindex.relation(start, link.key) is None
+        )
+        session.select(third)
+        print(f"selected {third}")
+        walked = session.path
+    print(f"full path recorded: {' -> '.join(str(k) for k in walked)}")
+
+    print("\n=== Repeat the walk until the path is promoted ===")
+    before = quepa.aindex.relation(walked[0], walked[-1])
+    print(f"edge {walked[0]} -- {walked[-1]} before: {before}")
+    threshold = quepa.paths.policy.threshold(len(walked) - 1)
+    for __ in range(threshold):
+        quepa.record_exploration(walked)
+    after = quepa.aindex.relation(walked[0], walked[-1])
+    print(f"after {threshold} more recorded walks: {after}")
+    print(f"promoted relations so far: {len(quepa.paths.promoted)}")
+
+    print("\n=== The shortcut now shows up in one exploration step ===")
+    links = quepa.augment_object(walked[0])
+    reachable = [str(link.key) for link in links]
+    marker = "YES" if str(walked[-1]) in reachable else "no"
+    print(f"{walked[-1]} directly reachable from {walked[0]}: {marker}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,120 @@
+"""Quickstart: build a tiny polystore, augment a SQL query.
+
+Run with:  python examples/quickstart.py
+
+This is the paper's introduction scenario in miniature: Lucy, who only
+knows SQL, asks the sales database about the album "Wish" and the
+augmented answer reveals the catalogue entry, the current discount and
+the similar-items node — none of which live in her database.
+"""
+
+from repro.core import AIndex, Quepa
+from repro.core.search import format_answer
+from repro.model import GlobalKey, Polystore, PRelation
+from repro.stores import DocumentStore, GraphStore, KeyValueStore, RelationalStore
+from repro.stores.relational.types import Column, ColumnType, TableSchema
+
+
+def build_polystore() -> Polystore:
+    """The four departmental databases of Fig 1."""
+    polystore = Polystore()
+
+    sales = RelationalStore()
+    sales.create_table(
+        "inventory",
+        TableSchema(
+            columns=[
+                Column("id", ColumnType.TEXT, nullable=False),
+                Column("artist", ColumnType.TEXT),
+                Column("name", ColumnType.TEXT),
+                Column("price", ColumnType.FLOAT),
+            ],
+            primary_key="id",
+        ),
+    )
+    sales.insert_row(
+        "inventory", {"id": "a32", "artist": "Cure", "name": "Wish", "price": 14.9}
+    )
+    sales.insert_row(
+        "inventory",
+        {"id": "a33", "artist": "Cure", "name": "Disintegration", "price": 12.5},
+    )
+    polystore.attach("transactions", sales)
+
+    catalogue = DocumentStore()
+    catalogue.insert(
+        "albums",
+        {
+            "_id": "d1",
+            "title": "Wish",
+            "artist": "The Cure",
+            "artist_id": "a1",
+            "year": 1992,
+        },
+    )
+    polystore.attach("catalogue", catalogue)
+
+    discounts = KeyValueStore(keyspace="drop")
+    discounts.set("k1:cure:wish", "40%")
+    polystore.attach("discount", discounts)
+
+    similar = GraphStore()
+    similar.create_node("Item", {"title": "Wish"}, node_id="i1")
+    similar.create_node("Item", {"title": "Disintegration"}, node_id="i2")
+    similar.create_edge("i1", "SIMILAR", "i2", {"weight": 0.9})
+    polystore.attach("similar", similar)
+    return polystore
+
+
+def build_aindex() -> AIndex:
+    """The p-relations of Example 2 (plus the graph link)."""
+    index = AIndex()
+    key = GlobalKey.parse
+    index.add(
+        PRelation.identity(
+            key("catalogue.albums.d1"), key("discount.drop.k1:cure:wish"), 0.8
+        )
+    )
+    index.add(
+        PRelation.identity(
+            key("catalogue.albums.d1"), key("transactions.inventory.a32"), 0.9
+        )
+    )
+    index.add(
+        PRelation.matching(key("catalogue.albums.d1"), key("similar.Item.i1"), 0.7)
+    )
+    return index
+
+
+def main() -> None:
+    polystore = build_polystore()
+    aindex = build_aindex()
+    quepa = Quepa(polystore, aindex)
+
+    print("=== Lucy's query, in plain SQL, augmented at level 0 ===")
+    answer = quepa.augmented_search(
+        "transactions",
+        "SELECT * FROM inventory WHERE name LIKE '%wish%'",
+        level=0,
+    )
+    print(format_answer(answer))
+    print()
+    print(
+        f"local answer: {len(answer.originals)} object(s); "
+        f"augmentation: {len(answer.augmented)} object(s); "
+        f"time: {answer.stats.elapsed * 1000:.2f} ms (virtual)"
+    )
+
+    print()
+    print("=== The same query at level 1 reaches one hop further ===")
+    answer1 = quepa.augmented_search(
+        "transactions",
+        "SELECT * FROM inventory WHERE name LIKE '%wish%'",
+        level=1,
+    )
+    for entry in answer1.augmented:
+        print(f"  {entry.key}  p={entry.probability:.2f}")
+
+
+if __name__ == "__main__":
+    main()

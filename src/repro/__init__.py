@@ -1,0 +1,41 @@
+"""QUEPA reproduction: augmented access for querying and exploring a polystore.
+
+This package is a complete, from-scratch implementation of the system
+described in *Maccioni & Torlone, "Augmented Access for Querying and
+Exploring a Polystore", ICDE 2018* — the polystore data model, four
+storage engines, the A' index, the augmentation operator, augmented
+search/exploration, the optimized augmenters, the record-linkage
+collector, the adaptive optimizer, and the middleware baselines of the
+paper's evaluation.
+
+Most applications only need::
+
+    from repro import AIndex, GlobalKey, Polystore, PRelation, Quepa
+
+plus a storage engine or the generated Polyphony workload. See
+README.md for a tour and DESIGN.md for the module map.
+"""
+
+from repro.core.aindex import AIndex
+from repro.core.augmentation import AugmentationConfig
+from repro.core.search import AugmentedAnswer
+from repro.core.system import Quepa
+from repro.model.objects import AugmentedObject, DataObject, GlobalKey
+from repro.model.polystore import Polystore
+from repro.model.prelations import PRelation, RelationType
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AIndex",
+    "AugmentationConfig",
+    "AugmentedAnswer",
+    "AugmentedObject",
+    "DataObject",
+    "GlobalKey",
+    "PRelation",
+    "Polystore",
+    "Quepa",
+    "RelationType",
+    "__version__",
+]

@@ -1,0 +1,34 @@
+"""Augmentation for data analytics (the paper's stated future work).
+
+Section VIII: "As a direction of future work, we would like to extend
+augmentation to data analytics scenarios." This package implements
+that extension on top of the existing operator:
+
+* :func:`~repro.analytics.aggregate.augmented_aggregate` — run a local
+  query, augment it, then compute aggregates **over the augmented
+  answer**, treating each augmented object's probability as its
+  membership weight. Aggregates are therefore *expected values* under
+  the p-relation semantics: an object attached with probability 0.7
+  contributes 0.7 of itself to counts and sums.
+* :func:`~repro.analytics.aggregate.augmented_profile` — a per-database
+  breakdown of where an answer's related information lives, the
+  "what else does the polystore know about this result set" report.
+* :func:`~repro.analytics.enrich.enrich_table` — materialize the
+  augmentation as extra columns on the local result (one column per
+  remote database), the polystore equivalent of entity augmentation
+  over Web tables the related-work section cites (InfoGather).
+"""
+
+from repro.analytics.aggregate import (
+    AggregateReport,
+    augmented_aggregate,
+    augmented_profile,
+)
+from repro.analytics.enrich import enrich_table
+
+__all__ = [
+    "AggregateReport",
+    "augmented_aggregate",
+    "augmented_profile",
+    "enrich_table",
+]

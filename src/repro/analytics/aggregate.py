@@ -1,0 +1,142 @@
+"""Probability-weighted aggregation over augmented answers.
+
+The augmentation attaches each remote object with the probability that
+it is related to the local result. Analytics over an augmented answer
+therefore produce *expected values*: a discount reached with p = 0.7
+counts as 0.7 of a discount. This is the standard possible-worlds
+reading of probabilistic data, applied to the paper's p-relations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.core.search import AugmentedAnswer
+from repro.core.system import Quepa
+from repro.model.objects import AugmentedObject
+
+
+@dataclass
+class GroupStats:
+    """Weighted statistics of one group of augmented objects."""
+
+    expected_count: float = 0.0
+    raw_count: int = 0
+    weighted_sum: float = 0.0
+    #: Sum of weights of objects contributing a numeric value.
+    numeric_weight: float = 0.0
+    minimum: float | None = None
+    maximum: float | None = None
+
+    @property
+    def expected_mean(self) -> float | None:
+        if self.numeric_weight == 0.0:
+            return None
+        return self.weighted_sum / self.numeric_weight
+
+    def add(self, probability: float, value: Any) -> None:
+        self.expected_count += probability
+        self.raw_count += 1
+        number = _as_number(value)
+        if number is None:
+            return
+        self.weighted_sum += probability * number
+        self.numeric_weight += probability
+        self.minimum = number if self.minimum is None else min(self.minimum, number)
+        self.maximum = number if self.maximum is None else max(self.maximum, number)
+
+
+@dataclass
+class AggregateReport:
+    """The result of one augmented aggregation."""
+
+    answer: AugmentedAnswer
+    metric_field: str | None
+    groups: dict[str, GroupStats] = field(default_factory=dict)
+
+    def group(self, name: str) -> GroupStats:
+        return self.groups.setdefault(name, GroupStats())
+
+    def total_expected(self) -> float:
+        return sum(stats.expected_count for stats in self.groups.values())
+
+
+#: A grouping function: augmented object -> group name.
+GroupBy = Callable[[AugmentedObject], str]
+
+
+def by_database(entry: AugmentedObject) -> str:
+    return entry.key.database
+
+def by_collection(entry: AugmentedObject) -> str:
+    return f"{entry.key.database}.{entry.key.collection}"
+
+
+def augmented_aggregate(
+    quepa: Quepa,
+    database: str,
+    query: Any,
+    level: int = 0,
+    group_by: GroupBy = by_database,
+    metric_field: str | None = None,
+) -> AggregateReport:
+    """Augment ``query`` and aggregate the augmented objects.
+
+    ``group_by`` names the group of each augmented object (default: its
+    home database). ``metric_field`` optionally selects a numeric field
+    of the objects' payloads to sum/average (probability-weighted);
+    scalar payloads (key-value entries) are used directly when the
+    field is ``"value"``.
+    """
+    answer = quepa.augmented_search(database, query, level=level)
+    report = AggregateReport(answer=answer, metric_field=metric_field)
+    for entry in answer.augmented:
+        value = _extract(entry, metric_field)
+        report.group(group_by(entry)).add(entry.probability, value)
+    return report
+
+
+def augmented_profile(
+    quepa: Quepa, database: str, query: Any, level: int = 0
+) -> dict[str, dict[str, float]]:
+    """Where the related information lives: per-database expected counts
+    and mean link probability for one query's augmentation."""
+    report = augmented_aggregate(
+        quepa, database, query, level=level, group_by=by_database
+    )
+    profile: dict[str, dict[str, float]] = {}
+    for name, stats in sorted(report.groups.items()):
+        profile[name] = {
+            "expected_objects": round(stats.expected_count, 6),
+            "objects": float(stats.raw_count),
+            "mean_probability": round(
+                stats.expected_count / stats.raw_count, 6
+            ) if stats.raw_count else 0.0,
+        }
+    return profile
+
+
+def _extract(entry: AugmentedObject, metric_field: str | None) -> Any:
+    if metric_field is None:
+        return None
+    value = entry.object.value
+    if isinstance(value, Mapping):
+        return value.get(metric_field)
+    if metric_field == "value":
+        return value
+    return None
+
+
+def _as_number(value: Any) -> float | None:
+    if isinstance(value, bool) or value is None:
+        return None
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str):
+        text = value.strip().rstrip("%")
+        try:
+            return float(text)
+        except ValueError:
+            return None
+    return None

@@ -1,0 +1,70 @@
+"""Entity enrichment: the augmentation as extra columns on a result.
+
+``enrich_table`` runs a local query and flattens each result's own
+augmentation into one row, with one column per remote database holding
+the most probable related object from that database (key, payload and
+probability). This is the tabular, analyst-facing face of
+augmentation — the polystore counterpart of entity augmentation over
+Web tables (InfoGather, cited in Section VI-B).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.system import Quepa
+from repro.model.objects import AugmentedObject
+
+
+def enrich_table(
+    quepa: Quepa,
+    database: str,
+    query: Any,
+    level: int = 0,
+    min_probability: float = 0.0,
+) -> list[dict[str, Any]]:
+    """One enriched row per original result.
+
+    Each row has the original payload under ``"_local"`` plus, per
+    remote database holding related data, a cell
+    ``{"key", "value", "probability"}`` for the most probable related
+    object (ties broken by key). Objects below ``min_probability`` are
+    dropped. Unlike the ranked answer of an augmented search — which
+    deduplicates objects across results — each row is built from *its
+    own* result's augmentation, so shared objects appear on every row
+    they relate to.
+    """
+    answer = quepa.augmented_search(database, query, augment=False)
+    rows = []
+    for original in answer.originals:
+        if original.key.collection == "_result":
+            rows.append({"_key": str(original.key), "_local": original.value})
+            continue
+        links = quepa.augment_object(original.key, level=level)
+        row: dict[str, Any] = {
+            "_key": str(original.key),
+            "_local": original.value,
+        }
+        best: dict[str, AugmentedObject] = {}
+        for entry in links:
+            if entry.probability < min_probability:
+                continue
+            remote_db = entry.key.database
+            current = best.get(remote_db)
+            if (
+                current is None
+                or entry.probability > current.probability
+                or (
+                    entry.probability == current.probability
+                    and str(entry.key) < str(current.key)
+                )
+            ):
+                best[remote_db] = entry
+        for remote_db, entry in sorted(best.items()):
+            row[remote_db] = {
+                "key": str(entry.key),
+                "value": entry.object.value,
+                "probability": entry.probability,
+            }
+        rows.append(row)
+    return rows

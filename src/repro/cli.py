@@ -1,0 +1,236 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+``demo``
+    Build the Fig 1 mini polystore and run Lucy's augmented query.
+``generate --stores N --albums M --out DIR``
+    Generate a Polyphony polystore variant and snapshot it to disk.
+``query --snapshot DIR --database DB --query Q [--level L] [--augmenter A]``
+    Run one augmented query against a snapshot and print the answer.
+``inspect --snapshot DIR``
+    Print a snapshot's databases, object counts and index size.
+``explore --snapshot DIR --database DB --query Q [--steps N]``
+    Run an automatic exploration (always following the strongest link).
+
+The CLI prints with :class:`~repro.ui.render.TextRenderer` (pass
+``--color`` for the ANSI renderer, the terminal face of the paper's
+probability colors).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core import Quepa
+from repro.core.augmentation import AugmentationConfig
+from repro.errors import ReproError
+from repro.persistence import load_snapshot, save_snapshot
+from repro.ui.render import AnsiRenderer, TextRenderer
+from repro.workloads import PolystoreScale, build_polyphony
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="QUEPA: augmented access to a polystore (ICDE 2018 "
+                    "reproduction)",
+    )
+    parser.add_argument("--color", action="store_true",
+                        help="render probabilities with ANSI colors")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("demo", help="run the paper's running example")
+
+    generate = commands.add_parser(
+        "generate", help="generate a Polyphony polystore snapshot"
+    )
+    generate.add_argument("--stores", type=int, default=4)
+    generate.add_argument("--albums", type=int, default=500)
+    generate.add_argument("--seed", type=int, default=42)
+    generate.add_argument("--out", required=True)
+
+    query = commands.add_parser("query", help="run one augmented query")
+    query.add_argument("--snapshot", required=True)
+    query.add_argument("--database", required=True)
+    query.add_argument("--query", required=True)
+    query.add_argument("--level", type=int, default=0)
+    query.add_argument("--augmenter", default=None)
+    query.add_argument("--batch-size", type=int, default=64)
+    query.add_argument("--threads-size", type=int, default=4)
+
+    inspect = commands.add_parser("inspect", help="describe a snapshot")
+    inspect.add_argument("--snapshot", required=True)
+
+    explore = commands.add_parser(
+        "explore", help="walk the strongest links from a query"
+    )
+    explore.add_argument("--snapshot", required=True)
+    explore.add_argument("--database", required=True)
+    explore.add_argument("--query", required=True)
+    explore.add_argument("--steps", type=int, default=3)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None, out=None) -> int:
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    renderer = AnsiRenderer() if args.color else TextRenderer()
+    try:
+        if args.command == "demo":
+            return _demo(renderer, out)
+        if args.command == "generate":
+            return _generate(args, out)
+        if args.command == "query":
+            return _query(args, renderer, out)
+        if args.command == "inspect":
+            return _inspect(args, out)
+        if args.command == "explore":
+            return _explore(args, renderer, out)
+    except ReproError as exc:
+        print(f"error: {exc}", file=out)
+        return 1
+    return 0  # pragma: no cover - argparse enforces a command
+
+
+def _demo(renderer: TextRenderer, out) -> int:
+    # Imported lazily: examples/ is not part of the installed package.
+    from repro.model import GlobalKey, Polystore, PRelation
+    from repro.core import AIndex
+    from repro.stores import (
+        DocumentStore, GraphStore, KeyValueStore, RelationalStore,
+    )
+    from repro.stores.relational.types import Column, ColumnType, TableSchema
+
+    polystore = Polystore()
+    sales = RelationalStore()
+    sales.create_table(
+        "inventory",
+        TableSchema(
+            columns=[
+                Column("id", ColumnType.TEXT, nullable=False),
+                Column("artist", ColumnType.TEXT),
+                Column("name", ColumnType.TEXT),
+            ],
+            primary_key="id",
+        ),
+    )
+    sales.insert_row(
+        "inventory", {"id": "a32", "artist": "Cure", "name": "Wish"}
+    )
+    polystore.attach("transactions", sales)
+    catalogue = DocumentStore()
+    catalogue.insert(
+        "albums",
+        {"_id": "d1", "title": "Wish", "artist": "The Cure", "year": 1992},
+    )
+    polystore.attach("catalogue", catalogue)
+    discounts = KeyValueStore(keyspace="drop")
+    discounts.set("k1:cure:wish", "40%")
+    polystore.attach("discount", discounts)
+    graph = GraphStore()
+    graph.create_node("Item", {"title": "Wish"}, node_id="i1")
+    polystore.attach("similar", graph)
+
+    aindex = AIndex()
+    key = GlobalKey.parse
+    aindex.add(PRelation.identity(
+        key("catalogue.albums.d1"), key("transactions.inventory.a32"), 0.9))
+    aindex.add(PRelation.identity(
+        key("catalogue.albums.d1"), key("discount.drop.k1:cure:wish"), 0.8))
+    aindex.add(PRelation.matching(
+        key("catalogue.albums.d1"), key("similar.Item.i1"), 0.7))
+
+    quepa = Quepa(polystore, aindex)
+    answer = quepa.augmented_search(
+        "transactions", "SELECT * FROM inventory WHERE name LIKE '%wish%'"
+    )
+    print(renderer.render_answer(answer), file=out)
+    return 0
+
+
+def _generate(args, out) -> int:
+    bundle = build_polyphony(
+        stores=args.stores,
+        scale=PolystoreScale(n_albums=args.albums),
+        seed=args.seed,
+    )
+    path = save_snapshot(args.out, bundle.polystore, bundle.aindex)
+    print(
+        f"wrote {bundle.store_count} databases, "
+        f"{bundle.polystore.total_objects()} objects, "
+        f"{bundle.aindex.edge_count()} p-relations to {path}",
+        file=out,
+    )
+    return 0
+
+
+def _load(args) -> Quepa:
+    polystore, aindex = load_snapshot(args.snapshot)
+    return Quepa(polystore, aindex)
+
+
+def _query(args, renderer: TextRenderer, out) -> int:
+    quepa = _load(args)
+    config = None
+    if args.augmenter:
+        config = AugmentationConfig(
+            augmenter=args.augmenter,
+            batch_size=args.batch_size,
+            threads_size=args.threads_size,
+        )
+    answer = quepa.augmented_search(
+        args.database, args.query, level=args.level, config=config
+    )
+    print(renderer.render_answer(answer), file=out)
+    print(
+        f"[{answer.stats.queries_issued} native queries, "
+        f"{answer.stats.elapsed * 1000:.2f} ms virtual]",
+        file=out,
+    )
+    return 0
+
+
+def _inspect(args, out) -> int:
+    polystore, aindex = load_snapshot(args.snapshot)
+    print(f"snapshot: {args.snapshot}", file=out)
+    for name in sorted(polystore):
+        store = polystore.database(name)
+        print(
+            f"  {name:16s} {store.engine:10s} "
+            f"{store.count_objects():8d} objects "
+            f"({', '.join(store.collections())})",
+            file=out,
+        )
+    print(
+        f"  A' index: {aindex.node_count()} nodes, "
+        f"{aindex.edge_count()} p-relations",
+        file=out,
+    )
+    return 0
+
+
+def _explore(args, renderer: TextRenderer, out) -> int:
+    quepa = _load(args)
+    with quepa.explore(args.database, args.query) as session:
+        if not session.results:
+            print("the query returned no results", file=out)
+            return 1
+        current = session.results[0].key
+        print(f"start: {current}", file=out)
+        for step_number in range(args.steps):
+            step = session.select(current)
+            if not step.links:
+                print("(no further links)", file=out)
+                break
+            print(renderer.render_links(step.links), file=out)
+            current = step.links[0].key
+            print(f"step {step_number + 1}: followed strongest link "
+                  f"to {current}", file=out)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,15 @@
+"""Multi-instance QUEPA deployment (Section III-A).
+
+"Since QUEPA does not store any data, it is easy to deploy multiple
+instances of the system that can answer independent queries in
+parallel. In this case, each instance has its own A' index replica and
+its own augmenter." This package implements that deployment:
+:class:`~repro.cluster.cluster.QuepaCluster` runs N instances over one
+polystore, dispatches independent queries across them, keeps the
+replicas in sync on index maintenance, and accounts completion times on
+the shared virtual clock.
+"""
+
+from repro.cluster.cluster import ClusterResult, DispatchPolicy, QuepaCluster
+
+__all__ = ["ClusterResult", "DispatchPolicy", "QuepaCluster"]

@@ -1,0 +1,37 @@
+"""The Collector: building an A' index from the polystore (Section III-D).
+
+The paper treats record linkage as a black box pipeline: BLAST-style
+unsupervised *blocking* partitions data objects into candidate blocks,
+Duke-style *pairwise matching* scores each candidate pair with a
+weighted combination of attribute comparators, and thresholds turn
+scores into p-relations — identity for scores >= 0.9, matching for
+scores in [0.6, 0.9), as the evaluation section calibrates them. A
+genetic algorithm tunes comparator weights against labelled pairs, like
+Duke's built-in tuner.
+"""
+
+from repro.collector.blocking import TokenBlocker
+from repro.collector.collector import Collector, CollectorSettings
+from repro.collector.comparators import (
+    ExactComparator,
+    JaroWinklerComparator,
+    LevenshteinComparator,
+    NumericComparator,
+    TokenOverlapComparator,
+)
+from repro.collector.genetic import GeneticTuner
+from repro.collector.matching import MatchDecision, PairwiseMatcher
+
+__all__ = [
+    "Collector",
+    "CollectorSettings",
+    "ExactComparator",
+    "GeneticTuner",
+    "JaroWinklerComparator",
+    "LevenshteinComparator",
+    "MatchDecision",
+    "NumericComparator",
+    "PairwiseMatcher",
+    "TokenBlocker",
+    "TokenOverlapComparator",
+]

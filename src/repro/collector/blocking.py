@@ -1,0 +1,126 @@
+"""Unsupervised blocking (the BLAST stand-in).
+
+Blocking partitions the data objects of the polystore into candidate
+blocks so that pairwise matching only compares objects within a block.
+Like BLAST, it needs no prior knowledge of the sources: every object is
+keyed by the normalized tokens of its textual attribute values, and
+objects sharing a token land in the same block. Oversized blocks (stop
+words, common tokens) are dropped, which is the standard meta-blocking
+cleanup step.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import defaultdict
+from typing import Iterable, Iterator
+
+from repro.model.objects import DataObject
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+
+def tokenize_value(value: object) -> set[str]:
+    """Normalized alphanumeric tokens of one attribute value."""
+    if value is None:
+        return set()
+    return set(_TOKEN_RE.findall(str(value).lower()))
+
+
+class TokenBlocker:
+    """Token blocking with oversized-block pruning.
+
+    ``max_block_size`` drops blocks keyed by uninformative tokens;
+    ``min_token_length`` skips very short tokens ("a", "of", ids).
+    """
+
+    def __init__(self, max_block_size: int = 50, min_token_length: int = 3) -> None:
+        self.max_block_size = max_block_size
+        self.min_token_length = min_token_length
+
+    def blocks(
+        self, objects: Iterable[DataObject]
+    ) -> dict[str, list[DataObject]]:
+        """Group objects by shared token."""
+        buckets: dict[str, list[DataObject]] = defaultdict(list)
+        for obj in objects:
+            for token in self._object_tokens(obj):
+                buckets[token].append(obj)
+        return {
+            token: members
+            for token, members in buckets.items()
+            if 2 <= len(members) <= self.max_block_size
+        }
+
+    def candidate_pairs(
+        self, objects: Iterable[DataObject]
+    ) -> Iterator[tuple[DataObject, DataObject]]:
+        """Distinct cross-database pairs sharing at least one block.
+
+        Deduplication is a *local* responsibility in the paper's model,
+        so pairs within the same database are not candidates.
+        """
+        emitted: set[tuple[str, str]] = set()
+        for members in self.blocks(objects).values():
+            for i, left in enumerate(members):
+                for right in members[i + 1:]:
+                    if left.key.database == right.key.database:
+                        continue
+                    pair_ids = tuple(sorted((str(left.key), str(right.key))))
+                    if pair_ids in emitted:
+                        continue
+                    emitted.add(pair_ids)  # type: ignore[arg-type]
+                    yield left, right
+
+    def _object_tokens(self, obj: DataObject) -> set[str]:
+        tokens: set[str] = set()
+        for name, value in obj.fields():
+            if name.startswith("_"):
+                continue
+            for token in tokenize_value(value):
+                if len(token) >= self.min_token_length and not token.isdigit():
+                    tokens.add(token)
+        return tokens
+
+
+class SortedNeighborhoodBlocker:
+    """Sorted-neighborhood blocking: the classic alternative to token
+    blocking.
+
+    Objects are sorted by a blocking key (the concatenated normalized
+    tokens of their textual attributes) and a window of size ``window``
+    slides over the sorted list; objects within the same window are
+    candidates. Produces far fewer candidate pairs than token blocking
+    at the cost of missing pairs whose keys sort far apart — the
+    standard recall/efficiency trade-off, measurable with the
+    benchmarks' ablation.
+    """
+
+    def __init__(self, window: int = 5) -> None:
+        if window < 2:
+            raise ValueError("window must be at least 2")
+        self.window = window
+
+    def blocking_key(self, obj: DataObject) -> str:
+        tokens: list[str] = []
+        for name, value in sorted(obj.fields()):
+            if name.startswith("_"):
+                continue
+            tokens.extend(sorted(tokenize_value(value)))
+        return " ".join(tokens)
+
+    def candidate_pairs(
+        self, objects: Iterable[DataObject]
+    ) -> Iterator[tuple[DataObject, DataObject]]:
+        """Cross-database pairs within the sliding window."""
+        ordered = sorted(objects, key=self.blocking_key)
+        emitted: set[tuple[str, str]] = set()
+        for index, left in enumerate(ordered):
+            for right in ordered[index + 1: index + self.window]:
+                if left.key.database == right.key.database:
+                    continue
+                pair_ids = tuple(sorted((str(left.key), str(right.key))))
+                if pair_ids in emitted:
+                    continue
+                emitted.add(pair_ids)  # type: ignore[arg-type]
+                yield left, right

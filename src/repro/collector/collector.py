@@ -1,0 +1,86 @@
+"""The Collector pipeline: polystore in, populated A' index out.
+
+Blocking (BLAST stand-in) proposes candidate pairs, pairwise matching
+(Duke stand-in) scores them and emits p-relations, the local-dedup rule
+prunes conflicting identities, and everything is inserted into the A'
+index — where the Consistency Condition materializes the transitive
+closure (Section III-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.collector.blocking import TokenBlocker
+from repro.collector.matching import PairwiseMatcher
+from repro.core.aindex import AIndex
+from repro.model.polystore import Polystore
+from repro.model.prelations import PRelation
+
+
+@dataclass
+class CollectorSettings:
+    """Knobs of the pipeline; defaults mirror the paper's calibration."""
+
+    max_block_size: int = 50
+    min_token_length: int = 3
+    #: Stop after this many candidate pairs (None = exhaustive).
+    max_candidate_pairs: int | None = None
+
+
+@dataclass
+class CollectorReport:
+    """What one collector run did."""
+
+    objects_scanned: int = 0
+    candidate_pairs: int = 0
+    relations_found: int = 0
+    identities: int = 0
+    matchings: int = 0
+    relations: list[PRelation] = field(default_factory=list)
+
+
+class Collector:
+    """Discovers p-relations across the polystore and stores them."""
+
+    def __init__(
+        self,
+        matcher: PairwiseMatcher,
+        settings: CollectorSettings | None = None,
+    ) -> None:
+        self.matcher = matcher
+        self.settings = settings or CollectorSettings()
+        self.blocker = TokenBlocker(
+            max_block_size=self.settings.max_block_size,
+            min_token_length=self.settings.min_token_length,
+        )
+
+    def collect(self, polystore: Polystore, aindex: AIndex) -> CollectorReport:
+        """Run blocking + matching over ``polystore`` into ``aindex``."""
+        report = CollectorReport()
+        objects = []
+        for database in polystore:
+            for obj in polystore.database(database).iter_objects():
+                objects.append(obj)
+        report.objects_scanned = len(objects)
+
+        pairs = []
+        for pair in self.blocker.candidate_pairs(objects):
+            pairs.append(pair)
+            report.candidate_pairs += 1
+            if (
+                self.settings.max_candidate_pairs is not None
+                and report.candidate_pairs >= self.settings.max_candidate_pairs
+            ):
+                break
+
+        relations = self.matcher.match_pairs(pairs)
+        report.relations = relations
+        report.relations_found = len(relations)
+        for relation in relations:
+            if relation.type.value == "identity":
+                report.identities += 1
+            else:
+                report.matchings += 1
+            aindex.add(relation)
+        return report

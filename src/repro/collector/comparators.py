@@ -1,0 +1,178 @@
+"""Attribute comparators for pairwise matching (the Duke stand-ins).
+
+Each comparator maps a pair of attribute values to a similarity in
+[0, 1]. The string metrics (Levenshtein, Jaro, Jaro-Winkler, token
+overlap) are implemented from scratch; a numeric comparator handles
+quantities with relative tolerance.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any
+
+
+class Comparator(ABC):
+    """Similarity of two attribute values, in [0, 1]."""
+
+    name = "abstract"
+
+    @abstractmethod
+    def compare(self, left: Any, right: Any) -> float:
+        """Return the similarity of the two values."""
+
+    @staticmethod
+    def _text(value: Any) -> str:
+        return str(value).strip().lower() if value is not None else ""
+
+
+class ExactComparator(Comparator):
+    """1.0 on equality (case-insensitive for strings), else 0.0."""
+
+    name = "exact"
+
+    def compare(self, left: Any, right: Any) -> float:
+        if left is None or right is None:
+            return 0.0
+        if isinstance(left, str) or isinstance(right, str):
+            return 1.0 if self._text(left) == self._text(right) else 0.0
+        return 1.0 if left == right else 0.0
+
+
+def levenshtein_distance(a: str, b: str) -> int:
+    """Classic dynamic-programming edit distance (two-row variant)."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    if len(a) < len(b):
+        a, b = b, a
+    previous = list(range(len(b) + 1))
+    for i, char_a in enumerate(a, start=1):
+        current = [i]
+        for j, char_b in enumerate(b, start=1):
+            cost = 0 if char_a == char_b else 1
+            current.append(
+                min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost)
+            )
+        previous = current
+    return previous[-1]
+
+
+class LevenshteinComparator(Comparator):
+    """1 - normalized edit distance."""
+
+    name = "levenshtein"
+
+    def compare(self, left: Any, right: Any) -> float:
+        a, b = self._text(left), self._text(right)
+        if not a and not b:
+            return 0.0
+        longest = max(len(a), len(b))
+        return 1.0 - levenshtein_distance(a, b) / longest
+
+
+def jaro_similarity(a: str, b: str) -> float:
+    """Jaro similarity with the standard matching-window definition."""
+    if a == b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    window = max(len(a), len(b)) // 2 - 1
+    window = max(window, 0)
+    a_matched = [False] * len(a)
+    b_matched = [False] * len(b)
+    matches = 0
+    for i, char in enumerate(a):
+        start = max(0, i - window)
+        end = min(i + window + 1, len(b))
+        for j in range(start, end):
+            if not b_matched[j] and b[j] == char:
+                a_matched[i] = True
+                b_matched[j] = True
+                matches += 1
+                break
+    if matches == 0:
+        return 0.0
+    transpositions = 0
+    j = 0
+    for i, matched in enumerate(a_matched):
+        if not matched:
+            continue
+        while not b_matched[j]:
+            j += 1
+        if a[i] != b[j]:
+            transpositions += 1
+        j += 1
+    transpositions //= 2
+    return (
+        matches / len(a) + matches / len(b) + (matches - transpositions) / matches
+    ) / 3.0
+
+
+class JaroWinklerComparator(Comparator):
+    """Jaro with the Winkler common-prefix bonus (scaling 0.1, max 4)."""
+
+    name = "jaro_winkler"
+
+    def __init__(self, prefix_scale: float = 0.1, max_prefix: int = 4) -> None:
+        self.prefix_scale = prefix_scale
+        self.max_prefix = max_prefix
+
+    def compare(self, left: Any, right: Any) -> float:
+        a, b = self._text(left), self._text(right)
+        if not a or not b:
+            return 0.0
+        jaro = jaro_similarity(a, b)
+        prefix = 0
+        for char_a, char_b in zip(a, b):
+            if char_a != char_b or prefix >= self.max_prefix:
+                break
+            prefix += 1
+        return jaro + prefix * self.prefix_scale * (1.0 - jaro)
+
+
+class TokenOverlapComparator(Comparator):
+    """Jaccard overlap of whitespace tokens (good for titles)."""
+
+    name = "token_overlap"
+
+    def compare(self, left: Any, right: Any) -> float:
+        tokens_a = set(self._text(left).split())
+        tokens_b = set(self._text(right).split())
+        if not tokens_a or not tokens_b:
+            return 0.0
+        return len(tokens_a & tokens_b) / len(tokens_a | tokens_b)
+
+
+class NumericComparator(Comparator):
+    """Similarity of two numbers under a relative tolerance.
+
+    Equal values score 1.0; the score decays linearly to 0.0 as the
+    relative difference reaches ``tolerance``.
+    """
+
+    name = "numeric"
+
+    def __init__(self, tolerance: float = 0.5) -> None:
+        if tolerance <= 0:
+            raise ValueError("tolerance must be positive")
+        self.tolerance = tolerance
+
+    def compare(self, left: Any, right: Any) -> float:
+        try:
+            a = float(left)
+            b = float(right)
+        except (TypeError, ValueError):
+            return 0.0
+        if a == b:
+            return 1.0
+        scale = max(abs(a), abs(b))
+        if scale == 0:
+            return 1.0
+        relative = abs(a - b) / scale
+        if relative >= self.tolerance:
+            return 0.0
+        return 1.0 - relative / self.tolerance

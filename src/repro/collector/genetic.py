@@ -1,0 +1,148 @@
+"""Genetic tuning of matcher weights and thresholds (Duke's tuner).
+
+Duke ships a genetic algorithm that searches comparator configurations
+against labelled pairs; this is the equivalent. A genome is the vector
+of rule weights plus the two thresholds; fitness is the F1 score of the
+resulting matcher on the labelled pairs. Standard generational GA:
+tournament selection, blend crossover, gaussian mutation, elitism.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.collector.matching import AttributeRule, PairwiseMatcher
+from repro.model.objects import DataObject
+
+
+@dataclass(frozen=True)
+class LabeledPair:
+    """A ground-truth example: two objects and whether they match."""
+
+    left: DataObject
+    right: DataObject
+    is_match: bool
+
+
+@dataclass
+class TunerResult:
+    matcher: PairwiseMatcher
+    fitness: float
+    generations: int
+
+
+class GeneticTuner:
+    """Evolves (weights, thresholds) to maximize F1 on labelled pairs."""
+
+    def __init__(
+        self,
+        rules: list[AttributeRule],
+        population_size: int = 30,
+        generations: int = 25,
+        mutation_rate: float = 0.25,
+        elite: int = 2,
+        seed: int = 11,
+    ) -> None:
+        if population_size < 4:
+            raise ValueError("population_size must be at least 4")
+        self.rules = rules
+        self.population_size = population_size
+        self.generations = generations
+        self.mutation_rate = mutation_rate
+        self.elite = elite
+        self._rng = random.Random(seed)
+
+    # genome = [w1..wn, matching_threshold, identity_margin]
+
+    def tune(self, examples: list[LabeledPair]) -> TunerResult:
+        """Run the GA and return the best matcher found."""
+        if not examples:
+            raise ValueError("cannot tune without labelled pairs")
+        population = [self._random_genome() for __ in range(self.population_size)]
+        best_genome = population[0]
+        best_fitness = -1.0
+        for generation in range(self.generations):
+            scored = sorted(
+                ((self._fitness(genome, examples), genome) for genome in population),
+                key=lambda pair: -pair[0],
+            )
+            if scored[0][0] > best_fitness:
+                best_fitness, best_genome = scored[0]
+            if best_fitness >= 0.999:
+                return TunerResult(
+                    self._matcher(best_genome), best_fitness, generation + 1
+                )
+            population = self._next_generation(scored)
+        return TunerResult(self._matcher(best_genome), best_fitness, self.generations)
+
+    # -- GA machinery --------------------------------------------------------
+
+    def _random_genome(self) -> list[float]:
+        weights = [self._rng.uniform(0.1, 1.0) for __ in self.rules]
+        matching = self._rng.uniform(0.4, 0.8)
+        margin = self._rng.uniform(0.05, 0.3)
+        return weights + [matching, margin]
+
+    def _matcher(self, genome: list[float]) -> PairwiseMatcher:
+        weights = genome[: len(self.rules)]
+        matching = min(max(genome[-2], 0.05), 0.94)
+        identity = min(matching + max(genome[-1], 0.01), 1.0)
+        rules = [
+            AttributeRule(
+                rule.left_field, rule.right_field, rule.comparator, max(w, 0.01)
+            )
+            for rule, w in zip(self.rules, weights)
+        ]
+        return PairwiseMatcher(
+            rules, identity_threshold=identity, matching_threshold=matching
+        )
+
+    def _fitness(self, genome: list[float], examples: list[LabeledPair]) -> float:
+        matcher = self._matcher(genome)
+        true_positive = false_positive = false_negative = 0
+        for example in examples:
+            predicted = (
+                matcher.score(example.left, example.right)
+                >= matcher.matching_threshold
+            )
+            if predicted and example.is_match:
+                true_positive += 1
+            elif predicted:
+                false_positive += 1
+            elif example.is_match:
+                false_negative += 1
+        if true_positive == 0:
+            return 0.0
+        precision = true_positive / (true_positive + false_positive)
+        recall = true_positive / (true_positive + false_negative)
+        return 2 * precision * recall / (precision + recall)
+
+    def _next_generation(
+        self, scored: list[tuple[float, list[float]]]
+    ) -> list[list[float]]:
+        population = [genome for __, genome in scored[: self.elite]]
+        while len(population) < self.population_size:
+            parent_a = self._tournament(scored)
+            parent_b = self._tournament(scored)
+            child = self._crossover(parent_a, parent_b)
+            self._mutate(child)
+            population.append(child)
+        return population
+
+    def _tournament(
+        self, scored: list[tuple[float, list[float]]], size: int = 3
+    ) -> list[float]:
+        contenders = self._rng.sample(scored, min(size, len(scored)))
+        return max(contenders, key=lambda pair: pair[0])[1]
+
+    def _crossover(self, a: list[float], b: list[float]) -> list[float]:
+        mix = self._rng.random()
+        return [mix * x + (1.0 - mix) * y for x, y in zip(a, b)]
+
+    def _mutate(self, genome: list[float]) -> None:
+        for index in range(len(genome)):
+            if self._rng.random() < self.mutation_rate:
+                genome[index] = max(
+                    0.01, genome[index] + self._rng.gauss(0.0, 0.1)
+                )

@@ -1,0 +1,268 @@
+"""The A' index: a graph of p-relations over global keys (Section III-B).
+
+Each global key is a node; edges carry the relation type (identity or
+matching) and its probability. The index enforces the paper's
+Consistency Condition at insertion time (Section III-C):
+
+* adding an identity ``a ~ b`` materializes, by transitivity, an
+  identity between ``a`` and every identity-neighbour of ``b`` (and vice
+  versa), with probability equal to the product along the two edges
+  (Example 7: 0.8 x 0.85 -> 0.68);
+* since ``x = b`` and ``b ~ a`` must imply ``x = a``, matching edges are
+  propagated across new identity edges the same way.
+
+Deletions are lazy: an object found missing during augmentation is
+dropped with :meth:`AIndex.remove_object`. Every *inferred* edge records
+its two supporting edges (lineage), enabling the cascading deletion the
+paper lists as future work (:meth:`AIndex.remove_relation` with
+``cascade=True``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.model.objects import GlobalKey
+from repro.model.prelations import PRelation, RelationType
+
+
+@dataclass(frozen=True, slots=True)
+class Neighbor:
+    """One edge out of a node: the other endpoint, type, probability."""
+
+    key: GlobalKey
+    type: RelationType
+    probability: float
+
+
+def _pair(a: GlobalKey, b: GlobalKey) -> tuple[GlobalKey, GlobalKey]:
+    return (a, b) if str(a) <= str(b) else (b, a)
+
+
+class AIndex:
+    """An in-memory, adjacency-list p-relation graph."""
+
+    def __init__(self, enforce_consistency: bool = True) -> None:
+        #: key -> neighbour key -> (type, probability)
+        self._adjacency: dict[
+            GlobalKey, dict[GlobalKey, tuple[RelationType, float]]
+        ] = {}
+        #: lineage of inferred edges: pair -> set of supporting pairs
+        self._lineage: dict[
+            tuple[GlobalKey, GlobalKey], set[tuple[GlobalKey, GlobalKey]]
+        ] = {}
+        self.enforce_consistency = enforce_consistency
+
+    # -- size ------------------------------------------------------------------
+
+    def node_count(self) -> int:
+        return len(self._adjacency)
+
+    def edge_count(self) -> int:
+        return sum(len(adj) for adj in self._adjacency.values()) // 2
+
+    def __contains__(self, key: GlobalKey) -> bool:
+        return key in self._adjacency
+
+    def nodes(self) -> Iterator[GlobalKey]:
+        return iter(self._adjacency)
+
+    # -- insertion ----------------------------------------------------------------
+
+    def add(self, relation: PRelation) -> None:
+        """Insert a p-relation, enforcing the Consistency Condition."""
+        inferred = self._set_edge(
+            relation.left, relation.right, relation.type, relation.probability
+        )
+        if not inferred or not self.enforce_consistency:
+            return
+        if relation.type is RelationType.IDENTITY:
+            self._propagate_identity(relation)
+        else:
+            self._propagate_matching(relation)
+
+    def add_all(self, relations: Iterable[PRelation]) -> None:
+        for relation in relations:
+            self.add(relation)
+
+    def _set_edge(
+        self,
+        a: GlobalKey,
+        b: GlobalKey,
+        rel_type: RelationType,
+        probability: float,
+    ) -> bool:
+        """Store an undirected edge; returns False if an equal-or-stronger
+        edge already exists (identity supersedes matching; higher
+        probability supersedes lower)."""
+        if a == b:
+            return False
+        existing = self._adjacency.get(a, {}).get(b)
+        if existing is not None:
+            current_type, current_probability = existing
+            stronger = (
+                current_type is RelationType.IDENTITY
+                and rel_type is RelationType.MATCHING
+            )
+            if stronger:
+                return False
+            if current_type is rel_type and current_probability >= probability:
+                return False
+        self._adjacency.setdefault(a, {})[b] = (rel_type, probability)
+        self._adjacency.setdefault(b, {})[a] = (rel_type, probability)
+        return True
+
+    def _propagate_identity(self, relation: PRelation) -> None:
+        """Materialize transitive identities and propagated matchings
+        across the new identity edge ``left ~ right``."""
+        for anchor, other in (
+            (relation.left, relation.right),
+            (relation.right, relation.left),
+        ):
+            # Neighbours of `other` become related to `anchor`.
+            for neighbor_key, (n_type, n_prob) in list(
+                self._adjacency.get(other, {}).items()
+            ):
+                if neighbor_key == anchor:
+                    continue
+                combined = relation.probability * n_prob
+                if combined <= 0.0:
+                    continue
+                if self._set_edge(anchor, neighbor_key, n_type, combined):
+                    self._record_lineage(
+                        anchor, neighbor_key,
+                        supports=[(anchor, other), (other, neighbor_key)],
+                    )
+                    # Newly inferred identities propagate further.
+                    if n_type is RelationType.IDENTITY:
+                        self._propagate_identity(
+                            PRelation.identity(anchor, neighbor_key, combined)
+                        )
+
+    def _propagate_matching(self, relation: PRelation) -> None:
+        """``x = b`` plus ``b ~ a`` implies ``x = a``: the new matching
+        edge must connect the whole identity class of each endpoint to
+        the whole identity class of the other.
+
+        Identity classes are materialized cliques (see
+        :meth:`_propagate_identity`), so one hop of identity edges is
+        the full class. Probabilities compose multiplicatively along
+        ``x ~ left = right ~ y``.
+        """
+        left_class = self._identity_class(relation.left)
+        right_class = self._identity_class(relation.right)
+        for x, p_left in left_class.items():
+            for y, p_right in right_class.items():
+                if x == y or (x, y) == (relation.left, relation.right):
+                    continue
+                combined = p_left * relation.probability * p_right
+                if combined <= 0.0:
+                    continue
+                if self._set_edge(x, y, RelationType.MATCHING, combined):
+                    self._record_lineage(
+                        x, y,
+                        supports=[(relation.left, relation.right)],
+                    )
+
+    def _identity_class(self, key: GlobalKey) -> dict[GlobalKey, float]:
+        """The materialized identity class of ``key``: the key itself
+        (probability 1) plus its direct identity neighbours."""
+        members = {key: 1.0}
+        for neighbor_key, (n_type, n_prob) in self._adjacency.get(key, {}).items():
+            if n_type is RelationType.IDENTITY:
+                members[neighbor_key] = n_prob
+        return members
+
+    def _record_lineage(
+        self,
+        a: GlobalKey,
+        b: GlobalKey,
+        supports: list[tuple[GlobalKey, GlobalKey]],
+    ) -> None:
+        self._lineage.setdefault(_pair(a, b), set()).update(
+            _pair(x, y) for x, y in supports
+        )
+
+    def copy(self) -> "AIndex":
+        """An independent replica of this index (Section III-A: each
+        QUEPA instance has its own A' index replica)."""
+        replica = AIndex(enforce_consistency=self.enforce_consistency)
+        replica._adjacency = {
+            key: dict(adjacency) for key, adjacency in self._adjacency.items()
+        }
+        replica._lineage = {
+            pair: set(supports) for pair, supports in self._lineage.items()
+        }
+        return replica
+
+    # -- queries --------------------------------------------------------------------
+
+    def neighbors(
+        self, key: GlobalKey, rel_type: RelationType | None = None
+    ) -> list[Neighbor]:
+        """All edges out of ``key``, optionally filtered by type."""
+        adjacency = self._adjacency.get(key)
+        if not adjacency:
+            return []
+        return [
+            Neighbor(other, edge_type, probability)
+            for other, (edge_type, probability) in adjacency.items()
+            if rel_type is None or edge_type is rel_type
+        ]
+
+    def relation(self, a: GlobalKey, b: GlobalKey) -> PRelation | None:
+        edge = self._adjacency.get(a, {}).get(b)
+        if edge is None:
+            return None
+        edge_type, probability = edge
+        return PRelation(a, b, edge_type, probability)
+
+    def degree(self, key: GlobalKey) -> int:
+        return len(self._adjacency.get(key, {}))
+
+    # -- deletion ----------------------------------------------------------------------
+
+    def remove_object(self, key: GlobalKey) -> int:
+        """Lazy deletion: drop a node and its incident edges.
+
+        Called when augmentation discovers the object no longer exists
+        in the polystore. Returns the number of edges removed. Inferred
+        p-relations that were derived *via* this node are kept, per the
+        paper's stated strategy.
+        """
+        adjacency = self._adjacency.pop(key, None)
+        if adjacency is None:
+            return 0
+        for other in adjacency:
+            self._adjacency.get(other, {}).pop(key, None)
+        return len(adjacency)
+
+    def remove_relation(
+        self, a: GlobalKey, b: GlobalKey, cascade: bool = False
+    ) -> int:
+        """Remove the edge ``a -- b``.
+
+        With ``cascade=True``, edges whose lineage includes the removed
+        edge are removed too, recursively — the "data oblivion" lineage
+        system the paper plans as future work. Returns the number of
+        edges removed.
+        """
+        if self._adjacency.get(a, {}).pop(b, None) is None:
+            return 0
+        self._adjacency.get(b, {}).pop(a, None)
+        removed = 1
+        removed_pair = _pair(a, b)
+        self._lineage.pop(removed_pair, None)
+        if cascade:
+            dependents = [
+                pair
+                for pair, supports in self._lineage.items()
+                if removed_pair in supports
+            ]
+            for pair in dependents:
+                removed += self.remove_relation(pair[0], pair[1], cascade=True)
+        return removed
+
+    def is_inferred(self, a: GlobalKey, b: GlobalKey) -> bool:
+        return _pair(a, b) in self._lineage

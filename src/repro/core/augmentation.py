@@ -1,0 +1,158 @@
+"""The augmentation operator alpha^n (Definition 2).
+
+Augmentation of level ``n`` expands a set of data objects with every
+object reachable in the A' index within ``n + 1`` hops: level 0 adds the
+direct identity/matching neighbours of each result, level 1 additionally
+adds their neighbours, and so on (Example 4 of the paper).
+
+The *plan* — which global keys to retrieve, at which probability, from
+which seed — is computed here by a pure, index-only traversal. The
+*execution* — actually materializing the objects from the polystore —
+is the augmenters' job (:mod:`repro.core.augmenters`), because that is
+where the paper's network/CPU/memory optimizations live.
+
+Probabilities compose multiplicatively along a path; when several paths
+reach the same object the most probable one wins. Seed objects (the
+original answer) are never re-added as augmented entries of themselves,
+but an object of the original answer can legitimately appear in the
+augmentation of *another* seed (Example 4: the answer to Q contains o,
+and o2 = transactions.inventory.a32 appears in its augmentation).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.core.aindex import AIndex
+from repro.model.objects import GlobalKey
+
+
+@dataclass
+class AugmentationConfig:
+    """Tunable parameters of one augmentation run (Section V).
+
+    ``augmenter`` selects the strategy; ``batch_size``/``threads_size``
+    parameterize it; ``cache_size`` is applied to the shared LRU cache.
+    ``min_probability`` optionally prunes very weak paths from the plan.
+    """
+
+    augmenter: str = "sequential"
+    batch_size: int = 64
+    threads_size: int = 4
+    cache_size: int = 1024
+    min_probability: float = 0.0
+    #: Degrade gracefully when a store is down: skip its objects instead
+    #: of failing the whole augmented query (loose coupling in action).
+    skip_unavailable: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class PlannedFetch:
+    """One object the augmentation must retrieve.
+
+    ``seed`` is the original-answer object this fetch augments and
+    ``path`` the chain of intermediate keys (excluding the seed,
+    including the target), so the exploration UI can explain each link.
+    """
+
+    key: GlobalKey
+    probability: float
+    seed: GlobalKey
+    path: tuple[GlobalKey, ...]
+
+
+@dataclass
+class AugmentationPlan:
+    """The per-seed fetch lists for one augmented query."""
+
+    level: int
+    seeds: list[GlobalKey]
+    fetches_by_seed: dict[GlobalKey, list[PlannedFetch]] = field(
+        default_factory=dict
+    )
+    #: Number of A' index edges examined (charged as CPU by augmenters).
+    edges_examined: int = 0
+
+    def all_fetches(self) -> list[PlannedFetch]:
+        """Fetches of every seed, in seed order (duplicates possible —
+        overlapping augmentations are deduplicated only in the final
+        answer, which is exactly why the cache helps at level > 0)."""
+        return [
+            fetch
+            for seed in self.seeds
+            for fetch in self.fetches_by_seed.get(seed, [])
+        ]
+
+    def total_fetches(self) -> int:
+        return sum(len(f) for f in self.fetches_by_seed.values())
+
+
+class Augmentation:
+    """Plans augmentations over an A' index."""
+
+    def __init__(self, aindex: AIndex) -> None:
+        self.aindex = aindex
+
+    def plan(
+        self,
+        seeds: list[GlobalKey],
+        level: int,
+        min_probability: float = 0.0,
+    ) -> AugmentationPlan:
+        """Compute the fetch plan for ``alpha^level`` over ``seeds``."""
+        if level < 0:
+            raise ValueError(f"augmentation level must be >= 0, got {level}")
+        plan = AugmentationPlan(level=level, seeds=list(seeds))
+        for seed in seeds:
+            fetches, edges = self._expand(seed, level, min_probability)
+            plan.fetches_by_seed[seed] = fetches
+            plan.edges_examined += edges
+        return plan
+
+    def _expand(
+        self, seed: GlobalKey, level: int, min_probability: float
+    ) -> tuple[list[PlannedFetch], int]:
+        """Best-probability-first traversal to depth ``level + 1``.
+
+        A Dijkstra-style search over ``-log p`` (implemented directly on
+        products) guarantees each reachable key is planned with its
+        maximum path probability.
+        """
+        max_depth = level + 1
+        best: dict[GlobalKey, float] = {seed: 1.0}
+        result: dict[GlobalKey, PlannedFetch] = {}
+        edges = 0
+        # Heap entries: (-probability, tiebreak, key, depth, path)
+        counter = 0
+        heap: list[tuple[float, int, GlobalKey, int, tuple[GlobalKey, ...]]] = [
+            (-1.0, counter, seed, 0, ())
+        ]
+        while heap:
+            neg_probability, __, key, depth, path = heapq.heappop(heap)
+            probability = -neg_probability
+            if probability < best.get(key, 0.0):
+                continue  # stale entry
+            if depth >= max_depth:
+                continue
+            for neighbor in self.aindex.neighbors(key):
+                edges += 1
+                combined = probability * neighbor.probability
+                if combined < min_probability or combined <= 0.0:
+                    continue
+                if combined <= best.get(neighbor.key, 0.0):
+                    continue
+                best[neighbor.key] = combined
+                new_path = path + (neighbor.key,)
+                if neighbor.key != seed:
+                    result[neighbor.key] = PlannedFetch(
+                        neighbor.key, combined, seed, new_path
+                    )
+                counter += 1
+                heapq.heappush(
+                    heap, (-combined, counter, neighbor.key, depth + 1, new_path)
+                )
+        ordered = sorted(
+            result.values(), key=lambda fetch: (-fetch.probability, str(fetch.key))
+        )
+        return ordered, edges

@@ -1,0 +1,191 @@
+"""Shared augmenter machinery: base class, registry, cache handling."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.augmentation import AugmentationConfig, AugmentationPlan, PlannedFetch
+from repro.core.cache import LruCache
+from repro.core.connectors import ConnectorRegistry
+from repro.errors import (
+    ConfigurationError,
+    StoreUnavailableError,
+    UnknownAugmenterError,
+)
+from repro.model.objects import AugmentedObject, DataObject, GlobalKey
+from repro.network.executor import ExecContext
+
+
+@dataclass
+class AugmentationOutcome:
+    """What executing an augmentation plan produced."""
+
+    objects: list[AugmentedObject] = field(default_factory=list)
+    #: Keys planned but absent from the polystore (feed lazy deletion).
+    missing: list[GlobalKey] = field(default_factory=list)
+    cache_hits: int = 0
+    queries_issued: int = 0
+    #: Databases skipped because they were unreachable (only populated
+    #: when the configuration sets ``skip_unavailable``).
+    unavailable_databases: tuple[str, ...] = ()
+
+
+class Augmenter(ABC):
+    """Base class: plan in, materialized augmented objects out.
+
+    ``execute`` is a template method: it validates the configuration,
+    arms graceful degradation when requested, runs the strategy's
+    ``_run``, and stamps the outcome with any stores found unreachable.
+    Instances are single-use per query (Quepa creates one per search).
+    """
+
+    name = "abstract"
+
+    def __init__(self, registry: ConnectorRegistry, cache: LruCache) -> None:
+        self.registry = registry
+        self.cache = cache
+        self._skip_unavailable = False
+        #: Databases that raised StoreUnavailableError (append-only;
+        #: list.append is atomic, so worker threads may share it).
+        self._unavailable: list[str] = []
+
+    def execute(
+        self,
+        ctx: ExecContext,
+        plan: AugmentationPlan,
+        config: AugmentationConfig,
+    ) -> AugmentationOutcome:
+        """Materialize every planned fetch from the polystore."""
+        validate_config(config)
+        self._skip_unavailable = config.skip_unavailable
+        self._unavailable = []
+        outcome = self._run(ctx, plan, config)
+        outcome.unavailable_databases = tuple(sorted(set(self._unavailable)))
+        return outcome
+
+    @abstractmethod
+    def _run(
+        self,
+        ctx: ExecContext,
+        plan: AugmentationPlan,
+        config: AugmentationConfig,
+    ) -> AugmentationOutcome:
+        """The strategy body; helpers below do the actual fetching."""
+
+    # -- helpers shared by strategies ---------------------------------------
+
+    def _probe_cache(
+        self, ctx: ExecContext, fetch: PlannedFetch
+    ) -> AugmentedObject | None:
+        """Cache lookup with its (small) CPU cost charged."""
+        ctx.cpu(ctx.cost_model.cache_probe_cost)
+        cached = self.cache.get(fetch.key)
+        if cached is None:
+            return None
+        return _augmented(cached, fetch)
+
+    def _fetch_single(
+        self, ctx: ExecContext, fetch: PlannedFetch, outcome_missing: list[GlobalKey]
+    ) -> AugmentedObject | None:
+        """One direct-access query for one planned fetch (cache-aside)."""
+        connector = self.registry.connector(fetch.key.database)
+        try:
+            obj = connector.fetch_one(ctx, fetch.key)
+        except StoreUnavailableError:
+            if not self._skip_unavailable:
+                raise
+            self._unavailable.append(fetch.key.database)
+            return None
+        if obj is None:
+            outcome_missing.append(fetch.key)
+            return None
+        self.cache.put(obj)
+        return _augmented(obj, fetch)
+
+    def _fetch_group(
+        self,
+        ctx: ExecContext,
+        database: str,
+        group: list[PlannedFetch],
+        outcome_missing: list[GlobalKey],
+    ) -> list[AugmentedObject]:
+        """One batch query for a per-database group of planned fetches."""
+        unique_keys = list(dict.fromkeys(fetch.key for fetch in group))
+        connector = self.registry.connector(database)
+        try:
+            objects = connector.fetch_many(ctx, unique_keys)
+        except StoreUnavailableError:
+            if not self._skip_unavailable:
+                raise
+            self._unavailable.append(database)
+            return []
+        by_key = {obj.key: obj for obj in objects}
+        for obj in objects:
+            self.cache.put(obj)
+        results: list[AugmentedObject] = []
+        seen_missing: set[GlobalKey] = set()
+        for fetch in group:
+            obj = by_key.get(fetch.key)
+            if obj is None:
+                if fetch.key not in seen_missing:
+                    seen_missing.add(fetch.key)
+                    outcome_missing.append(fetch.key)
+                continue
+            results.append(_augmented(obj, fetch))
+        return results
+
+
+def _augmented(obj: DataObject, fetch: PlannedFetch) -> AugmentedObject:
+    return AugmentedObject(
+        obj.with_probability(fetch.probability),
+        source=fetch.seed,
+        path=fetch.path,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+_REGISTRY: dict[str, Callable[[ConnectorRegistry, LruCache], Augmenter]] = {}
+
+
+def register_augmenter(
+    name: str,
+) -> Callable[[type[Augmenter]], type[Augmenter]]:
+    def decorator(cls: type[Augmenter]) -> type[Augmenter]:
+        cls.name = name
+        _REGISTRY[name] = cls
+        return cls
+
+    return decorator
+
+
+def available_augmenters() -> list[str]:
+    """Names of the registered strategies (the optimizer's choices)."""
+    return sorted(_REGISTRY)
+
+
+def make_augmenter(
+    name: str, registry: ConnectorRegistry, cache: LruCache
+) -> Augmenter:
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise UnknownAugmenterError(
+            f"unknown augmenter {name!r}; available: {available_augmenters()}"
+        ) from None
+    return factory(registry, cache)
+
+
+def validate_config(config: AugmentationConfig) -> None:
+    if config.batch_size < 1:
+        raise ConfigurationError(f"batch_size must be >= 1, got {config.batch_size}")
+    if config.threads_size < 1:
+        raise ConfigurationError(
+            f"threads_size must be >= 1, got {config.threads_size}"
+        )
+    if config.cache_size < 0:
+        raise ConfigurationError(f"cache_size must be >= 0, got {config.cache_size}")

@@ -1,0 +1,313 @@
+"""The six augmenter strategies of Section IV.
+
+All strategies materialize the same :class:`AugmentationPlan`; they
+differ in how planned fetches are grouped into native queries and how
+those queries are spread over worker threads. Figure 6 of the paper is
+the picture to keep in mind: the sequential augmenter issues 11 queries
+for 11 objects, BATCH with ``BATCH_SIZE=4`` issues 5.
+"""
+
+from __future__ import annotations
+
+from repro.core.augmentation import AugmentationConfig, AugmentationPlan, PlannedFetch
+from repro.core.augmenters.base import (
+    AugmentationOutcome,
+    Augmenter,
+    register_augmenter,
+)
+from repro.model.objects import AugmentedObject, GlobalKey
+from repro.network.executor import ExecContext
+
+
+@register_augmenter("sequential")
+class SequentialAugmenter(Augmenter):
+    """One direct-access query per planned object, in seed order.
+
+    The baseline of Fig 6(a); the other strategies are measured against
+    it. It is also the winner for tiny queries on small polystores,
+    where thread spawn overhead dominates (Section VII-B.b).
+    """
+
+    def _run(
+        self,
+        ctx: ExecContext,
+        plan: AugmentationPlan,
+        config: AugmentationConfig,
+    ) -> AugmentationOutcome:
+        outcome = AugmentationOutcome()
+        for fetch in plan.all_fetches():
+            self._resolve_one(ctx, fetch, outcome)
+        return outcome
+
+    def _resolve_one(
+        self, ctx: ExecContext, fetch: PlannedFetch, outcome: AugmentationOutcome
+    ) -> None:
+        hit = self._probe_cache(ctx, fetch)
+        if hit is not None:
+            outcome.cache_hits += 1
+            outcome.objects.append(hit)
+            return
+        obj = self._fetch_single(ctx, fetch, outcome.missing)
+        outcome.queries_issued += 1
+        if obj is not None:
+            outcome.objects.append(obj)
+
+
+@register_augmenter("batch")
+class BatchAugmenter(Augmenter):
+    """Group global keys by target database; flush groups of
+    ``BATCH_SIZE`` keys as one native query each (Section IV-A)."""
+
+    def _run(
+        self,
+        ctx: ExecContext,
+        plan: AugmentationPlan,
+        config: AugmentationConfig,
+    ) -> AugmentationOutcome:
+        outcome = AugmentationOutcome()
+        groups: dict[str, list[PlannedFetch]] = {}
+        for fetch in plan.all_fetches():
+            hit = self._probe_cache(ctx, fetch)
+            if hit is not None:
+                outcome.cache_hits += 1
+                outcome.objects.append(hit)
+                continue
+            group = groups.setdefault(fetch.key.database, [])
+            group.append(fetch)
+            if len(group) >= config.batch_size:
+                self._flush(ctx, fetch.key.database, group, outcome)
+                groups[fetch.key.database] = []
+        for database, group in groups.items():
+            if group:
+                self._flush(ctx, database, group, outcome)
+        return outcome
+
+    def _flush(
+        self,
+        ctx: ExecContext,
+        database: str,
+        group: list[PlannedFetch],
+        outcome: AugmentationOutcome,
+    ) -> None:
+        outcome.objects.extend(
+            self._fetch_group(ctx, database, group, outcome.missing)
+        )
+        outcome.queries_issued += 1
+
+
+@register_augmenter("inner")
+class InnerAugmenter(Augmenter):
+    """Parallelize *within* each result's augmentation (Section IV-B.a).
+
+    The main process walks the original answer sequentially; the fetches
+    of each result are spread over ``THREADS_SIZE`` workers. Best suited
+    to augmented exploration, where a single object is augmented at a
+    time; worst for big answers, since parallelism is bounded by each
+    result's (usually small) augmentation.
+    """
+
+    def _run(
+        self,
+        ctx: ExecContext,
+        plan: AugmentationPlan,
+        config: AugmentationConfig,
+    ) -> AugmentationOutcome:
+        outcome = AugmentationOutcome()
+        for seed in plan.seeds:
+            fetches = plan.fetches_by_seed.get(seed, [])
+            if not fetches:
+                continue
+            pool = ctx.pool(config.threads_size)
+            pending = 0
+            for fetch in fetches:
+                hit = self._probe_cache(ctx, fetch)
+                if hit is not None:
+                    outcome.cache_hits += 1
+                    outcome.objects.append(hit)
+                    continue
+                pool.submit(self._worker(fetch))
+                pending += 1
+            for obj, missing_key in pool.join():
+                self._collect(outcome, obj, missing_key)
+            outcome.queries_issued += pending
+        return outcome
+
+    def _worker(self, fetch: PlannedFetch):
+        def task(child: ExecContext):
+            missing: list[GlobalKey] = []
+            obj = self._fetch_single(child, fetch, missing)
+            return obj, (missing[0] if missing else None)
+
+        return task
+
+    @staticmethod
+    def _collect(
+        outcome: AugmentationOutcome,
+        obj: AugmentedObject | None,
+        missing_key: GlobalKey | None,
+    ) -> None:
+        if obj is not None:
+            outcome.objects.append(obj)
+        if missing_key is not None:
+            outcome.missing.append(missing_key)
+
+
+@register_augmenter("outer")
+class OuterAugmenter(Augmenter):
+    """One worker per result of the original answer (Section IV-B.b).
+
+    The main process launches a task per seed without waiting; each task
+    retrieves that seed's objects sequentially.
+    """
+
+    def _run(
+        self,
+        ctx: ExecContext,
+        plan: AugmentationPlan,
+        config: AugmentationConfig,
+    ) -> AugmentationOutcome:
+        outcome = AugmentationOutcome()
+        pool = ctx.pool(config.threads_size)
+        for seed in plan.seeds:
+            fetches = plan.fetches_by_seed.get(seed, [])
+            if fetches:
+                pool.submit(self._seed_worker(fetches))
+        for objects, missing, hits, queries in pool.join():
+            outcome.objects.extend(objects)
+            outcome.missing.extend(missing)
+            outcome.cache_hits += hits
+            outcome.queries_issued += queries
+        return outcome
+
+    def _seed_worker(self, fetches: list[PlannedFetch]):
+        def task(child: ExecContext):
+            objects: list[AugmentedObject] = []
+            missing: list[GlobalKey] = []
+            hits = 0
+            queries = 0
+            for fetch in fetches:
+                hit = self._probe_cache(child, fetch)
+                if hit is not None:
+                    hits += 1
+                    objects.append(hit)
+                    continue
+                obj = self._fetch_single(child, fetch, missing)
+                queries += 1
+                if obj is not None:
+                    objects.append(obj)
+            return objects, missing, hits, queries
+
+        return task
+
+
+@register_augmenter("outer_batch")
+class OuterBatchAugmenter(Augmenter):
+    """Batching plus multi-threading (Section IV-B.c).
+
+    The main process keeps filling per-database groups of ``BATCH_SIZE``
+    keys; each full group is handed to a worker, so group filling and
+    query execution overlap. The paper's overall winner.
+    """
+
+    def _run(
+        self,
+        ctx: ExecContext,
+        plan: AugmentationPlan,
+        config: AugmentationConfig,
+    ) -> AugmentationOutcome:
+        outcome = AugmentationOutcome()
+        pool = ctx.pool(config.threads_size)
+        groups: dict[str, list[PlannedFetch]] = {}
+        submitted = 0
+        for fetch in plan.all_fetches():
+            hit = self._probe_cache(ctx, fetch)
+            if hit is not None:
+                outcome.cache_hits += 1
+                outcome.objects.append(hit)
+                continue
+            group = groups.setdefault(fetch.key.database, [])
+            group.append(fetch)
+            if len(group) >= config.batch_size:
+                pool.submit(self._group_worker(fetch.key.database, group))
+                submitted += 1
+                groups[fetch.key.database] = []
+        for database, group in groups.items():
+            if group:
+                pool.submit(self._group_worker(database, group))
+                submitted += 1
+        for objects, missing in pool.join():
+            outcome.objects.extend(objects)
+            outcome.missing.extend(missing)
+        outcome.queries_issued += submitted
+        return outcome
+
+    def _group_worker(self, database: str, group: list[PlannedFetch]):
+        def task(child: ExecContext):
+            missing: list[GlobalKey] = []
+            objects = self._fetch_group(child, database, group, missing)
+            return objects, missing
+
+        return task
+
+
+@register_augmenter("outer_inner")
+class OuterInnerAugmenter(Augmenter):
+    """Both levels of parallelism (Section IV-B.d).
+
+    ``THREADS_SIZE / 2`` workers iterate the original answer; each runs
+    an inner pool of ``THREADS_SIZE / 2`` workers for its fetches. Tends
+    to create many threads, which is exactly the behaviour the paper
+    reports.
+    """
+
+    def _run(
+        self,
+        ctx: ExecContext,
+        plan: AugmentationPlan,
+        config: AugmentationConfig,
+    ) -> AugmentationOutcome:
+        outcome = AugmentationOutcome()
+        half = max(1, config.threads_size // 2)
+        pool = ctx.pool(half)
+        for seed in plan.seeds:
+            fetches = plan.fetches_by_seed.get(seed, [])
+            if fetches:
+                pool.submit(self._seed_worker(fetches, half))
+        for objects, missing, hits, queries in pool.join():
+            outcome.objects.extend(objects)
+            outcome.missing.extend(missing)
+            outcome.cache_hits += hits
+            outcome.queries_issued += queries
+        return outcome
+
+    def _seed_worker(self, fetches: list[PlannedFetch], inner_threads: int):
+        def task(child: ExecContext):
+            objects: list[AugmentedObject] = []
+            missing: list[GlobalKey] = []
+            hits = 0
+            queries = 0
+            inner_pool = child.pool(inner_threads)
+            for fetch in fetches:
+                hit = self._probe_cache(child, fetch)
+                if hit is not None:
+                    hits += 1
+                    objects.append(hit)
+                    continue
+                inner_pool.submit(self._fetch_worker(fetch))
+                queries += 1
+            for obj, missing_key in inner_pool.join():
+                if obj is not None:
+                    objects.append(obj)
+                if missing_key is not None:
+                    missing.append(missing_key)
+            return objects, missing, hits, queries
+
+        return task
+
+    def _fetch_worker(self, fetch: PlannedFetch):
+        def task(grandchild: ExecContext):
+            missing: list[GlobalKey] = []
+            obj = self._fetch_single(grandchild, fetch, missing)
+            return obj, (missing[0] if missing else None)
+
+        return task

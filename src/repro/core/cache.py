@@ -1,0 +1,86 @@
+"""LRU object cache (Section IV-C).
+
+All augmenters consult a shared LRU cache keyed by global key before
+asking the polystore for an object — the stand-in for the paper's
+Ehcache. The cache is sized in objects (``CACHE_SIZE``), thread-safe
+(augmenters fetch from worker threads under the real runtime), and can
+be resized online, which is what the adaptive optimizer's cache-delta
+formula does between queries.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from repro.model.objects import DataObject, GlobalKey
+
+
+class LruCache:
+    """A thread-safe LRU cache of data objects."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 0:
+            raise ValueError(f"cache capacity must be >= 0, got {capacity}")
+        self._capacity = capacity
+        self._entries: OrderedDict[GlobalKey, DataObject] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: GlobalKey) -> DataObject | None:
+        """Look up ``key``; a hit refreshes its recency."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(self, obj: DataObject) -> None:
+        """Insert an object, evicting the least recently used if full.
+
+        Objects are stored with probability 1.0 so a cached object can be
+        re-weighted per query (the probability depends on the path that
+        reached it, not on the object itself).
+        """
+        if self._capacity == 0:
+            return
+        with self._lock:
+            self._entries[obj.key] = obj.with_probability(1.0)
+            self._entries.move_to_end(obj.key)
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+
+    def invalidate(self, key: GlobalKey) -> bool:
+        with self._lock:
+            return self._entries.pop(key, None) is not None
+
+    def resize(self, capacity: int) -> None:
+        """Change capacity online, evicting LRU entries if shrinking."""
+        if capacity < 0:
+            raise ValueError(f"cache capacity must be >= 0, got {capacity}")
+        with self._lock:
+            self._capacity = capacity
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

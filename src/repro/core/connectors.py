@@ -1,0 +1,94 @@
+"""Connectors: native key access to each store engine (Section III-A).
+
+A connector knows how to turn "fetch these global keys" into the most
+efficient *native* operation of its engine — a ``WHERE pk IN (...)``
+for the relational store, a ``$in`` filter for the document store, MGET
+for the key-value store, node lookups for the graph store. All cost
+accounting flows through the :class:`~repro.network.executor.ExecContext`
+so both runtimes (virtual and real) see every roundtrip.
+
+Missing objects are reported back so the caller can trigger the lazy
+A' index deletion.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import KeyNotFoundError
+from repro.model.objects import DataObject, GlobalKey
+from repro.model.polystore import Polystore
+from repro.network.executor import ExecContext
+from repro.stores.base import Store
+
+
+class Connector:
+    """Key-based access to one database of the polystore."""
+
+    def __init__(self, database: str, store: Store) -> None:
+        self.database = database
+        self.store = store
+
+    def fetch_one(self, ctx: ExecContext, key: GlobalKey) -> DataObject | None:
+        """One direct-access query for a single object."""
+        results = ctx.store_call(self.database, lambda: self._get_list(key))
+        return results[0] if results else None
+
+    def fetch_many(
+        self, ctx: ExecContext, keys: Sequence[GlobalKey]
+    ) -> list[DataObject]:
+        """One native batch query for several objects.
+
+        This is the primitive the BATCH family of augmenters relies on:
+        however many keys are in the group, it costs a single roundtrip.
+        """
+        if not keys:
+            return []
+        return list(
+            ctx.store_call(self.database, lambda: self.store.multi_get(keys))
+        )
+
+    def _get_list(self, key: GlobalKey) -> list[DataObject]:
+        try:
+            return [self.store.get(key)]
+        except KeyNotFoundError:
+            return []
+
+
+class ConnectorRegistry:
+    """Connectors for every database of a polystore."""
+
+    def __init__(self, polystore: Polystore) -> None:
+        self.polystore = polystore
+        self._connectors = {
+            name: Connector(name, store)
+            for name, store in polystore.databases.items()
+        }
+
+    def connector(self, database: str) -> Connector:
+        current = self.polystore.database(database)
+        cached = self._connectors.get(database)
+        if cached is None or cached.store is not current:
+            # The polystore may have grown, or the store may have been
+            # detached and re-attached (e.g. recovery after an outage).
+            cached = Connector(database, current)
+            self._connectors[database] = cached
+        return cached
+
+    def fetch_grouped(
+        self, ctx: ExecContext, keys: Sequence[GlobalKey]
+    ) -> tuple[list[DataObject], list[GlobalKey]]:
+        """Fetch keys grouped per database (one batch query each).
+
+        Returns ``(found, missing)``; ``missing`` keys feed the lazy
+        deletion in the A' index.
+        """
+        by_database: dict[str, list[GlobalKey]] = {}
+        for key in keys:
+            by_database.setdefault(key.database, []).append(key)
+        found: list[DataObject] = []
+        for database, db_keys in by_database.items():
+            found.extend(self.connector(database).fetch_many(ctx, db_keys))
+        found_keys = {obj.key for obj in found}
+        missing = [key for key in keys if key not in found_keys]
+        return found, missing

@@ -1,0 +1,99 @@
+"""Augmented exploration (Definition 4): stepwise, link-driven access.
+
+An exploration session starts from a native query. The user picks one
+object of the answer; QUEPA augments just that object (one step), shows
+the ranked links, the user picks again, and so on until satisfied. Each
+completed session contributes its full path to the promotion repository
+(:mod:`repro.core.promotion`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import AugmentationError
+from repro.model.objects import AugmentedObject, DataObject, GlobalKey
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.system import Quepa
+
+
+@dataclass
+class ExplorationStep:
+    """One step of a session: the object expanded and the links found."""
+
+    selected: GlobalKey
+    links: list[AugmentedObject] = field(default_factory=list)
+
+    def link_keys(self) -> list[GlobalKey]:
+        return [link.key for link in self.links]
+
+
+class ExplorationSession:
+    """A stateful walk through the polystore, one click at a time."""
+
+    def __init__(
+        self, quepa: "Quepa", database: str, query: object
+    ) -> None:
+        self._quepa = quepa
+        self.database = database
+        self.query = query
+        answer = quepa.augmented_search(database, query, level=0, augment=False)
+        #: The local answer the exploration starts from.
+        self.results: list[DataObject] = answer.originals
+        self.steps: list[ExplorationStep] = []
+        self._path: list[GlobalKey] = []
+        self._closed = False
+
+    # -- navigation -----------------------------------------------------------
+
+    def select(self, key: GlobalKey) -> ExplorationStep:
+        """Expand ``key``: augment it (level 0) and surface the links.
+
+        The first selection must be an object of the original answer;
+        subsequent selections must be links of the previous step, which
+        is exactly the click-through discipline of Definition 4.
+        """
+        if self._closed:
+            raise AugmentationError("exploration session is closed")
+        self._check_selectable(key)
+        links = self._quepa.augment_object(key)
+        step = ExplorationStep(selected=key, links=links)
+        self.steps.append(step)
+        if not self._path:
+            self._path.append(key)
+        elif self._path[-1] != key:
+            self._path.append(key)
+        return step
+
+    def _check_selectable(self, key: GlobalKey) -> None:
+        if not self.steps:
+            if all(obj.key != key for obj in self.results):
+                raise AugmentationError(
+                    f"{key} is not in the answer of the initial query"
+                )
+            return
+        previous = self.steps[-1]
+        if key not in previous.link_keys():
+            raise AugmentationError(
+                f"{key} is not a link of the previous step"
+            )
+
+    @property
+    def path(self) -> tuple[GlobalKey, ...]:
+        """The full path walked so far (nodes of the A' index)."""
+        return tuple(self._path)
+
+    def close(self) -> None:
+        """End the session; records the full path for promotion."""
+        if self._closed:
+            return
+        self._closed = True
+        self._quepa.record_exploration(self.path)
+
+    def __enter__(self) -> "ExplorationSession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

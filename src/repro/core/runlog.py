@@ -1,0 +1,68 @@
+"""Run records: what QUEPA logs about each completed augmentation.
+
+Section V, Phase 1: "We keep the logs of the completed augmentation
+runs. They include QUEPA parameters such as BATCH_SIZE or THREADS_SIZE,
+the overall execution time and the characteristics of the query (target
+database, number of original data objects in the result, number of
+augmented data objects)." These records are the training set of the
+adaptive optimizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class QueryFeatures:
+    """Characteristics of a query/polystore pair, known before execution.
+
+    The planned fetch count is available before any store is contacted
+    because planning only reads the (local) A' index.
+    """
+
+    engine: str
+    database: str
+    level: int
+    original_count: int
+    planned_fetches: int
+    store_count: int
+    deployment: str
+
+    def as_dict(self) -> dict:
+        return {
+            "engine": self.engine,
+            "database": self.database,
+            "level": self.level,
+            "original_count": self.original_count,
+            "planned_fetches": self.planned_fetches,
+            "store_count": self.store_count,
+            "deployment": self.deployment,
+        }
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One completed augmentation run: features, configuration, time."""
+
+    features: QueryFeatures
+    augmenter: str
+    batch_size: int
+    threads_size: int
+    cache_size: int
+    elapsed: float
+    queries_issued: int = 0
+    cache_hits: int = 0
+
+    def query_signature(self) -> tuple:
+        """Groups runs of the same logical query for label derivation."""
+        f = self.features
+        return (
+            f.engine,
+            f.database,
+            f.level,
+            f.original_count,
+            f.planned_fetches,
+            f.store_count,
+            f.deployment,
+        )

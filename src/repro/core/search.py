@@ -1,0 +1,132 @@
+"""Augmented search (Definition 3) and its answer representation.
+
+An augmented search runs a native query on one database, then expands
+the result with the augmentation of level ``n``, ordered by probability.
+The answer keeps the original results first (they are certain, p = 1.0)
+followed by the augmented objects ranked by probability — the paper's
+colors/rankings presentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.model.objects import AugmentedObject, DataObject, GlobalKey
+
+
+@dataclass
+class AugmentedAnswer:
+    """The result of one augmented search.
+
+    ``originals`` is the local answer ``Q(D)``; ``augmented`` the
+    deduplicated, probability-ranked expansion. ``stats`` carries the
+    execution measurements used by the run log and the experiments.
+    """
+
+    originals: list[DataObject] = field(default_factory=list)
+    augmented: list[AugmentedObject] = field(default_factory=list)
+    stats: "SearchStats" = field(default_factory=lambda: SearchStats())
+
+    def __iter__(self) -> Iterator[DataObject]:
+        """Iterate all objects, originals first then ranked augmentation."""
+        yield from self.originals
+        for entry in self.augmented:
+            yield entry.object
+
+    def __len__(self) -> int:
+        return len(self.originals) + len(self.augmented)
+
+    def augmented_keys(self) -> list[GlobalKey]:
+        return [entry.key for entry in self.augmented]
+
+    def top(self, count: int) -> list[AugmentedObject]:
+        """The ``count`` most probable augmented objects."""
+        return self.augmented[:count]
+
+    def by_database(self) -> dict[str, list[AugmentedObject]]:
+        """Augmented objects grouped by their home database."""
+        grouped: dict[str, list[AugmentedObject]] = {}
+        for entry in self.augmented:
+            grouped.setdefault(entry.key.database, []).append(entry)
+        return grouped
+
+
+@dataclass
+class SearchStats:
+    """Measurements of one augmented run (feeds the optimizer log)."""
+
+    database: str = ""
+    level: int = 0
+    original_count: int = 0
+    augmented_count: int = 0
+    planned_fetches: int = 0
+    queries_issued: int = 0
+    cache_hits: int = 0
+    missing_objects: int = 0
+    elapsed: float = 0.0
+    augmenter: str = ""
+    batch_size: int = 0
+    threads_size: int = 0
+    cache_size: int = 0
+    rewritten: bool = False
+    #: Databases skipped under graceful degradation (skip_unavailable).
+    unavailable_databases: tuple[str, ...] = ()
+
+
+def assemble_answer(
+    originals: list[DataObject],
+    raw_augmented: list[AugmentedObject],
+    stats: SearchStats,
+) -> AugmentedAnswer:
+    """Deduplicate and rank the raw augmentation output.
+
+    The same object can be reached from several seeds; the entry with
+    the highest probability wins. Objects of the original answer are not
+    repeated in the augmented section when reached from themselves, but
+    are kept when reached from *another* seed (Example 4 of the paper).
+    Ordering is by probability descending, key as tiebreak.
+    """
+    best: dict[GlobalKey, AugmentedObject] = {}
+    for entry in raw_augmented:
+        if entry.source == entry.key:
+            continue
+        current = best.get(entry.key)
+        if current is None or entry.probability > current.probability:
+            best[entry.key] = entry
+    ranked = sorted(
+        best.values(), key=lambda entry: (-entry.probability, str(entry.key))
+    )
+    stats.augmented_count = len(ranked)
+    stats.original_count = len(originals)
+    return AugmentedAnswer(list(originals), ranked, stats)
+
+
+def format_answer(answer: AugmentedAnswer, limit: int = 10) -> str:
+    """Human-readable rendering of an augmented answer.
+
+    Mirrors the paper's introduction example: each original object is
+    printed with the augmented objects it links to, annotated with their
+    probabilities.
+    """
+    lines: list[str] = []
+    by_source: dict[GlobalKey, list[AugmentedObject]] = {}
+    for entry in answer.augmented:
+        if entry.source is not None:
+            by_source.setdefault(entry.source, []).append(entry)
+    for original in answer.originals[:limit]:
+        lines.append(f"{original.key}  {_short(original.value)}")
+        for entry in by_source.get(original.key, [])[:limit]:
+            lines.append(
+                f"  => {entry.key} (p={entry.probability:.2f}) "
+                f"{_short(entry.object.value)}"
+            )
+    remaining = len(answer.originals) - limit
+    if remaining > 0:
+        lines.append(f"... and {remaining} more results")
+    return "\n".join(lines)
+
+
+def _short(value: Any, width: int = 60) -> str:
+    text = repr(value)
+    return text if len(text) <= width else text[: width - 3] + "..."

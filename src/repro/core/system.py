@@ -1,0 +1,222 @@
+"""The QUEPA facade: plug-and-play augmented access to a polystore.
+
+``Quepa`` wires together the A' index, the validator, the connectors,
+the cache, the augmenters and (optionally) an optimizer. It stores no
+data itself — multiple instances over the same polystore are
+independent, as the paper's architecture section points out.
+
+Typical use::
+
+    quepa = Quepa(polystore, aindex, profile=centralized_profile([...]))
+    answer = quepa.augmented_search("transactions",
+                                    "SELECT * FROM inventory WHERE ...",
+                                    level=1)
+    session = quepa.explore("transactions", "SELECT * FROM sales ...")
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Protocol
+
+from repro.core.aindex import AIndex
+from repro.core.augmentation import Augmentation, AugmentationConfig
+from repro.core.augmenters import make_augmenter
+from repro.core.cache import LruCache
+from repro.core.connectors import ConnectorRegistry
+from repro.core.exploration import ExplorationSession
+from repro.core.promotion import PathRepository, PromotionPolicy
+from repro.core.runlog import QueryFeatures, RunRecord
+from repro.core.search import (
+    AugmentedAnswer,
+    SearchStats,
+    assemble_answer,
+)
+from repro.core.validator import Validator
+from repro.model.objects import AugmentedObject, DataObject, GlobalKey
+from repro.model.polystore import Polystore
+from repro.network.executor import RealRuntime, Runtime, VirtualRuntime
+from repro.network.latency import DeploymentProfile, centralized_profile
+
+
+class Optimizer(Protocol):
+    """What Quepa needs from an optimizer (see repro.optimizer)."""
+
+    def configure(
+        self, features: QueryFeatures, current_cache_size: int
+    ) -> AugmentationConfig:  # pragma: no cover - protocol
+        ...
+
+
+class Quepa:
+    """Augmented search and exploration over one polystore."""
+
+    def __init__(
+        self,
+        polystore: Polystore,
+        aindex: AIndex,
+        profile: DeploymentProfile | None = None,
+        runtime: Runtime | None = None,
+        config: AugmentationConfig | None = None,
+        optimizer: Optimizer | None = None,
+        promotion_policy: PromotionPolicy | None = None,
+    ) -> None:
+        self.polystore = polystore
+        self.aindex = aindex
+        self.profile = profile or centralized_profile(list(polystore))
+        self.runtime: Runtime = runtime or VirtualRuntime(self.profile)
+        self.config = config or AugmentationConfig()
+        self.optimizer = optimizer
+        self.validator = Validator()
+        self.registry = ConnectorRegistry(polystore)
+        self.cache = LruCache(self.config.cache_size)
+        self.augmentation = Augmentation(aindex)
+        self.paths = PathRepository(aindex, promotion_policy)
+        #: Listeners invoked with each completed RunRecord.
+        self.run_listeners: list[Callable[[RunRecord], None]] = []
+        self.last_record: RunRecord | None = None
+
+    # -- augmented search ------------------------------------------------------
+
+    def augmented_search(
+        self,
+        database: str,
+        query: Any,
+        level: int = 0,
+        config: AugmentationConfig | None = None,
+        augment: bool = True,
+    ) -> AugmentedAnswer:
+        """Run ``query`` on ``database`` and augment its answer.
+
+        ``level`` is the augmentation level of Definition 3. With
+        ``augment=False`` only the (validated) local query runs — used
+        to seed explorations and as the no-augmentation baseline.
+        """
+        store = self.polystore.database(database)
+        validation = self.validator.validate(store, query)
+        ctx = self.runtime.root()
+        originals = list(
+            ctx.store_call(database, lambda: store.execute(validation.query))
+        )
+        stats = SearchStats(
+            database=database,
+            level=level,
+            rewritten=validation.rewritten,
+        )
+        if not augment:
+            self._finish_timer()
+            stats.elapsed = self.runtime.elapsed
+            return assemble_answer(originals, [], stats)
+
+        seeds = [obj.key for obj in originals if obj.key.collection != "_result"]
+        plan = self.augmentation.plan(
+            seeds, level, self.config.min_probability
+        )
+        ctx.cpu(plan.edges_examined * ctx.cost_model.aindex_edge_cost)
+        features = QueryFeatures(
+            engine=store.engine,
+            database=database,
+            level=level,
+            original_count=len(originals),
+            planned_fetches=plan.total_fetches(),
+            store_count=len(self.polystore),
+            deployment=self.profile.name,
+        )
+        run_config = self._resolve_config(config, features)
+        if run_config.cache_size != self.cache.capacity:
+            self.cache.resize(run_config.cache_size)
+        augmenter = make_augmenter(run_config.augmenter, self.registry, self.cache)
+        outcome = augmenter.execute(ctx, plan, run_config)
+        for missing in outcome.missing:
+            self.aindex.remove_object(missing)  # lazy deletion (III-C.b)
+        self._finish_timer()
+        stats.planned_fetches = plan.total_fetches()
+        stats.queries_issued = outcome.queries_issued + 1  # + the local query
+        stats.cache_hits = outcome.cache_hits
+        stats.missing_objects = len(outcome.missing)
+        stats.elapsed = self.runtime.elapsed
+        stats.unavailable_databases = outcome.unavailable_databases
+        stats.augmenter = run_config.augmenter
+        stats.batch_size = run_config.batch_size
+        stats.threads_size = run_config.threads_size
+        stats.cache_size = run_config.cache_size
+        answer = assemble_answer(originals, outcome.objects, stats)
+        self._emit_record(features, run_config, stats)
+        return answer
+
+    def _resolve_config(
+        self,
+        explicit: AugmentationConfig | None,
+        features: QueryFeatures,
+    ) -> AugmentationConfig:
+        if explicit is not None:
+            return explicit
+        if self.optimizer is not None:
+            return self.optimizer.configure(features, self.cache.capacity)
+        return self.config
+
+    def _emit_record(
+        self,
+        features: QueryFeatures,
+        config: AugmentationConfig,
+        stats: SearchStats,
+    ) -> None:
+        record = RunRecord(
+            features=features,
+            augmenter=config.augmenter,
+            batch_size=config.batch_size,
+            threads_size=config.threads_size,
+            cache_size=config.cache_size,
+            elapsed=stats.elapsed,
+            queries_issued=stats.queries_issued,
+            cache_hits=stats.cache_hits,
+        )
+        self.last_record = record
+        for listener in self.run_listeners:
+            listener(record)
+
+    def _finish_timer(self) -> None:
+        if isinstance(self.runtime, RealRuntime):
+            self.runtime.stop()
+
+    # -- augmented exploration ----------------------------------------------------
+
+    def explore(self, database: str, query: Any) -> ExplorationSession:
+        """Start an augmented exploration from a native query."""
+        return ExplorationSession(self, database, query)
+
+    def augment_object(
+        self, key: GlobalKey, level: int = 0
+    ) -> list[AugmentedObject]:
+        """Augment a single object (an exploration step at level 0).
+
+        Uses the inner augmenter, which the paper singles out as the
+        efficient choice when a single result is augmented at a time.
+        """
+        plan = self.augmentation.plan([key], level=level)
+        ctx = self.runtime.root()
+        ctx.cpu(plan.edges_examined * ctx.cost_model.aindex_edge_cost)
+        augmenter = make_augmenter("inner", self.registry, self.cache)
+        step_config = AugmentationConfig(
+            augmenter="inner",
+            batch_size=self.config.batch_size,
+            threads_size=self.config.threads_size,
+            cache_size=self.cache.capacity,
+        )
+        outcome = augmenter.execute(ctx, plan, step_config)
+        for missing in outcome.missing:
+            self.aindex.remove_object(missing)
+        self._finish_timer()
+        ranked = sorted(
+            outcome.objects, key=lambda entry: (-entry.probability, str(entry.key))
+        )
+        return ranked
+
+    def record_exploration(self, path: tuple[GlobalKey, ...]) -> None:
+        """Feed a finished session's full path to the promotion repo."""
+        self.paths.record_path(path)
+
+    # -- direct access ----------------------------------------------------------------
+
+    def get(self, key: GlobalKey) -> DataObject:
+        """Fetch one object by global key (utility for examples/UI)."""
+        return self.polystore.get(key)

@@ -1,0 +1,127 @@
+"""Exception hierarchy for the QUEPA reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch a single base class. Sub-hierarchies mirror the main
+subsystems: stores, query languages, the polystore model, the A' index,
+augmentation, and the middleware baselines.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+# --------------------------------------------------------------------------
+# Model / polystore errors
+# --------------------------------------------------------------------------
+
+
+class ModelError(ReproError):
+    """Errors in the polystore data model (PDM)."""
+
+
+class InvalidGlobalKeyError(ModelError):
+    """A global key string could not be parsed as ``db.collection.key``."""
+
+
+class UnknownDatabaseError(ModelError):
+    """A database name does not exist in the polystore."""
+
+
+class InvalidProbabilityError(ModelError):
+    """A p-relation probability is outside the half-open interval (0, 1]."""
+
+
+# --------------------------------------------------------------------------
+# Store errors
+# --------------------------------------------------------------------------
+
+
+class StoreError(ReproError):
+    """Base for all storage-engine errors."""
+
+
+class KeyNotFoundError(StoreError):
+    """A requested key does not exist in the store."""
+
+
+class DuplicateKeyError(StoreError):
+    """An insert collides with an existing primary key."""
+
+
+class SchemaError(StoreError):
+    """A row does not conform to its table schema."""
+
+
+class StoreUnavailableError(StoreError):
+    """A store could not be reached (down, timing out, flaky)."""
+
+
+class QueryError(StoreError):
+    """A native query is malformed or references unknown names."""
+
+
+class SqlSyntaxError(QueryError):
+    """The SQL parser rejected the statement."""
+
+
+class UnsupportedQueryError(QueryError):
+    """The query uses a feature the engine does not implement."""
+
+
+# --------------------------------------------------------------------------
+# Core / augmentation errors
+# --------------------------------------------------------------------------
+
+
+class AugmentationError(ReproError):
+    """Base for errors during augmented query answering."""
+
+
+class NotAugmentableError(AugmentationError):
+    """The validator rejected a query for augmented execution."""
+
+
+class UnknownAugmenterError(AugmentationError):
+    """A configuration names an augmenter that is not registered."""
+
+
+class ConfigurationError(AugmentationError):
+    """An augmenter configuration parameter is invalid."""
+
+
+# --------------------------------------------------------------------------
+# Optimizer / ML errors
+# --------------------------------------------------------------------------
+
+
+class OptimizerError(ReproError):
+    """Base for adaptive-optimizer errors."""
+
+
+class NotTrainedError(OptimizerError):
+    """Prediction was requested before the models were trained."""
+
+
+class TrainingError(OptimizerError):
+    """The training set is unusable (empty, degenerate, malformed)."""
+
+
+# --------------------------------------------------------------------------
+# Middleware baseline errors
+# --------------------------------------------------------------------------
+
+
+class MiddlewareError(ReproError):
+    """Base for middleware-emulator errors."""
+
+
+class OutOfMemoryError(MiddlewareError):
+    """A middleware run exceeded its memory budget (the red 'X' in Fig 13)."""
+
+    def __init__(self, message: str, footprint: int = 0, budget: int = 0):
+        super().__init__(message)
+        self.footprint = footprint
+        self.budget = budget

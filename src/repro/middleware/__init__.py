@@ -1,0 +1,34 @@
+"""Middleware baselines of the Fig 13 comparison (Section VII-A.c).
+
+Three architectures the paper compares QUEPA against, emulated over the
+same stores, the same A' index and the same virtual-time cost model:
+
+* :class:`~repro.middleware.federated.FederatedMiddleware` — Apache
+  Metamodel-like common interface over relational/document/graph (no
+  Redis support, as in the paper). ``native`` mode answers with
+  cross-store joins (pulls whole collections, memory-bounded — the
+  red-X OOMs); ``augmented`` mode re-implements QUEPA's algorithm
+  through the middleware's interface, paying translation overhead per
+  call.
+* :class:`~repro.middleware.etl.EtlWorkflow` — Talend-like compiled
+  workflow: startup, lookup-table staging, and a high per-record
+  pipeline cost (the steepest slope in Fig 13).
+* :class:`~repro.middleware.multimodel.MultiModelStore` — ArangoDB-like
+  in-memory multi-model engine: imports every supported database plus
+  the A' index at start-up (warm-up), then answers natively (one
+  AQL-style traversal) or in QUEPA style; degrades and finally OOMs as
+  the polystore grows.
+"""
+
+from repro.middleware.base import MiddlewareResult, MiddlewareSystem
+from repro.middleware.etl import EtlWorkflow
+from repro.middleware.federated import FederatedMiddleware
+from repro.middleware.multimodel import MultiModelStore
+
+__all__ = [
+    "EtlWorkflow",
+    "FederatedMiddleware",
+    "MiddlewareResult",
+    "MiddlewareSystem",
+    "MultiModelStore",
+]

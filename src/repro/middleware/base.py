@@ -1,0 +1,123 @@
+"""Shared machinery of the middleware emulators."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.errors import OutOfMemoryError
+from repro.model.objects import GlobalKey
+from repro.network.executor import ExecContext, VirtualRuntime
+from repro.network.latency import DeploymentProfile
+from repro.workloads.builder import PolystoreBundle
+from repro.workloads.queries import WorkloadQuery
+
+#: Page size of bulk collection scans through a middleware connector.
+SCAN_PAGE = 1000
+
+
+@dataclass
+class MiddlewareResult:
+    """Outcome of one middleware run (Fig 13 data point)."""
+
+    system: str
+    elapsed: float
+    answer_size: int
+    out_of_memory: bool = False
+    footprint: int = 0
+
+    @property
+    def marker(self) -> str:
+        """The plot marker: the paper's red 'X' on OOM."""
+        return "X" if self.out_of_memory else "o"
+
+
+class MiddlewareSystem(ABC):
+    """A baseline system answering the augmentation task its own way."""
+
+    #: Display name used by the benchmark tables.
+    name = "abstract"
+    #: Engine kinds the middleware can connect to.
+    supported_engines: frozenset[str] = frozenset(
+        {"relational", "document", "graph", "keyvalue"}
+    )
+
+    def __init__(
+        self,
+        bundle: PolystoreBundle,
+        profile: DeploymentProfile,
+        memory_budget: int = 200_000,
+    ) -> None:
+        self.bundle = bundle
+        self.profile = profile
+        self.memory_budget = memory_budget
+        self.runtime = VirtualRuntime(profile)
+
+    # -- public entry point ----------------------------------------------------
+
+    def run(self, query: WorkloadQuery, level: int = 0) -> MiddlewareResult:
+        """Answer the augmented query; never raises on OOM, reports it."""
+        ctx = self.runtime.root()
+        try:
+            answer_size = self._execute(ctx, query, level)
+        except OutOfMemoryError as oom:
+            return MiddlewareResult(
+                system=self.name,
+                elapsed=self.runtime.elapsed,
+                answer_size=0,
+                out_of_memory=True,
+                footprint=oom.footprint,
+            )
+        return MiddlewareResult(
+            system=self.name,
+            elapsed=self.runtime.elapsed,
+            answer_size=answer_size,
+        )
+
+    @abstractmethod
+    def _execute(self, ctx: ExecContext, query: WorkloadQuery, level: int) -> int:
+        """Run the augmentation task; returns the answer size."""
+
+    # -- shared helpers -----------------------------------------------------------
+
+    def supported_databases(self) -> list[tuple[str, str]]:
+        return [
+            (name, kind)
+            for name, kind in self.bundle.databases
+            if kind in self.supported_engines
+        ]
+
+    def check_memory(self, footprint: int) -> None:
+        if footprint > self.memory_budget:
+            raise OutOfMemoryError(
+                f"{self.name}: footprint {footprint} objects exceeds "
+                f"budget {self.memory_budget}",
+                footprint=footprint,
+                budget=self.memory_budget,
+            )
+
+    def scan_collection(
+        self, ctx: ExecContext, database: str, collection: str
+    ) -> list[GlobalKey]:
+        """Pull a whole collection through the middleware, page by page.
+
+        Charges one store roundtrip per page of ``SCAN_PAGE`` objects and
+        returns the global keys (the emulators track footprints and join
+        keys; payloads live in the underlying stores either way).
+        """
+        store = self.bundle.polystore.database(database)
+        keys = [
+            GlobalKey(database, collection, local)
+            for local in store.collection_keys(collection)
+        ]
+        for page_start in range(0, len(keys), SCAN_PAGE):
+            page = keys[page_start:page_start + SCAN_PAGE]
+            ctx.store_call(database, lambda page=page: page)
+        return keys
+
+    def run_local_query(self, ctx: ExecContext, query: WorkloadQuery):
+        """The user's original query, through the middleware connector."""
+        store = self.bundle.polystore.database(query.database)
+        return list(
+            ctx.store_call(query.database, lambda: store.execute(query.query))
+        )

@@ -1,0 +1,77 @@
+"""Tiny dataset containers for the tree learners."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Mapping
+
+from repro.errors import TrainingError
+
+#: Feature values are numbers or category strings.
+FeatureValue = float | int | str
+
+
+@dataclass(frozen=True)
+class Example:
+    """One training example: a feature map and a target.
+
+    The target is a class label (str) for classification or a number
+    for regression; the learners check what they receive.
+    """
+
+    features: Mapping[str, FeatureValue]
+    target: Any
+
+
+class Dataset:
+    """A list of examples with feature-type introspection."""
+
+    def __init__(self, examples: list[Example]) -> None:
+        if not examples:
+            raise TrainingError("empty training set")
+        self.examples = examples
+        self._numeric: dict[str, bool] = {}
+        names: set[str] = set()
+        for example in examples:
+            names.update(example.features)
+        for name in names:
+            values = [
+                ex.features[name] for ex in examples if name in ex.features
+            ]
+            self._numeric[name] = all(
+                isinstance(v, (int, float)) and not isinstance(v, bool)
+                for v in values
+            )
+        self.feature_names = sorted(names)
+
+    def __len__(self) -> int:
+        return len(self.examples)
+
+    def __iter__(self) -> Iterator[Example]:
+        return iter(self.examples)
+
+    def is_numeric(self, feature: str) -> bool:
+        return self._numeric.get(feature, False)
+
+    def values(self, feature: str) -> list[FeatureValue]:
+        return [
+            ex.features[feature] for ex in self.examples if feature in ex.features
+        ]
+
+    def split_holdout(self, fraction: float, seed: int = 13) -> tuple[
+        "Dataset", "Dataset"
+    ]:
+        """Deterministic train/holdout split for reduced-error pruning."""
+        import random
+
+        if not 0.0 < fraction < 1.0:
+            raise TrainingError(f"holdout fraction must be in (0,1), got {fraction}")
+        indices = list(range(len(self.examples)))
+        random.Random(seed).shuffle(indices)
+        cut = max(1, int(len(indices) * fraction))
+        holdout_idx = set(indices[:cut])
+        train = [ex for i, ex in enumerate(self.examples) if i not in holdout_idx]
+        holdout = [ex for i, ex in enumerate(self.examples) if i in holdout_idx]
+        if not train:
+            train, holdout = holdout, []
+        return Dataset(train), Dataset(holdout) if holdout else Dataset(train)

@@ -1,0 +1,294 @@
+"""A C4.5-style decision-tree classifier (the Weka J48 stand-in).
+
+Implements the parts of C4.5 the adaptive optimizer needs:
+
+* splits chosen by *gain ratio* (information gain / split info);
+* numeric attributes split on a binary threshold at candidate
+  midpoints, categorical attributes split multiway on their values;
+* stopping on purity, minimum leaf size, or depth;
+* pessimistic-error subtree-replacement pruning (the classic upper
+  confidence bound on the leaf error rate, z = 0.69 ~ C4.5's CF=25%);
+* unseen categorical values at prediction fall through to the
+  majority-class branch.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from repro.errors import NotTrainedError, TrainingError
+from repro.ml.dataset import Dataset, Example, FeatureValue
+
+
+@dataclass
+class _Node:
+    #: Leaf payload
+    label: Optional[str] = None
+    #: Split payload
+    feature: Optional[str] = None
+    threshold: Optional[float] = None  # numeric split: <= threshold goes left
+    children: dict[object, "_Node"] = field(default_factory=dict)
+    majority: str = ""
+    size: int = 0
+    errors: int = 0  # training errors if this node were a leaf
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.label is not None
+
+
+def _entropy(labels: list[str]) -> float:
+    counts = Counter(labels)
+    total = len(labels)
+    entropy = 0.0
+    for count in counts.values():
+        p = count / total
+        entropy -= p * math.log2(p)
+    return entropy
+
+
+def _pessimistic_errors(errors: int, size: int, z: float = 0.69) -> float:
+    """C4.5's upper confidence bound on the error count of a leaf."""
+    if size == 0:
+        return 0.0
+    f = errors / size
+    numerator = (
+        f
+        + z * z / (2 * size)
+        + z * math.sqrt(f / size - f * f / size + z * z / (4 * size * size))
+    )
+    return size * numerator / (1 + z * z / size)
+
+
+class C45Tree:
+    """Classifier with `fit`, `predict`, `predict_many`, `to_text`."""
+
+    def __init__(
+        self,
+        min_leaf: int = 2,
+        max_depth: int = 12,
+        prune: bool = True,
+    ) -> None:
+        self.min_leaf = min_leaf
+        self.max_depth = max_depth
+        self.prune = prune
+        self._root: Optional[_Node] = None
+        self._dataset: Optional[Dataset] = None
+
+    # -- training ---------------------------------------------------------------
+
+    def fit(self, examples: list[Example]) -> "C45Tree":
+        dataset = Dataset(examples)
+        for example in dataset:
+            if not isinstance(example.target, str):
+                raise TrainingError(
+                    f"classification targets must be strings, got "
+                    f"{example.target!r}"
+                )
+        self._dataset = dataset
+        self._root = self._build(list(dataset.examples), depth=0)
+        if self.prune:
+            self._prune(self._root)
+        return self
+
+    def _build(self, examples: list[Example], depth: int) -> _Node:
+        labels = [ex.target for ex in examples]
+        majority, majority_count = Counter(labels).most_common(1)[0]
+        node = _Node(
+            majority=majority,
+            size=len(examples),
+            errors=len(examples) - majority_count,
+        )
+        if (
+            len(set(labels)) == 1
+            or len(examples) < 2 * self.min_leaf
+            or depth >= self.max_depth
+        ):
+            node.label = majority
+            return node
+        split = self._best_split(examples)
+        if split is None:
+            node.label = majority
+            return node
+        feature, threshold, partitions = split
+        node.feature = feature
+        node.threshold = threshold
+        for branch_key, branch_examples in partitions.items():
+            node.children[branch_key] = self._build(branch_examples, depth + 1)
+        return node
+
+    def _best_split(
+        self, examples: list[Example]
+    ) -> Optional[tuple[str, Optional[float], dict[object, list[Example]]]]:
+        assert self._dataset is not None
+        labels = [ex.target for ex in examples]
+        base_entropy = _entropy(labels)
+        best_ratio = 1e-9
+        best: Optional[tuple[str, Optional[float], dict]] = None
+        for feature in self._dataset.feature_names:
+            if self._dataset.is_numeric(feature):
+                candidate = self._numeric_split(
+                    examples, feature, base_entropy
+                )
+            else:
+                candidate = self._categorical_split(
+                    examples, feature, base_entropy
+                )
+            if candidate is not None and candidate[0] > best_ratio:
+                best_ratio = candidate[0]
+                best = candidate[1]
+        return best
+
+    def _numeric_split(self, examples, feature, base_entropy):
+        rows = [
+            (float(ex.features[feature]), ex)
+            for ex in examples
+            if feature in ex.features
+        ]
+        if len(rows) < 2 * self.min_leaf:
+            return None
+        rows.sort(key=lambda pair: pair[0])
+        values = [v for v, __ in rows]
+        best = None
+        previous = values[0]
+        for index in range(1, len(rows)):
+            value = values[index]
+            if value == previous:
+                continue
+            threshold = (previous + value) / 2.0
+            previous = value
+            left = [ex for v, ex in rows if v <= threshold]
+            right = [ex for v, ex in rows if v > threshold]
+            if len(left) < self.min_leaf or len(right) < self.min_leaf:
+                continue
+            ratio = self._gain_ratio(base_entropy, [left, right], len(examples))
+            if ratio is not None and (best is None or ratio > best[0]):
+                partitions = {"le": left, "gt": right}
+                best = (ratio, (feature, threshold, partitions))
+        return best
+
+    def _categorical_split(self, examples, feature, base_entropy):
+        partitions: dict[object, list[Example]] = {}
+        for ex in examples:
+            if feature in ex.features:
+                partitions.setdefault(ex.features[feature], []).append(ex)
+        if len(partitions) < 2:
+            return None
+        if any(len(part) < self.min_leaf for part in partitions.values()):
+            return None
+        ratio = self._gain_ratio(
+            base_entropy, list(partitions.values()), len(examples)
+        )
+        if ratio is None:
+            return None
+        return (ratio, (feature, None, partitions))
+
+    @staticmethod
+    def _gain_ratio(
+        base_entropy: float, partitions: list[list[Example]], total: int
+    ) -> Optional[float]:
+        weighted = 0.0
+        split_info = 0.0
+        for part in partitions:
+            weight = len(part) / total
+            weighted += weight * _entropy([ex.target for ex in part])
+            split_info -= weight * math.log2(weight)
+        gain = base_entropy - weighted
+        if gain <= 1e-12 or split_info <= 1e-12:
+            return None
+        return gain / split_info
+
+    # -- pruning ------------------------------------------------------------------
+
+    def _prune(self, node: _Node) -> float:
+        """Bottom-up subtree replacement; returns the node's pessimistic
+        error count after pruning."""
+        if node.is_leaf:
+            return _pessimistic_errors(node.errors, node.size)
+        subtree_errors = sum(
+            self._prune(child) for child in node.children.values()
+        )
+        leaf_errors = _pessimistic_errors(node.errors, node.size)
+        if leaf_errors <= subtree_errors + 0.1:
+            node.label = node.majority
+            node.children.clear()
+            node.feature = None
+            node.threshold = None
+            return leaf_errors
+        return subtree_errors
+
+    # -- prediction ------------------------------------------------------------------
+
+    def predict(self, features: Mapping[str, FeatureValue]) -> str:
+        if self._root is None:
+            raise NotTrainedError("call fit() before predict()")
+        node = self._root
+        while not node.is_leaf:
+            assert node.feature is not None
+            value = features.get(node.feature)
+            if node.threshold is not None:
+                if value is None:
+                    return node.majority
+                branch = "le" if float(value) <= node.threshold else "gt"
+                child = node.children.get(branch)
+            else:
+                child = node.children.get(value)
+            if child is None:
+                return node.majority
+            node = child
+        assert node.label is not None
+        return node.label
+
+    def predict_many(
+        self, rows: list[Mapping[str, FeatureValue]]
+    ) -> list[str]:
+        return [self.predict(row) for row in rows]
+
+    def accuracy(self, examples: list[Example]) -> float:
+        if not examples:
+            return 0.0
+        correct = sum(
+            1 for ex in examples if self.predict(ex.features) == ex.target
+        )
+        return correct / len(examples)
+
+    # -- inspection -------------------------------------------------------------------
+
+    def depth(self) -> int:
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(walk(child) for child in node.children.values())
+
+        if self._root is None:
+            return 0
+        return walk(self._root)
+
+    def to_text(self) -> str:
+        """Render the tree like the paper's Fig 8."""
+        if self._root is None:
+            raise NotTrainedError("call fit() before to_text()")
+        lines: list[str] = []
+
+        def walk(node: _Node, prefix: str, label: str) -> None:
+            if node.is_leaf:
+                lines.append(f"{prefix}{label} -> {node.label}")
+                return
+            if node.threshold is not None:
+                lines.append(f"{prefix}{label} [{node.feature}?]")
+                walk(node.children["le"], prefix + "  ",
+                     f"<= {node.threshold:.3g}")
+                walk(node.children["gt"], prefix + "  ",
+                     f">  {node.threshold:.3g}")
+            else:
+                lines.append(f"{prefix}{label} [{node.feature}?]")
+                for value, child in sorted(
+                    node.children.items(), key=lambda kv: str(kv[0])
+                ):
+                    walk(child, prefix + "  ", f"= {value}")
+
+        walk(self._root, "", "root")
+        return "\n".join(lines)

@@ -1,0 +1,275 @@
+"""A RepTree-style regression tree (the Weka RepTree stand-in).
+
+Regression tree grown with variance reduction, binary numeric splits
+and multiway categorical splits, then pruned with *reduced-error
+pruning* on a held-out fraction of the training data — which is exactly
+what gives Weka's RepTree its name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from repro.errors import NotTrainedError, TrainingError
+from repro.ml.dataset import Dataset, Example, FeatureValue
+
+
+@dataclass
+class _RNode:
+    value: Optional[float] = None  # leaf prediction
+    feature: Optional[str] = None
+    threshold: Optional[float] = None
+    children: dict[object, "_RNode"] = field(default_factory=dict)
+    mean: float = 0.0
+    size: int = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.value is not None
+
+
+def _mean(values: list[float]) -> float:
+    return sum(values) / len(values)
+
+
+def _sse(values: list[float]) -> float:
+    """Sum of squared errors around the mean."""
+    if not values:
+        return 0.0
+    mean = _mean(values)
+    return sum((v - mean) ** 2 for v in values)
+
+
+class RepTree:
+    """Regressor with `fit`, `predict`, `to_text`."""
+
+    def __init__(
+        self,
+        min_leaf: int = 3,
+        max_depth: int = 10,
+        prune: bool = True,
+        holdout_fraction: float = 0.25,
+        seed: int = 13,
+    ) -> None:
+        self.min_leaf = min_leaf
+        self.max_depth = max_depth
+        self.prune = prune
+        self.holdout_fraction = holdout_fraction
+        self.seed = seed
+        self._root: Optional[_RNode] = None
+        self._dataset: Optional[Dataset] = None
+
+    # -- training ----------------------------------------------------------------
+
+    def fit(self, examples: list[Example]) -> "RepTree":
+        for example in examples:
+            if isinstance(example.target, bool) or not isinstance(
+                example.target, (int, float)
+            ):
+                raise TrainingError(
+                    f"regression targets must be numeric, got {example.target!r}"
+                )
+        dataset = Dataset(examples)
+        if self.prune and len(examples) >= 8:
+            train, holdout = dataset.split_holdout(
+                self.holdout_fraction, self.seed
+            )
+        else:
+            train, holdout = dataset, None
+        self._dataset = train
+        self._root = self._build(list(train.examples), depth=0)
+        if self.prune and holdout is not None and holdout is not train:
+            self._reduced_error_prune(self._root, list(holdout.examples))
+        return self
+
+    def _build(self, examples: list[Example], depth: int) -> _RNode:
+        targets = [float(ex.target) for ex in examples]
+        node = _RNode(mean=_mean(targets), size=len(examples))
+        if (
+            depth >= self.max_depth
+            or len(examples) < 2 * self.min_leaf
+            or _sse(targets) <= 1e-12
+        ):
+            node.value = node.mean
+            return node
+        split = self._best_split(examples, targets)
+        if split is None:
+            node.value = node.mean
+            return node
+        feature, threshold, partitions = split
+        node.feature = feature
+        node.threshold = threshold
+        for key, part in partitions.items():
+            node.children[key] = self._build(part, depth + 1)
+        return node
+
+    def _best_split(self, examples, targets):
+        assert self._dataset is not None
+        base_sse = _sse(targets)
+        best_gain = 1e-9
+        best = None
+        for feature in self._dataset.feature_names:
+            if self._dataset.is_numeric(feature):
+                candidate = self._numeric_split(examples, feature, base_sse)
+            else:
+                candidate = self._categorical_split(examples, feature, base_sse)
+            if candidate is not None and candidate[0] > best_gain:
+                best_gain, best = candidate
+        return best
+
+    def _numeric_split(self, examples, feature, base_sse):
+        rows = [
+            (float(ex.features[feature]), ex)
+            for ex in examples
+            if feature in ex.features
+        ]
+        if len(rows) < 2 * self.min_leaf:
+            return None
+        rows.sort(key=lambda pair: pair[0])
+        best = None
+        previous = rows[0][0]
+        for index in range(1, len(rows)):
+            value = rows[index][0]
+            if value == previous:
+                continue
+            threshold = (previous + value) / 2.0
+            previous = value
+            left = [ex for v, ex in rows if v <= threshold]
+            right = [ex for v, ex in rows if v > threshold]
+            if len(left) < self.min_leaf or len(right) < self.min_leaf:
+                continue
+            gain = base_sse - (
+                _sse([float(ex.target) for ex in left])
+                + _sse([float(ex.target) for ex in right])
+            )
+            if best is None or gain > best[0]:
+                best = (gain, (feature, threshold, {"le": left, "gt": right}))
+        return best
+
+    def _categorical_split(self, examples, feature, base_sse):
+        partitions: dict[object, list[Example]] = {}
+        for ex in examples:
+            if feature in ex.features:
+                partitions.setdefault(ex.features[feature], []).append(ex)
+        if len(partitions) < 2:
+            return None
+        if any(len(part) < self.min_leaf for part in partitions.values()):
+            return None
+        child_sse = sum(
+            _sse([float(ex.target) for ex in part])
+            for part in partitions.values()
+        )
+        gain = base_sse - child_sse
+        if gain <= 1e-12:
+            return None
+        return (gain, (feature, None, partitions))
+
+    # -- pruning --------------------------------------------------------------------
+
+    def _reduced_error_prune(
+        self, node: _RNode, holdout: list[Example]
+    ) -> float:
+        """Prune bottom-up wherever the leaf beats the subtree on the
+        holdout; returns the node's holdout SSE after pruning."""
+        leaf_sse = sum(
+            (float(ex.target) - node.mean) ** 2 for ex in holdout
+        )
+        if node.is_leaf:
+            return leaf_sse
+        subtree_sse = 0.0
+        assert node.feature is not None
+        for key, child in node.children.items():
+            subset = self._route(holdout, node, key)
+            subtree_sse += self._reduced_error_prune(child, subset)
+        # Holdout rows that reach no child (unseen category) are scored
+        # against this node's mean either way.
+        routed = set()
+        for key in node.children:
+            routed.update(
+                id(ex) for ex in self._route(holdout, node, key)
+            )
+        for ex in holdout:
+            if id(ex) not in routed:
+                subtree_sse += (float(ex.target) - node.mean) ** 2
+        if leaf_sse <= subtree_sse + 1e-12:
+            node.value = node.mean
+            node.children.clear()
+            node.feature = None
+            node.threshold = None
+            return leaf_sse
+        return subtree_sse
+
+    @staticmethod
+    def _route(
+        holdout: list[Example], node: _RNode, key: object
+    ) -> list[Example]:
+        assert node.feature is not None
+        subset = []
+        for ex in holdout:
+            value = ex.features.get(node.feature)
+            if value is None:
+                continue
+            if node.threshold is not None:
+                branch = "le" if float(value) <= node.threshold else "gt"
+                if branch == key:
+                    subset.append(ex)
+            elif value == key:
+                subset.append(ex)
+        return subset
+
+    # -- prediction -------------------------------------------------------------------
+
+    def predict(self, features: Mapping[str, FeatureValue]) -> float:
+        if self._root is None:
+            raise NotTrainedError("call fit() before predict()")
+        node = self._root
+        while not node.is_leaf:
+            assert node.feature is not None
+            value = features.get(node.feature)
+            if value is None:
+                return node.mean
+            if node.threshold is not None:
+                branch = "le" if float(value) <= node.threshold else "gt"
+                child = node.children.get(branch)
+            else:
+                child = node.children.get(value)
+            if child is None:
+                return node.mean
+            node = child
+        assert node.value is not None
+        return node.value
+
+    def mse(self, examples: list[Example]) -> float:
+        if not examples:
+            return 0.0
+        return sum(
+            (self.predict(ex.features) - float(ex.target)) ** 2
+            for ex in examples
+        ) / len(examples)
+
+    # -- inspection -------------------------------------------------------------------
+
+    def to_text(self) -> str:
+        if self._root is None:
+            raise NotTrainedError("call fit() before to_text()")
+        lines: list[str] = []
+
+        def walk(node: _RNode, prefix: str, label: str) -> None:
+            if node.is_leaf:
+                lines.append(f"{prefix}{label} -> {node.value:.4g}")
+                return
+            lines.append(f"{prefix}{label} [{node.feature}?]")
+            if node.threshold is not None:
+                walk(node.children["le"], prefix + "  ",
+                     f"<= {node.threshold:.3g}")
+                walk(node.children["gt"], prefix + "  ",
+                     f">  {node.threshold:.3g}")
+            else:
+                for value, child in sorted(
+                    node.children.items(), key=lambda kv: str(kv[0])
+                ):
+                    walk(child, prefix + "  ", f"= {value}")
+
+        walk(self._root, "", "root")
+        return "\n".join(lines)

@@ -1,0 +1,21 @@
+"""PDM — the Polystore Data Model of the paper (Section II-A).
+
+A polystore is a set of databases, each made of collections of data
+objects. A data object is a key/value pair whose key is unique inside its
+collection; it is globally identified by a :class:`GlobalKey`
+(``database.collection.key``). Objects in different databases are related
+by probabilistic :class:`PRelation` links (identity ``~`` or matching
+``=``), the raw material of the augmentation operator.
+"""
+
+from repro.model.objects import DataObject, GlobalKey
+from repro.model.polystore import Polystore
+from repro.model.prelations import PRelation, RelationType
+
+__all__ = [
+    "DataObject",
+    "GlobalKey",
+    "PRelation",
+    "Polystore",
+    "RelationType",
+]

@@ -1,0 +1,91 @@
+"""The polystore: a registry of named databases living in diverse stores.
+
+``Polystore`` owns no data; it maps database names to :class:`Store`
+instances (relational, document, graph, key-value) and resolves global
+keys to the store that holds them. This mirrors QUEPA's plug-and-play
+posture: each database keeps its native engine and access language.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Mapping
+
+from repro.errors import UnknownDatabaseError
+from repro.model.objects import DataObject, GlobalKey
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.stores.base import Store
+
+
+class Polystore:
+    """A set of databases ``P = {D1, ..., Dn}`` with their engines."""
+
+    def __init__(self) -> None:
+        self._databases: dict[str, "Store"] = {}
+
+    # -- registry ----------------------------------------------------------
+
+    def attach(self, name: str, store: "Store") -> None:
+        """Register ``store`` under the database name ``name``."""
+        if name in self._databases:
+            raise ValueError(f"database {name!r} already attached")
+        self._databases[name] = store
+        store.database_name = name
+
+    def detach(self, name: str) -> "Store":
+        """Remove and return the database ``name``."""
+        try:
+            return self._databases.pop(name)
+        except KeyError:
+            raise UnknownDatabaseError(name) from None
+
+    def database(self, name: str) -> "Store":
+        try:
+            return self._databases[name]
+        except KeyError:
+            raise UnknownDatabaseError(name) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._databases
+
+    def __len__(self) -> int:
+        return len(self._databases)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._databases)
+
+    @property
+    def databases(self) -> Mapping[str, "Store"]:
+        return dict(self._databases)
+
+    # -- object access -----------------------------------------------------
+
+    def get(self, key: GlobalKey) -> DataObject:
+        """Fetch the object addressed by ``key`` from its home store."""
+        return self.database(key.database).get(key)
+
+    def get_many(self, keys: list[GlobalKey]) -> list[DataObject]:
+        """Fetch several objects, grouping by database for efficiency.
+
+        Missing objects are silently dropped (the paper's lazy-deletion
+        rule: objects gone from the polystore simply vanish from answers).
+        The output preserves the input order of the found objects.
+        """
+        by_database: dict[str, list[GlobalKey]] = {}
+        for key in keys:
+            by_database.setdefault(key.database, []).append(key)
+        found: dict[GlobalKey, DataObject] = {}
+        for database, db_keys in by_database.items():
+            for obj in self.database(database).multi_get(db_keys):
+                found[obj.key] = obj
+        return [found[key] for key in keys if key in found]
+
+    def exists(self, key: GlobalKey) -> bool:
+        """True if the object addressed by ``key`` is in the polystore."""
+        if key.database not in self._databases:
+            return False
+        return self._databases[key.database].exists(key)
+
+    def total_objects(self) -> int:
+        """Total number of data objects across all databases."""
+        return sum(store.count_objects() for store in self._databases.values())

@@ -1,0 +1,88 @@
+"""Probabilistic relations between data objects (Definition 1).
+
+A p-relation ``o1 R_p o2`` states that relation ``R`` holds between two
+objects with probability ``p`` in ``(0, 1]``. ``R`` is either:
+
+* *identity* (``~``) — reflexive, symmetric, transitive: the two objects
+  refer to the same real-world entity;
+* *matching* (``=``) — reflexive, symmetric, not necessarily transitive:
+  the two objects share some common information.
+
+The Consistency Condition (Section II-A) — ``o1 = o2`` and ``o2 ~ o3``
+implies ``o1 = o3`` — is enforced by the A' index at insertion time, not
+here; this module only models individual edges.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import InvalidProbabilityError
+from repro.model.objects import GlobalKey
+
+
+class RelationType(enum.Enum):
+    """The two relation types of Definition 1."""
+
+    IDENTITY = "identity"
+    MATCHING = "matching"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class PRelation:
+    """An undirected probabilistic edge between two global keys.
+
+    Endpoints are normalized so that ``left <= right`` in string order,
+    making ``PRelation`` values canonical: the same logical edge always
+    compares and hashes equal regardless of argument order.
+    """
+
+    left: GlobalKey
+    right: GlobalKey
+    type: RelationType
+    probability: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.probability <= 1.0:
+            raise InvalidProbabilityError(
+                f"p-relation probability must be in (0, 1], got {self.probability}"
+            )
+        if str(self.left) > str(self.right):
+            left, right = self.right, self.left
+            object.__setattr__(self, "left", left)
+            object.__setattr__(self, "right", right)
+        if self.left == self.right:
+            raise InvalidProbabilityError(
+                f"a p-relation must connect two distinct objects: {self.left}"
+            )
+
+    @classmethod
+    def identity(
+        cls, left: GlobalKey, right: GlobalKey, probability: float
+    ) -> "PRelation":
+        return cls(left, right, RelationType.IDENTITY, probability)
+
+    @classmethod
+    def matching(
+        cls, left: GlobalKey, right: GlobalKey, probability: float
+    ) -> "PRelation":
+        return cls(left, right, RelationType.MATCHING, probability)
+
+    def other(self, key: GlobalKey) -> GlobalKey:
+        """The endpoint opposite to ``key``."""
+        if key == self.left:
+            return self.right
+        if key == self.right:
+            return self.left
+        raise KeyError(f"{key} is not an endpoint of {self}")
+
+    def endpoints(self) -> tuple[GlobalKey, GlobalKey]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        symbol = "~" if self.type is RelationType.IDENTITY else "="
+        return f"{self.left} {symbol}[{self.probability:.3f}] {self.right}"

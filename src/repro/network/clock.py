@@ -1,0 +1,67 @@
+"""A monotone virtual clock and capacity-limited virtual resources."""
+
+from __future__ import annotations
+
+
+class VirtualClock:
+    """A simple virtual clock measured in (simulated) seconds."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move the clock forward by ``seconds`` and return the new time."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance the clock by {seconds}")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Move the clock forward to ``timestamp`` if it is in the future."""
+        if timestamp > self._now:
+            self._now = timestamp
+        return self._now
+
+
+class Resource:
+    """A capacity-limited virtual resource (CPU cores, store workers).
+
+    Jobs are placed with greedy list scheduling: a job arriving at time
+    ``arrival`` with duration ``duration`` starts on the earliest-free
+    slot, no sooner than its arrival. This is deterministic and, for the
+    fork-join workloads the augmenters generate, matches what a real
+    work-conserving scheduler would do.
+    """
+
+    def __init__(self, capacity: int, name: str = "resource") -> None:
+        if capacity < 1:
+            raise ValueError(f"resource capacity must be >= 1, got {capacity}")
+        self.name = name
+        self.capacity = capacity
+        self._free_at = [0.0] * capacity
+        self.busy_time = 0.0
+        self.jobs = 0
+
+    def acquire(self, arrival: float, duration: float) -> tuple[float, float]:
+        """Schedule a job; returns ``(start, end)`` and books the slot."""
+        if duration < 0:
+            raise ValueError(f"negative job duration: {duration}")
+        slot = min(range(self.capacity), key=self._free_at.__getitem__)
+        start = max(arrival, self._free_at[slot])
+        end = start + duration
+        self._free_at[slot] = end
+        self.busy_time += duration
+        self.jobs += 1
+        return start, end
+
+    def earliest_free(self) -> float:
+        return min(self._free_at)
+
+    def reset(self) -> None:
+        self._free_at = [0.0] * self.capacity
+        self.busy_time = 0.0
+        self.jobs = 0

@@ -1,0 +1,327 @@
+"""Execution runtimes: virtual time and real threads behind one API.
+
+Augmenters and connectors never talk to clocks or thread pools directly;
+they use an :class:`ExecContext`:
+
+* ``ctx.cpu(seconds)`` — QUEPA-side CPU work;
+* ``ctx.store_call(database, fn)`` — one native query against a store,
+  charged as latency + per-query overhead + per-object service time;
+* ``ctx.pool(workers)`` — a worker pool whose tasks receive child
+  contexts, so nested parallelism (the OUTER-INNER augmenter) composes.
+
+:class:`VirtualRuntime` implements the contract on a deterministic
+virtual clock with capacity-limited CPU resources (see DESIGN.md);
+:class:`RealRuntime` implements it with ``ThreadPoolExecutor`` and
+optional scaled real sleeps. Answers are identical under both; only the
+time measurements differ.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Sequence, TypeVar
+
+from repro.network.latency import DeploymentProfile
+
+T = TypeVar("T")
+
+#: A store operation: a zero-argument callable returning a list of results.
+StoreOp = Callable[[], Sequence[Any]]
+
+
+class QueryMeter:
+    """Counts queries and objects fetched, per database (thread-safe)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.queries_by_database: dict[str, int] = {}
+        self.objects_by_database: dict[str, int] = {}
+
+    def record(self, database: str, objects: int) -> None:
+        with self._lock:
+            self.queries_by_database[database] = (
+                self.queries_by_database.get(database, 0) + 1
+            )
+            self.objects_by_database[database] = (
+                self.objects_by_database.get(database, 0) + objects
+            )
+
+    @property
+    def total_queries(self) -> int:
+        return sum(self.queries_by_database.values())
+
+    @property
+    def total_objects(self) -> int:
+        return sum(self.objects_by_database.values())
+
+
+class ExecContext(ABC):
+    """One logical thread of execution (main process or pool worker)."""
+
+    #: Set by concrete contexts at construction.
+    _runtime: "Runtime"
+
+    @property
+    def cost_model(self):
+        """The deployment profile's cost model (scalar access costs)."""
+        return self._runtime.profile.cost_model
+
+    @property
+    @abstractmethod
+    def now(self) -> float:
+        """Current local time, in seconds (virtual or wall)."""
+
+    @abstractmethod
+    def cpu(self, seconds: float) -> None:
+        """Perform ``seconds`` of QUEPA-side CPU work."""
+
+    @abstractmethod
+    def store_call(self, database: str, fn: StoreOp) -> Sequence[Any]:
+        """Execute one native query against ``database`` and charge it."""
+
+    @abstractmethod
+    def pool(self, workers: int) -> "WorkerPool":
+        """Create a pool of ``workers`` logical threads."""
+
+
+class WorkerPool(ABC):
+    """A fork-join pool: submit tasks, then join to collect results."""
+
+    @abstractmethod
+    def submit(self, task: Callable[[ExecContext], T]) -> None:
+        """Schedule ``task``; it receives a fresh child context."""
+
+    @abstractmethod
+    def join(self) -> list[Any]:
+        """Wait for all tasks; returns results in submission order."""
+
+
+class Runtime(ABC):
+    """Factory for the root execution context plus shared metering."""
+
+    def __init__(self, profile: DeploymentProfile) -> None:
+        self.profile = profile
+        self.meter = QueryMeter()
+
+    @abstractmethod
+    def root(self) -> ExecContext:
+        """The main-process context; also resets timing state."""
+
+    @property
+    @abstractmethod
+    def elapsed(self) -> float:
+        """End-to-end duration of the last run, in seconds."""
+
+
+# ---------------------------------------------------------------------------
+# Virtual time implementation
+# ---------------------------------------------------------------------------
+#
+# Tasks execute eagerly (plain Python calls) but keep a *local* virtual
+# clock: CPU work and store roundtrips advance the local time and
+# accumulate per-machine work demand. Worker pools place task starts with
+# greedy list scheduling on their private worker slots (submission order
+# is arrival order, so this is exact), and every pool join applies
+# Graham's bound: the pool cannot finish before
+#
+#     max(latest task end, pool start + total demand(machine)/cores)
+#
+# for any machine its tasks used. This models both thread-level
+# parallelism and CPU saturation ("speed-up until the core count, then
+# flat", Section VII-B.b) without a full event-driven simulator, and is
+# deterministic and independent of Python's execution interleaving.
+
+
+class _VirtualContext(ExecContext):
+    def __init__(self, runtime: "VirtualRuntime", start: float) -> None:
+        self._runtime = runtime
+        self._now = start
+        #: machine name -> (cores, accumulated busy seconds)
+        self.demand: dict[str, tuple[int, float]] = {}
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def _add_demand(self, machine_name: str, cores: int, seconds: float) -> None:
+        current = self.demand.get(machine_name)
+        busy = seconds if current is None else current[1] + seconds
+        self.demand[machine_name] = (cores, busy)
+
+    def cpu(self, seconds: float) -> None:
+        if seconds <= 0:
+            return
+        machine = self._runtime.profile.quepa_machine
+        self._now += seconds
+        self._add_demand(machine.name, machine.cores, seconds)
+
+    def store_call(self, database: str, fn: StoreOp) -> Sequence[Any]:
+        results = fn()
+        n = len(results)
+        profile = self._runtime.profile
+        cost = profile.cost_model
+        site = profile.site(database)
+        service = cost.per_query_overhead + cost.per_object_service * n
+        self._now += site.roundtrip + service
+        self._add_demand(site.machine.name, site.machine.cores, service)
+        self.cpu(cost.per_object_cpu * n)
+        self._runtime.meter.record(database, n)
+        return results
+
+    def pool(self, workers: int) -> WorkerPool:
+        # Setting up a pool costs the creating thread CPU (the paper's
+        # "overhead of creating and synchronizing threads", VII-B.b).
+        self.cpu(self._runtime.profile.cost_model.pool_create_overhead)
+        return _VirtualPool(self._runtime, self, workers)
+
+    def advance_to(self, timestamp: float) -> None:
+        if timestamp > self._now:
+            self._now = timestamp
+
+    def merge_demand(self, other: "_VirtualContext") -> None:
+        for machine_name, (cores, busy) in other.demand.items():
+            self._add_demand(machine_name, cores, busy)
+
+
+class _VirtualPool(WorkerPool):
+    """Greedy list scheduling on private worker slots + Graham's bound."""
+
+    def __init__(
+        self, runtime: "VirtualRuntime", parent: _VirtualContext, workers: int
+    ) -> None:
+        self._runtime = runtime
+        self._parent = parent
+        self._slots = [parent.now] * max(1, workers)
+        self._start = parent.now
+        self._results: list[Any] = []
+        self._ends: list[float] = []
+        self._children: list[_VirtualContext] = []
+
+    def submit(self, task: Callable[[ExecContext], T]) -> None:
+        cost = self._runtime.profile.cost_model
+        # Spawning/synchronizing a thread costs the submitting thread CPU.
+        self._parent.cpu(cost.thread_spawn_overhead)
+        slot = min(range(len(self._slots)), key=self._slots.__getitem__)
+        start = max(self._parent.now, self._slots[slot])
+        child = _VirtualContext(self._runtime, start)
+        result = task(child)
+        self._slots[slot] = child.now
+        self._results.append(result)
+        self._ends.append(child.now)
+        self._children.append(child)
+
+    def join(self) -> list[Any]:
+        end = max(self._ends) if self._ends else self._parent.now
+        # Graham's bound per machine the tasks used.
+        total: dict[str, tuple[int, float]] = {}
+        for child in self._children:
+            for machine_name, (cores, busy) in child.demand.items():
+                current = total.get(machine_name)
+                summed = busy if current is None else current[1] + busy
+                total[machine_name] = (cores, summed)
+        for cores, busy in total.values():
+            end = max(end, self._start + busy / cores)
+        self._parent.advance_to(end)
+        for machine_name, (cores, busy) in total.items():
+            self._parent._add_demand(machine_name, cores, busy)
+        results = self._results
+        self._results = []
+        self._ends = []
+        self._children = []
+        return results
+
+
+class VirtualRuntime(Runtime):
+    """Deterministic virtual-time runtime used by the benchmark figures."""
+
+    def __init__(self, profile: DeploymentProfile) -> None:
+        super().__init__(profile)
+        self._root: _VirtualContext | None = None
+
+    def root(self) -> ExecContext:
+        self.profile.reset()
+        self.meter = QueryMeter()
+        self._root = _VirtualContext(self, 0.0)
+        return self._root
+
+    @property
+    def elapsed(self) -> float:
+        if self._root is None:
+            return 0.0
+        return self._root.now
+
+
+# ---------------------------------------------------------------------------
+# Real-thread implementation
+# ---------------------------------------------------------------------------
+
+
+class _RealContext(ExecContext):
+    def __init__(self, runtime: "RealRuntime") -> None:
+        self._runtime = runtime
+
+    @property
+    def now(self) -> float:
+        return time.monotonic()
+
+    def cpu(self, seconds: float) -> None:
+        if seconds > 0 and self._runtime.time_scale > 0:
+            time.sleep(seconds * self._runtime.time_scale)
+
+    def store_call(self, database: str, fn: StoreOp) -> Sequence[Any]:
+        profile = self._runtime.profile
+        site = profile.site(database)
+        if self._runtime.time_scale > 0:
+            time.sleep(site.roundtrip * self._runtime.time_scale)
+        results = fn()
+        self._runtime.meter.record(database, len(results))
+        return results
+
+    def pool(self, workers: int) -> WorkerPool:
+        self.cpu(self._runtime.profile.cost_model.pool_create_overhead)
+        return _RealPool(self._runtime, workers)
+
+
+class _RealPool(WorkerPool):
+    def __init__(self, runtime: "RealRuntime", workers: int) -> None:
+        from concurrent.futures import ThreadPoolExecutor
+
+        self._runtime = runtime
+        self._executor = ThreadPoolExecutor(max_workers=max(1, workers))
+        self._futures: list[Any] = []
+
+    def submit(self, task: Callable[[ExecContext], T]) -> None:
+        child = _RealContext(self._runtime)
+        self._futures.append(self._executor.submit(task, child))
+
+    def join(self) -> list[Any]:
+        results = [future.result() for future in self._futures]
+        self._futures = []
+        self._executor.shutdown(wait=True)
+        return results
+
+
+class RealRuntime(Runtime):
+    """Real threads, optional scaled sleeps (``time_scale=0`` disables)."""
+
+    def __init__(self, profile: DeploymentProfile, time_scale: float = 0.0) -> None:
+        super().__init__(profile)
+        self.time_scale = time_scale
+        self._started = 0.0
+        self._stopped = 0.0
+
+    def root(self) -> ExecContext:
+        self.meter = QueryMeter()
+        self._started = time.monotonic()
+        self._stopped = 0.0
+        return _RealContext(self)
+
+    def stop(self) -> None:
+        self._stopped = time.monotonic()
+
+    @property
+    def elapsed(self) -> float:
+        end = self._stopped or time.monotonic()
+        return end - self._started

@@ -1,0 +1,20 @@
+"""Adaptive augmentation (Section V): the rule-based optimizer.
+
+QUEPA logs every completed augmentation run (:mod:`repro.core.runlog`);
+the :class:`~repro.optimizer.adaptive.AdaptiveOptimizer` trains four
+trees over those logs — T1 picks the augmenter, T2/T3 its BATCH_SIZE /
+THREADS_SIZE, T4 the CACHE_SIZE — and then predicts a configuration for
+each incoming query. The HUMAN and RANDOM baselines of Fig 12 are in
+:mod:`repro.optimizer.baselines`.
+"""
+
+from repro.optimizer.adaptive import AdaptiveOptimizer
+from repro.optimizer.baselines import HumanOptimizer, RandomOptimizer
+from repro.optimizer.logs import RunLogRepository
+
+__all__ = [
+    "AdaptiveOptimizer",
+    "HumanOptimizer",
+    "RandomOptimizer",
+    "RunLogRepository",
+]

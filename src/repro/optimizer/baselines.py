@@ -1,0 +1,82 @@
+"""HUMAN and RANDOM optimizers: the Fig 12 comparison baselines.
+
+* :class:`HumanOptimizer` encodes the expert rules a practitioner would
+  apply (and that the paper's authors applied by hand): batch hard in
+  distributed deployments, go sequential for tiny answers, size thread
+  pools to the plan, keep the cache moderate.
+* :class:`RandomOptimizer` draws a configuration uniformly from the
+  parameter grid, seeded for reproducibility.
+
+Both produce *parameterizations only* — in the Fig 12 campaign each is
+combined with all six augmenters, exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.augmentation import AugmentationConfig
+from repro.core.augmenters import available_augmenters
+from repro.core.runlog import QueryFeatures
+
+#: The parameter grid the experiments sweep.
+BATCH_SIZES = (1, 4, 16, 64, 256, 1024)
+THREADS_SIZES = (1, 2, 4, 8, 16, 32)
+CACHE_SIZES = (0, 256, 1024, 4096, 16384)
+
+
+class HumanOptimizer:
+    """Deterministic expert heuristics for one run's parameters."""
+
+    def configure(
+        self, features: QueryFeatures, current_cache_size: int
+    ) -> AugmentationConfig:
+        distributed = features.deployment == "distributed"
+        planned = features.planned_fetches
+        # Expert rule 1: tiny answers -> no point threading or batching.
+        if planned <= 32:
+            return AugmentationConfig(
+                augmenter="sequential",
+                batch_size=1,
+                threads_size=1,
+                cache_size=current_cache_size,
+            )
+        # Expert rule 2: batch hard when the network is far away.
+        if distributed:
+            batch_size = 256
+        else:
+            batch_size = 64
+        # Expert rule 3: threads proportional to work per store.
+        per_store = max(1, planned // max(1, features.store_count))
+        if per_store >= 512:
+            threads_size = 16
+        elif per_store >= 64:
+            threads_size = 8
+        else:
+            threads_size = 4
+        # Expert rule 4: cache helps repeated/overlapping access only.
+        cache_size = 4096 if (distributed or features.level > 0) else 1024
+        return AugmentationConfig(
+            augmenter="outer_batch",  # the expert's favourite; the
+            # campaign overrides this with each of the six augmenters
+            batch_size=batch_size,
+            threads_size=threads_size,
+            cache_size=cache_size,
+        )
+
+
+class RandomOptimizer:
+    """Uniform random parameterization over the grid."""
+
+    def __init__(self, seed: int = 23) -> None:
+        self._rng = random.Random(seed)
+
+    def configure(
+        self, features: QueryFeatures, current_cache_size: int
+    ) -> AugmentationConfig:
+        return AugmentationConfig(
+            augmenter=self._rng.choice(available_augmenters()),
+            batch_size=self._rng.choice(BATCH_SIZES),
+            threads_size=self._rng.choice(THREADS_SIZES),
+            cache_size=self._rng.choice(CACHE_SIZES),
+        )

@@ -1,0 +1,12 @@
+"""Snapshots: save/load a polystore and its A' index as JSON files.
+
+Operational tooling for the reproduction: a generated polystore (or a
+hand-built one) can be written to a directory and reloaded later, so
+experiments and demos do not have to regenerate data. One file per
+database plus ``aindex.json`` and a ``manifest.json``; everything is
+plain JSON, diff-able and engine-agnostic.
+"""
+
+from repro.persistence.snapshot import load_snapshot, save_snapshot
+
+__all__ = ["load_snapshot", "save_snapshot"]

@@ -1,0 +1,270 @@
+"""JSON serialization of stores, polystores and A' indexes.
+
+Layout of a snapshot directory::
+
+    manifest.json        {"version": 1, "databases": [{"name", "engine"}]}
+    db_<name>.json       engine-specific payload (see serializers below)
+    aindex.json          {"relations": [{"left", "right", "type", "p"}]}
+
+Round-trips preserve: every data object (keys and payloads), schemas
+and secondary indexes of relational tables, document-store indexes,
+graph labels/edges/properties, and every p-relation with its type and
+probability. Inferred-edge lineage is *not* persisted (it only drives
+the optional cascade deletion) — reloading re-adds edges with
+consistency enforcement off, so the stored closure is kept verbatim.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.aindex import AIndex
+from repro.errors import ReproError
+from repro.model.objects import GlobalKey
+from repro.model.polystore import Polystore
+from repro.model.prelations import PRelation, RelationType
+from repro.stores.base import Store
+from repro.stores.document.store import DocumentStore
+from repro.stores.graph.store import GraphStore
+from repro.stores.keyvalue.store import KeyValueStore
+from repro.stores.relational.engine import RelationalStore
+from repro.stores.relational.types import Column, ColumnType, TableSchema
+
+SNAPSHOT_VERSION = 1
+
+
+class SnapshotError(ReproError):
+    """A snapshot directory is missing, malformed, or incompatible."""
+
+
+# ---------------------------------------------------------------------------
+# Store serializers
+# ---------------------------------------------------------------------------
+
+
+def _dump_relational(store: RelationalStore) -> dict[str, Any]:
+    tables = {}
+    for name in store.tables():
+        table = store.table(name)
+        tables[name] = {
+            "schema": {
+                "primary_key": table.schema.primary_key,
+                "columns": [
+                    {
+                        "name": column.name,
+                        "type": column.type.value,
+                        "nullable": column.nullable,
+                    }
+                    for column in table.schema.columns
+                ],
+            },
+            "indexes": sorted(table._indexes),
+            "rows": [row for __, row in sorted(table.rows())],
+        }
+    return {"tables": tables}
+
+
+def _load_relational(payload: dict[str, Any]) -> RelationalStore:
+    store = RelationalStore()
+    for name, spec in payload["tables"].items():
+        schema = TableSchema(
+            columns=[
+                Column(c["name"], ColumnType(c["type"]), c["nullable"])
+                for c in spec["schema"]["columns"]
+            ],
+            primary_key=spec["schema"]["primary_key"],
+        )
+        table = store.create_table(name, schema)
+        for row in spec["rows"]:
+            table.insert(row)
+        for column in spec["indexes"]:
+            table.create_index(column)
+    return store
+
+
+def _dump_document(store: DocumentStore) -> dict[str, Any]:
+    return {
+        "collections": {
+            name: {
+                "indexes": sorted(store._indexes.get(name, {})),
+                "documents": [
+                    store.get_value(name, key)
+                    for key in sorted(store.collection_keys(name))
+                ],
+            }
+            for name in store.collections()
+        }
+    }
+
+
+def _load_document(payload: dict[str, Any]) -> DocumentStore:
+    store = DocumentStore()
+    for name, spec in payload["collections"].items():
+        store.create_collection(name)
+        for document in spec["documents"]:
+            store.insert(name, document)
+        for field in spec["indexes"]:
+            store.create_index(name, field)
+    return store
+
+
+def _dump_graph(store: GraphStore) -> dict[str, Any]:
+    nodes = [
+        {
+            "id": node.id,
+            "labels": list(node.labels),
+            "properties": node.properties,
+        }
+        for node in sorted(store._nodes.values(), key=lambda n: n.id)
+    ]
+    edges = [
+        {
+            "type": edge.type,
+            "start": edge.start,
+            "end": edge.end,
+            "properties": edge.properties,
+        }
+        for edge in sorted(store._edges.values(), key=lambda e: e.id)
+    ]
+    return {"nodes": nodes, "edges": edges}
+
+
+def _load_graph(payload: dict[str, Any]) -> GraphStore:
+    store = GraphStore()
+    for node in payload["nodes"]:
+        store.create_node(
+            tuple(node["labels"]), node["properties"], node_id=node["id"]
+        )
+    for edge in payload["edges"]:
+        store.create_edge(
+            edge["start"], edge["type"], edge["end"], edge["properties"]
+        )
+    return store
+
+
+def _dump_keyvalue(store: KeyValueStore) -> dict[str, Any]:
+    return {
+        "keyspace": store.keyspace,
+        "entries": {
+            key: store.get_command(key)
+            for key in sorted(store.collection_keys(store.keyspace))
+        },
+    }
+
+
+def _load_keyvalue(payload: dict[str, Any]) -> KeyValueStore:
+    store = KeyValueStore(keyspace=payload["keyspace"])
+    for key, value in payload["entries"].items():
+        store.set(key, value)
+    return store
+
+
+_DUMPERS = {
+    "relational": _dump_relational,
+    "document": _dump_document,
+    "graph": _dump_graph,
+    "keyvalue": _dump_keyvalue,
+}
+_LOADERS = {
+    "relational": _load_relational,
+    "document": _load_document,
+    "graph": _load_graph,
+    "keyvalue": _load_keyvalue,
+}
+
+
+# ---------------------------------------------------------------------------
+# Snapshot API
+# ---------------------------------------------------------------------------
+
+
+def save_snapshot(
+    directory: str | Path, polystore: Polystore, aindex: AIndex | None = None
+) -> Path:
+    """Write ``polystore`` (and optionally ``aindex``) to ``directory``."""
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    manifest = {"version": SNAPSHOT_VERSION, "databases": []}
+    for name in sorted(polystore):
+        store = polystore.database(name)
+        dumper = _DUMPERS.get(store.engine)
+        if dumper is None:
+            raise SnapshotError(
+                f"cannot snapshot engine {store.engine!r} of {name!r}"
+            )
+        manifest["databases"].append({"name": name, "engine": store.engine})
+        _write_json(path / f"db_{name}.json", dumper(store))
+    if aindex is not None:
+        relations = []
+        seen: set[tuple[str, str]] = set()
+        for node in aindex.nodes():
+            for neighbor in aindex.neighbors(node):
+                pair = tuple(sorted((str(node), str(neighbor.key))))
+                if pair in seen:
+                    continue
+                seen.add(pair)  # type: ignore[arg-type]
+                relations.append(
+                    {
+                        "left": pair[0],
+                        "right": pair[1],
+                        "type": neighbor.type.value,
+                        "p": neighbor.probability,
+                    }
+                )
+        relations.sort(key=lambda r: (r["left"], r["right"]))
+        _write_json(path / "aindex.json", {"relations": relations})
+    _write_json(path / "manifest.json", manifest)
+    return path
+
+
+def load_snapshot(directory: str | Path) -> tuple[Polystore, AIndex]:
+    """Load a snapshot; returns the polystore and its A' index.
+
+    The returned index has consistency enforcement disabled so the
+    persisted edge set is restored verbatim (it was already closed when
+    saved, if it was built that way).
+    """
+    path = Path(directory)
+    manifest_path = path / "manifest.json"
+    if not manifest_path.exists():
+        raise SnapshotError(f"no snapshot manifest in {path}")
+    manifest = _read_json(manifest_path)
+    if manifest.get("version") != SNAPSHOT_VERSION:
+        raise SnapshotError(
+            f"unsupported snapshot version {manifest.get('version')!r}"
+        )
+    polystore = Polystore()
+    for entry in manifest["databases"]:
+        loader = _LOADERS.get(entry["engine"])
+        if loader is None:
+            raise SnapshotError(f"unknown engine {entry['engine']!r}")
+        payload = _read_json(path / f"db_{entry['name']}.json")
+        polystore.attach(entry["name"], loader(payload))
+    aindex = AIndex(enforce_consistency=False)
+    aindex_path = path / "aindex.json"
+    if aindex_path.exists():
+        for relation in _read_json(aindex_path)["relations"]:
+            aindex.add(
+                PRelation(
+                    GlobalKey.parse(relation["left"]),
+                    GlobalKey.parse(relation["right"]),
+                    RelationType(relation["type"]),
+                    relation["p"],
+                )
+            )
+    return polystore, aindex
+
+
+def _write_json(path: Path, payload: dict[str, Any]) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+
+
+def _read_json(path: Path) -> dict[str, Any]:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SnapshotError(f"cannot read {path}: {exc}") from exc

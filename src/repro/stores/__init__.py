@@ -1,0 +1,32 @@
+"""In-process storage engines standing in for the paper's DBMSs.
+
+Four engines mirror the Polyphony testbed (Section VII-A):
+
+* :mod:`repro.stores.relational` — MySQL stand-in: tables, schemas,
+  primary keys, secondary indexes, and a real SQL subset (parser +
+  executor).
+* :mod:`repro.stores.document` — MongoDB stand-in: schemaless
+  collections queried with Mongo-style filter documents.
+* :mod:`repro.stores.graph` — Neo4j stand-in: a property graph with
+  labels, relationship types and traversal queries.
+* :mod:`repro.stores.keyvalue` — Redis stand-in: GET/SET/MGET/KEYS/SCAN.
+
+All engines implement the minimal :class:`~repro.stores.base.Store`
+contract QUEPA needs — run a native query, fetch one object by key,
+fetch many objects by key — while each also keeps its full native API,
+which is the whole point of a polystore.
+"""
+
+from repro.stores.base import Store
+from repro.stores.document.store import DocumentStore
+from repro.stores.graph.store import GraphStore
+from repro.stores.keyvalue.store import KeyValueStore
+from repro.stores.relational.engine import RelationalStore
+
+__all__ = [
+    "DocumentStore",
+    "GraphStore",
+    "KeyValueStore",
+    "RelationalStore",
+    "Store",
+]

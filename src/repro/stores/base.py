@@ -1,0 +1,135 @@
+"""The minimal store contract QUEPA requires of every engine.
+
+The paper's only requirement on a participating system is that "every
+stored data object can be identified and accessed by means of a key"
+(Section II-A). The contract is therefore small:
+
+* ``execute(query)`` — run a query in the *native* language and return
+  data objects;
+* ``get(global_key)`` / ``multi_get(keys)`` — direct access by key,
+  which is what connectors use to materialize augmented objects;
+* ``collections()`` / ``count_objects()`` — introspection used by the
+  collector and the workload builder.
+
+Engines also keep :class:`StoreStats` counters so tests can assert how
+many native operations an augmenter actually issued.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+from repro.errors import KeyNotFoundError
+from repro.model.objects import DataObject, GlobalKey
+
+
+@dataclass
+class StoreStats:
+    """Operation counters for one store instance."""
+
+    queries: int = 0
+    gets: int = 0
+    multi_gets: int = 0
+    objects_returned: int = 0
+    writes: int = 0
+
+    def reset(self) -> None:
+        self.queries = 0
+        self.gets = 0
+        self.multi_gets = 0
+        self.objects_returned = 0
+        self.writes = 0
+
+
+@dataclass
+class StoreCapabilities:
+    """What a store engine can do, used by the validator and baselines."""
+
+    name: str
+    supports_batch_get: bool = True
+    supports_native_query: bool = True
+    #: Maximum keys per batch fetch (None = unlimited).
+    max_batch_size: int | None = None
+
+
+class Store(ABC):
+    """Abstract base for all storage engines."""
+
+    #: Engine family name, e.g. ``"relational"``; set by subclasses.
+    engine: str = "abstract"
+
+    def __init__(self) -> None:
+        #: Name under which this store is attached to a polystore.
+        self.database_name: str = ""
+        self.stats = StoreStats()
+
+    # -- native access ------------------------------------------------------
+
+    @abstractmethod
+    def execute(self, query: Any) -> list[DataObject]:
+        """Run a query in the engine's native language."""
+
+    # -- key access ----------------------------------------------------------
+
+    @abstractmethod
+    def get_value(self, collection: str, key: str) -> Any:
+        """Raw payload of one object; raises :class:`KeyNotFoundError`."""
+
+    @abstractmethod
+    def collections(self) -> list[str]:
+        """Names of the data collections in this store."""
+
+    @abstractmethod
+    def collection_keys(self, collection: str) -> Iterator[str]:
+        """Iterate the local keys of one collection."""
+
+    def get(self, key: GlobalKey) -> DataObject:
+        """Fetch one data object by global key."""
+        self.stats.gets += 1
+        value = self.get_value(key.collection, key.key)
+        self.stats.objects_returned += 1
+        return DataObject(key, value)
+
+    def multi_get(self, keys: Iterable[GlobalKey]) -> list[DataObject]:
+        """Fetch several objects in one native batch operation.
+
+        Missing keys are dropped, mirroring the lazy-deletion rule: an
+        object deleted from the store silently disappears from answers.
+        """
+        self.stats.multi_gets += 1
+        found: list[DataObject] = []
+        for key in keys:
+            try:
+                value = self.get_value(key.collection, key.key)
+            except KeyNotFoundError:
+                continue
+            found.append(DataObject(key, value))
+        self.stats.objects_returned += len(found)
+        return found
+
+    def exists(self, key: GlobalKey) -> bool:
+        try:
+            self.get_value(key.collection, key.key)
+        except KeyNotFoundError:
+            return False
+        return True
+
+    def count_objects(self) -> int:
+        return sum(
+            1 for collection in self.collections()
+            for __ in self.collection_keys(collection)
+        )
+
+    def iter_objects(self) -> Iterator[DataObject]:
+        """Iterate every data object in the store (collector input)."""
+        if not self.database_name:
+            raise ValueError("store must be attached to a polystore first")
+        for collection in self.collections():
+            for local_key in self.collection_keys(collection):
+                key = GlobalKey(self.database_name, collection, local_key)
+                yield DataObject(key, self.get_value(collection, local_key))
+
+    def capabilities(self) -> StoreCapabilities:
+        return StoreCapabilities(name=self.engine)

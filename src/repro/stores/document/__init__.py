@@ -1,0 +1,6 @@
+"""MongoDB-like document store."""
+
+from repro.stores.document.query import matches_filter, project
+from repro.stores.document.store import DocumentStore
+
+__all__ = ["DocumentStore", "matches_filter", "project"]

@@ -1,0 +1,193 @@
+"""Mongo-style filter-document evaluation and projection.
+
+Implements the query operators the catalogue workload (and a good deal
+more) needs: comparison (``$eq $ne $gt $gte $lt $lte``), membership
+(``$in $nin``), logical (``$and $or $nor $not``), element (``$exists
+$type``), array (``$all $size $elemMatch``) and ``$regex``. Field paths
+use dot notation and descend into nested documents and arrays, matching
+MongoDB semantics: a filter on an array field matches if *any* element
+matches.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Iterable, Mapping
+
+from repro.errors import QueryError
+
+_COMPARATORS = {"$eq", "$ne", "$gt", "$gte", "$lt", "$lte"}
+_TYPE_NAMES = {
+    "double": float,
+    "string": str,
+    "object": dict,
+    "array": list,
+    "bool": bool,
+    "int": int,
+    "null": type(None),
+}
+
+
+def resolve_path(document: Any, path: str) -> list[Any]:
+    """All values at a dotted ``path``, descending through arrays.
+
+    Returns an empty list when the path does not exist. A document
+    ``{"a": [{"b": 1}, {"b": 2}]}`` resolves ``"a.b"`` to ``[1, 2]``.
+    """
+    values = [document]
+    for part in path.split("."):
+        next_values: list[Any] = []
+        for value in values:
+            if isinstance(value, Mapping):
+                if part in value:
+                    next_values.append(value[part])
+            elif isinstance(value, list):
+                if part.isdigit() and int(part) < len(value):
+                    next_values.append(value[int(part)])
+                else:
+                    for element in value:
+                        if isinstance(element, Mapping) and part in element:
+                            next_values.append(element[part])
+        values = next_values
+        if not values:
+            break
+    return values
+
+
+def _compare(op: str, candidate: Any, operand: Any) -> bool:
+    try:
+        if op == "$eq":
+            return candidate == operand
+        if op == "$ne":
+            return candidate != operand
+        if op == "$gt":
+            return candidate > operand
+        if op == "$gte":
+            return candidate >= operand
+        if op == "$lt":
+            return candidate < operand
+        if op == "$lte":
+            return candidate <= operand
+    except TypeError:
+        return False
+    raise QueryError(f"unknown comparison operator {op!r}")
+
+
+def _match_operand(candidate: Any, operator: str, operand: Any) -> bool:
+    if operator in _COMPARATORS:
+        return _compare(operator, candidate, operand)
+    if operator == "$in":
+        return candidate in operand
+    if operator == "$nin":
+        return candidate not in operand
+    if operator == "$regex":
+        if not isinstance(candidate, str):
+            return False
+        return re.search(operand, candidate) is not None
+    if operator == "$type":
+        expected = _TYPE_NAMES.get(operand)
+        if expected is None:
+            raise QueryError(f"unknown $type name {operand!r}")
+        if expected is int and isinstance(candidate, bool):
+            return False
+        return isinstance(candidate, expected)
+    if operator == "$size":
+        return isinstance(candidate, list) and len(candidate) == operand
+    if operator == "$all":
+        return isinstance(candidate, list) and all(
+            item in candidate for item in operand
+        )
+    if operator == "$elemMatch":
+        return isinstance(candidate, list) and any(
+            isinstance(element, Mapping) and matches_filter(element, operand)
+            for element in candidate
+        )
+    if operator == "$not":
+        return not _match_condition([candidate], operand)
+    raise QueryError(f"unknown query operator {operator!r}")
+
+
+def _is_operator_doc(value: Any) -> bool:
+    return isinstance(value, Mapping) and value and all(
+        isinstance(key, str) and key.startswith("$") for key in value
+    )
+
+
+def _match_condition(candidates: Iterable[Any], condition: Any) -> bool:
+    """True if any value at the path satisfies ``condition``."""
+    candidates = list(candidates)
+    if _is_operator_doc(condition):
+        if "$exists" in condition:
+            exists = bool(condition["$exists"])
+            if bool(candidates) != exists:
+                return False
+            rest = {k: v for k, v in condition.items() if k != "$exists"}
+            if not rest:
+                return True
+            condition = rest
+        for operator, operand in condition.items():
+            if not any(
+                _match_operand(value, operator, operand) for value in candidates
+            ) and not (
+                # Array fields also match when the array itself satisfies
+                # the operator (e.g. {$eq: [1, 2]}), like MongoDB.
+                operator == "$eq"
+                and any(value == operand for value in candidates)
+            ):
+                return False
+        return True
+    # Literal equality: value equals, or an array member equals.
+    for value in candidates:
+        if value == condition:
+            return True
+        if isinstance(value, list) and condition in value:
+            return True
+    return False
+
+
+def matches_filter(document: Mapping[str, Any], query: Mapping[str, Any]) -> bool:
+    """True if ``document`` satisfies the Mongo-style ``query``."""
+    for key, condition in query.items():
+        if key == "$and":
+            if not all(matches_filter(document, sub) for sub in condition):
+                return False
+        elif key == "$or":
+            if not any(matches_filter(document, sub) for sub in condition):
+                return False
+        elif key == "$nor":
+            if any(matches_filter(document, sub) for sub in condition):
+                return False
+        elif key.startswith("$"):
+            raise QueryError(f"unknown top-level operator {key!r}")
+        else:
+            values = resolve_path(document, key)
+            if not _match_condition(values, condition):
+                return False
+    return True
+
+
+def project(
+    document: Mapping[str, Any], projection: Mapping[str, int] | None
+) -> dict[str, Any]:
+    """Apply a Mongo-style projection (inclusion or exclusion form)."""
+    if not projection:
+        return dict(document)
+    include_id = projection.get("_id", 1)
+    fields = {key: flag for key, flag in projection.items() if key != "_id"}
+    if fields and len(set(fields.values())) > 1:
+        raise QueryError("cannot mix inclusion and exclusion in a projection")
+    inclusive = not fields or next(iter(fields.values())) == 1
+    if inclusive:
+        result: dict[str, Any] = {}
+        for key in fields:
+            values = resolve_path(document, key)
+            if values:
+                top = key.split(".", 1)[0]
+                result[top] = document[top]
+        if include_id and "_id" in document:
+            result["_id"] = document["_id"]
+        return result
+    result = {key: value for key, value in document.items() if key not in fields}
+    if not include_id:
+        result.pop("_id", None)
+    return result

@@ -1,0 +1,5 @@
+"""Neo4j-like property-graph store."""
+
+from repro.stores.graph.store import Edge, GraphStore, Node
+
+__all__ = ["Edge", "GraphStore", "Node"]

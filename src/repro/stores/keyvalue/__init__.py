@@ -1,0 +1,5 @@
+"""Redis-like key-value store."""
+
+from repro.stores.keyvalue.store import KeyValueStore
+
+__all__ = ["KeyValueStore"]

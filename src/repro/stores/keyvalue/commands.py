@@ -1,0 +1,140 @@
+"""Redis-style command strings for the key-value store.
+
+Gives the KV substrate a native textual language, like SQL for the
+relational store and Cypher for the graph store. Supported commands
+(case-insensitive verbs, single- or double-quoted arguments with
+backslash escapes):
+
+=========  =====================================  =======================
+GET        ``GET key``                            value or None
+SET        ``SET key value``                      "OK"
+DEL        ``DEL key [key ...]``                  number removed
+EXISTS     ``EXISTS key [key ...]``               number present
+MGET       ``MGET key [key ...]``                 list of values/None
+KEYS       ``KEYS pattern``                       matching keys (sorted)
+SCAN       ``SCAN cursor [MATCH p] [COUNT n]``    (next_cursor, page)
+DBSIZE     ``DBSIZE``                             number of keys
+=========  =====================================  =======================
+"""
+
+from __future__ import annotations
+
+import shlex
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import QueryError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.stores.keyvalue.store import KeyValueStore
+
+
+def parse_command(text: str) -> list[str]:
+    """Split a command line into verb + arguments (shell-style quoting)."""
+    try:
+        parts = shlex.split(text)
+    except ValueError as exc:
+        raise QueryError(f"bad command syntax: {exc}") from exc
+    if not parts:
+        raise QueryError("empty command")
+    return parts
+
+
+def execute_command(store: "KeyValueStore", text: str) -> Any:
+    """Run one command string against ``store``; returns its raw reply."""
+    parts = parse_command(text)
+    verb = parts[0].upper()
+    args = parts[1:]
+    handler = _HANDLERS.get(verb)
+    if handler is None:
+        raise QueryError(f"unknown command {verb!r}")
+    return handler(store, args)
+
+
+def _need(args: list[str], at_least: int, verb: str) -> None:
+    if len(args) < at_least:
+        raise QueryError(
+            f"{verb} needs at least {at_least} argument(s), got {len(args)}"
+        )
+
+
+def _cmd_get(store: "KeyValueStore", args: list[str]) -> Any:
+    _need(args, 1, "GET")
+    if len(args) != 1:
+        raise QueryError("GET takes exactly one key")
+    return store.get_command(args[0])
+
+
+def _cmd_set(store: "KeyValueStore", args: list[str]) -> str:
+    if len(args) != 2:
+        raise QueryError("SET takes exactly a key and a value")
+    store.set(args[0], args[1])
+    return "OK"
+
+
+def _cmd_del(store: "KeyValueStore", args: list[str]) -> int:
+    _need(args, 1, "DEL")
+    return sum(1 for key in args if store.delete(key))
+
+
+def _cmd_exists(store: "KeyValueStore", args: list[str]) -> int:
+    _need(args, 1, "EXISTS")
+    return sum(1 for key in args if store.get_command(key) is not None)
+
+
+def _cmd_mget(store: "KeyValueStore", args: list[str]) -> list[Any]:
+    _need(args, 1, "MGET")
+    return store.mget(args)
+
+
+def _cmd_keys(store: "KeyValueStore", args: list[str]) -> list[str]:
+    if len(args) != 1:
+        raise QueryError("KEYS takes exactly one pattern")
+    return sorted(store.keys(args[0]))
+
+
+def _cmd_scan(store: "KeyValueStore", args: list[str]) -> tuple[int, list[str]]:
+    _need(args, 1, "SCAN")
+    try:
+        cursor = int(args[0])
+    except ValueError:
+        raise QueryError(f"SCAN cursor must be an integer: {args[0]!r}") from None
+    pattern = "*"
+    count = 10
+    position = 1
+    while position < len(args):
+        option = args[position].upper()
+        if option == "MATCH" and position + 1 < len(args):
+            pattern = args[position + 1]
+            position += 2
+        elif option == "COUNT" and position + 1 < len(args):
+            try:
+                count = int(args[position + 1])
+            except ValueError:
+                raise QueryError(
+                    f"SCAN COUNT must be an integer: {args[position + 1]!r}"
+                ) from None
+            position += 2
+        else:
+            raise QueryError(f"unknown SCAN option {args[position]!r}")
+    return store.scan(cursor, pattern, count)
+
+
+def _cmd_dbsize(store: "KeyValueStore", args: list[str]) -> int:
+    if args:
+        raise QueryError("DBSIZE takes no arguments")
+    return len(store)
+
+
+_HANDLERS = {
+    "GET": _cmd_get,
+    "SET": _cmd_set,
+    "DEL": _cmd_del,
+    "EXISTS": _cmd_exists,
+    "MGET": _cmd_mget,
+    "KEYS": _cmd_keys,
+    "SCAN": _cmd_scan,
+    "DBSIZE": _cmd_dbsize,
+}
+
+#: Verbs whose replies can be turned into data objects by ``execute``.
+READ_VERBS = frozenset({"GET", "MGET", "KEYS"})

@@ -1,0 +1,163 @@
+"""A Redis-like key-value store.
+
+Supports the commands the Polyphony discounts database needs — GET,
+SET, DEL, MGET, EXISTS, KEYS with glob patterns, and cursor-based SCAN —
+plus the generic :class:`~repro.stores.base.Store` contract. All entries
+live in a single logical collection (Redis has one keyspace per
+database); its name defaults to ``"main"``.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from typing import Any, Iterator
+
+from repro.errors import KeyNotFoundError, QueryError
+from repro.model.objects import DataObject, GlobalKey
+from repro.stores.base import Store
+
+
+class KeyValueStore(Store):
+    """An in-memory keyspace with glob-pattern queries."""
+
+    engine = "keyvalue"
+
+    def __init__(self, keyspace: str = "main") -> None:
+        super().__init__()
+        self.keyspace = keyspace
+        self._data: dict[str, Any] = {}
+
+    # -- native commands -----------------------------------------------------
+
+    def set(self, key: str, value: Any) -> None:
+        self.stats.writes += 1
+        self._data[key] = value
+
+    def get_command(self, key: str) -> Any:
+        """GET: the value at ``key`` or ``None`` (Redis semantics)."""
+        return self._data.get(key)
+
+    def delete(self, key: str) -> bool:
+        self.stats.writes += 1
+        return self._data.pop(key, _MISSING) is not _MISSING
+
+    def mget(self, keys: list[str]) -> list[Any]:
+        """MGET: values in order, ``None`` for missing keys."""
+        return [self._data.get(key) for key in keys]
+
+    def keys(self, pattern: str = "*") -> list[str]:
+        """KEYS: all keys matching a glob pattern."""
+        return [key for key in self._data if fnmatch.fnmatchcase(key, pattern)]
+
+    def scan(
+        self, cursor: int = 0, pattern: str = "*", count: int = 10
+    ) -> tuple[int, list[str]]:
+        """SCAN: cursor iteration over the keyspace.
+
+        Returns ``(next_cursor, page)``; a next cursor of 0 means the
+        iteration is complete. Like Redis, the guarantee is that every
+        key present for the whole scan is returned at least once.
+        """
+        all_keys = sorted(self._data)
+        page: list[str] = []
+        index = cursor
+        while index < len(all_keys) and len(page) < count:
+            key = all_keys[index]
+            if fnmatch.fnmatchcase(key, pattern):
+                page.append(key)
+            index += 1
+        next_cursor = 0 if index >= len(all_keys) else index
+        return next_cursor, page
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    # -- Store contract -------------------------------------------------------
+
+    def execute(self, query: Any) -> list[DataObject]:
+        """Native query: a Redis-style command string or a glob pattern.
+
+        Strings starting with a known command verb (``GET``, ``MGET``,
+        ``KEYS``, ...) run through the command parser; the read verbs
+        produce data objects. A bare glob pattern is shorthand for
+        ``KEYS pattern``. Also accepts ``("mget", [keys])`` for the
+        connector's explicit batch fetch.
+        """
+        self.stats.queries += 1
+        if isinstance(query, str):
+            objects = self._execute_text(query)
+        elif (
+            isinstance(query, tuple)
+            and len(query) == 2
+            and query[0] == "mget"
+        ):
+            objects = [
+                self._object(key) for key in query[1] if key in self._data
+            ]
+        else:
+            raise QueryError(f"unsupported key-value query: {query!r}")
+        self.stats.objects_returned += len(objects)
+        return objects
+
+    def _execute_text(self, query: str) -> list[DataObject]:
+        from repro.stores.keyvalue.commands import (
+            READ_VERBS,
+            execute_command,
+            parse_command,
+        )
+
+        verb = parse_command(query)[0].upper()
+        from repro.stores.keyvalue.commands import _HANDLERS
+
+        if verb not in _HANDLERS:
+            # Bare glob pattern: shorthand for KEYS <pattern>.
+            pattern = query.strip() or "*"
+            return [self._object(key) for key in sorted(self.keys(pattern))]
+        if verb not in READ_VERBS:
+            raise QueryError(
+                f"{verb} is a command, not a query; use "
+                f"KeyValueStore.command() for writes"
+            )
+        parts = parse_command(query)
+        if verb == "KEYS":
+            keys = execute_command(self, query)
+            return [self._object(key) for key in keys]
+        if verb == "GET":
+            value = execute_command(self, query)
+            return [self._object(parts[1])] if value is not None else []
+        # MGET
+        return [
+            self._object(key) for key in parts[1:] if key in self._data
+        ]
+
+    def command(self, text: str) -> Any:
+        """Run any Redis-style command string (including writes)."""
+        from repro.stores.keyvalue.commands import execute_command
+
+        return execute_command(self, text)
+
+    def get_value(self, collection: str, key: str) -> Any:
+        if collection != self.keyspace or key not in self._data:
+            raise KeyNotFoundError(f"{collection}.{key}")
+        return self._data[key]
+
+    def collections(self) -> list[str]:
+        return [self.keyspace]
+
+    def collection_keys(self, collection: str) -> Iterator[str]:
+        if collection != self.keyspace:
+            return iter(())
+        return iter(list(self._data))
+
+    def _object(self, key: str) -> DataObject:
+        return DataObject(
+            GlobalKey(self.database_name or "kv", self.keyspace, key),
+            self._data[key],
+        )
+
+
+class _Missing:
+    pass
+
+
+_MISSING = _Missing()

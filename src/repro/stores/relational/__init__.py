@@ -1,0 +1,14 @@
+"""MySQL-like relational store with a native SQL subset."""
+
+from repro.stores.relational.engine import RelationalStore, Table
+from repro.stores.relational.parser import parse_sql
+from repro.stores.relational.types import Column, ColumnType, TableSchema
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "RelationalStore",
+    "Table",
+    "TableSchema",
+    "parse_sql",
+]

@@ -1,0 +1,305 @@
+"""The relational store: tables, indexes, and SQL execution.
+
+``RelationalStore`` is the MySQL stand-in of the polystore. Tables are
+created programmatically with a :class:`TableSchema` (single-column
+primary key, per the paper's object-granularity requirement), rows are
+validated on every write, and equality indexes accelerate point and IN
+lookups. The native language is the SQL subset of
+:mod:`repro.stores.relational.parser`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping
+
+from repro.errors import (
+    DuplicateKeyError,
+    KeyNotFoundError,
+    QueryError,
+    SchemaError,
+)
+from repro.model.objects import DataObject, GlobalKey
+from repro.stores.base import Store
+from repro.stores.relational.ast import (
+    CreateIndex,
+    CreateTable,
+    Delete,
+    DropTable,
+    Insert,
+    Select,
+    Update,
+)
+from repro.stores.relational.executor import Evaluator, ResultRow, SelectExecutor
+from repro.stores.relational.parser import parse_sql
+from repro.stores.relational.types import Column, ColumnType, TableSchema
+
+
+class Table:
+    """One table: schema, rows keyed by primary key, equality indexes."""
+
+    def __init__(self, name: str, schema: TableSchema) -> None:
+        self.name = name
+        self.schema = schema
+        self._rows: dict[str, dict[str, Any]] = {}
+        self._indexes: dict[str, dict[Any, set[str]]] = {}
+
+    # -- writes ----------------------------------------------------------------
+
+    def insert(self, row: Mapping[str, Any]) -> str:
+        validated = self.schema.validate_row(dict(row))
+        pk = str(validated[self.schema.primary_key])
+        if pk in self._rows:
+            raise DuplicateKeyError(f"{self.name}.{pk}")
+        self._rows[pk] = validated
+        self._index_add(pk, validated)
+        return pk
+
+    def update(self, pk: str, changes: Mapping[str, Any]) -> None:
+        if pk not in self._rows:
+            raise KeyNotFoundError(f"{self.name}.{pk}")
+        current = dict(self._rows[pk])
+        current.update(changes)
+        if str(current[self.schema.primary_key]) != pk:
+            raise SchemaError("updating the primary key is not supported")
+        validated = self.schema.validate_row(current)
+        self._index_remove(pk, self._rows[pk])
+        self._rows[pk] = validated
+        self._index_add(pk, validated)
+
+    def delete(self, pk: str) -> bool:
+        row = self._rows.pop(pk, None)
+        if row is None:
+            return False
+        self._index_remove(pk, row)
+        return True
+
+    # -- reads -----------------------------------------------------------------
+
+    def row(self, pk: str) -> dict[str, Any]:
+        try:
+            return self._rows[pk]
+        except KeyError:
+            raise KeyNotFoundError(f"{self.name}.{pk}") from None
+
+    def rows(self) -> Iterator[tuple[str, dict[str, Any]]]:
+        return iter(self._rows.items())
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    # -- indexes ----------------------------------------------------------------
+
+    def create_index(self, column: str) -> None:
+        self.schema.column(column)  # validates existence
+        index: dict[Any, set[str]] = {}
+        for pk, row in self._rows.items():
+            index.setdefault(row.get(column), set()).add(pk)
+        self._indexes[column] = index
+
+    def has_index(self, column: str) -> bool:
+        return column == self.schema.primary_key or column in self._indexes
+
+    def index_lookup(self, column: str, value: Any) -> list[str]:
+        if column == self.schema.primary_key:
+            pk = str(value) if value is not None else None
+            return [pk] if pk in self._rows else []
+        index = self._indexes.get(column)
+        if index is None:
+            raise QueryError(f"no index on {self.name}.{column}")
+        return sorted(index.get(value, ()))
+
+    def _index_add(self, pk: str, row: Mapping[str, Any]) -> None:
+        for column, index in self._indexes.items():
+            index.setdefault(row.get(column), set()).add(pk)
+
+    def _index_remove(self, pk: str, row: Mapping[str, Any]) -> None:
+        for column, index in self._indexes.items():
+            bucket = index.get(row.get(column))
+            if bucket:
+                bucket.discard(pk)
+
+
+class RelationalStore(Store):
+    """An in-memory relational database speaking the SQL subset."""
+
+    engine = "relational"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._tables: dict[str, Table] = {}
+
+    # -- DDL -------------------------------------------------------------------
+
+    def create_table(self, name: str, schema: TableSchema) -> Table:
+        if name in self._tables:
+            raise SchemaError(f"table {name!r} already exists")
+        table = Table(name, schema)
+        self._tables[name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        self._tables.pop(name, None)
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise QueryError(f"unknown table {name!r}") from None
+
+    def tables(self) -> list[str]:
+        return sorted(self._tables)
+
+    # -- SQL entry points ---------------------------------------------------------
+
+    def sql(self, statement: str) -> list[dict[str, Any]]:
+        """Run any SQL statement; SELECTs return plain value dicts."""
+        return [row.values for row in self.sql_rows(statement)]
+
+    def sql_rows(self, statement: str) -> list[ResultRow]:
+        """Run SQL and return rows with provenance (QUEPA's entry point)."""
+        parsed = parse_sql(statement)
+        if isinstance(parsed, Select):
+            self.stats.queries += 1
+            rows = SelectExecutor(self).run(parsed)
+            self.stats.objects_returned += len(rows)
+            return rows
+        if isinstance(parsed, Insert):
+            self._run_insert(parsed)
+            return []
+        if isinstance(parsed, Update):
+            self._run_update(parsed)
+            return []
+        if isinstance(parsed, Delete):
+            self._run_delete(parsed)
+            return []
+        if isinstance(parsed, CreateTable):
+            self._run_create_table(parsed)
+            return []
+        if isinstance(parsed, CreateIndex):
+            self.table(parsed.table).create_index(parsed.column)
+            return []
+        if isinstance(parsed, DropTable):
+            if parsed.table not in self._tables and not parsed.if_exists:
+                raise QueryError(f"unknown table {parsed.table!r}")
+            self.drop_table(parsed.table)
+            return []
+        raise QueryError(f"unsupported statement: {statement!r}")
+
+    def _run_create_table(self, create: CreateTable) -> None:
+        if create.table in self._tables:
+            if create.if_not_exists:
+                return
+            raise SchemaError(f"table {create.table!r} already exists")
+        schema = TableSchema(
+            columns=[
+                Column(c.name, ColumnType(c.type_name), c.nullable)
+                for c in create.columns
+            ],
+            primary_key=create.primary_key,
+        )
+        self.create_table(create.table, schema)
+
+    def _run_insert(self, insert: Insert) -> None:
+        table = self.table(insert.table)
+        columns = list(insert.columns) or table.schema.column_names
+        evaluator = Evaluator()
+        for value_tuple in insert.rows:
+            if len(value_tuple) != len(columns):
+                raise QueryError(
+                    f"INSERT has {len(value_tuple)} values for "
+                    f"{len(columns)} columns"
+                )
+            row = {
+                column: evaluator.value(expr, {})
+                for column, expr in zip(columns, value_tuple)
+            }
+            table.insert(row)
+            self.stats.writes += 1
+
+    def _run_update(self, update: Update) -> None:
+        table = self.table(update.table)
+        evaluator = Evaluator()
+        targets = []
+        for pk, row in table.rows():
+            env = {update.table: row}
+            if update.where is None or evaluator.value(update.where, env) is True:
+                targets.append(pk)
+        for pk in targets:
+            env = {update.table: table.row(pk)}
+            changes = {
+                assignment.column: evaluator.value(assignment.value, env)
+                for assignment in update.assignments
+            }
+            table.update(pk, changes)
+            self.stats.writes += 1
+
+    def _run_delete(self, delete: Delete) -> None:
+        table = self.table(delete.table)
+        evaluator = Evaluator()
+        targets = []
+        for pk, row in table.rows():
+            env = {delete.table: row}
+            if delete.where is None or evaluator.value(delete.where, env) is True:
+                targets.append(pk)
+        for pk in targets:
+            table.delete(pk)
+            self.stats.writes += 1
+
+    # -- Store contract --------------------------------------------------------------
+
+    def execute(self, query: Any) -> list[DataObject]:
+        """Native query: a SQL string. Rows with provenance become data
+        objects keyed by their base-table primary key; derived rows
+        (joins, expressions over multiple tables) get synthetic keys in
+        the pseudo-collection ``_result`` and are never augmentable."""
+        if not isinstance(query, str):
+            raise QueryError(f"relational queries are SQL strings, got {query!r}")
+        rows = self.sql_rows(query)
+        database = self.database_name or "sql"
+        objects: list[DataObject] = []
+        for position, row in enumerate(rows):
+            if row.pk is not None and row.table is not None:
+                key = GlobalKey(database, row.table, row.pk)
+            else:
+                key = GlobalKey(database, "_result", f"row{position}")
+            objects.append(DataObject(key, dict(row.values)))
+        return objects
+
+    def get_value(self, collection: str, key: str) -> Any:
+        table = self._tables.get(collection)
+        if table is None:
+            raise KeyNotFoundError(f"no table {collection!r}")
+        return dict(table.row(key))
+
+    def multi_get(self, keys) -> list[DataObject]:  # type: ignore[override]
+        """Batch fetch via one logical ``WHERE pk IN (...)`` per table."""
+        self.stats.multi_gets += 1
+        found: list[DataObject] = []
+        for key in keys:
+            table = self._tables.get(key.collection)
+            if table is None:
+                continue
+            try:
+                row = table.row(key.key)
+            except KeyNotFoundError:
+                continue
+            found.append(DataObject(key, dict(row)))
+        self.stats.objects_returned += len(found)
+        return found
+
+    def collections(self) -> list[str]:
+        return self.tables()
+
+    def collection_keys(self, collection: str) -> Iterator[str]:
+        table = self._tables.get(collection)
+        if table is None:
+            return iter(())
+        return iter([pk for pk, __ in table.rows()])
+
+    # -- convenience -------------------------------------------------------------------
+
+    def insert_row(self, table: str, row: Mapping[str, Any]) -> str:
+        """Programmatic insert (used by the workload generator)."""
+        pk = self.table(table).insert(row)
+        self.stats.writes += 1
+        return pk

@@ -1,0 +1,596 @@
+"""Evaluation of parsed SQL statements against in-memory tables.
+
+Implements SQL three-valued logic (comparisons with NULL yield NULL;
+WHERE keeps rows whose predicate is TRUE), MySQL-style case-insensitive
+LIKE, nested-loop joins with an equality fast path, grouping and the
+five standard aggregates, ORDER BY with NULLs first, and LIMIT/OFFSET.
+
+Result rows carry *provenance*: for single-table non-aggregate queries
+each output row remembers the primary key of the base row it came from,
+which is what lets QUEPA map results back to data objects.
+"""
+
+from __future__ import annotations
+
+import re
+from functools import lru_cache
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.errors import QueryError, UnsupportedQueryError
+from repro.stores.relational.ast import (
+    AGGREGATE_FUNCTIONS,
+    BetweenOp,
+    BinaryOp,
+    ColumnRef,
+    Expr,
+    FuncCall,
+    InOp,
+    IsNullOp,
+    LikeOp,
+    Literal,
+    OrderItem,
+    Select,
+    SelectItem,
+    Star,
+    UnaryOp,
+    contains_aggregate,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.stores.relational.engine import RelationalStore, Table
+
+#: A row environment: binding name -> column dict.
+Env = dict[str, dict[str, Any]]
+
+
+class ResultRow:
+    """One output row plus the provenance of its base-table row."""
+
+    __slots__ = ("values", "pk", "table")
+
+    def __init__(self, values: dict[str, Any], pk: Optional[str], table: Optional[str]):
+        self.values = values
+        self.pk = pk
+        self.table = table
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultRow({self.values!r}, pk={self.pk!r})"
+
+
+@lru_cache(maxsize=1024)
+def _like_regex(pattern: str) -> re.Pattern[str]:
+    """Translate a SQL LIKE pattern to a compiled regex.
+
+    ``%`` matches any sequence, ``_`` any single character; everything
+    else is literal. Matching is case-insensitive, as in MySQL's default
+    collation.
+    """
+    out: list[str] = []
+    for char in pattern:
+        if char == "%":
+            out.append(".*")
+        elif char == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(char))
+    return re.compile("^" + "".join(out) + "$", re.IGNORECASE | re.DOTALL)
+
+
+class Evaluator:
+    """Expression evaluation against a row environment."""
+
+    def __init__(self, default_binding: Optional[str] = None):
+        self.default_binding = default_binding
+
+    def value(self, expr: Expr, env: Env) -> Any:
+        if isinstance(expr, Literal):
+            return expr.value
+        if isinstance(expr, ColumnRef):
+            return self._column(expr, env)
+        if isinstance(expr, BinaryOp):
+            return self._binary(expr, env)
+        if isinstance(expr, UnaryOp):
+            operand = self.value(expr.operand, env)
+            if expr.op == "NOT":
+                return None if operand is None else not _truthy(operand)
+            if expr.op == "-":
+                return None if operand is None else -operand
+            raise QueryError(f"unknown unary operator {expr.op!r}")
+        if isinstance(expr, LikeOp):
+            text = self.value(expr.expr, env)
+            pattern = self.value(expr.pattern, env)
+            if text is None or pattern is None:
+                return None
+            matched = _like_regex(str(pattern)).match(str(text)) is not None
+            return matched != expr.negated
+        if isinstance(expr, InOp):
+            candidate = self.value(expr.expr, env)
+            if candidate is None:
+                return None
+            values = [self.value(item, env) for item in expr.items]
+            found = candidate in [v for v in values if v is not None]
+            if not found and None in values:
+                return None
+            return found != expr.negated
+        if isinstance(expr, BetweenOp):
+            candidate = self.value(expr.expr, env)
+            low = self.value(expr.low, env)
+            high = self.value(expr.high, env)
+            if candidate is None or low is None or high is None:
+                return None
+            return (low <= candidate <= high) != expr.negated
+        if isinstance(expr, IsNullOp):
+            is_null = self.value(expr.expr, env) is None
+            return is_null != expr.negated
+        if isinstance(expr, FuncCall):
+            if expr.name in AGGREGATE_FUNCTIONS:
+                raise QueryError(
+                    f"aggregate {expr.name} used outside aggregation context"
+                )
+            return self._scalar_function(expr, env)
+        if isinstance(expr, Star):
+            raise QueryError("'*' is only valid in a select list or COUNT(*)")
+        raise QueryError(f"cannot evaluate expression {expr!r}")
+
+    def _column(self, ref: ColumnRef, env: Env) -> Any:
+        if ref.table is not None:
+            if ref.table not in env:
+                raise QueryError(f"unknown table alias {ref.table!r}")
+            row = env[ref.table]
+            if ref.name not in row:
+                raise QueryError(f"unknown column {ref}")
+            return row[ref.name]
+        hits = [
+            binding
+            for binding, row in env.items()
+            if not binding.startswith("__") and ref.name in row
+        ]
+        if not hits:
+            raise QueryError(f"unknown column {ref.name!r}")
+        if len(hits) > 1:
+            raise QueryError(f"ambiguous column {ref.name!r} (in {sorted(hits)})")
+        return env[hits[0]][ref.name]
+
+    def _binary(self, expr: BinaryOp, env: Env) -> Any:
+        op = expr.op
+        if op == "AND":
+            left = self.value(expr.left, env)
+            if left is not None and not _truthy(left):
+                return False
+            right = self.value(expr.right, env)
+            if right is not None and not _truthy(right):
+                return False
+            if left is None or right is None:
+                return None
+            return True
+        if op == "OR":
+            left = self.value(expr.left, env)
+            if left is not None and _truthy(left):
+                return True
+            right = self.value(expr.right, env)
+            if right is not None and _truthy(right):
+                return True
+            if left is None or right is None:
+                return None
+            return False
+        left = self.value(expr.left, env)
+        right = self.value(expr.right, env)
+        if left is None or right is None:
+            return None
+        try:
+            if op == "=":
+                return left == right
+            if op == "!=":
+                return left != right
+            if op == "<":
+                return left < right
+            if op == "<=":
+                return left <= right
+            if op == ">":
+                return left > right
+            if op == ">=":
+                return left >= right
+            if op == "+":
+                return left + right
+            if op == "-":
+                return left - right
+            if op == "*":
+                return left * right
+            if op == "/":
+                if right == 0:
+                    return None  # MySQL semantics: division by zero is NULL
+                return left / right
+        except TypeError as exc:
+            raise QueryError(f"type error in {op}: {exc}") from None
+        raise QueryError(f"unknown binary operator {op!r}")
+
+    def _scalar_function(self, expr: FuncCall, env: Env) -> Any:
+        args = [self.value(arg, env) for arg in expr.args]
+        name = expr.name
+        if name == "COALESCE":
+            for arg in args:
+                if arg is not None:
+                    return arg
+            return None
+        if not args or args[0] is None:
+            return None
+        if name == "UPPER":
+            return str(args[0]).upper()
+        if name == "LOWER":
+            return str(args[0]).lower()
+        if name == "LENGTH":
+            return len(str(args[0]))
+        if name == "ABS":
+            return abs(args[0])
+        if name == "ROUND":
+            digits = int(args[1]) if len(args) > 1 and args[1] is not None else 0
+            return round(args[0], digits)
+        raise QueryError(f"unknown scalar function {name!r}")
+
+
+def _truthy(value: Any) -> bool:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return value != 0
+    return bool(value)
+
+
+class SelectExecutor:
+    """Executes a parsed SELECT against a relational store."""
+
+    def __init__(self, store: "RelationalStore") -> None:
+        self.store = store
+        self.evaluator = Evaluator()
+
+    def run(self, select: Select) -> list[ResultRow]:
+        envs = self._scan(select)
+        if select.where is not None:
+            envs = [
+                env for env in envs
+                if self.evaluator.value(select.where, env) is True
+            ]
+        if select.is_aggregate():
+            rows = self._aggregate(select, envs)
+        else:
+            rows = [self._project(select, env) for env in envs]
+        if select.distinct:
+            rows = _distinct(rows)
+        if select.order_by:
+            # After DISTINCT or aggregation, ORDER BY may only reference
+            # the select list (row alignment with scan envs is lost).
+            aligned = envs if not (select.is_aggregate() or select.distinct) else None
+            rows = self._order(select.order_by, rows, aligned)
+        if select.offset:
+            rows = rows[select.offset:]
+        if select.limit is not None:
+            rows = rows[: select.limit]
+        return rows
+
+    # -- scan & join ------------------------------------------------------------
+
+    def _scan(self, select: Select) -> list[Env]:
+        base_table = self.store.table(select.table.name)
+        binding = select.table.binding
+        base_rows = self._base_rows(base_table, binding, select)
+        envs: list[Env] = [
+            {binding: row, "__pk__": {"pk": pk, "table": select.table.name}}
+            for pk, row in base_rows
+        ]
+        for join in select.joins:
+            envs = self._join(envs, join)
+        return envs
+
+    def _base_rows(
+        self, table: "Table", binding: str, select: Select
+    ) -> list[tuple[str, dict[str, Any]]]:
+        """Scan the base table, using an index when the WHERE clause has a
+        top-level equality/IN conjunct on an indexed column."""
+        lookup = _index_lookup(select.where, binding, table)
+        if lookup is not None:
+            column, values = lookup
+            pks: list[str] = []
+            seen: set[str] = set()
+            for value in values:
+                for pk in table.index_lookup(column, value):
+                    if pk not in seen:
+                        seen.add(pk)
+                        pks.append(pk)
+            return [(pk, table.row(pk)) for pk in sorted(pks)]
+        return list(table.rows())
+
+    def _join(self, envs: list[Env], join: "Join") -> list[Env]:  # type: ignore[name-defined]
+        right_table = self.store.table(join.table.name)
+        right_binding = join.table.binding
+        joined: list[Env] = []
+        # Equality fast path: ON a.x = b.y with one side bound to the new table.
+        eq = _join_equality(join.on, right_binding)
+        right_rows = list(right_table.rows())
+        hash_index: dict[Any, list[dict[str, Any]]] | None = None
+        if eq is not None:
+            right_column = eq[1]
+            hash_index = {}
+            for __, row in right_rows:
+                hash_index.setdefault(row.get(right_column), []).append(row)
+        for env in envs:
+            matches: list[dict[str, Any]] = []
+            if hash_index is not None and eq is not None:
+                left_value = self.evaluator.value(eq[0], env)
+                candidates = hash_index.get(left_value, [])
+            else:
+                candidates = [row for __, row in right_rows]
+            for row in candidates:
+                extended = dict(env)
+                extended[right_binding] = row
+                if self.evaluator.value(join.on, extended) is True:
+                    matches.append(row)
+            if matches:
+                for row in matches:
+                    extended = dict(env)
+                    extended[right_binding] = row
+                    joined.append(extended)
+            elif join.kind == "LEFT":
+                extended = dict(env)
+                extended[right_binding] = {
+                    name: None for name in right_table.schema.column_names
+                }
+                joined.append(extended)
+        return joined
+
+    # -- projection ---------------------------------------------------------------
+
+    def _project(self, select: Select, env: Env) -> ResultRow:
+        values: dict[str, Any] = {}
+        for item in select.items:
+            if isinstance(item.expr, Star):
+                for binding, row in env.items():
+                    if binding == "__pk__":
+                        continue
+                    if item.expr.table is not None and binding != item.expr.table:
+                        continue
+                    for name, value in row.items():
+                        values.setdefault(name, value)
+            else:
+                values[_item_name(item)] = self.evaluator.value(item.expr, env)
+        provenance = env.get("__pk__", {})
+        multi_table = len([b for b in env if b != "__pk__"]) > 1
+        if multi_table:
+            return ResultRow(values, None, None)
+        return ResultRow(values, provenance.get("pk"), provenance.get("table"))
+
+    # -- aggregation ---------------------------------------------------------------
+
+    def _aggregate(self, select: Select, envs: list[Env]) -> list[ResultRow]:
+        groups: dict[tuple, list[Env]] = {}
+        if select.group_by:
+            for env in envs:
+                key = tuple(
+                    _group_key(self.evaluator.value(expr, env))
+                    for expr in select.group_by
+                )
+                groups.setdefault(key, []).append(env)
+        else:
+            groups[()] = envs
+        rows: list[ResultRow] = []
+        for __, group_envs in sorted(groups.items(), key=lambda kv: kv[0]):
+            if select.having is not None:
+                if self._agg_value(select.having, group_envs) is not True:
+                    continue
+            if not group_envs and not select.group_by:
+                group_envs = []
+            values = {
+                _item_name(item): self._agg_value(item.expr, group_envs)
+                for item in select.items
+                if not isinstance(item.expr, Star)
+            }
+            rows.append(ResultRow(values, None, None))
+        if not select.group_by and not rows and select.having is None:
+            # Aggregates over an empty input still return one row.
+            values = {
+                _item_name(item): self._agg_value(item.expr, [])
+                for item in select.items
+                if not isinstance(item.expr, Star)
+            }
+            rows.append(ResultRow(values, None, None))
+        return rows
+
+    def _agg_value(self, expr: Expr, group: list[Env]) -> Any:
+        if isinstance(expr, FuncCall) and expr.name in AGGREGATE_FUNCTIONS:
+            return self._compute_aggregate(expr, group)
+        if isinstance(expr, BinaryOp):
+            left = self._agg_value(expr.left, group)
+            right = self._agg_value(expr.right, group)
+            return self.evaluator._binary(
+                BinaryOp(expr.op, Literal(left), Literal(right)), {}
+            )
+        if isinstance(expr, UnaryOp):
+            inner = self._agg_value(expr.operand, group)
+            return self.evaluator.value(
+                UnaryOp(expr.op, Literal(inner)), {}
+            )
+        if not group:
+            return None
+        return self.evaluator.value(expr, group[0])
+
+    def _compute_aggregate(self, call: FuncCall, group: list[Env]) -> Any:
+        if call.name == "COUNT" and (
+            not call.args or isinstance(call.args[0], Star)
+        ):
+            return len(group)
+        if not call.args:
+            raise QueryError(f"{call.name} requires an argument")
+        values = [self.evaluator.value(call.args[0], env) for env in group]
+        values = [value for value in values if value is not None]
+        if call.distinct:
+            values = list(dict.fromkeys(values))
+        if call.name == "COUNT":
+            return len(values)
+        if not values:
+            return None
+        if call.name == "SUM":
+            return sum(values)
+        if call.name == "AVG":
+            return sum(values) / len(values)
+        if call.name == "MIN":
+            return min(values)
+        if call.name == "MAX":
+            return max(values)
+        raise QueryError(f"unknown aggregate {call.name!r}")
+
+    # -- ordering -------------------------------------------------------------------
+
+    def _order(
+        self,
+        order_by: tuple[OrderItem, ...],
+        rows: list[ResultRow],
+        envs: Optional[list[Env]],
+    ) -> list[ResultRow]:
+        def sort_key(indexed: tuple[int, ResultRow]):
+            index, row = indexed
+            key = []
+            for item in order_by:
+                if isinstance(item.expr, ColumnRef) and item.expr.name in row.values:
+                    value = row.values[item.expr.name]
+                elif envs is not None:
+                    value = self.evaluator.value(item.expr, envs[index])
+                else:
+                    raise UnsupportedQueryError(
+                        "ORDER BY expression must appear in the select list "
+                        "of an aggregate query"
+                    )
+                key.append(_null_first(value, item.ascending))
+            return tuple(key)
+
+        indexed = sorted(enumerate(rows), key=sort_key)
+        return [row for __, row in indexed]
+
+
+def _null_first(value: Any, ascending: bool):
+    """Sort helper: NULLs first ascending, last descending (MySQL)."""
+    if ascending:
+        return (value is not None, _Comparable(value, False))
+    return (value is None, _Comparable(value, True))
+
+
+class _Comparable:
+    """Wraps a value so mixed types do not raise during sorting.
+
+    ``__eq__`` is required: multi-key ORDER BY builds tuples of these,
+    and tuple comparison only moves to the next key when the current
+    elements compare equal.
+    """
+
+    __slots__ = ("value", "reverse")
+
+    def __init__(self, value: Any, reverse: bool):
+        self.value = value
+        self.reverse = reverse
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, _Comparable):
+            return NotImplemented
+        return self.value == other.value
+
+    def __hash__(self) -> int:  # pragma: no cover - not used as a key
+        return hash((self.value, self.reverse))
+
+    def __lt__(self, other: "_Comparable") -> bool:
+        a, b = self.value, other.value
+        if a is None:
+            return False
+        if b is None:
+            return True
+        try:
+            result = a < b
+        except TypeError:
+            result = str(a) < str(b)
+        return result != self.reverse
+
+
+def _item_name(item: SelectItem) -> str:
+    if item.alias:
+        return item.alias
+    if isinstance(item.expr, ColumnRef):
+        return item.expr.name
+    if isinstance(item.expr, FuncCall):
+        return item.expr.name.lower()
+    return "expr"
+
+
+def _group_key(value: Any):
+    return (value is None, str(type(value).__name__), value if value is not None else 0)
+
+
+def _distinct(rows: list[ResultRow]) -> list[ResultRow]:
+    seen: set[tuple] = set()
+    unique: list[ResultRow] = []
+    for row in rows:
+        signature = tuple(sorted((k, repr(v)) for k, v in row.values.items()))
+        if signature not in seen:
+            seen.add(signature)
+            unique.append(row)
+    return unique
+
+
+def _index_lookup(
+    where: Optional[Expr], binding: str, table: "Table"
+) -> Optional[tuple[str, list[Any]]]:
+    """Find a usable ``column = literal`` / ``column IN (literals)``
+    conjunct over an indexed column of the base table."""
+    if where is None:
+        return None
+    for conjunct in _conjuncts(where):
+        if isinstance(conjunct, BinaryOp) and conjunct.op == "=":
+            sides = [conjunct.left, conjunct.right]
+            for expr, other in (sides, sides[::-1]):
+                if (
+                    isinstance(expr, ColumnRef)
+                    and (expr.table in (None, binding))
+                    and isinstance(other, Literal)
+                    and table.has_index(expr.name)
+                ):
+                    return expr.name, [other.value]
+        if (
+            isinstance(conjunct, InOp)
+            and not conjunct.negated
+            and isinstance(conjunct.expr, ColumnRef)
+            and conjunct.expr.table in (None, binding)
+            and all(isinstance(item, Literal) for item in conjunct.items)
+            and table.has_index(conjunct.expr.name)
+        ):
+            return conjunct.expr.name, [
+                item.value for item in conjunct.items  # type: ignore[union-attr]
+            ]
+    return None
+
+
+def _conjuncts(expr: Expr) -> list[Expr]:
+    if isinstance(expr, BinaryOp) and expr.op == "AND":
+        return _conjuncts(expr.left) + _conjuncts(expr.right)
+    return [expr]
+
+
+def _join_equality(on: Expr, right_binding: str) -> Optional[tuple[Expr, str]]:
+    """If ``on`` is ``left_expr = right.column``, return them for hashing."""
+    if not (isinstance(on, BinaryOp) and on.op == "="):
+        return None
+    left, right = on.left, on.right
+    if isinstance(right, ColumnRef) and right.table == right_binding:
+        if not _references_binding(left, right_binding):
+            return left, right.name
+    if isinstance(left, ColumnRef) and left.table == right_binding:
+        if not _references_binding(right, right_binding):
+            return right, left.name
+    return None
+
+
+def _references_binding(expr: Expr, binding: str) -> bool:
+    if isinstance(expr, ColumnRef):
+        return expr.table == binding
+    if isinstance(expr, BinaryOp):
+        return _references_binding(expr.left, binding) or _references_binding(
+            expr.right, binding
+        )
+    if isinstance(expr, UnaryOp):
+        return _references_binding(expr.operand, binding)
+    return False

@@ -1,0 +1,103 @@
+"""Schema types for the relational engine."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import SchemaError
+
+
+class ColumnType(enum.Enum):
+    """The column types the engine understands."""
+
+    INTEGER = "integer"
+    FLOAT = "float"
+    TEXT = "text"
+    BOOLEAN = "boolean"
+
+    def validate(self, value: Any) -> Any:
+        """Check/coerce ``value`` for this type; None always passes here."""
+        if value is None:
+            return None
+        if self is ColumnType.INTEGER:
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise SchemaError(f"expected integer, got {value!r}")
+            return value
+        if self is ColumnType.FLOAT:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise SchemaError(f"expected float, got {value!r}")
+            return float(value)
+        if self is ColumnType.TEXT:
+            if not isinstance(value, str):
+                raise SchemaError(f"expected text, got {value!r}")
+            return value
+        if self is ColumnType.BOOLEAN:
+            if not isinstance(value, bool):
+                raise SchemaError(f"expected boolean, got {value!r}")
+            return value
+        raise SchemaError(f"unknown column type {self}")  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column: name, type, nullability."""
+
+    name: str
+    type: ColumnType
+    nullable: bool = True
+
+    def validate(self, value: Any) -> Any:
+        if value is None and not self.nullable:
+            raise SchemaError(f"column {self.name!r} is NOT NULL")
+        return self.type.validate(value)
+
+
+@dataclass
+class TableSchema:
+    """Columns plus a single-column primary key.
+
+    A single-column textual key keeps every row addressable by a global
+    key, which is the paper's minimum requirement on participating
+    stores. Composite natural keys should be concatenated by the schema
+    designer (the paper makes the same granularity point in §II-A).
+    """
+
+    columns: list[Column]
+    primary_key: str
+
+    _by_name: dict[str, Column] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        names = [column.name for column in self.columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names in {names}")
+        if self.primary_key not in names:
+            raise SchemaError(f"primary key {self.primary_key!r} not a column")
+        self._by_name = {column.name: column for column in self.columns}
+
+    def column(self, name: str) -> Column:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(f"unknown column {name!r}") from None
+
+    def has_column(self, name: str) -> bool:
+        return name in self._by_name
+
+    @property
+    def column_names(self) -> list[str]:
+        return [column.name for column in self.columns]
+
+    def validate_row(self, row: dict[str, Any]) -> dict[str, Any]:
+        """Validate and normalize a full row against the schema."""
+        unknown = set(row) - set(self._by_name)
+        if unknown:
+            raise SchemaError(f"unknown columns {sorted(unknown)}")
+        validated = {}
+        for column in self.columns:
+            validated[column.name] = column.validate(row.get(column.name))
+        if validated[self.primary_key] is None:
+            raise SchemaError(f"primary key {self.primary_key!r} cannot be NULL")
+        return validated

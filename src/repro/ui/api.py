@@ -1,0 +1,270 @@
+"""A REST-shaped, transport-agnostic API over one QUEPA instance.
+
+Endpoints (method, path) mirror what the paper's demo UI calls:
+
+=======  =========================  ===========================================
+POST     /query                     augmented search; body: database, query,
+                                    level, augment, config
+POST     /explore                   open an exploration session; body:
+                                    database, query
+GET      /explore/{sid}             session state: results, steps, path
+POST     /explore/{sid}/select      expand one object; body: key
+POST     /explore/{sid}/close       end the session (records the full path)
+GET      /object/{global_key}       direct access to one data object
+GET      /databases                 the polystore's databases and engines
+GET      /stats                     last run record (for dashboards)
+=======  =========================  ===========================================
+
+Requests and responses are plain dicts that serialize to JSON as-is;
+every data object is rendered with its global key, payload, probability
+and probability *band* (the paper's color coding). Errors surface as
+:class:`ApiError` with an HTTP-like status code.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Any, Mapping
+
+from repro.core.exploration import ExplorationSession
+from repro.core.search import AugmentedAnswer
+from repro.core.system import Quepa
+from repro.core.augmentation import AugmentationConfig
+from repro.errors import (
+    InvalidGlobalKeyError,
+    KeyNotFoundError,
+    NotAugmentableError,
+    ReproError,
+    UnknownAugmenterError,
+    UnknownDatabaseError,
+)
+from repro.model.objects import AugmentedObject, DataObject, GlobalKey
+from repro.ui.render import probability_band
+
+
+class ApiError(Exception):
+    """An API-level failure with an HTTP-like status code."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+    def to_response(self) -> dict[str, Any]:
+        return {"error": self.message, "status": self.status}
+
+
+def _object_payload(obj: DataObject) -> dict[str, Any]:
+    return {
+        "key": str(obj.key),
+        "database": obj.key.database,
+        "collection": obj.key.collection,
+        "value": obj.value,
+        "probability": obj.probability,
+        "band": probability_band(obj.probability),
+    }
+
+
+def _augmented_payload(entry: AugmentedObject) -> dict[str, Any]:
+    payload = _object_payload(entry.object)
+    payload["source"] = str(entry.source) if entry.source else None
+    payload["path"] = [str(step) for step in entry.path]
+    return payload
+
+
+def _answer_payload(answer: AugmentedAnswer) -> dict[str, Any]:
+    return {
+        "originals": [_object_payload(obj) for obj in answer.originals],
+        "augmented": [_augmented_payload(e) for e in answer.augmented],
+        "stats": {
+            "database": answer.stats.database,
+            "level": answer.stats.level,
+            "original_count": answer.stats.original_count,
+            "augmented_count": answer.stats.augmented_count,
+            "queries_issued": answer.stats.queries_issued,
+            "cache_hits": answer.stats.cache_hits,
+            "elapsed_s": answer.stats.elapsed,
+            "augmenter": answer.stats.augmenter,
+            "rewritten": answer.stats.rewritten,
+        },
+    }
+
+
+class QuepaApi:
+    """Routes REST-shaped requests onto a :class:`Quepa` instance."""
+
+    def __init__(self, quepa: Quepa) -> None:
+        self.quepa = quepa
+        self._sessions: dict[str, ExplorationSession] = {}
+        self._session_ids = itertools.count(1)
+        # One QUEPA instance serves one query at a time (its runtime and
+        # timer are per-instance state); parallelism is achieved by
+        # deploying more instances (Section III-A / repro.cluster).
+        self._lock = threading.Lock()
+
+    # -- generic dispatch ----------------------------------------------------
+
+    def handle(
+        self, method: str, path: str, body: Mapping[str, Any] | None = None
+    ) -> dict[str, Any]:
+        """Dispatch one request; raises :class:`ApiError` on failure."""
+        body = body or {}
+        parts = [part for part in path.split("/") if part]
+        try:
+            with self._lock:
+                return self._route(method.upper(), parts, body)
+        except ApiError:
+            raise
+        except NotAugmentableError as exc:
+            raise ApiError(422, str(exc)) from exc
+        except (UnknownDatabaseError, KeyNotFoundError) as exc:
+            raise ApiError(404, str(exc)) from exc
+        except (InvalidGlobalKeyError, UnknownAugmenterError) as exc:
+            raise ApiError(400, str(exc)) from exc
+        except ReproError as exc:
+            raise ApiError(500, str(exc)) from exc
+
+    def _route(
+        self, method: str, parts: list[str], body: Mapping[str, Any]
+    ) -> dict[str, Any]:
+        match (method, parts):
+            case ("POST", ["query"]):
+                return self.query(body)
+            case ("POST", ["explore"]):
+                return self.open_exploration(body)
+            case ("GET", ["explore", sid]):
+                return self.exploration_state(sid)
+            case ("POST", ["explore", sid, "select"]):
+                return self.select(sid, body)
+            case ("POST", ["explore", sid, "close"]):
+                return self.close_exploration(sid)
+            case ("GET", ["object", *key_parts]):
+                return self.get_object("/".join(key_parts))
+            case ("GET", ["databases"]):
+                return self.databases()
+            case ("GET", ["stats"]):
+                return self.stats()
+        raise ApiError(404, f"no route for {method} /{'/'.join(parts)}")
+
+    # -- endpoints ---------------------------------------------------------------
+
+    def query(self, body: Mapping[str, Any]) -> dict[str, Any]:
+        database = _require(body, "database")
+        query = _require(body, "query")
+        level = int(body.get("level", 0))
+        if level < 0:
+            raise ApiError(400, "level must be >= 0")
+        config = _parse_config(body.get("config"))
+        answer = self.quepa.augmented_search(
+            database, query, level=level,
+            config=config, augment=bool(body.get("augment", True)),
+        )
+        return _answer_payload(answer)
+
+    def open_exploration(self, body: Mapping[str, Any]) -> dict[str, Any]:
+        database = _require(body, "database")
+        query = _require(body, "query")
+        session = self.quepa.explore(database, query)
+        sid = f"s{next(self._session_ids)}"
+        self._sessions[sid] = session
+        return {
+            "session": sid,
+            "results": [_object_payload(obj) for obj in session.results],
+        }
+
+    def exploration_state(self, sid: str) -> dict[str, Any]:
+        session = self._session(sid)
+        return {
+            "session": sid,
+            "results": [_object_payload(obj) for obj in session.results],
+            "steps": [
+                {
+                    "selected": str(step.selected),
+                    "links": [_augmented_payload(l) for l in step.links],
+                }
+                for step in session.steps
+            ],
+            "path": [str(key) for key in session.path],
+        }
+
+    def select(self, sid: str, body: Mapping[str, Any]) -> dict[str, Any]:
+        session = self._session(sid)
+        key_text = _require(body, "key")
+        try:
+            key = GlobalKey.parse(key_text)
+        except InvalidGlobalKeyError as exc:
+            raise ApiError(400, str(exc)) from exc
+        try:
+            step = session.select(key)
+        except ReproError as exc:
+            raise ApiError(409, str(exc)) from exc
+        return {
+            "session": sid,
+            "selected": str(step.selected),
+            "links": [_augmented_payload(link) for link in step.links],
+        }
+
+    def close_exploration(self, sid: str) -> dict[str, Any]:
+        session = self._sessions.pop(sid, None)
+        if session is None:
+            raise ApiError(404, f"no exploration session {sid!r}")
+        session.close()
+        return {"session": sid, "closed": True,
+                "path": [str(key) for key in session.path]}
+
+    def get_object(self, key_text: str) -> dict[str, Any]:
+        key = GlobalKey.parse(key_text)
+        obj = self.quepa.get(key)
+        return _object_payload(obj)
+
+    def databases(self) -> dict[str, Any]:
+        return {
+            "databases": [
+                {"name": name,
+                 "engine": self.quepa.polystore.database(name).engine}
+                for name in sorted(self.quepa.polystore)
+            ]
+        }
+
+    def stats(self) -> dict[str, Any]:
+        record = self.quepa.last_record
+        if record is None:
+            return {"last_run": None}
+        return {
+            "last_run": {
+                "augmenter": record.augmenter,
+                "batch_size": record.batch_size,
+                "threads_size": record.threads_size,
+                "cache_size": record.cache_size,
+                "elapsed_s": record.elapsed,
+                "features": record.features.as_dict(),
+            }
+        }
+
+    # -- internals ------------------------------------------------------------------
+
+    def _session(self, sid: str) -> ExplorationSession:
+        session = self._sessions.get(sid)
+        if session is None:
+            raise ApiError(404, f"no exploration session {sid!r}")
+        return session
+
+
+def _require(body: Mapping[str, Any], field: str) -> Any:
+    if field not in body:
+        raise ApiError(400, f"missing required field {field!r}")
+    return body[field]
+
+
+def _parse_config(raw: Any) -> AugmentationConfig | None:
+    if raw is None:
+        return None
+    if not isinstance(raw, Mapping):
+        raise ApiError(400, "config must be an object")
+    allowed = {"augmenter", "batch_size", "threads_size", "cache_size",
+               "min_probability"}
+    unknown = set(raw) - allowed
+    if unknown:
+        raise ApiError(400, f"unknown config fields {sorted(unknown)}")
+    return AugmentationConfig(**raw)

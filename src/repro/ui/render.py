@@ -1,0 +1,89 @@
+"""Presentation of augmented answers: probability bands and text output.
+
+The paper represents probabilities "in a more intuitive way" with
+colors and rankings. The band thresholds follow the evaluation's
+calibration: identity-grade links (p >= 0.9) render strongest, then
+the matching band (0.6-0.89), then weaker derived links.
+"""
+
+from __future__ import annotations
+
+from repro.core.search import AugmentedAnswer
+from repro.model.objects import AugmentedObject, DataObject
+
+#: (minimum probability, band name, ANSI color code)
+BANDS = (
+    (0.9, "strong", "32"),    # green  — identity-grade
+    (0.6, "likely", "33"),    # yellow — matching-grade
+    (0.3, "weak", "35"),      # magenta
+    (0.0, "tenuous", "90"),   # grey
+)
+
+
+def probability_band(probability: float) -> str:
+    """The color band of a probability (strong/likely/weak/tenuous)."""
+    for threshold, name, __ in BANDS:
+        if probability >= threshold:
+            return name
+    return BANDS[-1][1]
+
+
+def _band_color(probability: float) -> str:
+    for threshold, __, color in BANDS:
+        if probability >= threshold:
+            return color
+    return BANDS[-1][2]
+
+
+class TextRenderer:
+    """Plain-text rendering of answers and exploration steps."""
+
+    def __init__(self, value_width: int = 64, max_links: int = 10) -> None:
+        self.value_width = value_width
+        self.max_links = max_links
+
+    def render_answer(self, answer: AugmentedAnswer) -> str:
+        lines = [
+            f"{len(answer.originals)} result(s), "
+            f"{len(answer.augmented)} augmented object(s) "
+            f"[{answer.stats.elapsed * 1000:.2f} ms]"
+        ]
+        by_source: dict[str, list[AugmentedObject]] = {}
+        for entry in answer.augmented:
+            by_source.setdefault(str(entry.source), []).append(entry)
+        for original in answer.originals:
+            lines.append(self.render_object(original))
+            for entry in by_source.get(str(original.key), [])[: self.max_links]:
+                lines.append("  " + self.render_link(entry))
+        return "\n".join(lines)
+
+    def render_object(self, obj: DataObject) -> str:
+        return f"{obj.key}  {self._value(obj)}"
+
+    def render_link(self, entry: AugmentedObject) -> str:
+        band = probability_band(entry.probability)
+        return (
+            f"=> [{band} {entry.probability:.2f}] {entry.key}  "
+            f"{self._value(entry.object)}"
+        )
+
+    def render_links(self, links: list[AugmentedObject]) -> str:
+        return "\n".join(
+            f"{rank}. {self.render_link(entry)}"
+            for rank, entry in enumerate(links[: self.max_links], start=1)
+        )
+
+    def _value(self, obj: DataObject) -> str:
+        text = repr(obj.value)
+        if len(text) > self.value_width:
+            return text[: self.value_width - 3] + "..."
+        return text
+
+
+class AnsiRenderer(TextRenderer):
+    """Color rendering: the terminal equivalent of the paper's UI."""
+
+    def render_link(self, entry: AugmentedObject) -> str:
+        color = _band_color(entry.probability)
+        plain = super().render_link(entry)
+        return f"\x1b[{color}m{plain}\x1b[0m"

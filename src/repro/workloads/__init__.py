@@ -1,0 +1,24 @@
+"""Workload generation: the Polyphony polystore of the evaluation.
+
+The paper populates its testbed from Last.fm / MusicBrainz data plus
+synthetic sales; it also notes that the semantics of the data are
+irrelevant to the performance study — what matters is the number of
+objects per store, the uniform density of the A' index, and
+size-controlled queries. :mod:`repro.workloads.music` generates exactly
+that, deterministically from a seed; :mod:`repro.workloads.builder`
+replicates databases into the 4/7/10/13-store variants and builds the
+ground-truth A' index; :mod:`repro.workloads.queries` produces native
+queries with exact result sizes per store.
+"""
+
+from repro.workloads.builder import PolystoreBundle, PolystoreScale, build_polyphony
+from repro.workloads.music import MusicGenerator
+from repro.workloads.queries import QueryWorkload
+
+__all__ = [
+    "MusicGenerator",
+    "PolystoreBundle",
+    "PolystoreScale",
+    "QueryWorkload",
+    "build_polyphony",
+]

@@ -1,0 +1,171 @@
+"""Polystore builder: the 4/7/10/13-store variants of Section VII-A.
+
+The base polystore is the four-department Polyphony scenario. Larger
+variants replicate the three departmental databases (never Redis, per
+the paper) — each replica runs as a separate store and, from QUEPA's
+perspective, is a completely different database.
+
+The ground-truth A' index is generated directly (the collector is
+exercised separately; the paper likewise prepares the index offline):
+
+* every entity forms an **identity clique** across all stores holding
+  it, with probabilities in [0.9, 1.0) — the materialized transitive
+  closure the Consistency Condition would produce;
+* every object carries a bounded number of **matching** edges
+  (probability [0.6, 0.89]) to the "next" entity in the "next"
+  database, giving the uniformly dense, linearly growing index the
+  paper requires ("queries of the same size return answers with a
+  comparable number of data objects, and the number of data objects
+  increases linearly with the number of results").
+
+Consistency enforcement is disabled during this bulk load because the
+generated edge set is already closed for identities and kept bounded
+for matchings; enabling it would only inflate density quadratically in
+the store count and distort the scaling experiments.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.aindex import AIndex
+from repro.model.objects import GlobalKey
+from repro.model.polystore import Polystore
+from repro.model.prelations import PRelation
+from repro.workloads.music import MusicGenerator
+
+#: Engine kind of each base database.
+BASE_DATABASES = (
+    ("transactions", "relational"),
+    ("catalogue", "document"),
+    ("similar", "graph"),
+    ("discount", "keyvalue"),
+)
+
+#: Collection and key pattern per engine kind, for entity ``j``.
+_ENTITY_ADDRESS = {
+    "relational": ("inventory", MusicGenerator.inventory_key),
+    "document": ("albums", MusicGenerator.album_doc_key),
+    "graph": ("Item", MusicGenerator.item_node_key),
+    "keyvalue": ("drop", MusicGenerator.discount_key),
+}
+
+
+@dataclass(frozen=True)
+class PolystoreScale:
+    """Size knobs of one generated polystore."""
+
+    n_albums: int = 1000
+    n_sales: int | None = None
+    n_customers: int | None = None
+    similar_neighbors: int = 3
+
+
+@dataclass
+class PolystoreBundle:
+    """A generated polystore plus its A' index and addressing metadata."""
+
+    polystore: Polystore
+    aindex: AIndex
+    scale: PolystoreScale
+    #: (database name, engine kind) in attachment order.
+    databases: list[tuple[str, str]] = field(default_factory=list)
+
+    def database_names(self, kind: str | None = None) -> list[str]:
+        return [
+            name for name, engine in self.databases
+            if kind is None or engine == kind
+        ]
+
+    def entity_key(self, database: str, seq: int) -> GlobalKey:
+        """Global key of entity ``seq`` in ``database``."""
+        kind = dict(self.databases)[database]
+        collection, key_fn = _ENTITY_ADDRESS[kind]
+        return GlobalKey(database, collection, key_fn(seq))
+
+    @property
+    def store_count(self) -> int:
+        return len(self.databases)
+
+
+def plan_databases(stores: int) -> list[tuple[str, str]]:
+    """Database names/kinds for a polystore of ``stores`` databases.
+
+    4 stores = the base Polyphony; every +3 adds one replica of each
+    non-Redis database (7, 10, 13 ... as in the paper).
+    """
+    if stores < 4:
+        raise ValueError("the Polyphony polystore needs at least 4 stores")
+    if (stores - 4) % 3 != 0:
+        raise ValueError(
+            "store counts follow the paper's 4 + 3k scheme (4, 7, 10, 13, ...)"
+        )
+    databases = list(BASE_DATABASES)
+    replica = 2
+    while len(databases) < stores:
+        for name, kind in BASE_DATABASES:
+            if kind == "keyvalue":
+                continue  # Redis remains a single instance (VII-A)
+            databases.append((f"{name}{replica}", kind))
+        replica += 1
+    return databases[:stores]
+
+
+def build_polyphony(
+    stores: int = 4,
+    scale: PolystoreScale | None = None,
+    seed: int = 42,
+    with_aindex: bool = True,
+) -> PolystoreBundle:
+    """Build a complete Polyphony polystore variant."""
+    scale = scale or PolystoreScale()
+    databases = plan_databases(stores)
+    generator = MusicGenerator(scale.n_albums, seed=seed)
+    polystore = Polystore()
+    for name, kind in databases:
+        polystore.attach(name, _build_store(generator, kind, scale))
+    aindex = AIndex(enforce_consistency=False)
+    bundle = PolystoreBundle(polystore, aindex, scale, databases)
+    if with_aindex:
+        _populate_aindex(bundle, seed)
+    return bundle
+
+
+def _build_store(generator: MusicGenerator, kind: str, scale: PolystoreScale):
+    if kind == "relational":
+        return generator.build_transactions(scale.n_sales)
+    if kind == "document":
+        return generator.build_catalogue(scale.n_customers)
+    if kind == "graph":
+        return generator.build_similar(scale.similar_neighbors)
+    if kind == "keyvalue":
+        return generator.build_discount()
+    raise ValueError(f"unknown engine kind {kind!r}")
+
+
+def _populate_aindex(bundle: PolystoreBundle, seed: int) -> None:
+    """Identity cliques per entity + two matching edges per object."""
+    rng = random.Random(seed + 7)
+    names = [name for name, __ in bundle.databases]
+    n = bundle.scale.n_albums
+    for entity in range(n):
+        keys = [bundle.entity_key(name, entity) for name in names]
+        # Identity clique (already transitively closed).
+        for i, left in enumerate(keys):
+            for right in keys[i + 1:]:
+                bundle.aindex.add(
+                    PRelation.identity(left, right, rng.uniform(0.9, 0.999))
+                )
+        # One matching edge from each object to the next entity in the
+        # next database (wraps around): every object ends up with one
+        # outgoing and one incoming matching.
+        next_entity = (entity + 1) % n
+        for index, name in enumerate(names):
+            target_db = names[(index + 1) % len(names)]
+            left = bundle.entity_key(name, entity)
+            right = bundle.entity_key(target_db, next_entity)
+            if left != right:
+                bundle.aindex.add(
+                    PRelation.matching(left, right, rng.uniform(0.6, 0.89))
+                )

@@ -1,0 +1,291 @@
+"""The Polyphony music-company data generator (Running Example 1).
+
+Generates, deterministically from a seed, the four departmental
+databases of Fig 1:
+
+* ``transactions`` (relational) — ``inventory`` (one row per album),
+  ``sales`` and ``sales_details``;
+* ``catalogue`` (document) — ``albums`` documents plus ``customers``;
+* ``similar`` (graph) — ``Item`` nodes with ``SIMILAR`` edges;
+* ``discount`` (key-value) — one discount entry per album.
+
+Every album is one *entity* present in all four stores; entity ``j``
+has predictable local keys (``a{j}``, ``d{j}``, ``i{j}``,
+``disc:{j}``), which is what lets the builder create the ground-truth
+A' index without running the collector. Objects carry a ``seq`` field
+used by the size-controlled query workload.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.stores.document.store import DocumentStore
+from repro.stores.graph.store import GraphStore
+from repro.stores.keyvalue.store import KeyValueStore
+from repro.stores.relational.engine import RelationalStore
+from repro.stores.relational.types import Column, ColumnType, TableSchema
+
+_ADJECTIVES = [
+    "Black", "Broken", "Crystal", "Electric", "Endless", "Fading", "Golden",
+    "Hollow", "Midnight", "Neon", "Quiet", "Scarlet", "Silver", "Velvet",
+    "Wild", "Wandering",
+]
+_NOUNS = [
+    "Dreams", "Echoes", "Fires", "Gardens", "Horizons", "Mirrors", "Rivers",
+    "Shadows", "Skies", "Songs", "Stars", "Stories", "Tides", "Voices",
+    "Waves", "Wish",
+]
+_ARTIST_FIRST = [
+    "The", "Saint", "Little", "Modern", "Lost", "Young", "Silent", "Crimson",
+]
+_ARTIST_SECOND = [
+    "Cure", "Foxes", "Harbors", "Pilots", "Poets", "Satellites", "Wolves",
+    "Gardeners",
+]
+_GENRES = ["rock", "pop", "electronic", "jazz", "goth", "folk", "ambient"]
+_FIRST_NAMES = ["Lucy", "John", "Mara", "Ivan", "Nina", "Omar", "Elsa", "Theo"]
+_LAST_NAMES = ["Doe", "Rossi", "Chen", "Novak", "Okafor", "Silva", "Berg", "Kato"]
+
+
+@dataclass(frozen=True)
+class Album:
+    """Ground truth for one entity of the polystore."""
+
+    seq: int
+    title: str
+    artist: str
+    year: int
+    price: float
+    discount: int
+
+
+class MusicGenerator:
+    """Deterministic generator of Polyphony data for one replica."""
+
+    def __init__(self, n_albums: int, seed: int = 42) -> None:
+        if n_albums < 1:
+            raise ValueError("need at least one album")
+        self.n_albums = n_albums
+        self.seed = seed
+        self._albums: list[Album] | None = None
+
+    # -- ground truth ----------------------------------------------------------
+
+    def albums(self) -> list[Album]:
+        """The entity list (cached; identical across calls)."""
+        if self._albums is None:
+            rng = random.Random(self.seed)
+            albums = []
+            for seq in range(self.n_albums):
+                title = (
+                    f"{rng.choice(_ADJECTIVES)} {rng.choice(_NOUNS)} "
+                    f"{seq}"
+                )
+                artist = (
+                    f"{rng.choice(_ARTIST_FIRST)} {rng.choice(_ARTIST_SECOND)}"
+                )
+                albums.append(
+                    Album(
+                        seq=seq,
+                        title=title,
+                        artist=artist,
+                        year=rng.randint(1975, 2017),
+                        price=round(rng.uniform(5.0, 30.0), 2),
+                        discount=rng.choice([0, 5, 10, 20, 25, 40]),
+                    )
+                )
+            self._albums = albums
+        return self._albums
+
+    # -- local keys per store -----------------------------------------------------
+
+    @staticmethod
+    def inventory_key(seq: int) -> str:
+        return f"a{seq}"
+
+    @staticmethod
+    def album_doc_key(seq: int) -> str:
+        return f"d{seq}"
+
+    @staticmethod
+    def item_node_key(seq: int) -> str:
+        return f"i{seq}"
+
+    @staticmethod
+    def discount_key(seq: int) -> str:
+        return f"disc:{seq}"
+
+    # -- store builders --------------------------------------------------------------
+
+    def build_transactions(self, n_sales: int | None = None) -> RelationalStore:
+        """The sales department's MySQL stand-in."""
+        store = RelationalStore()
+        inventory_schema = TableSchema(
+            columns=[
+                Column("id", ColumnType.TEXT, nullable=False),
+                Column("seq", ColumnType.INTEGER, nullable=False),
+                Column("artist", ColumnType.TEXT),
+                Column("name", ColumnType.TEXT),
+                Column("price", ColumnType.FLOAT),
+                Column("stock", ColumnType.INTEGER),
+            ],
+            primary_key="id",
+        )
+        store.create_table("inventory", inventory_schema)
+        rng = random.Random(self.seed + 1)
+        for album in self.albums():
+            store.insert_row(
+                "inventory",
+                {
+                    "id": self.inventory_key(album.seq),
+                    "seq": album.seq,
+                    "artist": album.artist,
+                    "name": album.title,
+                    "price": album.price,
+                    "stock": rng.randint(0, 500),
+                },
+            )
+        store.table("inventory").create_index("artist")
+        self._build_sales(store, rng, n_sales)
+        return store
+
+    def _build_sales(
+        self, store: RelationalStore, rng: random.Random, n_sales: int | None
+    ) -> None:
+        sales_schema = TableSchema(
+            columns=[
+                Column("id", ColumnType.TEXT, nullable=False),
+                Column("customer", ColumnType.TEXT),
+                Column("total", ColumnType.FLOAT),
+                Column("year", ColumnType.INTEGER),
+            ],
+            primary_key="id",
+        )
+        details_schema = TableSchema(
+            columns=[
+                Column("id", ColumnType.TEXT, nullable=False),
+                Column("sale_id", ColumnType.TEXT, nullable=False),
+                Column("item_id", ColumnType.TEXT, nullable=False),
+                Column("quantity", ColumnType.INTEGER),
+                Column("price", ColumnType.FLOAT),
+            ],
+            primary_key="id",
+        )
+        store.create_table("sales", sales_schema)
+        store.create_table("sales_details", details_schema)
+        count = n_sales if n_sales is not None else max(4, self.n_albums // 2)
+        albums = self.albums()
+        detail_counter = 0
+        for sale_index in range(count):
+            customer = (
+                f"{rng.choice(_FIRST_NAMES)} {rng.choice(_LAST_NAMES)}"
+            )
+            lines = rng.randint(1, 3)
+            total = 0.0
+            sale_id = f"s{sale_index}"
+            rows = []
+            for __ in range(lines):
+                album = rng.choice(albums)
+                quantity = rng.randint(1, 4)
+                total += quantity * album.price
+                rows.append(
+                    {
+                        "id": f"l{detail_counter}",
+                        "sale_id": sale_id,
+                        "item_id": self.inventory_key(album.seq),
+                        "quantity": quantity,
+                        "price": album.price,
+                    }
+                )
+                detail_counter += 1
+            store.insert_row(
+                "sales",
+                {
+                    "id": sale_id,
+                    "customer": customer,
+                    "total": round(total, 2),
+                    "year": rng.randint(2014, 2017),
+                },
+            )
+            for row in rows:
+                store.insert_row("sales_details", row)
+        store.table("sales_details").create_index("sale_id")
+
+    def build_catalogue(self, n_customers: int | None = None) -> DocumentStore:
+        """The warehouse department's MongoDB stand-in."""
+        store = DocumentStore()
+        rng = random.Random(self.seed + 2)
+        for album in self.albums():
+            store.insert(
+                "albums",
+                {
+                    "_id": self.album_doc_key(album.seq),
+                    "seq": album.seq,
+                    "title": album.title,
+                    "artist": album.artist,
+                    "artist_id": f"ar{hash(album.artist) % 1000}",
+                    "year": album.year,
+                    "genres": rng.sample(_GENRES, rng.randint(1, 3)),
+                    "tracks": rng.randint(6, 16),
+                },
+            )
+        store.create_index("albums", "artist")
+        store.create_index("albums", "year")
+        count = n_customers if n_customers is not None else max(
+            4, self.n_albums // 4
+        )
+        for index in range(count):
+            store.insert(
+                "customers",
+                {
+                    "_id": f"c{index}",
+                    "name": f"{rng.choice(_FIRST_NAMES)} {rng.choice(_LAST_NAMES)}",
+                    "country": rng.choice(["US", "IT", "DE", "JP", "BR"]),
+                    "since": rng.randint(2008, 2017),
+                },
+            )
+        return store
+
+    def build_similar(self, neighbors: int = 3) -> GraphStore:
+        """The marketing department's Neo4j stand-in.
+
+        Entity ``j`` is linked to the ``neighbors`` following entities,
+        a uniform-degree topology matching the paper's "uniformly dense"
+        requirement on the derived A' index.
+        """
+        store = GraphStore()
+        albums = self.albums()
+        shard_size = 10_000
+        for album in albums:
+            store.create_node(
+                "Item",
+                {
+                    "seq": album.seq,
+                    "title": album.title,
+                    "artist": album.artist,
+                    "shard": album.seq // shard_size,
+                },
+                node_id=self.item_node_key(album.seq),
+            )
+        rng = random.Random(self.seed + 3)
+        for album in albums:
+            for offset in range(1, neighbors + 1):
+                other = (album.seq + offset) % len(albums)
+                if other == album.seq:
+                    continue
+                store.create_edge(
+                    self.item_node_key(album.seq),
+                    "SIMILAR",
+                    self.item_node_key(other),
+                    {"weight": round(rng.uniform(0.5, 1.0), 3)},
+                )
+        return store
+
+    def build_discount(self) -> KeyValueStore:
+        """The shared Redis stand-in: one discount entry per album."""
+        store = KeyValueStore(keyspace="drop")
+        for album in self.albums():
+            store.set(self.discount_key(album.seq), f"{album.discount}%")
+        return store

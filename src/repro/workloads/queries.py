@@ -1,0 +1,96 @@
+"""Size-controlled native queries per store (the test-bed of VII-A.b).
+
+"For each of the four databases, we consider queries with different
+result size: they retrieve 100, 500, 1,000, 5,000 and 10,000 objects."
+Every generated query is a *native* query of its engine whose answer
+has exactly the requested size (entities carry a sequential ``seq``
+field / ordered keys), and different ``variant`` values shift the
+window so repeated experiments do not always touch the same objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.workloads.builder import PolystoreBundle
+from repro.workloads.music import MusicGenerator
+
+#: The paper's query result sizes.
+PAPER_QUERY_SIZES = (100, 500, 1000, 5000, 10000)
+
+
+@dataclass(frozen=True)
+class WorkloadQuery:
+    """One generated query with its expected result size."""
+
+    database: str
+    engine: str
+    query: Any
+    size: int
+    variant: int
+
+
+class QueryWorkload:
+    """Generates size-controlled queries for a polystore bundle."""
+
+    def __init__(self, bundle: PolystoreBundle) -> None:
+        self.bundle = bundle
+        self._kinds = dict(bundle.databases)
+
+    def query(self, database: str, size: int, variant: int = 0) -> WorkloadQuery:
+        """A native query on ``database`` returning exactly ``size`` objects."""
+        n = self.bundle.scale.n_albums
+        if size > n:
+            raise ValueError(
+                f"cannot build a query of size {size} over {n} entities"
+            )
+        start = self._window_start(size, variant, n)
+        engine = self._kinds[database]
+        if engine == "relational":
+            query: Any = (
+                f"SELECT * FROM inventory "
+                f"WHERE seq >= {start} AND seq < {start + size}"
+            )
+        elif engine == "document":
+            query = {
+                "collection": "albums",
+                "filter": {"seq": {"$gte": start, "$lt": start + size}},
+            }
+        elif engine == "graph":
+            # The graph engine matches in sorted node order; variants do
+            # not shift the window here (label scans have no offset).
+            query = {"op": "match", "label": "Item", "limit": size}
+        elif engine == "keyvalue":
+            keys = [
+                MusicGenerator.discount_key((start + offset) % n)
+                for offset in range(size)
+            ]
+            query = ("mget", keys)
+        else:
+            raise ValueError(f"unknown engine {engine!r} for {database!r}")
+        return WorkloadQuery(database, engine, query, size, variant)
+
+    def queries_for_size(self, size: int, variant: int = 0) -> list[WorkloadQuery]:
+        """One query per database of the polystore (used for averages)."""
+        return [
+            self.query(name, size, variant)
+            for name, __ in self.bundle.databases
+        ]
+
+    def base_queries(self, size: int, variant: int = 0) -> list[WorkloadQuery]:
+        """One query per *base* database (the four engines once each)."""
+        seen: set[str] = set()
+        queries = []
+        for name, engine in self.bundle.databases:
+            if engine in seen:
+                continue
+            seen.add(engine)
+            queries.append(self.query(name, size, variant))
+        return queries
+
+    @staticmethod
+    def _window_start(size: int, variant: int, n: int) -> int:
+        if size >= n:
+            return 0
+        return (variant * size) % (n - size + 1)

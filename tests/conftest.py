@@ -1,0 +1,127 @@
+"""Shared fixtures: a hand-built mini polystore and generated bundles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AIndex, Quepa
+from repro.model import GlobalKey, Polystore, PRelation
+from repro.network import centralized_profile
+from repro.stores import DocumentStore, GraphStore, KeyValueStore, RelationalStore
+from repro.stores.relational.types import Column, ColumnType, TableSchema
+from repro.workloads import PolystoreScale, build_polyphony
+
+K = GlobalKey.parse
+
+
+def make_mini_polystore() -> Polystore:
+    """The Fig 1 scenario, hand-built: 4 engines, a handful of objects."""
+    polystore = Polystore()
+    sales = RelationalStore()
+    sales.create_table(
+        "inventory",
+        TableSchema(
+            columns=[
+                Column("id", ColumnType.TEXT, nullable=False),
+                Column("artist", ColumnType.TEXT),
+                Column("name", ColumnType.TEXT),
+                Column("price", ColumnType.FLOAT),
+            ],
+            primary_key="id",
+        ),
+    )
+    sales.insert_row(
+        "inventory", {"id": "a32", "artist": "Cure", "name": "Wish", "price": 14.9}
+    )
+    sales.insert_row(
+        "inventory",
+        {"id": "a33", "artist": "Cure", "name": "Disintegration", "price": 12.5},
+    )
+    sales.insert_row(
+        "inventory",
+        {"id": "a34", "artist": "Pixies", "name": "Doolittle", "price": 11.0},
+    )
+    polystore.attach("transactions", sales)
+
+    catalogue = DocumentStore()
+    catalogue.insert(
+        "albums",
+        {"_id": "d1", "title": "Wish", "artist": "The Cure", "year": 1992},
+    )
+    catalogue.insert(
+        "albums",
+        {"_id": "d2", "title": "Doolittle", "artist": "Pixies", "year": 1989},
+    )
+    catalogue.insert(
+        "customers", {"_id": "c1", "name": "Lucy Doe", "country": "US"}
+    )
+    polystore.attach("catalogue", catalogue)
+
+    discounts = KeyValueStore(keyspace="drop")
+    discounts.set("k1:cure:wish", "40%")
+    discounts.set("k2:pixies:doolittle", "10%")
+    polystore.attach("discount", discounts)
+
+    similar = GraphStore()
+    similar.create_node("Item", {"title": "Wish"}, node_id="i1")
+    similar.create_node("Item", {"title": "Disintegration"}, node_id="i2")
+    similar.create_node("Item", {"title": "Doolittle"}, node_id="i3")
+    similar.create_edge("i1", "SIMILAR", "i2", {"weight": 0.9})
+    similar.create_edge("i2", "SIMILAR", "i3", {"weight": 0.4})
+    polystore.attach("similar", similar)
+    return polystore
+
+
+def make_mini_aindex() -> AIndex:
+    """P-relations over the mini polystore (Example 2 + graph links)."""
+    index = AIndex()
+    index.add(
+        PRelation.identity(
+            K("catalogue.albums.d1"), K("discount.drop.k1:cure:wish"), 0.8
+        )
+    )
+    index.add(
+        PRelation.identity(
+            K("catalogue.albums.d1"), K("transactions.inventory.a32"), 0.9
+        )
+    )
+    index.add(
+        PRelation.matching(K("catalogue.albums.d1"), K("similar.Item.i1"), 0.7)
+    )
+    index.add(
+        PRelation.identity(
+            K("catalogue.albums.d2"), K("transactions.inventory.a34"), 0.95
+        )
+    )
+    index.add(
+        PRelation.matching(K("similar.Item.i1"), K("similar.Item.i2"), 0.65)
+    )
+    return index
+
+
+@pytest.fixture
+def mini_polystore() -> Polystore:
+    return make_mini_polystore()
+
+
+@pytest.fixture
+def mini_aindex() -> AIndex:
+    return make_mini_aindex()
+
+
+@pytest.fixture
+def mini_quepa(mini_polystore, mini_aindex) -> Quepa:
+    profile = centralized_profile(list(mini_polystore))
+    return Quepa(mini_polystore, mini_aindex, profile=profile)
+
+
+@pytest.fixture(scope="session")
+def small_bundle():
+    """A generated 4-store Polyphony bundle (session-cached, read-only)."""
+    return build_polyphony(stores=4, scale=PolystoreScale(n_albums=120), seed=3)
+
+
+@pytest.fixture(scope="session")
+def seven_store_bundle():
+    """A generated 7-store bundle (session-cached, read-only)."""
+    return build_polyphony(stores=7, scale=PolystoreScale(n_albums=150), seed=4)

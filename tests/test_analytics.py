@@ -1,0 +1,152 @@
+"""Tests for the augmented-analytics extension (paper future work)."""
+
+import pytest
+
+from repro.analytics import (
+    augmented_aggregate,
+    augmented_profile,
+    enrich_table,
+)
+from repro.analytics.aggregate import by_collection, GroupStats, _as_number
+
+QUERY = "SELECT * FROM inventory WHERE name LIKE '%wish%'"
+
+
+class TestGroupStats:
+    def test_weighted_accumulation(self):
+        stats = GroupStats()
+        stats.add(0.5, 10)
+        stats.add(1.0, 20)
+        assert stats.expected_count == 1.5
+        assert stats.raw_count == 2
+        assert stats.weighted_sum == 25.0
+        assert stats.expected_mean == pytest.approx(25.0 / 1.5)
+        assert stats.minimum == 10 and stats.maximum == 20
+
+    def test_non_numeric_values_only_count(self):
+        stats = GroupStats()
+        stats.add(0.8, "not-a-number")
+        assert stats.expected_count == 0.8
+        assert stats.expected_mean is None
+
+    def test_percentage_strings_parse(self):
+        assert _as_number("40%") == 40.0
+        assert _as_number(" 12.5 ") == 12.5
+        assert _as_number("n/a") is None
+        assert _as_number(True) is None
+
+
+class TestAggregate:
+    def test_expected_counts_by_database(self, mini_quepa):
+        report = augmented_aggregate(mini_quepa, "transactions", QUERY)
+        # Links: catalogue 0.9, discount 0.72, similar 0.63.
+        assert report.groups["catalogue"].expected_count == pytest.approx(0.9)
+        assert report.groups["discount"].expected_count == pytest.approx(0.72)
+        assert report.groups["similar"].expected_count == pytest.approx(0.63)
+        assert report.total_expected() == pytest.approx(2.25)
+
+    def test_metric_field_weighted_sum(self, mini_quepa):
+        report = augmented_aggregate(
+            mini_quepa, "transactions", QUERY, metric_field="year"
+        )
+        catalogue = report.groups["catalogue"]
+        assert catalogue.weighted_sum == pytest.approx(0.9 * 1992)
+        assert catalogue.expected_mean == pytest.approx(1992)
+
+    def test_scalar_payload_metric(self, mini_quepa):
+        """Key-value discounts: '40%' parses as 40.0 under 'value'."""
+        report = augmented_aggregate(
+            mini_quepa, "transactions", QUERY, metric_field="value"
+        )
+        discount = report.groups["discount"]
+        assert discount.weighted_sum == pytest.approx(0.72 * 40.0)
+
+    def test_group_by_collection(self, mini_quepa):
+        report = augmented_aggregate(
+            mini_quepa, "transactions", QUERY, group_by=by_collection
+        )
+        assert "catalogue.albums" in report.groups
+        assert "similar.Item" in report.groups
+
+    def test_profile_shape(self, mini_quepa):
+        profile = augmented_profile(mini_quepa, "transactions", QUERY)
+        assert profile["catalogue"]["objects"] == 1.0
+        assert profile["catalogue"]["mean_probability"] == pytest.approx(0.9)
+        assert set(profile) == {"catalogue", "discount", "similar"}
+
+    def test_level_1_profile_reaches_further(self, mini_quepa):
+        level0 = augmented_profile(mini_quepa, "transactions", QUERY, level=0)
+        level1 = augmented_profile(mini_quepa, "transactions", QUERY, level=1)
+        total0 = sum(entry["objects"] for entry in level0.values())
+        total1 = sum(entry["objects"] for entry in level1.values())
+        assert total1 >= total0
+
+
+class TestEnrichTable:
+    def test_one_row_per_result_with_remote_columns(self, mini_quepa):
+        rows = enrich_table(mini_quepa, "transactions",
+                            "SELECT * FROM inventory")
+        assert len(rows) == 3
+        wish = next(r for r in rows if r["_key"].endswith("a32"))
+        assert wish["catalogue"]["value"]["title"] == "Wish"
+        assert wish["discount"]["value"] == "40%"
+        assert wish["catalogue"]["probability"] == pytest.approx(0.9)
+
+    def test_results_without_relations_have_no_remote_columns(
+        self, mini_quepa
+    ):
+        rows = enrich_table(mini_quepa, "transactions",
+                            "SELECT * FROM inventory")
+        a33 = next(r for r in rows if r["_key"].endswith("a33"))
+        assert set(a33) == {"_key", "_local"}
+
+    def test_min_probability_filters(self, mini_quepa):
+        rows = enrich_table(
+            mini_quepa, "transactions", QUERY, min_probability=0.8
+        )
+        wish = rows[0]
+        assert "catalogue" in wish       # p = 0.90
+        assert "discount" not in wish    # p = 0.72
+        assert "similar" not in wish     # p = 0.63
+
+    def test_shared_objects_appear_on_every_related_row(self, mini_quepa):
+        """Unlike the ranked answer, enrichment does not deduplicate
+        across rows."""
+        from repro.model.prelations import PRelation
+        from repro.model.objects import GlobalKey
+
+        mini_quepa.aindex.add(
+            PRelation.matching(
+                GlobalKey.parse("transactions.inventory.a33"),
+                GlobalKey.parse("catalogue.albums.d1"),
+                0.65,
+            )
+        )
+        rows = enrich_table(mini_quepa, "transactions",
+                            "SELECT * FROM inventory")
+        a32 = next(r for r in rows if r["_key"].endswith("a32"))
+        a33 = next(r for r in rows if r["_key"].endswith("a33"))
+        assert a32["catalogue"]["key"] == "catalogue.albums.d1"
+        assert a33["catalogue"]["key"] == "catalogue.albums.d1"
+
+    def test_most_probable_object_wins_per_database(self, mini_quepa):
+        from repro.model.prelations import PRelation
+        from repro.model.objects import GlobalKey
+
+        mini_quepa.aindex.add(
+            PRelation.matching(
+                GlobalKey.parse("transactions.inventory.a32"),
+                GlobalKey.parse("catalogue.albums.d2"),
+                0.61,
+            )
+        )
+        rows = enrich_table(mini_quepa, "transactions", QUERY)
+        wish = rows[0]
+        assert wish["catalogue"]["key"] == "catalogue.albums.d1"  # 0.9 > 0.61
+
+    def test_enrichment_at_level_1(self, mini_quepa):
+        rows = enrich_table(mini_quepa, "transactions", QUERY, level=1)
+        wish = rows[0]
+        # Level 1 reaches similar.Item.i2 through i1; i1 stays the most
+        # probable similar-db object.
+        assert wish["similar"]["key"] == "similar.Item.i1"

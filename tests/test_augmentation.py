@@ -1,0 +1,136 @@
+"""Tests for the augmentation operator alpha^n (Definition 2)."""
+
+import pytest
+
+from repro.core.aindex import AIndex
+from repro.core.augmentation import Augmentation, AugmentationConfig
+from repro.model.objects import GlobalKey
+from repro.model.prelations import PRelation
+
+K = GlobalKey.parse
+
+
+@pytest.fixture
+def mini_augmentation(mini_aindex) -> Augmentation:
+    return Augmentation(mini_aindex)
+
+
+SEED = K("transactions.inventory.a32")
+
+
+class TestPlanning:
+    def test_level_0_reaches_direct_neighbors(self, mini_augmentation):
+        plan = mini_augmentation.plan([SEED], level=0)
+        keys = {str(f.key) for f in plan.fetches_by_seed[SEED]}
+        # a32 ~ d1 (0.9); the Consistency Condition materializes
+        # a32 ~ discount (0.72) and a32 = i1 (0.63).
+        assert keys == {
+            "catalogue.albums.d1",
+            "discount.drop.k1:cure:wish",
+            "similar.Item.i1",
+        }
+
+    def test_level_0_probabilities(self, mini_augmentation):
+        plan = mini_augmentation.plan([SEED], level=0)
+        by_key = {
+            str(f.key): f.probability for f in plan.fetches_by_seed[SEED]
+        }
+        assert by_key["catalogue.albums.d1"] == pytest.approx(0.9)
+        assert by_key["discount.drop.k1:cure:wish"] == pytest.approx(0.72)
+        assert by_key["similar.Item.i1"] == pytest.approx(0.63)
+
+    def test_level_1_reaches_two_hops(self, mini_augmentation):
+        plan = mini_augmentation.plan([SEED], level=1)
+        keys = {str(f.key) for f in plan.fetches_by_seed[SEED]}
+        assert "similar.Item.i2" in keys  # via i1's matching edge
+
+    def test_level_bounds_depth(self, mini_aindex):
+        """A chain u0-u1-u2-u3 is cut off at level+1 hops."""
+        index = AIndex(enforce_consistency=False)
+        chain = [K(f"db{i}.c.u{i}") for i in range(4)]
+        for left, right in zip(chain, chain[1:]):
+            index.add(PRelation.matching(left, right, 0.8))
+        augmentation = Augmentation(index)
+        for level, expected in [(0, 1), (1, 2), (2, 3)]:
+            plan = augmentation.plan([chain[0]], level)
+            assert len(plan.fetches_by_seed[chain[0]]) == expected
+
+    def test_probability_multiplies_along_path(self):
+        index = AIndex(enforce_consistency=False)
+        a, b, c = K("d1.c.a"), K("d2.c.b"), K("d3.c.c")
+        index.add(PRelation.matching(a, b, 0.8))
+        index.add(PRelation.matching(b, c, 0.5))
+        plan = Augmentation(index).plan([a], level=1)
+        probabilities = {
+            str(f.key): f.probability for f in plan.fetches_by_seed[a]
+        }
+        assert probabilities[str(c)] == pytest.approx(0.4)
+
+    def test_best_path_wins_on_diamond(self):
+        """When two paths reach the same object, keep the max product."""
+        index = AIndex(enforce_consistency=False)
+        s, x, y, t = K("d1.c.s"), K("d2.c.x"), K("d3.c.y"), K("d4.c.t")
+        index.add(PRelation.matching(s, x, 0.9))
+        index.add(PRelation.matching(x, t, 0.9))  # product 0.81
+        index.add(PRelation.matching(s, y, 0.6))
+        index.add(PRelation.matching(y, t, 0.6))  # product 0.36
+        plan = Augmentation(index).plan([s], level=1)
+        target = next(
+            f for f in plan.fetches_by_seed[s] if f.key == t
+        )
+        assert target.probability == pytest.approx(0.81)
+        assert target.path == (x, t)
+
+    def test_seed_not_fetched_for_itself(self, mini_augmentation):
+        plan = mini_augmentation.plan([SEED], level=2)
+        assert all(f.key != SEED for f in plan.fetches_by_seed[SEED])
+
+    def test_min_probability_prunes(self, mini_augmentation):
+        plan = mini_augmentation.plan([SEED], level=0, min_probability=0.7)
+        keys = {str(f.key) for f in plan.fetches_by_seed[SEED]}
+        assert "similar.Item.i1" not in keys  # p = 0.63 < 0.7
+        assert "catalogue.albums.d1" in keys
+
+    def test_fetches_ordered_by_probability(self, mini_augmentation):
+        plan = mini_augmentation.plan([SEED], level=1)
+        probabilities = [f.probability for f in plan.fetches_by_seed[SEED]]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_unknown_seed_plans_nothing(self, mini_augmentation):
+        ghost = K("nowhere.c.k")
+        plan = mini_augmentation.plan([ghost], level=1)
+        assert plan.fetches_by_seed[ghost] == []
+
+    def test_negative_level_rejected(self, mini_augmentation):
+        with pytest.raises(ValueError):
+            mini_augmentation.plan([SEED], level=-1)
+
+    def test_edges_examined_counted(self, mini_augmentation):
+        plan = mini_augmentation.plan([SEED], level=0)
+        assert plan.edges_examined > 0
+
+    def test_all_fetches_in_seed_order(self, mini_augmentation):
+        other = K("transactions.inventory.a34")
+        plan = mini_augmentation.plan([SEED, other], level=0)
+        fetches = plan.all_fetches()
+        seeds_in_order = [f.seed for f in fetches]
+        boundary = seeds_in_order.index(other)
+        assert all(s == SEED for s in seeds_in_order[:boundary])
+
+    def test_overlapping_seeds_keep_duplicates_in_plan(self):
+        """Overlap across seeds is preserved (dedup happens in the
+        answer; the plan is what the cache optimizes, Section IV-C)."""
+        index = AIndex(enforce_consistency=False)
+        s1, s2, shared = K("d1.c.s1"), K("d2.c.s2"), K("d3.c.x")
+        index.add(PRelation.matching(s1, shared, 0.8))
+        index.add(PRelation.matching(s2, shared, 0.7))
+        plan = Augmentation(index).plan([s1, s2], level=0)
+        assert plan.total_fetches() == 2
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = AugmentationConfig()
+        assert config.augmenter == "sequential"
+        assert config.batch_size >= 1
+        assert config.threads_size >= 1

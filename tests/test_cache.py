@@ -1,0 +1,122 @@
+"""Tests for the LRU object cache (Section IV-C)."""
+
+import threading
+
+import pytest
+
+from repro.core.cache import LruCache
+from repro.model.objects import DataObject, GlobalKey
+
+
+def obj(name: str, value=None) -> DataObject:
+    return DataObject(GlobalKey("db", "c", name), value)
+
+
+class TestLru:
+    def test_miss_then_hit(self):
+        cache = LruCache(4)
+        assert cache.get(obj("a").key) is None
+        cache.put(obj("a", 1))
+        assert cache.get(obj("a").key).value == 1
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_eviction_order_is_lru(self):
+        cache = LruCache(2)
+        cache.put(obj("a"))
+        cache.put(obj("b"))
+        cache.get(obj("a").key)  # refresh a
+        cache.put(obj("c"))  # evicts b
+        assert cache.get(obj("b").key) is None
+        assert cache.get(obj("a").key) is not None
+        assert cache.get(obj("c").key) is not None
+
+    def test_put_refreshes_recency(self):
+        cache = LruCache(2)
+        cache.put(obj("a"))
+        cache.put(obj("b"))
+        cache.put(obj("a", "updated"))
+        cache.put(obj("c"))  # evicts b, not a
+        assert cache.get(obj("a").key).value == "updated"
+        assert cache.get(obj("b").key) is None
+
+    def test_capacity_zero_stores_nothing(self):
+        cache = LruCache(0)
+        cache.put(obj("a"))
+        assert len(cache) == 0
+        assert cache.get(obj("a").key) is None
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LruCache(-1)
+
+    def test_probability_normalized_on_put(self):
+        """Cached objects carry p=1; each fetch re-weights per path."""
+        cache = LruCache(4)
+        cache.put(obj("a").with_probability(0.3))
+        assert cache.get(obj("a").key).probability == 1.0
+
+    def test_invalidate(self):
+        cache = LruCache(4)
+        cache.put(obj("a"))
+        assert cache.invalidate(obj("a").key) is True
+        assert cache.invalidate(obj("a").key) is False
+
+    def test_resize_shrink_evicts_lru(self):
+        cache = LruCache(4)
+        for name in "abcd":
+            cache.put(obj(name))
+        cache.resize(2)
+        assert len(cache) == 2
+        assert cache.get(obj("d").key) is not None
+        assert cache.get(obj("a").key) is None
+
+    def test_resize_grow(self):
+        cache = LruCache(1)
+        cache.resize(3)
+        for name in "xyz":
+            cache.put(obj(name))
+        assert len(cache) == 3
+
+    def test_resize_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LruCache(1).resize(-5)
+
+    def test_clear_resets_stats(self):
+        cache = LruCache(4)
+        cache.put(obj("a"))
+        cache.get(obj("a").key)
+        cache.get(obj("b").key)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_hit_rate(self):
+        cache = LruCache(4)
+        assert cache.hit_rate == 0.0
+        cache.put(obj("a"))
+        cache.get(obj("a").key)
+        cache.get(obj("b").key)
+        assert cache.hit_rate == 0.5
+
+    def test_thread_safety_under_contention(self):
+        cache = LruCache(64)
+        errors = []
+
+        def worker(start):
+            try:
+                for i in range(300):
+                    cache.put(obj(f"k{start + i % 100}"))
+                    cache.get(obj(f"k{i % 100}").key)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(n,)) for n in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(cache) <= 64

@@ -1,0 +1,106 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv: str) -> tuple[int, str]:
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestDemo:
+    def test_demo_prints_augmented_answer(self):
+        code, output = run_cli("demo")
+        assert code == 0
+        assert "transactions.inventory.a32" in output
+        assert "[strong 0.90] catalogue.albums.d1" in output
+
+    def test_demo_color(self):
+        code, output = run_cli("--color", "demo")
+        assert code == 0
+        assert "\x1b[" in output
+
+
+class TestGenerateQueryInspect:
+    @pytest.fixture
+    def snapshot(self, tmp_path):
+        path = str(tmp_path / "snap")
+        code, output = run_cli(
+            "generate", "--stores", "4", "--albums", "40", "--out", path
+        )
+        assert code == 0
+        assert "4 databases" in output
+        return path
+
+    def test_inspect(self, snapshot):
+        code, output = run_cli("inspect", "--snapshot", snapshot)
+        assert code == 0
+        assert "transactions" in output
+        assert "relational" in output
+        assert "A' index:" in output
+
+    def test_query(self, snapshot):
+        code, output = run_cli(
+            "query", "--snapshot", snapshot,
+            "--database", "transactions",
+            "--query", "SELECT * FROM inventory WHERE seq < 2",
+        )
+        assert code == 0
+        assert "2 result(s)" in output
+        assert "native queries" in output
+
+    def test_query_with_augmenter(self, snapshot):
+        code, output = run_cli(
+            "query", "--snapshot", snapshot,
+            "--database", "transactions",
+            "--query", "SELECT * FROM inventory WHERE seq < 2",
+            "--augmenter", "batch", "--batch-size", "16",
+        )
+        assert code == 0
+
+    def test_query_aggregate_fails_cleanly(self, snapshot):
+        code, output = run_cli(
+            "query", "--snapshot", snapshot,
+            "--database", "transactions",
+            "--query", "SELECT COUNT(*) FROM inventory",
+        )
+        assert code == 1
+        assert "error:" in output
+
+    def test_explore(self, snapshot):
+        code, output = run_cli(
+            "explore", "--snapshot", snapshot,
+            "--database", "transactions",
+            "--query", "SELECT * FROM inventory WHERE seq = 0",
+            "--steps", "2",
+        )
+        assert code == 0
+        assert "start: transactions.inventory.a0" in output
+        assert "followed strongest link" in output
+
+    def test_explore_no_results(self, snapshot):
+        code, output = run_cli(
+            "explore", "--snapshot", snapshot,
+            "--database", "transactions",
+            "--query", "SELECT * FROM inventory WHERE seq > 9999",
+        )
+        assert code == 1
+        assert "no results" in output
+
+
+class TestErrors:
+    def test_missing_snapshot_is_clean_error(self, tmp_path):
+        code, output = run_cli(
+            "inspect", "--snapshot", str(tmp_path / "nope")
+        )
+        assert code == 1
+        assert "error:" in output
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            run_cli("warp")

@@ -1,0 +1,126 @@
+"""Tests for the multi-instance QUEPA deployment (Section III-A)."""
+
+import pytest
+
+from repro.cluster import DispatchPolicy, QuepaCluster
+from repro.errors import ConfigurationError
+from repro.model.objects import GlobalKey
+from repro.model.prelations import PRelation
+from repro.workloads import QueryWorkload
+
+K = GlobalKey.parse
+QUERY = "SELECT * FROM inventory WHERE name LIKE '%wish%'"
+
+
+@pytest.fixture
+def cluster(mini_polystore, mini_aindex) -> QuepaCluster:
+    return QuepaCluster(mini_polystore, mini_aindex, instances=3)
+
+
+class TestConstruction:
+    def test_instances_have_independent_replicas(self, cluster, mini_aindex):
+        assert len(cluster) == 3
+        for index in range(3):
+            replica = cluster.instance(index).aindex
+            assert replica is not mini_aindex
+            assert replica.edge_count() == mini_aindex.edge_count()
+        # Mutating one replica does not touch another.
+        cluster.instance(0).aindex.remove_object(K("catalogue.albums.d1"))
+        assert K("catalogue.albums.d1") in cluster.instance(1).aindex
+
+    def test_zero_instances_rejected(self, mini_polystore, mini_aindex):
+        with pytest.raises(ConfigurationError):
+            QuepaCluster(mini_polystore, mini_aindex, instances=0)
+
+
+class TestDispatch:
+    def test_round_robin_cycles(self, mini_polystore, mini_aindex):
+        cluster = QuepaCluster(
+            mini_polystore, mini_aindex, instances=2,
+            policy=DispatchPolicy.ROUND_ROBIN,
+        )
+        picks = [
+            cluster.submit("transactions", QUERY).instance for __ in range(4)
+        ]
+        assert picks == [0, 1, 0, 1]
+
+    def test_least_loaded_balances(self, cluster):
+        for __ in range(6):
+            cluster.submit("transactions", QUERY)
+        report = cluster.drain()
+        assert report.per_instance_counts() == {0: 2, 1: 2, 2: 2}
+
+    def test_answers_match_single_instance(self, cluster, mini_quepa):
+        clustered = cluster.submit("transactions", QUERY).answer
+        solo = mini_quepa.augmented_search("transactions", QUERY)
+        assert {str(k) for k in clustered.augmented_keys()} == {
+            str(k) for k in solo.augmented_keys()
+        }
+
+    def test_makespan_shrinks_with_more_instances(
+        self, seven_store_bundle
+    ):
+        """The paper's point: independent queries answer in parallel."""
+        bundle = seven_store_bundle
+        workload = QueryWorkload(bundle)
+        queries = [workload.query("transactions", 40, variant=v)
+                   for v in range(6)]
+
+        def makespan(instances: int) -> float:
+            cluster = QuepaCluster(
+                bundle.polystore, bundle.aindex, instances=instances
+            )
+            for query in queries:
+                cluster.submit(query.database, query.query)
+            return cluster.drain().makespan
+
+        assert makespan(3) < makespan(1)
+
+    def test_queries_queue_on_busy_instances(self, cluster):
+        first = cluster.submit("transactions", QUERY)
+        second = cluster.submit("transactions", QUERY)
+        third = cluster.submit("transactions", QUERY)
+        fourth = cluster.submit("transactions", QUERY)  # queues behind one
+        assert first.waited == 0.0
+        assert fourth.started_at >= min(
+            first.completed_at, second.completed_at, third.completed_at
+        )
+
+    def test_drain_resets_batch(self, cluster):
+        cluster.submit("transactions", QUERY)
+        report = cluster.drain()
+        assert len(report.results) == 1
+        assert cluster.drain().results == []
+
+    def test_clock_advances_across_batches(self, cluster):
+        cluster.submit("transactions", QUERY)
+        first = cluster.drain()
+        result = cluster.submit("transactions", QUERY)
+        assert result.submitted_at == first.makespan
+
+
+class TestMaintenance:
+    def test_add_relation_broadcasts(self, cluster):
+        relation = PRelation.matching(
+            K("transactions.inventory.a33"), K("similar.Item.i2"), 0.7
+        )
+        cluster.add_relation(relation)
+        for index in range(len(cluster)):
+            assert cluster.instance(index).aindex.relation(
+                relation.left, relation.right
+            ) is not None
+
+    def test_remove_object_broadcasts(self, cluster):
+        cluster.remove_object(K("catalogue.albums.d1"))
+        for index in range(len(cluster)):
+            assert K("catalogue.albums.d1") not in cluster.instance(index).aindex
+
+    def test_lazy_deletions_sync_on_drain(self, cluster, mini_polystore):
+        """One replica discovers a deletion; drain propagates it."""
+        mini_polystore.database("catalogue").delete_one("albums", "d1")
+        # Run enough queries that at least one instance hits the ghost.
+        for __ in range(3):
+            cluster.submit("transactions", QUERY)
+        cluster.drain()
+        for index in range(len(cluster)):
+            assert K("catalogue.albums.d1") not in cluster.instance(index).aindex

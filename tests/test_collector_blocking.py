@@ -1,0 +1,85 @@
+"""Tests for token blocking (the BLAST stand-in)."""
+
+from repro.collector.blocking import TokenBlocker, tokenize_value
+from repro.model.objects import DataObject, GlobalKey
+
+
+def obj(db: str, key: str, **fields) -> DataObject:
+    return DataObject(GlobalKey(db, "c", key), fields)
+
+
+class TestTokenize:
+    def test_lowercase_alnum_tokens(self):
+        assert tokenize_value("The Queen, Is Dead!") == {
+            "the", "queen", "is", "dead",
+        }
+
+    def test_none_is_empty(self):
+        assert tokenize_value(None) == set()
+
+    def test_numbers_tokenized(self):
+        assert tokenize_value("v1.2") == {"v1", "2"}
+
+
+class TestBlocks:
+    def test_shared_token_same_block(self):
+        blocker = TokenBlocker()
+        a = obj("db1", "1", title="Wish upon")
+        b = obj("db2", "2", name="Wish")
+        blocks = blocker.blocks([a, b])
+        assert any(
+            {o.key.key for o in members} == {"1", "2"}
+            for members in blocks.values()
+        )
+
+    def test_singleton_blocks_dropped(self):
+        blocker = TokenBlocker()
+        blocks = blocker.blocks([obj("db1", "1", title="unique")])
+        assert blocks == {}
+
+    def test_oversized_blocks_dropped(self):
+        blocker = TokenBlocker(max_block_size=3)
+        members = [obj("db1", str(i), title="common") for i in range(5)]
+        assert blocker.blocks(members) == {}
+
+    def test_short_tokens_ignored(self):
+        blocker = TokenBlocker(min_token_length=3)
+        a = obj("db1", "1", title="of it")
+        b = obj("db2", "2", title="of us")
+        assert blocker.blocks([a, b]) == {}
+
+    def test_pure_numbers_ignored(self):
+        blocker = TokenBlocker()
+        a = obj("db1", "1", year="1992")
+        b = obj("db2", "2", year="1992")
+        assert blocker.blocks([a, b]) == {}
+
+    def test_underscore_fields_skipped(self):
+        blocker = TokenBlocker()
+        a = obj("db1", "1", _internal="shared words here")
+        b = obj("db2", "2", _internal="shared words here")
+        assert blocker.blocks([a, b]) == {}
+
+
+class TestCandidatePairs:
+    def test_cross_database_only(self):
+        blocker = TokenBlocker()
+        same_db = [
+            obj("db1", "1", title="wish"),
+            obj("db1", "2", title="wish"),
+        ]
+        assert list(blocker.candidate_pairs(same_db)) == []
+
+    def test_pairs_deduplicated_across_blocks(self):
+        blocker = TokenBlocker()
+        a = obj("db1", "1", title="black wish")
+        b = obj("db2", "2", title="black wish")
+        pairs = list(blocker.candidate_pairs([a, b]))
+        assert len(pairs) == 1
+
+    def test_scalar_values_compared_via_value_field(self):
+        blocker = TokenBlocker()
+        a = DataObject(GlobalKey("db1", "c", "1"), "cure wish")
+        b = DataObject(GlobalKey("db2", "c", "2"), "cure forever")
+        pairs = list(blocker.candidate_pairs([a, b]))
+        assert len(pairs) == 1

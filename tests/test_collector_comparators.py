@@ -1,0 +1,115 @@
+"""Tests for the string/numeric comparators."""
+
+import pytest
+
+from repro.collector.comparators import (
+    ExactComparator,
+    JaroWinklerComparator,
+    LevenshteinComparator,
+    NumericComparator,
+    TokenOverlapComparator,
+    jaro_similarity,
+    levenshtein_distance,
+)
+
+
+class TestLevenshtein:
+    @pytest.mark.parametrize(
+        "a, b, distance",
+        [
+            ("", "", 0),
+            ("abc", "abc", 0),
+            ("abc", "", 3),
+            ("", "xyz", 3),
+            ("kitten", "sitting", 3),
+            ("flaw", "lawn", 2),
+            ("cure", "curse", 1),
+        ],
+    )
+    def test_known_distances(self, a, b, distance):
+        assert levenshtein_distance(a, b) == distance
+
+    def test_symmetry(self):
+        assert levenshtein_distance("wish", "fish") == levenshtein_distance(
+            "fish", "wish"
+        )
+
+    def test_comparator_normalizes(self):
+        comparator = LevenshteinComparator()
+        assert comparator.compare("wish", "wish") == 1.0
+        assert comparator.compare("wish", "fish") == pytest.approx(0.75)
+        assert comparator.compare(None, "x") == 0.0
+        assert comparator.compare(None, None) == 0.0
+
+    def test_comparator_is_case_insensitive(self):
+        assert LevenshteinComparator().compare("WISH", "wish") == 1.0
+
+
+class TestJaro:
+    def test_identical(self):
+        assert jaro_similarity("martha", "martha") == 1.0
+
+    def test_classic_example(self):
+        assert jaro_similarity("martha", "marhta") == pytest.approx(0.9444, abs=1e-3)
+
+    def test_no_overlap(self):
+        assert jaro_similarity("abc", "xyz") == 0.0
+
+    def test_empty(self):
+        assert jaro_similarity("", "x") == 0.0
+
+    def test_winkler_prefix_bonus(self):
+        jw = JaroWinklerComparator()
+        plain = jaro_similarity("dixon", "dicksonx")
+        boosted = jw.compare("dixon", "dicksonx")
+        assert boosted > plain
+        assert boosted == pytest.approx(0.8133, abs=1e-3)
+
+    def test_winkler_caps_prefix(self):
+        jw = JaroWinklerComparator(max_prefix=4)
+        assert jw.compare("abcdefgh", "abcdefgh") == 1.0
+
+
+class TestExactAndTokens:
+    def test_exact_strings_case_insensitive(self):
+        assert ExactComparator().compare("Wish", "wish") == 1.0
+        assert ExactComparator().compare("Wish", "Wash") == 0.0
+
+    def test_exact_numbers(self):
+        assert ExactComparator().compare(3, 3.0) == 1.0
+        assert ExactComparator().compare(3, 4) == 0.0
+
+    def test_exact_none(self):
+        assert ExactComparator().compare(None, None) == 0.0
+
+    def test_token_overlap_jaccard(self):
+        comparator = TokenOverlapComparator()
+        assert comparator.compare("the queen is dead", "the queen") == 0.5
+        assert comparator.compare("a b", "a b") == 1.0
+        assert comparator.compare("a", "") == 0.0
+
+
+class TestNumeric:
+    def test_equal_values(self):
+        assert NumericComparator().compare(10, 10) == 1.0
+        assert NumericComparator().compare(0, 0) == 1.0
+
+    def test_linear_decay(self):
+        comparator = NumericComparator(tolerance=0.5)
+        assert comparator.compare(100, 75) == pytest.approx(0.5)
+        assert comparator.compare(100, 50) == 0.0
+        assert comparator.compare(100, 40) == 0.0
+
+    def test_symmetry(self):
+        comparator = NumericComparator(0.4)
+        assert comparator.compare(8, 10) == comparator.compare(10, 8)
+
+    def test_non_numeric_is_zero(self):
+        assert NumericComparator().compare("x", 1) == 0.0
+
+    def test_numeric_strings_coerced(self):
+        assert NumericComparator().compare("10", 10) == 1.0
+
+    def test_invalid_tolerance(self):
+        with pytest.raises(ValueError):
+            NumericComparator(0)

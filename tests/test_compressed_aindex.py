@@ -1,0 +1,104 @@
+"""Tests for the frozen CSR A' index snapshot."""
+
+import pytest
+
+from repro.core.aindex import AIndex
+from repro.core.augmentation import Augmentation
+from repro.core.compressed import FrozenAIndex
+from repro.model.objects import GlobalKey
+from repro.model.prelations import PRelation, RelationType
+
+K = GlobalKey.parse
+
+
+class TestFreeze:
+    def test_counts_match(self, mini_aindex):
+        frozen = FrozenAIndex.freeze(mini_aindex)
+        assert frozen.node_count() == mini_aindex.node_count()
+        assert frozen.edge_count() == mini_aindex.edge_count()
+
+    def test_neighbors_match_live_index(self, mini_aindex):
+        frozen = FrozenAIndex.freeze(mini_aindex)
+        for node in mini_aindex.nodes():
+            live = {
+                (str(n.key), n.type, round(n.probability, 9))
+                for n in mini_aindex.neighbors(node)
+            }
+            snap = {
+                (str(n.key), n.type, round(n.probability, 9))
+                for n in frozen.neighbors(node)
+            }
+            assert snap == live
+
+    def test_type_filter(self, mini_aindex):
+        frozen = FrozenAIndex.freeze(mini_aindex)
+        node = K("catalogue.albums.d1")
+        identities = frozen.neighbors(node, RelationType.IDENTITY)
+        matchings = frozen.neighbors(node, RelationType.MATCHING)
+        assert len(identities) + len(matchings) == frozen.degree(node)
+        assert all(n.type is RelationType.IDENTITY for n in identities)
+
+    def test_contains_and_degree(self, mini_aindex):
+        frozen = FrozenAIndex.freeze(mini_aindex)
+        assert K("catalogue.albums.d1") in frozen
+        assert K("nowhere.c.x") not in frozen
+        assert frozen.degree(K("nowhere.c.x")) == 0
+
+    def test_relation_lookup(self, mini_aindex):
+        frozen = FrozenAIndex.freeze(mini_aindex)
+        relation = frozen.relation(
+            K("catalogue.albums.d1"), K("transactions.inventory.a32")
+        )
+        assert relation is not None
+        assert relation.probability == pytest.approx(0.9)
+        assert frozen.relation(K("catalogue.albums.d1"), K("nowhere.c.x")) is None
+
+    def test_empty_index(self):
+        frozen = FrozenAIndex.freeze(AIndex())
+        assert frozen.node_count() == 0
+        assert frozen.neighbors(K("a.b.c")) == []
+
+
+class TestPlanningEquivalence:
+    def test_same_plans_as_live_index(self, mini_aindex):
+        frozen = FrozenAIndex.freeze(mini_aindex)
+        seed = K("transactions.inventory.a32")
+        for level in (0, 1, 2):
+            live_plan = Augmentation(mini_aindex).plan([seed], level)
+            frozen_plan = Augmentation(frozen).plan([seed], level)  # type: ignore[arg-type]
+            live = {
+                (str(f.key), round(f.probability, 9))
+                for f in live_plan.fetches_by_seed[seed]
+            }
+            snap = {
+                (str(f.key), round(f.probability, 9))
+                for f in frozen_plan.fetches_by_seed[seed]
+            }
+            assert snap == live
+
+    def test_generated_bundle_equivalence(self, small_bundle):
+        frozen = FrozenAIndex.freeze(small_bundle.aindex)
+        seeds = [small_bundle.entity_key("transactions", i) for i in range(5)]
+        live_plan = Augmentation(small_bundle.aindex).plan(seeds, 1)
+        frozen_plan = Augmentation(frozen).plan(seeds, 1)  # type: ignore[arg-type]
+        assert frozen_plan.total_fetches() == live_plan.total_fetches()
+
+
+class TestImmutability:
+    def test_add_rejected(self, mini_aindex):
+        frozen = FrozenAIndex.freeze(mini_aindex)
+        with pytest.raises(TypeError):
+            frozen.add(
+                PRelation.matching(K("a.b.c"), K("d.e.f"), 0.5)
+            )
+
+    def test_remove_rejected(self, mini_aindex):
+        frozen = FrozenAIndex.freeze(mini_aindex)
+        with pytest.raises(TypeError):
+            frozen.remove_object(K("catalogue.albums.d1"))
+
+    def test_snapshot_unaffected_by_live_mutations(self, mini_aindex):
+        frozen = FrozenAIndex.freeze(mini_aindex)
+        before = frozen.degree(K("catalogue.albums.d1"))
+        mini_aindex.remove_object(K("catalogue.albums.d1"))
+        assert frozen.degree(K("catalogue.albums.d1")) == before

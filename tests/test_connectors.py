@@ -1,0 +1,114 @@
+"""Tests for the per-store connectors."""
+
+import pytest
+
+from repro.core.connectors import Connector, ConnectorRegistry
+from repro.model.objects import GlobalKey
+from repro.network import VirtualRuntime, centralized_profile
+
+K = GlobalKey.parse
+
+
+@pytest.fixture
+def ctx(mini_polystore):
+    runtime = VirtualRuntime(centralized_profile(list(mini_polystore)))
+    return runtime.root(), runtime
+
+
+class TestConnector:
+    def test_fetch_one(self, mini_polystore, ctx):
+        context, runtime = ctx
+        connector = Connector(
+            "transactions", mini_polystore.database("transactions")
+        )
+        obj = connector.fetch_one(context, K("transactions.inventory.a32"))
+        assert obj.value["name"] == "Wish"
+        assert runtime.meter.total_queries == 1
+
+    def test_fetch_one_missing_returns_none(self, mini_polystore, ctx):
+        context, __ = ctx
+        connector = Connector(
+            "transactions", mini_polystore.database("transactions")
+        )
+        assert connector.fetch_one(context, K("transactions.inventory.zz")) is None
+
+    def test_fetch_many_single_roundtrip(self, mini_polystore, ctx):
+        context, runtime = ctx
+        connector = Connector(
+            "transactions", mini_polystore.database("transactions")
+        )
+        keys = [
+            K("transactions.inventory.a32"),
+            K("transactions.inventory.a33"),
+            K("transactions.inventory.a34"),
+        ]
+        objects = connector.fetch_many(context, keys)
+        assert len(objects) == 3
+        assert runtime.meter.total_queries == 1
+
+    def test_fetch_many_empty_is_free(self, mini_polystore, ctx):
+        context, runtime = ctx
+        connector = Connector(
+            "transactions", mini_polystore.database("transactions")
+        )
+        assert connector.fetch_many(context, []) == []
+        assert runtime.meter.total_queries == 0
+
+
+class TestRegistry:
+    def test_connector_per_database(self, mini_polystore):
+        registry = ConnectorRegistry(mini_polystore)
+        assert registry.connector("catalogue").database == "catalogue"
+        assert (
+            registry.connector("catalogue")
+            is registry.connector("catalogue")
+        )
+
+    def test_fetch_grouped_one_query_per_database(self, mini_polystore, ctx):
+        context, runtime = ctx
+        registry = ConnectorRegistry(mini_polystore)
+        keys = [
+            K("transactions.inventory.a32"),
+            K("catalogue.albums.d1"),
+            K("transactions.inventory.a33"),
+            K("discount.drop.k1:cure:wish"),
+        ]
+        found, missing = registry.fetch_grouped(context, keys)
+        assert len(found) == 4
+        assert missing == []
+        assert runtime.meter.total_queries == 3  # three databases touched
+
+    def test_fetch_grouped_reports_missing(self, mini_polystore, ctx):
+        context, __ = ctx
+        registry = ConnectorRegistry(mini_polystore)
+        ghost = K("catalogue.albums.ghost")
+        found, missing = registry.fetch_grouped(
+            context, [K("catalogue.albums.d1"), ghost]
+        )
+        assert len(found) == 1
+        assert missing == [ghost]
+
+    def test_registry_grows_with_polystore(self, mini_polystore):
+        from repro.stores import KeyValueStore
+
+        registry = ConnectorRegistry(mini_polystore)
+        mini_polystore.attach("extra", KeyValueStore())
+        assert registry.connector("extra").database == "extra"
+
+    def test_registry_tracks_store_replacement(self, mini_polystore, ctx):
+        """Detach/re-attach (e.g. recovery after an outage) must not
+        leave a stale connector pointing at the old store object."""
+        from repro.stores import DocumentStore
+
+        context, __ = ctx
+        registry = ConnectorRegistry(mini_polystore)
+        registry.connector("catalogue")  # populate the cache
+        mini_polystore.detach("catalogue")
+        replacement = DocumentStore()
+        replacement.insert("albums", {"_id": "d1", "title": "Wish v2"})
+        mini_polystore.attach("catalogue", replacement)
+        assert registry.connector("catalogue").store is replacement
+        obj = registry.connector("catalogue").fetch_one(
+            context, K("catalogue.albums.d1")
+        )
+        assert obj.value["title"] == "Wish v2"

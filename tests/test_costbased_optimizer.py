@@ -1,0 +1,153 @@
+"""Tests for the cost-based optimizer baseline and SN blocking."""
+
+import pytest
+
+from repro.collector.blocking import SortedNeighborhoodBlocker, TokenBlocker
+from repro.core.runlog import QueryFeatures
+from repro.model.objects import DataObject, GlobalKey
+from repro.optimizer.costbased import AssumedCosts, CostBasedOptimizer
+
+
+def features(planned=1000, original=100, stores=7, deployment="centralized"):
+    return QueryFeatures(
+        engine="relational",
+        database="transactions",
+        level=0,
+        original_count=original,
+        planned_fetches=planned,
+        store_count=stores,
+        deployment=deployment,
+    )
+
+
+class TestCostBased:
+    def test_picks_batching_for_large_remote_answers(self):
+        optimizer = CostBasedOptimizer(
+            AssumedCosts(roundtrip_latency=0.2)
+        )
+        config = optimizer.configure(features(planned=5000), 1024)
+        assert config.augmenter in ("batch", "outer_batch")
+        assert config.batch_size >= 64
+
+    def test_picks_cheap_strategy_for_tiny_answers(self):
+        optimizer = CostBasedOptimizer()
+        config = optimizer.configure(features(planned=3, original=1), 1024)
+        # Anything lightweight is acceptable for three fetches; the
+        # heavyweight strategies must not be picked.
+        assert config.augmenter in ("sequential", "batch", "inner")
+
+    def test_estimate_monotone_in_fetches(self):
+        optimizer = CostBasedOptimizer()
+        from repro.core.augmentation import AugmentationConfig
+
+        config = AugmentationConfig(augmenter="sequential")
+        small = optimizer.estimate(features(planned=10), config)
+        large = optimizer.estimate(features(planned=1000), config)
+        assert large > small
+
+    def test_sequential_estimate_formula(self):
+        assumed = AssumedCosts(
+            roundtrip_latency=0.1, per_query_overhead=0.0,
+            per_object_service=0.0,
+        )
+        optimizer = CostBasedOptimizer(assumed)
+        from repro.core.augmentation import AugmentationConfig
+
+        cost = optimizer.estimate(
+            features(planned=10), AugmentationConfig(augmenter="sequential")
+        )
+        assert cost == pytest.approx(1.0)
+
+    def test_cache_size_passes_through(self):
+        optimizer = CostBasedOptimizer()
+        config = optimizer.configure(features(), 4321)
+        assert config.cache_size == 4321
+
+    def test_quepa_accepts_it_as_optimizer(self, mini_polystore, mini_aindex):
+        from repro.core import Quepa
+
+        quepa = Quepa(
+            mini_polystore, mini_aindex, optimizer=CostBasedOptimizer()
+        )
+        answer = quepa.augmented_search(
+            "transactions", "SELECT * FROM inventory WHERE name LIKE '%wish%'"
+        )
+        assert len(answer.augmented) == 3
+
+    def test_wrong_assumptions_change_choices(self):
+        """The paper's point: the cost model is only as good as its
+        knowledge of each store."""
+        believes_fast_network = CostBasedOptimizer(
+            AssumedCosts(roundtrip_latency=0.00001, thread_spawn_overhead=0.01)
+        )
+        believes_slow_network = CostBasedOptimizer(
+            AssumedCosts(roundtrip_latency=0.5)
+        )
+        f = features(planned=2000)
+        fast_choice = believes_fast_network.configure(f, 0)
+        slow_choice = believes_slow_network.configure(f, 0)
+        assert (fast_choice.augmenter, fast_choice.batch_size) != (
+            slow_choice.augmenter, slow_choice.batch_size
+        )
+
+
+def make_objects():
+    titles = [
+        "black dreams", "black dreams deluxe", "quiet rivers",
+        "quiet rivers live", "zanzibar nights", "aardvark morning",
+    ]
+    objects = []
+    for index, title in enumerate(titles):
+        database = "dbA" if index % 2 == 0 else "dbB"
+        objects.append(
+            DataObject(GlobalKey(database, "c", f"k{index}"), {"title": title})
+        )
+    return objects
+
+
+class TestSortedNeighborhood:
+    def test_adjacent_keys_become_candidates(self):
+        blocker = SortedNeighborhoodBlocker(window=3)
+        pairs = list(blocker.candidate_pairs(make_objects()))
+        pair_titles = {
+            tuple(sorted((a.value["title"], b.value["title"])))
+            for a, b in pairs
+        }
+        assert ("black dreams", "black dreams deluxe") in pair_titles
+        assert ("quiet rivers", "quiet rivers live") in pair_titles
+
+    def test_same_database_pairs_excluded(self):
+        blocker = SortedNeighborhoodBlocker(window=6)
+        for a, b in blocker.candidate_pairs(make_objects()):
+            assert a.key.database != b.key.database
+
+    def test_linear_candidates_vs_quadratic_token_blocks(self):
+        """SN's candidate count is linear in n (n x window); token
+        blocking is quadratic inside a popular block."""
+        objects = [
+            DataObject(
+                GlobalKey("dbA" if i % 2 == 0 else "dbB", "c", f"k{i}"),
+                {"title": f"common tune variation{i:03d}"},
+            )
+            for i in range(30)
+        ]
+        sn = len(list(
+            SortedNeighborhoodBlocker(window=3).candidate_pairs(objects)
+        ))
+        token = len(list(
+            TokenBlocker(max_block_size=50).candidate_pairs(objects)
+        ))
+        assert sn <= len(objects) * 2
+        assert token > sn
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            SortedNeighborhoodBlocker(window=1)
+
+    def test_blocking_key_is_deterministic(self):
+        blocker = SortedNeighborhoodBlocker()
+        obj = DataObject(
+            GlobalKey("dbA", "c", "k"), {"b": "two words", "a": "one"}
+        )
+        assert blocker.blocking_key(obj) == blocker.blocking_key(obj)
+        assert "one" in blocker.blocking_key(obj)

@@ -1,0 +1,125 @@
+"""Tests for Mongo-style update operators and bulk writes."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.stores import DocumentStore
+
+
+@pytest.fixture
+def store() -> DocumentStore:
+    doc = DocumentStore()
+    doc.insert("albums", {
+        "_id": "d1", "title": "Wish", "plays": 10,
+        "genres": ["rock", "goth"], "artist": "Cure",
+    })
+    doc.insert("albums", {
+        "_id": "d2", "title": "Doolittle", "plays": 5,
+        "genres": ["rock"], "artist": "Pixies",
+    })
+    return doc
+
+
+class TestOperators:
+    def test_set(self, store):
+        store.update_one("albums", "d1", {"$set": {"title": "Wish (LP)"}})
+        assert store.get_value("albums", "d1")["title"] == "Wish (LP)"
+
+    def test_unset(self, store):
+        store.update_one("albums", "d1", {"$unset": {"plays": ""}})
+        assert "plays" not in store.get_value("albums", "d1")
+
+    def test_unset_missing_field_noop(self, store):
+        store.update_one("albums", "d1", {"$unset": {"ghost": ""}})
+        assert store.get_value("albums", "d1")["title"] == "Wish"
+
+    def test_inc(self, store):
+        store.update_one("albums", "d1", {"$inc": {"plays": 3}})
+        assert store.get_value("albums", "d1")["plays"] == 13
+
+    def test_inc_creates_field(self, store):
+        store.update_one("albums", "d1", {"$inc": {"skips": 1}})
+        assert store.get_value("albums", "d1")["skips"] == 1
+
+    def test_inc_non_numeric_raises(self, store):
+        with pytest.raises(QueryError):
+            store.update_one("albums", "d1", {"$inc": {"title": 1}})
+
+    def test_push(self, store):
+        store.update_one("albums", "d1", {"$push": {"genres": "dream-pop"}})
+        assert store.get_value("albums", "d1")["genres"] == [
+            "rock", "goth", "dream-pop",
+        ]
+
+    def test_push_creates_list(self, store):
+        store.update_one("albums", "d1", {"$push": {"tags": "classic"}})
+        assert store.get_value("albums", "d1")["tags"] == ["classic"]
+
+    def test_push_non_list_raises(self, store):
+        with pytest.raises(QueryError):
+            store.update_one("albums", "d1", {"$push": {"title": "x"}})
+
+    def test_pull(self, store):
+        store.update_one("albums", "d1", {"$pull": {"genres": "goth"}})
+        assert store.get_value("albums", "d1")["genres"] == ["rock"]
+
+    def test_rename(self, store):
+        store.update_one("albums", "d1", {"$rename": {"plays": "listens"}})
+        document = store.get_value("albums", "d1")
+        assert document["listens"] == 10
+        assert "plays" not in document
+
+    def test_multiple_operators_in_one_update(self, store):
+        store.update_one(
+            "albums", "d1",
+            {"$inc": {"plays": 1}, "$set": {"checked": True}},
+        )
+        document = store.get_value("albums", "d1")
+        assert document["plays"] == 11
+        assert document["checked"] is True
+
+    def test_mixing_operators_and_fields_raises(self, store):
+        with pytest.raises(QueryError):
+            store.update_one(
+                "albums", "d1", {"$set": {"a": 1}, "plain": 2}
+            )
+
+    def test_unknown_dollar_key_raises(self, store):
+        with pytest.raises(QueryError):
+            store.update_one("albums", "d1", {"$teleport": {"a": 1}})
+
+    def test_id_immutable(self, store):
+        with pytest.raises(QueryError):
+            store.update_one("albums", "d1", {"$set": {"_id": "evil"}})
+
+    def test_plain_merge_still_works(self, store):
+        store.update_one("albums", "d1", {"plays": 99})
+        assert store.get_value("albums", "d1")["plays"] == 99
+
+    def test_indexes_maintained_through_operators(self, store):
+        store.create_index("albums", "artist")
+        store.update_one("albums", "d2", {"$set": {"artist": "Cure"}})
+        assert len(store.find("albums", {"artist": "Cure"})) == 2
+        assert store.find("albums", {"artist": "Pixies"}) == []
+
+
+class TestBulkWrites:
+    def test_update_many(self, store):
+        changed = store.update_many(
+            "albums", {"genres": "rock"}, {"$inc": {"plays": 100}}
+        )
+        assert changed == 2
+        assert store.get_value("albums", "d1")["plays"] == 110
+        assert store.get_value("albums", "d2")["plays"] == 105
+
+    def test_update_many_no_match(self, store):
+        assert store.update_many("albums", {"artist": "Nobody"}, {"x": 1}) == 0
+
+    def test_delete_many(self, store):
+        deleted = store.delete_many("albums", {"artist": "Cure"})
+        assert deleted == 1
+        assert store.count("albums") == 1
+
+    def test_delete_many_all(self, store):
+        assert store.delete_many("albums", {}) == 2
+        assert store.count("albums") == 0

@@ -1,0 +1,37 @@
+"""Every example script must run cleanly end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=[path.stem for path in EXAMPLES]
+)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples must narrate what they do"
+
+
+def test_expected_examples_present():
+    names = {path.stem for path in EXAMPLES}
+    assert {
+        "quickstart",
+        "polyphony_search",
+        "exploration_and_promotion",
+        "adaptive_tuning",
+        "collector_pipeline",
+        "augmented_analytics",
+        "cluster_deployment",
+    } <= names

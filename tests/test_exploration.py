@@ -1,0 +1,97 @@
+"""Tests for augmented exploration sessions (Definition 4)."""
+
+import pytest
+
+from repro.errors import AugmentationError
+from repro.model.objects import GlobalKey
+
+K = GlobalKey.parse
+
+QUERY = "SELECT * FROM inventory WHERE name LIKE '%wish%'"
+START = K("transactions.inventory.a32")
+
+
+class TestSession:
+    def test_initial_results_are_local_answer(self, mini_quepa):
+        session = mini_quepa.explore("transactions", QUERY)
+        assert [str(obj.key) for obj in session.results] == [str(START)]
+
+    def test_first_select_must_be_in_answer(self, mini_quepa):
+        session = mini_quepa.explore("transactions", QUERY)
+        with pytest.raises(AugmentationError):
+            session.select(K("transactions.inventory.a33"))
+
+    def test_select_returns_ranked_links(self, mini_quepa):
+        session = mini_quepa.explore("transactions", QUERY)
+        step = session.select(START)
+        probabilities = [link.probability for link in step.links]
+        assert probabilities == sorted(probabilities, reverse=True)
+        assert str(step.links[0].key) == "catalogue.albums.d1"
+
+    def test_next_select_must_be_a_link(self, mini_quepa):
+        session = mini_quepa.explore("transactions", QUERY)
+        session.select(START)
+        with pytest.raises(AugmentationError):
+            session.select(K("transactions.inventory.a34"))
+
+    def test_walk_two_steps(self, mini_quepa):
+        session = mini_quepa.explore("transactions", QUERY)
+        step1 = session.select(START)
+        target = step1.links[0].key
+        step2 = session.select(target)
+        assert step2.selected == target
+        assert len(session.steps) == 2
+
+    def test_path_records_selections(self, mini_quepa):
+        session = mini_quepa.explore("transactions", QUERY)
+        step1 = session.select(START)
+        session.select(step1.links[0].key)
+        assert session.path == (START, step1.links[0].key)
+
+    def test_close_records_path_for_promotion(self, mini_quepa):
+        session = mini_quepa.explore("transactions", QUERY)
+        step1 = session.select(START)
+        step2 = session.select(step1.links[0].key)
+        third = next(
+            link.key for link in step2.links if link.key != START
+        )
+        session.select(third)
+        session.close()
+        assert mini_quepa.paths.visits(session.path) == 1
+
+    def test_close_is_idempotent(self, mini_quepa):
+        session = mini_quepa.explore("transactions", QUERY)
+        step = session.select(START)
+        step2 = session.select(step.links[0].key)
+        session.select(next(l.key for l in step2.links if l.key != START))
+        session.close()
+        session.close()
+        assert mini_quepa.paths.visits(session.path) == 1
+
+    def test_select_after_close_rejected(self, mini_quepa):
+        session = mini_quepa.explore("transactions", QUERY)
+        session.close()
+        with pytest.raises(AugmentationError):
+            session.select(START)
+
+    def test_context_manager_closes(self, mini_quepa):
+        with mini_quepa.explore("transactions", QUERY) as session:
+            step = session.select(START)
+            step2 = session.select(step.links[0].key)
+            session.select(
+                next(l.key for l in step2.links if l.key != START)
+            )
+            path = session.path
+        assert mini_quepa.paths.visits(path) == 1
+
+    def test_short_paths_not_recorded(self, mini_quepa):
+        """Full paths need k > 1 (at least three nodes)."""
+        with mini_quepa.explore("transactions", QUERY) as session:
+            session.select(START)
+        assert mini_quepa.paths.visits((START,)) == 0
+
+    def test_exploration_uses_inner_augmenter_queries(self, mini_quepa):
+        """Each step augments a single object with direct queries."""
+        session = mini_quepa.explore("transactions", QUERY)
+        step = session.select(START)
+        assert len(step.links) == 3

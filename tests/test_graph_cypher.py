@@ -1,0 +1,223 @@
+"""Tests for the Cypher-subset language of the graph store."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.stores import GraphStore
+from repro.stores.graph.cypher import parse_cypher
+
+
+@pytest.fixture
+def store() -> GraphStore:
+    g = GraphStore()
+    g.database_name = "similar"
+    bands = [
+        ("i1", "Wish", 1992, 8.4),
+        ("i2", "Disintegration", 1989, 9.1),
+        ("i3", "Doolittle", 1989, 8.8),
+        ("i4", "Surfer Rosa", 1988, None),
+    ]
+    for node_id, title, year, rating in bands:
+        g.create_node(
+            "Item",
+            {"title": title, "year": year, "rating": rating},
+            node_id=node_id,
+        )
+    g.create_node("Artist", {"name": "The Cure"}, node_id="ar1")
+    g.create_edge("i1", "SIMILAR", "i2", {"weight": 0.9})
+    g.create_edge("i2", "SIMILAR", "i3", {"weight": 0.5})
+    g.create_edge("i3", "SIMILAR", "i4", {"weight": 0.7})
+    g.create_edge("ar1", "MADE", "i1")
+    g.create_edge("ar1", "MADE", "i2")
+    return g
+
+
+class TestParsing:
+    def test_minimal_query(self):
+        query = parse_cypher("MATCH (n:Item) RETURN n")
+        assert query.nodes[0].label == "Item"
+        assert query.items[0].variable == "n"
+
+    def test_pattern_with_edges(self):
+        query = parse_cypher(
+            "MATCH (a:Item)-[:SIMILAR]->(b:Item) RETURN a, b"
+        )
+        assert len(query.nodes) == 2
+        assert query.edges[0].direction == "out"
+        assert query.edges[0].rel_type == "SIMILAR"
+
+    def test_incoming_and_undirected_edges(self):
+        incoming = parse_cypher("MATCH (a)<-[:MADE]-(b) RETURN a")
+        assert incoming.edges[0].direction == "in"
+        undirected = parse_cypher("MATCH (a)-[:SIMILAR]-(b) RETURN a")
+        assert undirected.edges[0].direction == "both"
+
+    def test_node_properties(self):
+        query = parse_cypher("MATCH (n:Item {year: 1989}) RETURN n")
+        assert query.nodes[0].properties == (("year", 1989),)
+
+    def test_where_order_limit(self):
+        query = parse_cypher(
+            "MATCH (n:Item) WHERE n.year >= 1989 AND NOT n.rating IS NULL "
+            "RETURN n.title AS t ORDER BY n.rating DESC LIMIT 2"
+        )
+        assert query.where is not None
+        assert query.items[0].alias == "t"
+        assert query.order[0].ascending is False
+        assert query.limit == 2
+
+    def test_string_literals_both_quotes(self):
+        single = parse_cypher("MATCH (n {title: 'Wish'}) RETURN n")
+        double = parse_cypher('MATCH (n {title: "Wish"}) RETURN n')
+        assert single.nodes[0].properties == double.nodes[0].properties
+
+    def test_errors(self):
+        for bad in (
+            "RETURN n",
+            "MATCH (n RETURN n",
+            "MATCH (n) WHERE n RETURN n",
+            "MATCH (n) RETURN n garbage",
+            "MATCH (a)<-[:X]->(b) RETURN a",
+        ):
+            with pytest.raises(QueryError):
+                parse_cypher(bad)
+
+
+class TestExecution:
+    def test_match_by_label(self, store):
+        rows = store.cypher("MATCH (n:Item) RETURN n.title AS title")
+        assert len(rows) == 4
+
+    def test_match_property_filter(self, store):
+        rows = store.cypher(
+            "MATCH (n:Item {year: 1989}) RETURN n.title ORDER BY n.title"
+        )
+        assert [row["n.title"] for row in rows] == [
+            "Disintegration", "Doolittle",
+        ]
+
+    def test_edge_traversal_out(self, store):
+        rows = store.cypher(
+            "MATCH (a:Item {title: 'Wish'})-[:SIMILAR]->(b) RETURN b.title"
+        )
+        assert [row["b.title"] for row in rows] == ["Disintegration"]
+
+    def test_edge_traversal_in(self, store):
+        rows = store.cypher(
+            "MATCH (a:Item {title: 'Wish'})<-[:MADE]-(who) RETURN who.name"
+        )
+        assert [row["who.name"] for row in rows] == ["The Cure"]
+
+    def test_undirected_traversal(self, store):
+        rows = store.cypher(
+            "MATCH (a:Item {title: 'Disintegration'})-[:SIMILAR]-(b) "
+            "RETURN b.title ORDER BY b.title"
+        )
+        assert [row["b.title"] for row in rows] == ["Doolittle", "Wish"]
+
+    def test_two_hop_chain(self, store):
+        rows = store.cypher(
+            "MATCH (a:Item {title: 'Wish'})-[:SIMILAR]->(b)-[:SIMILAR]->(c) "
+            "RETURN c.title"
+        )
+        assert [row["c.title"] for row in rows] == ["Doolittle"]
+
+    def test_where_comparisons(self, store):
+        rows = store.cypher(
+            "MATCH (n:Item) WHERE n.rating > 8.5 RETURN n.title "
+            "ORDER BY n.rating DESC"
+        )
+        assert [row["n.title"] for row in rows] == [
+            "Disintegration", "Doolittle",
+        ]
+
+    def test_where_null_checks(self, store):
+        rows = store.cypher(
+            "MATCH (n:Item) WHERE n.rating IS NULL RETURN n.title"
+        )
+        assert [row["n.title"] for row in rows] == ["Surfer Rosa"]
+        rows = store.cypher(
+            "MATCH (n:Item) WHERE n.rating IS NOT NULL RETURN n.title"
+        )
+        assert len(rows) == 3
+
+    def test_where_boolean_combinations(self, store):
+        rows = store.cypher(
+            "MATCH (n:Item) WHERE n.year = 1989 OR n.title = 'Wish' "
+            "RETURN n.title ORDER BY n.title"
+        )
+        assert len(rows) == 3
+        rows = store.cypher(
+            "MATCH (n:Item) WHERE NOT (n.year = 1989) RETURN n.title "
+            "ORDER BY n.title"
+        )
+        assert [row["n.title"] for row in rows] == ["Surfer Rosa", "Wish"]
+
+    def test_null_comparisons_are_false(self, store):
+        rows = store.cypher(
+            "MATCH (n:Item) WHERE n.rating < 100 RETURN n.title"
+        )
+        assert len(rows) == 3  # Surfer Rosa's NULL rating never matches
+
+    def test_order_by_with_nulls(self, store):
+        rows = store.cypher(
+            "MATCH (n:Item) RETURN n.title ORDER BY n.rating ASC"
+        )
+        assert rows[0]["n.title"] == "Surfer Rosa"  # NULL first ascending
+
+    def test_limit(self, store):
+        rows = store.cypher("MATCH (n:Item) RETURN n ORDER BY n.year LIMIT 2")
+        assert len(rows) == 2
+
+    def test_multi_key_order_tie_break(self, store):
+        """Equal first keys must fall through to the second key."""
+        rows = store.cypher(
+            "MATCH (n:Item {year: 1989}) RETURN n.title "
+            "ORDER BY n.year, n.title DESC"
+        )
+        assert [row["n.title"] for row in rows] == [
+            "Doolittle", "Disintegration",
+        ]
+
+    def test_same_variable_reuse_must_match(self, store):
+        """(a)-[:SIMILAR]->(a) matches only self-loops — none here."""
+        rows = store.cypher("MATCH (a:Item)-[:SIMILAR]->(a) RETURN a")
+        assert rows == []
+
+    def test_distinct_edge_semantics(self, store):
+        """An undirected 2-hop cannot bounce back over the same edge."""
+        rows = store.cypher(
+            "MATCH (a:Item {title: 'Wish'})-[:SIMILAR]-(b)-[:SIMILAR]-(c) "
+            "RETURN c.title"
+        )
+        assert [row["c.title"] for row in rows] == ["Doolittle"]
+
+    def test_unbound_variable_in_where_raises(self, store):
+        with pytest.raises(QueryError):
+            store.cypher("MATCH (n:Item) WHERE m.year = 1 RETURN n")
+
+
+class TestStoreIntegration:
+    def test_execute_returns_data_objects(self, store):
+        objects = store.execute(
+            "MATCH (n:Item) WHERE n.year = 1989 RETURN n ORDER BY n.title"
+        )
+        assert [str(o.key) for o in objects] == [
+            "similar.Item.i2", "similar.Item.i3",
+        ]
+        assert objects[0].value["title"] == "Disintegration"
+
+    def test_execute_property_rows_are_derived(self, store):
+        objects = store.execute("MATCH (n:Item) RETURN n.title")
+        assert all(o.key.collection == "_result" for o in objects)
+
+    def test_augmented_search_over_cypher(self, mini_quepa):
+        """End to end: a Cypher query on the graph store, augmented."""
+        answer = mini_quepa.augmented_search(
+            "similar",
+            "MATCH (n:Item {title: 'Wish'}) RETURN n",
+        )
+        assert [str(o.key) for o in answer.originals] == ["similar.Item.i1"]
+        assert "catalogue.albums.d1" in {
+            str(k) for k in answer.augmented_keys()
+        }

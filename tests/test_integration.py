@@ -1,0 +1,179 @@
+"""Cross-module integration scenarios."""
+
+import pytest
+
+from repro.core import Quepa
+from repro.core.augmentation import AugmentationConfig
+from repro.core.promotion import PromotionPolicy
+from repro.network import (
+    RealRuntime,
+    centralized_profile,
+    distributed_profile,
+)
+from repro.optimizer import AdaptiveOptimizer, RunLogRepository
+from repro.workloads import PolystoreScale, QueryWorkload, build_polyphony
+
+
+class TestFullPipeline:
+    def test_every_engine_round_trip(self, seven_store_bundle):
+        """Native query -> augment -> fetch across all four engines."""
+        bundle = seven_store_bundle
+        quepa = Quepa(bundle.polystore, bundle.aindex)
+        workload = QueryWorkload(bundle)
+        for query in workload.base_queries(15):
+            answer = quepa.augmented_search(query.database, query.query)
+            assert len(answer.originals) == 15
+            # Level 0 reaches the identity clique + matchings.
+            assert len(answer.augmented) >= 15 * (bundle.store_count - 1)
+            touched = {k.database for k in answer.augmented_keys()}
+            assert len(touched) == bundle.store_count - 1 or (
+                query.database in touched
+            )
+
+    def test_augmenters_agree_end_to_end(self, seven_store_bundle):
+        bundle = seven_store_bundle
+        workload = QueryWorkload(bundle)
+        query = workload.query("catalogue", 25)
+        reference = None
+        for augmenter in (
+            "sequential", "batch", "inner", "outer", "outer_batch",
+            "outer_inner",
+        ):
+            quepa = Quepa(bundle.polystore, bundle.aindex)
+            config = AugmentationConfig(
+                augmenter=augmenter, batch_size=16, threads_size=4,
+                cache_size=0,
+            )
+            answer = quepa.augmented_search(
+                query.database, query.query, level=1, config=config
+            )
+            signature = sorted(
+                (str(e.key), round(e.probability, 9))
+                for e in answer.augmented
+            )
+            if reference is None:
+                reference = signature
+            assert signature == reference, augmenter
+
+    def test_virtual_and_real_runtimes_agree_on_answers(
+        self, seven_store_bundle
+    ):
+        bundle = seven_store_bundle
+        workload = QueryWorkload(bundle)
+        query = workload.query("transactions", 20)
+        profile = centralized_profile(bundle.database_names())
+        config = AugmentationConfig(
+            augmenter="outer_batch", batch_size=8, threads_size=8
+        )
+        virtual = Quepa(bundle.polystore, bundle.aindex, profile=profile)
+        real = Quepa(
+            bundle.polystore, bundle.aindex, profile=profile,
+            runtime=RealRuntime(profile),
+        )
+        one = virtual.augmented_search(query.database, query.query,
+                                       config=config)
+        two = real.augmented_search(query.database, query.query,
+                                    config=config)
+        assert {str(k) for k in one.augmented_keys()} == {
+            str(k) for k in two.augmented_keys()
+        }
+
+    def test_exploration_promotion_shortcut_end_to_end(self):
+        bundle = build_polyphony(4, PolystoreScale(n_albums=30), seed=6)
+        quepa = Quepa(
+            bundle.polystore,
+            bundle.aindex,
+            promotion_policy=PromotionPolicy(base=4, min_visits=2),
+        )
+        workload = QueryWorkload(bundle)
+        query = workload.query("transactions", 5)
+
+        def one_walk():
+            with quepa.explore(query.database, query.query) as session:
+                start = session.results[0].key
+                step1 = session.select(start)
+                step2 = session.select(step1.links[0].key)
+                target = next(
+                    link.key
+                    for link in step2.links
+                    if quepa.aindex.relation(start, link.key) is None
+                    and link.key != start
+                )
+                session.select(target)
+                return session.path
+
+        path = one_walk()
+        threshold = quepa.paths.policy.threshold(len(path) - 1)
+        for __ in range(threshold):
+            quepa.record_exploration(path)
+        shortcut = quepa.aindex.relation(path[0], path[-1])
+        assert shortcut is not None
+        # The shortcut now appears in a single augmentation step.
+        links = {str(l.key) for l in quepa.augment_object(path[0])}
+        assert str(path[-1]) in links
+
+    def test_adaptive_beats_static_sequential_on_big_queries(self):
+        bundle = build_polyphony(7, PolystoreScale(n_albums=300), seed=8)
+        names = bundle.database_names()
+        profile = distributed_profile(names)
+        workload = QueryWorkload(bundle)
+        logs = RunLogRepository()
+        trainer = Quepa(bundle.polystore, bundle.aindex, profile=profile)
+        trainer.run_listeners.append(logs)
+        configs = [
+            AugmentationConfig("sequential", 1, 1, 512),
+            AugmentationConfig("batch", 128, 1, 512),
+            AugmentationConfig("outer_batch", 128, 8, 512),
+        ]
+        for size in (10, 80, 250):
+            query = workload.query("transactions", size)
+            for config in configs:
+                trainer.augmented_search(
+                    query.database, query.query, config=config
+                )
+        optimizer = AdaptiveOptimizer(logs)
+        optimizer.train()
+
+        tuned = Quepa(
+            bundle.polystore, bundle.aindex, profile=profile,
+            optimizer=optimizer,
+        )
+        static = Quepa(bundle.polystore, bundle.aindex, profile=profile)
+        unseen = workload.query("transactions", 200, variant=1)
+        fast = tuned.augmented_search(unseen.database, unseen.query)
+        slow = static.augmented_search(unseen.database, unseen.query)
+        assert fast.stats.elapsed < slow.stats.elapsed
+        assert fast.stats.augmenter in ("batch", "outer_batch")
+
+    def test_lazy_deletion_propagates_through_search(self):
+        bundle = build_polyphony(4, PolystoreScale(n_albums=30), seed=7)
+        quepa = Quepa(bundle.polystore, bundle.aindex)
+        # Delete a catalogue document behind QUEPA's back.
+        victim = bundle.entity_key("catalogue", 0)
+        bundle.polystore.database("catalogue").delete_one("albums", victim.key)
+        workload = QueryWorkload(bundle)
+        query = workload.query("transactions", 5)
+        first = quepa.augmented_search(query.database, query.query)
+        assert str(victim) not in {str(k) for k in first.augmented_keys()}
+        assert victim not in quepa.aindex
+        second = quepa.augmented_search(query.database, query.query)
+        assert second.stats.missing_objects == 0
+
+    def test_cache_carries_over_between_queries(self, seven_store_bundle):
+        bundle = seven_store_bundle
+        quepa = Quepa(bundle.polystore, bundle.aindex)
+        workload = QueryWorkload(bundle)
+        query = workload.query("catalogue", 40)
+        config = AugmentationConfig(
+            augmenter="sequential", cache_size=100_000
+        )
+        cold = quepa.augmented_search(query.database, query.query,
+                                      config=config)
+        warm = quepa.augmented_search(query.database, query.query,
+                                      config=config)
+        # Even the cold run hits on intra-run overlaps (Section IV-C:
+        # "augmented results of the same answer can overlap"); the warm
+        # run hits on every planned fetch.
+        assert cold.stats.cache_hits < cold.stats.planned_fetches
+        assert warm.stats.cache_hits == warm.stats.planned_fetches
+        assert warm.stats.elapsed < cold.stats.elapsed

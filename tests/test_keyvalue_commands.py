@@ -1,0 +1,116 @@
+"""Tests for the Redis-style command language of the key-value store."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.stores import KeyValueStore
+
+
+@pytest.fixture
+def store() -> KeyValueStore:
+    kv = KeyValueStore(keyspace="drop")
+    kv.database_name = "discount"
+    kv.command("SET a:1 10%")
+    kv.command("SET a:2 20%")
+    kv.command("SET b:1 30%")
+    return kv
+
+
+class TestCommands:
+    def test_get(self, store):
+        assert store.command("GET a:1") == "10%"
+        assert store.command("GET missing") is None
+
+    def test_set_returns_ok(self, store):
+        assert store.command("SET c:1 40%") == "OK"
+        assert store.command("GET c:1") == "40%"
+
+    def test_set_quoted_value(self, store):
+        store.command("SET greeting 'hello world'")
+        assert store.command("GET greeting") == "hello world"
+
+    def test_del_counts_removed(self, store):
+        assert store.command("DEL a:1 a:2 missing") == 2
+        assert store.command("DBSIZE") == 1
+
+    def test_exists(self, store):
+        assert store.command("EXISTS a:1 missing b:1") == 2
+
+    def test_mget(self, store):
+        assert store.command("MGET a:1 nope b:1") == ["10%", None, "30%"]
+
+    def test_keys_sorted(self, store):
+        assert store.command("KEYS a:*") == ["a:1", "a:2"]
+
+    def test_scan_with_options(self, store):
+        cursor, page = store.command("SCAN 0 MATCH a:* COUNT 10")
+        assert cursor == 0
+        assert page == ["a:1", "a:2"]
+
+    def test_dbsize(self, store):
+        assert store.command("DBSIZE") == 3
+
+
+class TestCommandErrors:
+    def test_unknown_verb(self, store):
+        with pytest.raises(QueryError):
+            store.command("FLY to the moon")
+
+    def test_empty_command(self, store):
+        with pytest.raises(QueryError):
+            store.command("   ")
+
+    def test_wrong_arity(self, store):
+        with pytest.raises(QueryError):
+            store.command("GET")
+        with pytest.raises(QueryError):
+            store.command("GET a b")
+        with pytest.raises(QueryError):
+            store.command("SET only_key")
+        with pytest.raises(QueryError):
+            store.command("DBSIZE extra")
+
+    def test_bad_scan_cursor(self, store):
+        with pytest.raises(QueryError):
+            store.command("SCAN abc")
+
+    def test_bad_scan_option(self, store):
+        with pytest.raises(QueryError):
+            store.command("SCAN 0 WRONG x")
+
+    def test_unbalanced_quote(self, store):
+        with pytest.raises(QueryError):
+            store.command("SET k 'oops")
+
+
+class TestExecuteIntegration:
+    def test_execute_get(self, store):
+        objects = store.execute("GET a:1")
+        assert len(objects) == 1
+        assert str(objects[0].key) == "discount.drop.a:1"
+        assert store.execute("GET missing") == []
+
+    def test_execute_mget(self, store):
+        objects = store.execute("MGET a:1 missing b:1")
+        assert [o.value for o in objects] == ["10%", "30%"]
+
+    def test_execute_keys_command(self, store):
+        objects = store.execute("KEYS b:*")
+        assert [o.key.key for o in objects] == ["b:1"]
+
+    def test_execute_bare_pattern_still_works(self, store):
+        assert len(store.execute("a:*")) == 2
+
+    def test_execute_rejects_writes(self, store):
+        with pytest.raises(QueryError):
+            store.execute("SET x y")
+        with pytest.raises(QueryError):
+            store.execute("DEL a:1")
+
+    def test_augmented_search_over_command(self, mini_quepa):
+        answer = mini_quepa.augmented_search(
+            "discount", "MGET k1:cure:wish"
+        )
+        assert "catalogue.albums.d1" in {
+            str(k) for k in answer.augmented_keys()
+        }

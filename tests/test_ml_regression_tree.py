@@ -1,0 +1,121 @@
+"""Tests for the RepTree-style regression tree."""
+
+import random
+
+import pytest
+
+from repro.errors import NotTrainedError, TrainingError
+from repro.ml import Example, RepTree
+
+
+def step_examples() -> list[Example]:
+    """y = 10 for x <= 50, else 100."""
+    return [
+        Example({"x": x}, 10.0 if x <= 50 else 100.0) for x in range(0, 101, 2)
+    ]
+
+
+def grid_examples() -> list[Example]:
+    """y depends on a categorical and a numeric feature."""
+    data = []
+    for deployment in ("centralized", "distributed"):
+        for size in range(10, 200, 10):
+            base = 100 if deployment == "distributed" else 10
+            data.append(
+                Example({"deployment": deployment, "size": size},
+                        base + size * 0.1)
+            )
+    return data
+
+
+class TestTraining:
+    def test_learns_step_function(self):
+        tree = RepTree(min_leaf=2).fit(step_examples())
+        assert tree.predict({"x": 10}) == pytest.approx(10.0, abs=1.0)
+        assert tree.predict({"x": 90}) == pytest.approx(100.0, abs=1.0)
+
+    def test_learns_categorical_offset(self):
+        tree = RepTree(min_leaf=2).fit(grid_examples())
+        low = tree.predict({"deployment": "centralized", "size": 100})
+        high = tree.predict({"deployment": "distributed", "size": 100})
+        assert high - low > 50
+
+    def test_constant_target_single_leaf(self):
+        examples = [Example({"x": i}, 7.0) for i in range(20)]
+        tree = RepTree().fit(examples)
+        assert tree.predict({"x": 999}) == 7.0
+
+    def test_non_numeric_target_rejected(self):
+        with pytest.raises(TrainingError):
+            RepTree().fit([Example({"x": 1}, "high")])
+
+    def test_boolean_target_rejected(self):
+        with pytest.raises(TrainingError):
+            RepTree().fit([Example({"x": 1}, True)])
+
+    def test_integer_targets_accepted(self):
+        tree = RepTree(min_leaf=1, prune=False).fit(
+            [Example({"x": i}, i * 2) for i in range(10)]
+        )
+        assert tree.predict({"x": 3}) == pytest.approx(6.0, abs=4.0)
+
+
+class TestPrediction:
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotTrainedError):
+            RepTree().predict({"x": 1})
+
+    def test_missing_feature_returns_node_mean(self):
+        tree = RepTree(min_leaf=2).fit(step_examples())
+        prediction = tree.predict({})
+        assert 10.0 <= prediction <= 100.0
+
+    def test_unseen_category_returns_node_mean(self):
+        tree = RepTree(min_leaf=2).fit(grid_examples())
+        prediction = tree.predict({"deployment": "lunar", "size": 100})
+        assert prediction > 0
+
+    def test_mse_on_training_data_is_low(self):
+        examples = step_examples()
+        tree = RepTree(min_leaf=2).fit(examples)
+        assert tree.mse(examples) < 5.0
+
+    def test_mse_empty_is_zero(self):
+        tree = RepTree(min_leaf=2).fit(step_examples())
+        assert tree.mse([]) == 0.0
+
+
+class TestPruning:
+    def test_reduced_error_pruning_controls_noise(self):
+        rng = random.Random(3)
+        examples = [
+            Example({"x": rng.random()}, rng.gauss(50.0, 1.0))
+            for __ in range(200)
+        ]
+        pruned = RepTree(prune=True, min_leaf=1, max_depth=12).fit(examples)
+        unpruned = RepTree(prune=False, min_leaf=1, max_depth=12).fit(examples)
+
+        def leaf_count(tree):
+            def walk(node):
+                if node.is_leaf:
+                    return 1
+                return sum(walk(child) for child in node.children.values())
+
+            return walk(tree._root)
+
+        assert leaf_count(pruned) <= leaf_count(unpruned)
+
+    def test_pruning_preserves_strong_signal(self):
+        tree = RepTree(prune=True, min_leaf=2).fit(step_examples())
+        assert abs(tree.predict({"x": 0}) - tree.predict({"x": 100})) > 50
+
+
+class TestInspection:
+    def test_to_text(self):
+        tree = RepTree(min_leaf=2).fit(step_examples())
+        text = tree.to_text()
+        assert "x" in text and "->" in text
+
+    def test_to_text_before_fit_raises(self):
+        with pytest.raises(NotTrainedError):
+            RepTree().to_text()

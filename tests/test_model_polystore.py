@@ -1,0 +1,91 @@
+"""Tests for the Polystore registry and cross-store object access."""
+
+import pytest
+
+from repro.errors import UnknownDatabaseError
+from repro.model import GlobalKey, Polystore
+from repro.stores import KeyValueStore
+
+K = GlobalKey.parse
+
+
+class TestRegistry:
+    def test_attach_and_lookup(self, mini_polystore):
+        assert "transactions" in mini_polystore
+        assert mini_polystore.database("transactions").engine == "relational"
+
+    def test_attach_sets_database_name(self):
+        polystore = Polystore()
+        store = KeyValueStore()
+        polystore.attach("kv", store)
+        assert store.database_name == "kv"
+
+    def test_double_attach_rejected(self, mini_polystore):
+        with pytest.raises(ValueError):
+            mini_polystore.attach("transactions", KeyValueStore())
+
+    def test_unknown_database_raises(self, mini_polystore):
+        with pytest.raises(UnknownDatabaseError):
+            mini_polystore.database("nope")
+
+    def test_detach(self, mini_polystore):
+        store = mini_polystore.detach("discount")
+        assert store.engine == "keyvalue"
+        assert "discount" not in mini_polystore
+
+    def test_detach_unknown_raises(self, mini_polystore):
+        with pytest.raises(UnknownDatabaseError):
+            mini_polystore.detach("nope")
+
+    def test_len_and_iter(self, mini_polystore):
+        assert len(mini_polystore) == 4
+        assert sorted(mini_polystore) == [
+            "catalogue", "discount", "similar", "transactions",
+        ]
+
+
+class TestObjectAccess:
+    def test_get_relational_object(self, mini_polystore):
+        obj = mini_polystore.get(K("transactions.inventory.a32"))
+        assert obj.value["name"] == "Wish"
+
+    def test_get_document_object(self, mini_polystore):
+        obj = mini_polystore.get(K("catalogue.albums.d1"))
+        assert obj.value["title"] == "Wish"
+
+    def test_get_kv_object(self, mini_polystore):
+        obj = mini_polystore.get(K("discount.drop.k1:cure:wish"))
+        assert obj.value == "40%"
+
+    def test_get_graph_object(self, mini_polystore):
+        obj = mini_polystore.get(K("similar.Item.i1"))
+        assert obj.value["title"] == "Wish"
+
+    def test_get_many_groups_by_database(self, mini_polystore):
+        keys = [
+            K("transactions.inventory.a32"),
+            K("catalogue.albums.d1"),
+            K("transactions.inventory.a33"),
+        ]
+        objects = mini_polystore.get_many(keys)
+        assert [str(o.key) for o in objects] == [str(k) for k in keys]
+        # One multi_get per touched database.
+        assert mini_polystore.database("transactions").stats.multi_gets == 1
+        assert mini_polystore.database("catalogue").stats.multi_gets == 1
+
+    def test_get_many_drops_missing(self, mini_polystore):
+        keys = [
+            K("transactions.inventory.a32"),
+            K("transactions.inventory.missing"),
+        ]
+        objects = mini_polystore.get_many(keys)
+        assert len(objects) == 1
+
+    def test_exists(self, mini_polystore):
+        assert mini_polystore.exists(K("catalogue.albums.d1"))
+        assert not mini_polystore.exists(K("catalogue.albums.nope"))
+        assert not mini_polystore.exists(K("nodb.c.k"))
+
+    def test_total_objects(self, mini_polystore):
+        # 3 inventory + 2 albums + 1 customer + 2 discounts + 3 items
+        assert mini_polystore.total_objects() == 11

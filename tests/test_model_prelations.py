@@ -1,0 +1,62 @@
+"""Tests for p-relations (Definition 1)."""
+
+import pytest
+
+from repro.errors import InvalidProbabilityError
+from repro.model.objects import GlobalKey
+from repro.model.prelations import PRelation, RelationType
+
+A = GlobalKey("alpha", "c", "1")
+B = GlobalKey("beta", "c", "2")
+
+
+class TestPRelation:
+    def test_identity_constructor(self):
+        relation = PRelation.identity(A, B, 0.8)
+        assert relation.type is RelationType.IDENTITY
+        assert relation.probability == 0.8
+
+    def test_matching_constructor(self):
+        relation = PRelation.matching(A, B, 0.6)
+        assert relation.type is RelationType.MATCHING
+
+    def test_endpoints_are_canonicalized(self):
+        """The same logical edge compares equal regardless of order."""
+        assert PRelation.identity(A, B, 0.5) == PRelation.identity(B, A, 0.5)
+
+    def test_canonical_order_is_by_string(self):
+        relation = PRelation.identity(B, A, 0.5)
+        assert str(relation.left) <= str(relation.right)
+
+    def test_zero_probability_rejected(self):
+        with pytest.raises(InvalidProbabilityError):
+            PRelation.identity(A, B, 0.0)
+
+    def test_above_one_rejected(self):
+        with pytest.raises(InvalidProbabilityError):
+            PRelation.identity(A, B, 1.01)
+
+    def test_probability_one_allowed(self):
+        assert PRelation.identity(A, B, 1.0).probability == 1.0
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(InvalidProbabilityError):
+            PRelation.identity(A, A, 0.5)
+
+    def test_other_endpoint(self):
+        relation = PRelation.identity(A, B, 0.5)
+        assert relation.other(A) == B
+        assert relation.other(B) == A
+
+    def test_other_with_foreign_key_raises(self):
+        relation = PRelation.identity(A, B, 0.5)
+        with pytest.raises(KeyError):
+            relation.other(GlobalKey("x", "y", "z"))
+
+    def test_str_uses_relation_symbol(self):
+        assert "~" in str(PRelation.identity(A, B, 0.5))
+        assert "=" in str(PRelation.matching(A, B, 0.5))
+
+    def test_hashable(self):
+        edges = {PRelation.identity(A, B, 0.5), PRelation.identity(B, A, 0.5)}
+        assert len(edges) == 1

@@ -1,0 +1,225 @@
+"""Tests for the virtual clock, profiles and execution runtimes."""
+
+import pytest
+
+from repro.model.objects import DataObject, GlobalKey
+from repro.network import (
+    CostModel,
+    Machine,
+    RealRuntime,
+    VirtualClock,
+    VirtualRuntime,
+    centralized_profile,
+    distributed_profile,
+)
+from repro.network.clock import Resource
+
+
+class TestVirtualClock:
+    def test_advance(self):
+        clock = VirtualClock()
+        assert clock.advance(1.5) == 1.5
+        assert clock.now == 1.5
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1)
+
+    def test_advance_to_is_monotone(self):
+        clock = VirtualClock(10.0)
+        clock.advance_to(5.0)
+        assert clock.now == 10.0
+        clock.advance_to(12.0)
+        assert clock.now == 12.0
+
+
+class TestResource:
+    def test_serializes_on_one_slot(self):
+        resource = Resource(1)
+        assert resource.acquire(0.0, 2.0) == (0.0, 2.0)
+        assert resource.acquire(0.0, 2.0) == (2.0, 4.0)
+
+    def test_parallel_on_two_slots(self):
+        resource = Resource(2)
+        assert resource.acquire(0.0, 2.0) == (0.0, 2.0)
+        assert resource.acquire(0.0, 2.0) == (0.0, 2.0)
+
+    def test_arrival_respected(self):
+        resource = Resource(1)
+        assert resource.acquire(5.0, 1.0) == (5.0, 6.0)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Resource(0)
+
+
+class TestProfiles:
+    def test_centralized_places_all_stores_near(self):
+        profile = centralized_profile(["a", "b"])
+        assert profile.site("a").one_way_latency < 0.001
+        assert profile.site("a").machine is profile.site("b").machine
+
+    def test_distributed_latencies_are_large_and_distinct(self):
+        profile = distributed_profile(["a", "b", "c"])
+        latencies = {profile.site(db).one_way_latency for db in "abc"}
+        assert len(latencies) == 3
+        assert all(lat >= 0.040 for lat in latencies)
+
+    def test_distributed_is_seeded(self):
+        one = distributed_profile(["a", "b"], seed=9)
+        two = distributed_profile(["a", "b"], seed=9)
+        assert one.site("a").one_way_latency == two.site("a").one_way_latency
+
+    def test_unplaced_database_gets_default_site(self):
+        profile = centralized_profile(["a"])
+        site = profile.site("never-placed")
+        assert site.machine is profile.quepa_machine
+
+
+def _fetch_objects(count):
+    return [
+        DataObject(GlobalKey("db", "c", str(i)), i) for i in range(count)
+    ]
+
+
+class TestVirtualRuntime:
+    def make(self, databases=("db",)):
+        profile = centralized_profile(list(databases))
+        return VirtualRuntime(profile)
+
+    def test_store_call_charges_roundtrip_and_service(self):
+        runtime = self.make()
+        ctx = runtime.root()
+        ctx.store_call("db", lambda: _fetch_objects(10))
+        cost = runtime.profile.cost_model
+        site = runtime.profile.site("db")
+        expected = (
+            site.roundtrip
+            + cost.per_query_overhead
+            + 10 * cost.per_object_service
+            + 10 * cost.per_object_cpu
+        )
+        assert runtime.elapsed == pytest.approx(expected)
+
+    def test_meter_counts_queries_and_objects(self):
+        runtime = self.make()
+        ctx = runtime.root()
+        ctx.store_call("db", lambda: _fetch_objects(3))
+        ctx.store_call("db", lambda: _fetch_objects(2))
+        assert runtime.meter.total_queries == 2
+        assert runtime.meter.total_objects == 5
+        assert runtime.meter.queries_by_database == {"db": 2}
+
+    def test_sequential_tasks_in_one_worker_serialize(self):
+        runtime = self.make()
+        ctx = runtime.root()
+        pool = ctx.pool(1)
+        for __ in range(3):
+            pool.submit(lambda child: child.cpu(1.0))
+        pool.join()
+        assert runtime.elapsed >= 3.0
+
+    def test_parallel_tasks_overlap(self):
+        runtime = VirtualRuntime(centralized_profile(["db"], cores=16))
+        ctx = runtime.root()
+        pool = ctx.pool(4)
+        for __ in range(4):
+            pool.submit(lambda child: child.cpu(1.0))
+        pool.join()
+        assert runtime.elapsed < 1.5
+
+    def test_graham_bound_caps_speedup_at_cores(self):
+        """More workers than cores cannot beat total_work / cores."""
+        runtime = VirtualRuntime(centralized_profile(["db"], cores=2))
+        ctx = runtime.root()
+        pool = ctx.pool(16)
+        for __ in range(16):
+            pool.submit(lambda child: child.cpu(1.0))
+        pool.join()
+        assert runtime.elapsed >= 16.0 / 2
+
+    def test_latency_waits_do_not_consume_cores(self):
+        """Blocked threads overlap freely even on a 1-core host."""
+        profile = distributed_profile(["db"], cores=1, min_latency=0.1,
+                                      max_latency=0.1)
+        runtime = VirtualRuntime(profile)
+        ctx = runtime.root()
+        pool = ctx.pool(10)
+        for __ in range(10):
+            pool.submit(
+                lambda child: child.store_call("db", lambda: [])
+            )
+        pool.join()
+        # 10 x 0.2s roundtrips overlapped: far less than 2s sequential.
+        assert runtime.elapsed < 0.5
+
+    def test_nested_pools_compose(self):
+        runtime = VirtualRuntime(centralized_profile(["db"], cores=64))
+        ctx = runtime.root()
+
+        def outer_task(child):
+            inner = child.pool(2)
+            inner.submit(lambda grandchild: grandchild.cpu(1.0))
+            inner.submit(lambda grandchild: grandchild.cpu(1.0))
+            inner.join()
+            return child.now
+
+        pool = ctx.pool(2)
+        pool.submit(outer_task)
+        pool.submit(outer_task)
+        pool.join()
+        # 4 seconds of CPU across 4-way nested parallelism.
+        assert runtime.elapsed < 1.6
+
+    def test_results_returned_in_submission_order(self):
+        runtime = self.make()
+        ctx = runtime.root()
+        pool = ctx.pool(2)
+        for value in range(5):
+            pool.submit(lambda child, v=value: v)
+        assert pool.join() == [0, 1, 2, 3, 4]
+
+    def test_root_resets_elapsed(self):
+        runtime = self.make()
+        ctx = runtime.root()
+        ctx.cpu(5.0)
+        assert runtime.elapsed == pytest.approx(5.0)
+        runtime.root()
+        assert runtime.elapsed == 0.0
+
+
+class TestRealRuntime:
+    def test_tasks_actually_run_and_results_collected(self):
+        runtime = RealRuntime(centralized_profile(["db"]))
+        ctx = runtime.root()
+        pool = ctx.pool(4)
+        for value in range(8):
+            pool.submit(lambda child, v=value: v * 2)
+        assert pool.join() == [0, 2, 4, 6, 8, 10, 12, 14]
+
+    def test_store_call_executes_and_meters(self):
+        runtime = RealRuntime(centralized_profile(["db"]))
+        ctx = runtime.root()
+        results = ctx.store_call("db", lambda: _fetch_objects(4))
+        assert len(results) == 4
+        assert runtime.meter.total_objects == 4
+
+    def test_elapsed_measures_wall_time(self):
+        runtime = RealRuntime(centralized_profile(["db"]))
+        runtime.root()
+        runtime.stop()
+        assert runtime.elapsed >= 0.0
+
+    def test_cost_model_exposed_via_context(self):
+        model = CostModel(cache_probe_cost=0.123)
+        profile = centralized_profile(["db"], cost_model=model)
+        runtime = RealRuntime(profile)
+        assert runtime.root().cost_model.cache_probe_cost == 0.123
+
+
+class TestMachine:
+    def test_reset_clears_resource(self):
+        machine = Machine("m", 2)
+        machine.cpu.acquire(0.0, 5.0)
+        machine.reset()
+        assert machine.cpu.earliest_free() == 0.0

@@ -1,0 +1,236 @@
+"""Tests for the run-log repository, ADAPTIVE, HUMAN and RANDOM."""
+
+import pytest
+
+from repro.core.augmentation import AugmentationConfig
+from repro.core.runlog import QueryFeatures, RunRecord
+from repro.errors import NotTrainedError, TrainingError
+from repro.optimizer import (
+    AdaptiveOptimizer,
+    HumanOptimizer,
+    RandomOptimizer,
+    RunLogRepository,
+)
+from repro.optimizer.baselines import BATCH_SIZES, CACHE_SIZES, THREADS_SIZES
+
+
+def features(
+    engine="relational",
+    level=0,
+    original=100,
+    planned=500,
+    stores=7,
+    deployment="centralized",
+) -> QueryFeatures:
+    return QueryFeatures(
+        engine=engine,
+        database="transactions",
+        level=level,
+        original_count=original,
+        planned_fetches=planned,
+        store_count=stores,
+        deployment=deployment,
+    )
+
+
+def record(
+    f: QueryFeatures,
+    augmenter: str,
+    elapsed: float,
+    batch_size=64,
+    threads_size=4,
+    cache_size=1024,
+) -> RunRecord:
+    return RunRecord(
+        features=f,
+        augmenter=augmenter,
+        batch_size=batch_size,
+        threads_size=threads_size,
+        cache_size=cache_size,
+        elapsed=elapsed,
+    )
+
+
+class TestRunLogRepository:
+    def test_listener_form(self):
+        repo = RunLogRepository()
+        repo(record(features(), "batch", 1.0))
+        assert len(repo) == 1
+
+    def test_best_runs_pick_fastest_per_signature(self):
+        repo = RunLogRepository()
+        f = features()
+        repo.add(record(f, "sequential", 9.0))
+        repo.add(record(f, "batch", 1.0))
+        repo.add(record(f, "outer", 4.0))
+        best = repo.best_runs()
+        assert len(best) == 1
+        assert best[0].augmenter == "batch"
+
+    def test_different_signatures_kept_separate(self):
+        repo = RunLogRepository()
+        repo.add(record(features(original=10), "sequential", 0.1))
+        repo.add(record(features(original=10000), "batch", 2.0))
+        assert len(repo.best_runs()) == 2
+
+    def test_augmenter_examples_labelled_by_winner(self):
+        repo = RunLogRepository()
+        f = features()
+        repo.add(record(f, "sequential", 9.0))
+        repo.add(record(f, "outer_batch", 1.0))
+        examples = repo.augmenter_examples()
+        assert len(examples) == 1
+        assert examples[0].target == "outer_batch"
+        assert examples[0].features["planned_fetches"] == 500
+
+    def test_batch_examples_only_from_batching_winners(self):
+        repo = RunLogRepository()
+        repo.add(record(features(original=1), "sequential", 0.1))
+        repo.add(record(features(original=2), "batch", 0.1, batch_size=256))
+        examples = repo.batch_size_examples()
+        assert len(examples) == 1
+        assert examples[0].target == 256
+
+    def test_threads_examples_only_from_concurrent_winners(self):
+        repo = RunLogRepository()
+        repo.add(record(features(original=1), "batch", 0.1))
+        repo.add(record(features(original=2), "outer", 0.1, threads_size=16))
+        examples = repo.threads_size_examples()
+        assert len(examples) == 1
+        assert examples[0].target == 16
+
+    def test_runs_per_signature(self):
+        repo = RunLogRepository()
+        f = features()
+        repo.add(record(f, "batch", 1.0))
+        repo.add(record(f, "outer", 2.0))
+        assert list(repo.runs_per_signature().values()) == [2]
+
+    def test_clear(self):
+        repo = RunLogRepository()
+        repo.add(record(features(), "batch", 1.0))
+        repo.clear()
+        assert len(repo) == 0
+
+
+def trained_optimizer() -> AdaptiveOptimizer:
+    """Logs where small queries favour sequential, big ones batching."""
+    repo = RunLogRepository()
+    for planned in (10, 20, 30):
+        f = features(original=planned // 10, planned=planned)
+        repo.add(record(f, "sequential", 0.01))
+        repo.add(record(f, "outer_batch", 0.05))
+    for planned in (5000, 8000, 12000):
+        f = features(original=planned // 10, planned=planned)
+        repo.add(record(f, "sequential", 9.0))
+        repo.add(
+            record(f, "outer_batch", 0.5, batch_size=256, threads_size=16)
+        )
+    optimizer = AdaptiveOptimizer(repo)
+    optimizer.train()
+    return optimizer
+
+
+class TestAdaptive:
+    def test_training_report(self):
+        optimizer = trained_optimizer()
+        report = optimizer.report
+        assert report.signatures == 6
+        assert report.t1_examples == 6
+        assert report.t1_accuracy == 1.0
+
+    def test_prediction_follows_learned_rule(self):
+        optimizer = trained_optimizer()
+        small = optimizer.configure(
+            features(original=2, planned=15), current_cache_size=1024
+        )
+        big = optimizer.configure(
+            features(original=900, planned=9000), current_cache_size=1024
+        )
+        assert small.augmenter == "sequential"
+        assert big.augmenter == "outer_batch"
+        assert big.batch_size >= 64
+        assert big.threads_size >= 4
+
+    def test_untrained_returns_fallback(self):
+        optimizer = AdaptiveOptimizer(
+            fallback=AugmentationConfig(augmenter="outer")
+        )
+        config = optimizer.configure(features(), current_cache_size=0)
+        assert config.augmenter == "outer"
+
+    def test_train_needs_two_signatures(self):
+        repo = RunLogRepository()
+        repo.add(record(features(), "batch", 1.0))
+        with pytest.raises(TrainingError):
+            AdaptiveOptimizer(repo).train()
+
+    def test_cache_smoothing_formula(self):
+        """current + (predicted - current) / 10, per Section V."""
+        assert AdaptiveOptimizer.smooth_cache_size(1000, 2000) == 1100
+        assert AdaptiveOptimizer.smooth_cache_size(1000, 0) == 900
+        assert AdaptiveOptimizer.smooth_cache_size(0, 5) == 0  # rounds to 0
+        assert AdaptiveOptimizer.smooth_cache_size(0, 50) == 5
+
+    def test_describe_renders_t1(self):
+        optimizer = trained_optimizer()
+        assert "->" in optimizer.describe()
+
+    def test_describe_untrained_raises(self):
+        with pytest.raises(NotTrainedError):
+            AdaptiveOptimizer().describe()
+
+    def test_periodic_retraining(self):
+        optimizer = trained_optimizer()
+        optimizer.retrain_every = 2
+        trained_at = optimizer._trained_at
+        f = features(original=3, planned=33)
+        optimizer.logs.add(record(f, "sequential", 0.01))
+        optimizer.logs.add(record(f, "batch", 0.5))
+        optimizer.configure(features(), current_cache_size=0)
+        assert optimizer._trained_at > trained_at
+
+
+class TestBaselines:
+    def test_human_small_answers_sequential(self):
+        config = HumanOptimizer().configure(
+            features(planned=10), current_cache_size=100
+        )
+        assert config.augmenter == "sequential"
+        assert config.threads_size == 1
+
+    def test_human_batches_harder_when_distributed(self):
+        human = HumanOptimizer()
+        near = human.configure(
+            features(planned=5000, deployment="centralized"), 100
+        )
+        far = human.configure(
+            features(planned=5000, deployment="distributed"), 100
+        )
+        assert far.batch_size > near.batch_size
+
+    def test_human_threads_scale_with_work(self):
+        human = HumanOptimizer()
+        small = human.configure(features(planned=100, stores=7), 100)
+        large = human.configure(features(planned=50000, stores=7), 100)
+        assert large.threads_size > small.threads_size
+
+    def test_random_is_seeded_and_on_grid(self):
+        one = RandomOptimizer(seed=5)
+        two = RandomOptimizer(seed=5)
+        for __ in range(10):
+            a = one.configure(features(), 100)
+            b = two.configure(features(), 100)
+            assert (a.augmenter, a.batch_size, a.threads_size, a.cache_size) == (
+                b.augmenter, b.batch_size, b.threads_size, b.cache_size
+            )
+            assert a.batch_size in BATCH_SIZES
+            assert a.threads_size in THREADS_SIZES
+            assert a.cache_size in CACHE_SIZES
+
+    def test_random_varies_across_calls(self):
+        optimizer = RandomOptimizer(seed=1)
+        configs = {
+            optimizer.configure(features(), 100).augmenter for __ in range(30)
+        }
+        assert len(configs) > 1

@@ -1,0 +1,127 @@
+"""Tests for SQL DDL: CREATE TABLE / CREATE INDEX / DROP TABLE."""
+
+import pytest
+
+from repro.errors import QueryError, SchemaError, SqlSyntaxError
+from repro.stores import RelationalStore
+
+
+@pytest.fixture
+def store() -> RelationalStore:
+    return RelationalStore()
+
+
+class TestCreateTable:
+    def test_create_and_use(self, store):
+        store.sql(
+            "CREATE TABLE items ("
+            "id TEXT NOT NULL PRIMARY KEY, "
+            "name VARCHAR(64), "
+            "price FLOAT, "
+            "stock INT, "
+            "active BOOLEAN)"
+        )
+        store.sql(
+            "INSERT INTO items (id, name, price, stock, active) "
+            "VALUES ('a', 'Wish', 9.5, 3, TRUE)"
+        )
+        rows = store.sql("SELECT * FROM items")
+        assert rows == [{
+            "id": "a", "name": "Wish", "price": 9.5, "stock": 3,
+            "active": True,
+        }]
+
+    def test_table_level_primary_key(self, store):
+        store.sql(
+            "CREATE TABLE t (id TEXT NOT NULL, v INT, PRIMARY KEY (id))"
+        )
+        assert store.table("t").schema.primary_key == "id"
+
+    def test_not_null_enforced(self, store):
+        store.sql("CREATE TABLE t (id TEXT PRIMARY KEY, v INT NOT NULL)")
+        with pytest.raises(SchemaError):
+            store.sql("INSERT INTO t (id, v) VALUES ('a', NULL)")
+
+    def test_types_validated(self, store):
+        store.sql("CREATE TABLE t (id TEXT PRIMARY KEY, v INT)")
+        with pytest.raises(SchemaError):
+            store.sql("INSERT INTO t (id, v) VALUES ('a', 'not-an-int')")
+
+    def test_duplicate_table_rejected(self, store):
+        store.sql("CREATE TABLE t (id TEXT PRIMARY KEY)")
+        with pytest.raises(SchemaError):
+            store.sql("CREATE TABLE t (id TEXT PRIMARY KEY)")
+
+    def test_if_not_exists(self, store):
+        store.sql("CREATE TABLE t (id TEXT PRIMARY KEY)")
+        store.sql("CREATE TABLE IF NOT EXISTS t (id TEXT PRIMARY KEY)")
+        assert store.tables() == ["t"]
+
+    def test_missing_primary_key_rejected(self, store):
+        with pytest.raises(SqlSyntaxError):
+            store.sql("CREATE TABLE t (id TEXT, v INT)")
+
+    def test_missing_type_rejected(self, store):
+        with pytest.raises(SqlSyntaxError):
+            store.sql("CREATE TABLE t (id PRIMARY KEY)")
+
+    def test_empty_column_list_rejected(self, store):
+        with pytest.raises(SqlSyntaxError):
+            store.sql("CREATE TABLE t (PRIMARY KEY (id))")
+
+
+class TestCreateIndex:
+    def test_index_used_by_queries(self, store):
+        store.sql("CREATE TABLE t (id TEXT PRIMARY KEY, grp TEXT)")
+        for i in range(6):
+            store.sql(
+                f"INSERT INTO t (id, grp) VALUES ('k{i}', 'g{i % 2}')"
+            )
+        store.sql("CREATE INDEX grp_idx ON t (grp)")
+        assert store.table("t").has_index("grp")
+        rows = store.sql("SELECT id FROM t WHERE grp = 'g0' ORDER BY id")
+        assert [r["id"] for r in rows] == ["k0", "k2", "k4"]
+
+    def test_anonymous_index(self, store):
+        store.sql("CREATE TABLE t (id TEXT PRIMARY KEY, v INT)")
+        store.sql("CREATE INDEX ON t (v)")
+        assert store.table("t").has_index("v")
+
+    def test_index_on_unknown_table(self, store):
+        with pytest.raises(QueryError):
+            store.sql("CREATE INDEX ON missing (v)")
+
+
+class TestDropTable:
+    def test_drop(self, store):
+        store.sql("CREATE TABLE t (id TEXT PRIMARY KEY)")
+        store.sql("DROP TABLE t")
+        assert store.tables() == []
+
+    def test_drop_missing_raises(self, store):
+        with pytest.raises(QueryError):
+            store.sql("DROP TABLE missing")
+
+    def test_drop_if_exists(self, store):
+        store.sql("DROP TABLE IF EXISTS missing")  # no error
+
+    def test_full_lifecycle(self, store):
+        """DDL + DML + queries end to end, SQL only."""
+        store.database_name = "db"
+        store.sql(
+            "CREATE TABLE albums (id TEXT PRIMARY KEY, artist TEXT, "
+            "year INT)"
+        )
+        store.sql("CREATE INDEX ON albums (artist)")
+        store.sql(
+            "INSERT INTO albums VALUES ('a1', 'Cure', 1992), "
+            "('a2', 'Cure', 1989), ('a3', 'Pixies', 1989)"
+        )
+        store.sql("UPDATE albums SET year = year + 1 WHERE id = 'a3'")
+        store.sql("DELETE FROM albums WHERE year = 1990")
+        rows = store.sql(
+            "SELECT artist, COUNT(*) AS n FROM albums GROUP BY artist"
+        )
+        assert rows == [{"artist": "Cure", "n": 2}]
+        store.sql("DROP TABLE albums")
+        assert store.tables() == []

@@ -1,0 +1,228 @@
+"""Tests for the SQL tokenizer and parser."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.stores.relational.ast import (
+    BetweenOp,
+    BinaryOp,
+    ColumnRef,
+    Delete,
+    FuncCall,
+    InOp,
+    Insert,
+    IsNullOp,
+    LikeOp,
+    Literal,
+    Select,
+    Star,
+    UnaryOp,
+    Update,
+)
+from repro.stores.relational.parser import parse_sql, tokenize
+
+
+class TestTokenizer:
+    def test_keywords_are_case_insensitive(self):
+        kinds = [t.kind for t in tokenize("select FROM Where")]
+        assert kinds == ["keyword", "keyword", "keyword", "end"]
+
+    def test_string_with_escaped_quote(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].text == "'it''s'"
+
+    def test_numbers(self):
+        tokens = tokenize("1 2.5 3e2")
+        assert [t.kind for t in tokens[:3]] == ["number"] * 3
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT #")
+
+
+class TestSelectParsing:
+    def test_select_star(self):
+        statement = parse_sql("SELECT * FROM inventory")
+        assert isinstance(statement, Select)
+        assert isinstance(statement.items[0].expr, Star)
+        assert statement.table.name == "inventory"
+
+    def test_select_columns_with_aliases(self):
+        statement = parse_sql("SELECT name AS n, price FROM inventory")
+        assert statement.items[0].alias == "n"
+        assert isinstance(statement.items[1].expr, ColumnRef)
+
+    def test_table_alias(self):
+        statement = parse_sql("SELECT i.name FROM inventory i")
+        assert statement.table.alias == "i"
+        assert statement.items[0].expr == ColumnRef("name", table="i")
+
+    def test_where_like(self):
+        statement = parse_sql("SELECT * FROM t WHERE name LIKE '%wish%'")
+        assert isinstance(statement.where, LikeOp)
+        assert statement.where.pattern == Literal("%wish%")
+
+    def test_where_not_like(self):
+        statement = parse_sql("SELECT * FROM t WHERE name NOT LIKE 'x'")
+        assert statement.where.negated is True
+
+    def test_where_in_list(self):
+        statement = parse_sql("SELECT * FROM t WHERE id IN ('a', 'b')")
+        assert isinstance(statement.where, InOp)
+        assert len(statement.where.items) == 2
+
+    def test_where_between(self):
+        statement = parse_sql("SELECT * FROM t WHERE price BETWEEN 5 AND 10")
+        assert isinstance(statement.where, BetweenOp)
+
+    def test_where_is_null_and_not_null(self):
+        statement = parse_sql("SELECT * FROM t WHERE a IS NULL AND b IS NOT NULL")
+        assert isinstance(statement.where, BinaryOp)
+        assert isinstance(statement.where.left, IsNullOp)
+        assert statement.where.right.negated is True
+
+    def test_operator_precedence_and_or(self):
+        statement = parse_sql("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        # OR binds last: (a=1) OR ((b=2) AND (c=3))
+        assert statement.where.op == "OR"
+        assert statement.where.right.op == "AND"
+
+    def test_arithmetic_precedence(self):
+        statement = parse_sql("SELECT a + b * c FROM t")
+        expr = statement.items[0].expr
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_parentheses_override(self):
+        statement = parse_sql("SELECT (a + b) * c FROM t")
+        assert statement.items[0].expr.op == "*"
+
+    def test_not_expression(self):
+        statement = parse_sql("SELECT * FROM t WHERE NOT a = 1")
+        assert isinstance(statement.where, UnaryOp)
+
+    def test_negative_literal(self):
+        statement = parse_sql("SELECT * FROM t WHERE a > -5")
+        assert isinstance(statement.where.right, UnaryOp)
+
+    def test_diamond_not_equal_normalized(self):
+        statement = parse_sql("SELECT * FROM t WHERE a <> 1")
+        assert statement.where.op == "!="
+
+    def test_group_by_having(self):
+        statement = parse_sql(
+            "SELECT artist, COUNT(*) FROM t GROUP BY artist HAVING COUNT(*) > 1"
+        )
+        assert len(statement.group_by) == 1
+        assert statement.having is not None
+
+    def test_order_by_multiple_directions(self):
+        statement = parse_sql("SELECT * FROM t ORDER BY a DESC, b ASC, c")
+        assert [o.ascending for o in statement.order_by] == [False, True, True]
+
+    def test_limit_offset(self):
+        statement = parse_sql("SELECT * FROM t LIMIT 10 OFFSET 5")
+        assert statement.limit == 10
+        assert statement.offset == 5
+
+    def test_mysql_limit_comma(self):
+        statement = parse_sql("SELECT * FROM t LIMIT 5, 10")
+        assert statement.offset == 5
+        assert statement.limit == 10
+
+    def test_join_with_on(self):
+        statement = parse_sql(
+            "SELECT * FROM sales s JOIN sales_details d ON s.id = d.sale_id"
+        )
+        assert len(statement.joins) == 1
+        assert statement.joins[0].kind == "INNER"
+
+    def test_left_join(self):
+        statement = parse_sql(
+            "SELECT * FROM a LEFT JOIN b ON a.x = b.y"
+        )
+        assert statement.joins[0].kind == "LEFT"
+
+    def test_left_outer_join(self):
+        statement = parse_sql("SELECT * FROM a LEFT OUTER JOIN b ON a.x = b.y")
+        assert statement.joins[0].kind == "LEFT"
+
+    def test_distinct(self):
+        assert parse_sql("SELECT DISTINCT a FROM t").distinct is True
+
+    def test_count_star(self):
+        statement = parse_sql("SELECT COUNT(*) FROM t")
+        call = statement.items[0].expr
+        assert isinstance(call, FuncCall)
+        assert isinstance(call.args[0], Star)
+
+    def test_count_distinct(self):
+        call = parse_sql("SELECT COUNT(DISTINCT a) FROM t").items[0].expr
+        assert call.distinct is True
+
+    def test_alias_star_select(self):
+        statement = parse_sql("SELECT t.* FROM inventory t")
+        assert statement.items[0].expr == Star("t")
+
+    def test_is_aggregate_detection(self):
+        assert parse_sql("SELECT MAX(a) FROM t").is_aggregate()
+        assert parse_sql("SELECT a FROM t GROUP BY a").is_aggregate()
+        assert not parse_sql("SELECT a FROM t").is_aggregate()
+
+    def test_aggregate_inside_expression_detected(self):
+        assert parse_sql("SELECT 1 + SUM(a) FROM t").is_aggregate()
+
+
+class TestOtherStatements:
+    def test_insert_with_columns(self):
+        statement = parse_sql(
+            "INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')"
+        )
+        assert isinstance(statement, Insert)
+        assert statement.columns == ("a", "b")
+        assert len(statement.rows) == 2
+
+    def test_insert_without_columns(self):
+        statement = parse_sql("INSERT INTO t VALUES (1, 2)")
+        assert statement.columns == ()
+
+    def test_update(self):
+        statement = parse_sql("UPDATE t SET a = 1, b = 'x' WHERE id = 'k'")
+        assert isinstance(statement, Update)
+        assert len(statement.assignments) == 2
+
+    def test_delete(self):
+        statement = parse_sql("DELETE FROM t WHERE a < 0")
+        assert isinstance(statement, Delete)
+
+    def test_delete_without_where(self):
+        assert parse_sql("DELETE FROM t").where is None
+
+
+class TestErrors:
+    def test_missing_from(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT *")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT * FROM t extra nonsense tokens ,")
+
+    def test_unknown_function(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT FROBNICATE(a) FROM t")
+
+    def test_unbalanced_parenthesis(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT (a FROM t")
+
+    def test_not_a_statement(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("EXPLAIN SELECT * FROM t")
+
+    def test_dangling_not(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT * FROM t WHERE a NOT")
+
+    def test_semicolon_allowed(self):
+        assert isinstance(parse_sql("SELECT * FROM t;"), Select)

@@ -1,0 +1,125 @@
+"""Tests for the property-graph store."""
+
+import pytest
+
+from repro.errors import KeyNotFoundError, QueryError
+from repro.stores import GraphStore
+
+
+@pytest.fixture
+def store() -> GraphStore:
+    g = GraphStore()
+    g.database_name = "similar"
+    for i in range(1, 6):
+        g.create_node("Item", {"title": f"t{i}", "rank": i}, node_id=f"i{i}")
+    g.create_node(("Artist", "Person"), {"name": "Cure"}, node_id="ar1")
+    g.create_edge("i1", "SIMILAR", "i2", {"weight": 0.9})
+    g.create_edge("i2", "SIMILAR", "i3", {"weight": 0.5})
+    g.create_edge("i3", "SIMILAR", "i4")
+    g.create_edge("ar1", "MADE", "i1")
+    return g
+
+
+class TestWrites:
+    def test_create_node_autogenerates_id(self, store):
+        node = store.create_node("Item", {"title": "x"})
+        assert node.id.startswith("n")
+
+    def test_duplicate_node_id_rejected(self, store):
+        with pytest.raises(QueryError):
+            store.create_node("Item", node_id="i1")
+
+    def test_edge_requires_endpoints(self, store):
+        with pytest.raises(KeyNotFoundError):
+            store.create_edge("i1", "SIMILAR", "missing")
+
+    def test_delete_node_removes_incident_edges(self, store):
+        assert store.delete_node("i2") is True
+        assert store.delete_node("i2") is False
+        assert [n.id for n in store.neighbors("i1", "SIMILAR")] == []
+        assert [n.id for n in store.neighbors("i3", direction="in")] == []
+
+    def test_counts(self, store):
+        assert store.node_count() == 6
+        assert store.edge_count() == 4
+
+
+class TestReads:
+    def test_match_by_label(self, store):
+        assert len(store.match("Item")) == 5
+
+    def test_match_secondary_label(self, store):
+        assert [n.id for n in store.match("Person")] == ["ar1"]
+
+    def test_match_with_properties(self, store):
+        assert [n.id for n in store.match("Item", {"rank": 3})] == ["i3"]
+
+    def test_match_limit(self, store):
+        assert len(store.match("Item", limit=2)) == 2
+
+    def test_neighbors_out(self, store):
+        assert [n.id for n in store.neighbors("i2", direction="out")] == ["i3"]
+
+    def test_neighbors_in(self, store):
+        assert [n.id for n in store.neighbors("i2", direction="in")] == ["i1"]
+
+    def test_neighbors_both_dedup(self, store):
+        ids = {n.id for n in store.neighbors("i2")}
+        assert ids == {"i1", "i3"}
+
+    def test_neighbors_filter_by_type(self, store):
+        assert [n.id for n in store.neighbors("i1", "MADE")] == ["ar1"]
+
+    def test_traverse_depth(self, store):
+        one_hop = {n.id for n in store.traverse("i1", 1, "SIMILAR")}
+        two_hop = {n.id for n in store.traverse("i1", 2, "SIMILAR")}
+        assert one_hop == {"i2"}
+        assert two_hop == {"i2", "i3"}
+
+    def test_shortest_path(self, store):
+        assert store.shortest_path("i1", "i4") == ["i1", "i2", "i3", "i4"]
+        assert store.shortest_path("i1", "i1") == ["i1"]
+        assert store.shortest_path("i1", "i5") is None
+
+    def test_node_missing_raises(self, store):
+        with pytest.raises(KeyNotFoundError):
+            store.node("zz")
+
+
+class TestStoreContract:
+    def test_execute_match(self, store):
+        objects = store.execute({"op": "match", "label": "Item", "limit": 3})
+        assert all(o.key.collection == "Item" for o in objects)
+
+    def test_execute_neighbors(self, store):
+        objects = store.execute({"op": "neighbors", "node": "i2"})
+        assert {o.key.key for o in objects} == {"i1", "i3"}
+
+    def test_execute_traverse(self, store):
+        objects = store.execute(
+            {"op": "traverse", "node": "i1", "depth": 2, "rel_type": "SIMILAR"}
+        )
+        assert {o.key.key for o in objects} == {"i2", "i3"}
+
+    def test_execute_unknown_op_raises(self, store):
+        with pytest.raises(QueryError):
+            store.execute({"op": "zap"})
+
+    def test_execute_non_dict_raises(self, store):
+        with pytest.raises(QueryError):
+            store.execute("MATCH (n)")
+
+    def test_get_value_includes_labels(self, store):
+        payload = store.get_value("Item", "i1")
+        assert payload["_labels"] == ["Item"]
+        assert payload["title"] == "t1"
+
+    def test_get_value_wrong_label_raises(self, store):
+        with pytest.raises(KeyNotFoundError):
+            store.get_value("Artist", "i1")
+
+    def test_collections_are_labels(self, store):
+        assert store.collections() == ["Artist", "Item", "Person"]
+
+    def test_collection_keys(self, store):
+        assert list(store.collection_keys("Artist")) == ["ar1"]

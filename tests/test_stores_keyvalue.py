@@ -1,0 +1,109 @@
+"""Tests for the Redis-like key-value store."""
+
+import pytest
+
+from repro.errors import KeyNotFoundError, QueryError
+from repro.model.objects import GlobalKey
+from repro.stores import KeyValueStore
+
+
+@pytest.fixture
+def store() -> KeyValueStore:
+    kv = KeyValueStore(keyspace="drop")
+    kv.database_name = "discount"
+    kv.set("a:1", "10%")
+    kv.set("a:2", "20%")
+    kv.set("b:1", "30%")
+    return kv
+
+
+class TestCommands:
+    def test_get_existing(self, store):
+        assert store.get_command("a:1") == "10%"
+
+    def test_get_missing_returns_none(self, store):
+        assert store.get_command("nope") is None
+
+    def test_set_overwrites(self, store):
+        store.set("a:1", "99%")
+        assert store.get_command("a:1") == "99%"
+
+    def test_delete(self, store):
+        assert store.delete("a:1") is True
+        assert store.delete("a:1") is False
+        assert store.get_command("a:1") is None
+
+    def test_mget_preserves_order_with_none_gaps(self, store):
+        assert store.mget(["b:1", "nope", "a:1"]) == ["30%", None, "10%"]
+
+    def test_keys_glob(self, store):
+        assert sorted(store.keys("a:*")) == ["a:1", "a:2"]
+        assert store.keys("*") == ["a:1", "a:2", "b:1"] or set(
+            store.keys("*")
+        ) == {"a:1", "a:2", "b:1"}
+
+    def test_len(self, store):
+        assert len(store) == 3
+
+
+class TestScan:
+    def test_scan_full_iteration(self, store):
+        seen: list[str] = []
+        cursor = 0
+        while True:
+            cursor, page = store.scan(cursor, count=2)
+            seen.extend(page)
+            if cursor == 0:
+                break
+        assert sorted(seen) == ["a:1", "a:2", "b:1"]
+
+    def test_scan_with_pattern(self, store):
+        cursor, page = store.scan(0, pattern="a:*", count=10)
+        assert cursor == 0
+        assert page == ["a:1", "a:2"]
+
+
+class TestStoreContract:
+    def test_execute_pattern_query(self, store):
+        objects = store.execute("KEYS a:*")
+        assert [o.key.key for o in objects] == ["a:1", "a:2"]
+        assert objects[0].key.database == "discount"
+
+    def test_execute_bare_pattern(self, store):
+        assert len(store.execute("*")) == 3
+
+    def test_execute_mget_form(self, store):
+        objects = store.execute(("mget", ["a:1", "missing", "b:1"]))
+        assert [o.value for o in objects] == ["10%", "30%"]
+
+    def test_execute_bad_query_raises(self, store):
+        with pytest.raises(QueryError):
+            store.execute(12345)
+
+    def test_get_value_unknown_collection(self, store):
+        with pytest.raises(KeyNotFoundError):
+            store.get_value("other", "a:1")
+
+    def test_get_value_missing_key(self, store):
+        with pytest.raises(KeyNotFoundError):
+            store.get_value("drop", "missing")
+
+    def test_multi_get_skips_missing(self, store):
+        keys = [
+            GlobalKey("discount", "drop", "a:1"),
+            GlobalKey("discount", "drop", "zzz"),
+        ]
+        assert len(store.multi_get(keys)) == 1
+
+    def test_collections_and_keys(self, store):
+        assert store.collections() == ["drop"]
+        assert sorted(store.collection_keys("drop")) == ["a:1", "a:2", "b:1"]
+        assert list(store.collection_keys("nope")) == []
+
+    def test_count_objects(self, store):
+        assert store.count_objects() == 3
+
+    def test_stats_track_queries(self, store):
+        store.execute("KEYS *")
+        assert store.stats.queries == 1
+        assert store.stats.objects_returned == 3

@@ -1,0 +1,147 @@
+"""Tests for the Quepa facade: configuration, logging, lazy deletion."""
+
+import pytest
+
+from repro.core import Quepa
+from repro.core.augmentation import AugmentationConfig
+from repro.errors import NotAugmentableError
+from repro.model.objects import GlobalKey
+from repro.model.prelations import PRelation
+from repro.network import RealRuntime, centralized_profile
+
+K = GlobalKey.parse
+QUERY = "SELECT * FROM inventory WHERE name LIKE '%wish%'"
+
+
+class TestSearchPlumbing:
+    def test_no_augment_mode_runs_only_local_query(self, mini_quepa):
+        answer = mini_quepa.augmented_search(
+            "transactions", QUERY, augment=False
+        )
+        assert len(answer.originals) == 1
+        assert answer.augmented == []
+        assert mini_quepa.runtime.meter.total_queries == 1
+
+    def test_stats_filled(self, mini_quepa):
+        answer = mini_quepa.augmented_search("transactions", QUERY, level=0)
+        stats = answer.stats
+        assert stats.database == "transactions"
+        assert stats.level == 0
+        assert stats.original_count == 1
+        assert stats.augmented_count == 3
+        assert stats.planned_fetches == 3
+        assert stats.queries_issued >= 2
+        assert stats.elapsed > 0
+        assert stats.augmenter == "sequential"
+
+    def test_invalid_query_raises_before_any_store_access(self, mini_quepa):
+        with pytest.raises(NotAugmentableError):
+            mini_quepa.augmented_search(
+                "transactions", "SELECT COUNT(*) FROM inventory"
+            )
+
+    def test_rewritten_query_still_augments(self, mini_quepa):
+        answer = mini_quepa.augmented_search(
+            "transactions",
+            "SELECT name FROM inventory WHERE name LIKE '%wish%'",
+        )
+        assert answer.stats.rewritten is True
+        assert len(answer.augmented) == 3
+
+    def test_explicit_config_wins(self, mini_quepa):
+        config = AugmentationConfig(augmenter="batch", batch_size=7)
+        answer = mini_quepa.augmented_search(
+            "transactions", QUERY, config=config
+        )
+        assert answer.stats.augmenter == "batch"
+        assert answer.stats.batch_size == 7
+
+    def test_cache_resized_to_config(self, mini_quepa):
+        config = AugmentationConfig(augmenter="sequential", cache_size=5)
+        mini_quepa.augmented_search("transactions", QUERY, config=config)
+        assert mini_quepa.cache.capacity == 5
+
+    def test_run_listeners_receive_records(self, mini_quepa):
+        records = []
+        mini_quepa.run_listeners.append(records.append)
+        mini_quepa.augmented_search("transactions", QUERY, level=1)
+        assert len(records) == 1
+        record = records[0]
+        assert record.features.engine == "relational"
+        assert record.features.level == 1
+        assert record.elapsed > 0
+        assert mini_quepa.last_record is record
+
+    def test_optimizer_hook_consulted(self, mini_polystore, mini_aindex):
+        calls = []
+
+        class FakeOptimizer:
+            def configure(self, features, current_cache_size):
+                calls.append((features, current_cache_size))
+                return AugmentationConfig(augmenter="batch", batch_size=3)
+
+        quepa = Quepa(
+            mini_polystore,
+            mini_aindex,
+            profile=centralized_profile(list(mini_polystore)),
+            optimizer=FakeOptimizer(),
+        )
+        answer = quepa.augmented_search("transactions", QUERY)
+        assert answer.stats.augmenter == "batch"
+        features, cache_size = calls[0]
+        assert features.store_count == 4
+        assert features.planned_fetches == 3
+
+    def test_real_runtime_produces_same_answer(self, mini_polystore, mini_aindex):
+        profile = centralized_profile(list(mini_polystore))
+        virtual = Quepa(mini_polystore, mini_aindex, profile=profile)
+        real = Quepa(
+            mini_polystore,
+            mini_aindex,
+            profile=profile,
+            runtime=RealRuntime(profile),
+        )
+        config = AugmentationConfig(augmenter="outer_batch", batch_size=2,
+                                    threads_size=4)
+        one = virtual.augmented_search("transactions", QUERY, config=config)
+        two = real.augmented_search("transactions", QUERY, config=config)
+        assert {str(k) for k in one.augmented_keys()} == {
+            str(k) for k in two.augmented_keys()
+        }
+        assert two.stats.elapsed >= 0
+
+
+class TestLazyDeletion:
+    def test_missing_object_removed_from_index(self, mini_quepa):
+        """Section III-C.b: objects found missing vanish from the index."""
+        ghost = K("catalogue.albums.ghost")
+        mini_quepa.aindex.add(
+            PRelation.identity(K("transactions.inventory.a32"), ghost, 0.95)
+        )
+        assert ghost in mini_quepa.aindex
+        answer = mini_quepa.augmented_search("transactions", QUERY)
+        assert ghost not in mini_quepa.aindex
+        assert answer.stats.missing_objects == 1
+        assert str(ghost) not in {str(k) for k in answer.augmented_keys()}
+
+    def test_object_deleted_from_store_disappears(self, mini_quepa):
+        store = mini_quepa.polystore.database("catalogue")
+        store.delete_one("albums", "d1")
+        answer = mini_quepa.augmented_search("transactions", QUERY)
+        assert "catalogue.albums.d1" not in {
+            str(k) for k in answer.augmented_keys()
+        }
+        # Lazy deletion removed the node, so the next plan is smaller.
+        second = mini_quepa.augmented_search("transactions", QUERY)
+        assert second.stats.planned_fetches < 3
+
+
+class TestAugmentObject:
+    def test_single_object_augmentation(self, mini_quepa):
+        links = mini_quepa.augment_object(K("transactions.inventory.a32"))
+        assert len(links) == 3
+        assert links[0].probability >= links[-1].probability
+
+    def test_get_utility(self, mini_quepa):
+        obj = mini_quepa.get(K("catalogue.albums.d1"))
+        assert obj.value["title"] == "Wish"

@@ -1,0 +1,247 @@
+"""Tests for the REST-shaped API and the renderers."""
+
+import pytest
+
+from repro.ui import AnsiRenderer, ApiError, QuepaApi, TextRenderer, probability_band
+
+QUERY = "SELECT * FROM inventory WHERE name LIKE '%wish%'"
+
+
+@pytest.fixture
+def api(mini_quepa) -> QuepaApi:
+    return QuepaApi(mini_quepa)
+
+
+class TestQueryEndpoint:
+    def test_augmented_query(self, api):
+        response = api.handle(
+            "POST", "/query",
+            {"database": "transactions", "query": QUERY, "level": 0},
+        )
+        assert len(response["originals"]) == 1
+        assert len(response["augmented"]) == 3
+        assert response["stats"]["augmenter"] == "sequential"
+        top = response["augmented"][0]
+        assert top["key"] == "catalogue.albums.d1"
+        assert top["band"] == "strong"
+        assert top["source"] == "transactions.inventory.a32"
+
+    def test_query_without_augmentation(self, api):
+        response = api.handle(
+            "POST", "/query",
+            {"database": "transactions", "query": QUERY, "augment": False},
+        )
+        assert response["augmented"] == []
+
+    def test_query_with_config(self, api):
+        response = api.handle(
+            "POST", "/query",
+            {
+                "database": "transactions",
+                "query": QUERY,
+                "config": {"augmenter": "batch", "batch_size": 4},
+            },
+        )
+        assert response["stats"]["augmenter"] == "batch"
+
+    def test_missing_field_is_400(self, api):
+        with pytest.raises(ApiError) as err:
+            api.handle("POST", "/query", {"database": "transactions"})
+        assert err.value.status == 400
+
+    def test_unknown_database_is_404(self, api):
+        with pytest.raises(ApiError) as err:
+            api.handle("POST", "/query", {"database": "zz", "query": QUERY})
+        assert err.value.status == 404
+
+    def test_aggregate_query_is_422(self, api):
+        with pytest.raises(ApiError) as err:
+            api.handle(
+                "POST", "/query",
+                {"database": "transactions",
+                 "query": "SELECT COUNT(*) FROM inventory"},
+            )
+        assert err.value.status == 422
+
+    def test_bad_config_field_is_400(self, api):
+        with pytest.raises(ApiError) as err:
+            api.handle(
+                "POST", "/query",
+                {"database": "transactions", "query": QUERY,
+                 "config": {"warp": 9}},
+            )
+        assert err.value.status == 400
+
+    def test_negative_level_is_400(self, api):
+        with pytest.raises(ApiError) as err:
+            api.handle(
+                "POST", "/query",
+                {"database": "transactions", "query": QUERY, "level": -1},
+            )
+        assert err.value.status == 400
+
+    def test_unknown_augmenter_is_400(self, api):
+        with pytest.raises(ApiError) as err:
+            api.handle(
+                "POST", "/query",
+                {"database": "transactions", "query": QUERY,
+                 "config": {"augmenter": "teleport"}},
+            )
+        assert err.value.status == 400
+
+
+class TestExplorationEndpoints:
+    def open(self, api):
+        return api.handle(
+            "POST", "/explore",
+            {"database": "transactions", "query": QUERY},
+        )
+
+    def test_open_returns_results(self, api):
+        response = self.open(api)
+        assert response["session"] == "s1"
+        assert response["results"][0]["key"] == "transactions.inventory.a32"
+
+    def test_select_returns_ranked_links(self, api):
+        sid = self.open(api)["session"]
+        response = api.handle(
+            "POST", f"/explore/{sid}/select",
+            {"key": "transactions.inventory.a32"},
+        )
+        probabilities = [l["probability"] for l in response["links"]]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_select_off_path_is_409(self, api):
+        sid = self.open(api)["session"]
+        with pytest.raises(ApiError) as err:
+            api.handle(
+                "POST", f"/explore/{sid}/select",
+                {"key": "transactions.inventory.a33"},
+            )
+        assert err.value.status == 409
+
+    def test_state_reflects_walk(self, api):
+        sid = self.open(api)["session"]
+        api.handle("POST", f"/explore/{sid}/select",
+                   {"key": "transactions.inventory.a32"})
+        state = api.handle("GET", f"/explore/{sid}")
+        assert state["path"] == ["transactions.inventory.a32"]
+        assert len(state["steps"]) == 1
+
+    def test_close_records_path(self, api, mini_quepa):
+        sid = self.open(api)["session"]
+        api.handle("POST", f"/explore/{sid}/select",
+                   {"key": "transactions.inventory.a32"})
+        api.handle("POST", f"/explore/{sid}/select",
+                   {"key": "catalogue.albums.d1"})
+        api.handle("POST", f"/explore/{sid}/select",
+                   {"key": "similar.Item.i1"})
+        response = api.handle("POST", f"/explore/{sid}/close")
+        assert response["closed"] is True
+        assert len(response["path"]) == 3
+        assert mini_quepa.paths.visits(tuple(
+            parse_keys_helper(response["path"])
+        )) == 1
+
+    def test_closed_session_is_gone(self, api):
+        sid = self.open(api)["session"]
+        api.handle("POST", f"/explore/{sid}/close")
+        with pytest.raises(ApiError) as err:
+            api.handle("GET", f"/explore/{sid}")
+        assert err.value.status == 404
+
+    def test_sessions_are_independent(self, api):
+        first = self.open(api)["session"]
+        second = self.open(api)["session"]
+        assert first != second
+        api.handle("POST", f"/explore/{first}/select",
+                   {"key": "transactions.inventory.a32"})
+        state = api.handle("GET", f"/explore/{second}")
+        assert state["steps"] == []
+
+    def test_bad_key_is_400(self, api):
+        sid = self.open(api)["session"]
+        with pytest.raises(ApiError) as err:
+            api.handle("POST", f"/explore/{sid}/select", {"key": "junk"})
+        assert err.value.status == 400
+
+
+def parse_keys_helper(texts):
+    from repro.model.objects import GlobalKey
+
+    return [GlobalKey.parse(text) for text in texts]
+
+
+class TestOtherEndpoints:
+    def test_get_object(self, api):
+        response = api.handle("GET", "/object/catalogue.albums.d1")
+        assert response["value"]["title"] == "Wish"
+        assert response["collection"] == "albums"
+
+    def test_get_object_missing_is_404(self, api):
+        with pytest.raises(ApiError) as err:
+            api.handle("GET", "/object/catalogue.albums.nope")
+        assert err.value.status == 404
+
+    def test_databases(self, api):
+        response = api.handle("GET", "/databases")
+        engines = {d["name"]: d["engine"] for d in response["databases"]}
+        assert engines["transactions"] == "relational"
+        assert engines["discount"] == "keyvalue"
+
+    def test_stats_before_any_run(self, api):
+        assert api.handle("GET", "/stats") == {"last_run": None}
+
+    def test_stats_after_run(self, api):
+        api.handle("POST", "/query",
+                   {"database": "transactions", "query": QUERY})
+        response = api.handle("GET", "/stats")
+        assert response["last_run"]["features"]["engine"] == "relational"
+
+    def test_unknown_route_is_404(self, api):
+        with pytest.raises(ApiError) as err:
+            api.handle("GET", "/teapot")
+        assert err.value.status == 404
+
+    def test_error_payload_shape(self, api):
+        try:
+            api.handle("GET", "/teapot")
+        except ApiError as err:
+            assert err.to_response() == {
+                "error": err.message, "status": 404,
+            }
+
+
+class TestRenderers:
+    def test_probability_bands(self):
+        assert probability_band(0.95) == "strong"
+        assert probability_band(0.9) == "strong"
+        assert probability_band(0.7) == "likely"
+        assert probability_band(0.4) == "weak"
+        assert probability_band(0.1) == "tenuous"
+
+    def test_text_renderer_groups_links(self, mini_quepa):
+        answer = mini_quepa.augmented_search("transactions", QUERY)
+        text = TextRenderer().render_answer(answer)
+        assert "transactions.inventory.a32" in text
+        assert "[strong 0.90] catalogue.albums.d1" in text
+
+    def test_text_renderer_truncates_values(self, mini_quepa):
+        answer = mini_quepa.augmented_search("transactions", QUERY)
+        text = TextRenderer(value_width=10).render_answer(answer)
+        assert "..." in text
+
+    def test_ranked_links(self, mini_quepa):
+        from repro.model.objects import GlobalKey
+
+        links = mini_quepa.augment_object(
+            GlobalKey.parse("transactions.inventory.a32")
+        )
+        text = TextRenderer().render_links(links)
+        assert text.startswith("1. =>")
+
+    def test_ansi_renderer_colors(self, mini_quepa):
+        answer = mini_quepa.augmented_search("transactions", QUERY)
+        text = AnsiRenderer().render_answer(answer)
+        assert "\x1b[32m" in text  # a strong (green) link
+        assert "\x1b[0m" in text

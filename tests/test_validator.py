@@ -1,0 +1,153 @@
+"""Tests for the validator: augmentability checks and rewrites."""
+
+import pytest
+
+from repro.core.validator import Validator, expr_to_string, sql_to_string
+from repro.errors import NotAugmentableError
+from repro.stores.relational.parser import parse_sql
+
+
+@pytest.fixture
+def validator() -> Validator:
+    return Validator()
+
+
+class TestRelational:
+    def test_plain_select_star_passes(self, validator, mini_polystore):
+        store = mini_polystore.database("transactions")
+        result = validator.validate(store, "SELECT * FROM inventory")
+        assert result.rewritten is False
+        assert result.query == "SELECT * FROM inventory"
+
+    def test_aggregate_rejected(self, validator, mini_polystore):
+        store = mini_polystore.database("transactions")
+        with pytest.raises(NotAugmentableError):
+            validator.validate(store, "SELECT COUNT(*) FROM inventory")
+
+    def test_group_by_rejected(self, validator, mini_polystore):
+        store = mini_polystore.database("transactions")
+        with pytest.raises(NotAugmentableError):
+            validator.validate(
+                store, "SELECT artist FROM inventory GROUP BY artist"
+            )
+
+    def test_distinct_rejected(self, validator, mini_polystore):
+        store = mini_polystore.database("transactions")
+        with pytest.raises(NotAugmentableError):
+            validator.validate(store, "SELECT DISTINCT artist FROM inventory")
+
+    def test_join_rejected(self, validator, mini_polystore):
+        store = mini_polystore.database("transactions")
+        with pytest.raises(NotAugmentableError):
+            validator.validate(
+                store,
+                "SELECT * FROM inventory a JOIN inventory b ON a.id = b.id",
+            )
+
+    def test_insert_rejected(self, validator, mini_polystore):
+        store = mini_polystore.database("transactions")
+        with pytest.raises(NotAugmentableError):
+            validator.validate(
+                store, "INSERT INTO inventory (id) VALUES ('x')"
+            )
+
+    def test_broken_sql_rejected(self, validator, mini_polystore):
+        store = mini_polystore.database("transactions")
+        with pytest.raises(NotAugmentableError):
+            validator.validate(store, "SELETC * FORM inventory")
+
+    def test_non_string_rejected(self, validator, mini_polystore):
+        store = mini_polystore.database("transactions")
+        with pytest.raises(NotAugmentableError):
+            validator.validate(store, {"collection": "inventory"})
+
+    def test_missing_pk_injected(self, validator, mini_polystore):
+        """The validator 'rewrites queries by adding all identifiers'."""
+        store = mini_polystore.database("transactions")
+        result = validator.validate(
+            store, "SELECT name FROM inventory WHERE price > 10"
+        )
+        assert result.rewritten is True
+        assert "id" in result.query
+        # The rewritten query must still run and return the pk.
+        rows = store.sql(result.query)
+        assert all("id" in row for row in rows)
+
+    def test_pk_already_selected_not_rewritten(self, validator, mini_polystore):
+        store = mini_polystore.database("transactions")
+        result = validator.validate(store, "SELECT id, name FROM inventory")
+        assert result.rewritten is False
+
+    def test_rewrite_preserves_semantics(self, validator, mini_polystore):
+        store = mini_polystore.database("transactions")
+        original = "SELECT name FROM inventory WHERE name LIKE '%wish%' ORDER BY name LIMIT 2"
+        result = validator.validate(store, original)
+        rewritten_rows = store.sql(result.query)
+        original_rows = store.sql(original)
+        assert [r["name"] for r in rewritten_rows] == [
+            r["name"] for r in original_rows
+        ]
+
+
+class TestDocument:
+    def test_plain_filter_passes(self, validator, mini_polystore):
+        store = mini_polystore.database("catalogue")
+        query = {"collection": "albums", "filter": {"year": 1992}}
+        result = validator.validate(store, query)
+        assert result.rewritten is False
+
+    def test_projection_excluding_id_rewritten(self, validator, mini_polystore):
+        store = mini_polystore.database("catalogue")
+        query = {
+            "collection": "albums",
+            "filter": {},
+            "projection": {"title": 1, "_id": 0},
+        }
+        result = validator.validate(store, query)
+        assert result.rewritten is True
+        assert result.query["projection"] == {"title": 1}
+
+    def test_projection_only_excluding_id_dropped(self, validator, mini_polystore):
+        store = mini_polystore.database("catalogue")
+        query = {"collection": "albums", "filter": {}, "projection": {"_id": 0}}
+        result = validator.validate(store, query)
+        assert "projection" not in result.query
+
+
+class TestGraphAndKv:
+    def test_graph_query_passes_through(self, validator, mini_polystore):
+        store = mini_polystore.database("similar")
+        query = {"op": "match", "label": "Item"}
+        assert validator.validate(store, query).query is query
+
+    def test_kv_pattern_passes_through(self, validator, mini_polystore):
+        store = mini_polystore.database("discount")
+        assert validator.validate(store, "KEYS *").query == "KEYS *"
+
+
+class TestSqlPrinting:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT * FROM inventory",
+            "SELECT name AS n, price FROM inventory WHERE price > 10",
+            "SELECT * FROM t WHERE name LIKE '%x%' AND a IN (1, 2)",
+            "SELECT * FROM t WHERE a BETWEEN 1 AND 2 OR b IS NOT NULL",
+            "SELECT * FROM t WHERE NOT a = 1 ORDER BY b DESC LIMIT 3 OFFSET 1",
+            "SELECT a FROM t WHERE c = 'it''s'",
+            "SELECT UPPER(name) FROM t WHERE price * 2 >= 10",
+        ],
+    )
+    def test_round_trip_is_stable(self, sql):
+        """parse -> print -> parse -> print reaches a fixpoint."""
+        printed = sql_to_string(parse_sql(sql))
+        reprinted = sql_to_string(parse_sql(printed))
+        assert printed == reprinted
+
+    def test_literals(self):
+        from repro.stores.relational.ast import Literal
+
+        assert expr_to_string(Literal(None)) == "NULL"
+        assert expr_to_string(Literal(True)) == "TRUE"
+        assert expr_to_string(Literal("o'clock")) == "'o''clock'"
+        assert expr_to_string(Literal(3)) == "3"

@@ -1,0 +1,180 @@
+"""Tests for the Polyphony generator, builder and query workload."""
+
+import pytest
+
+from repro.core import Quepa
+from repro.model.prelations import RelationType
+from repro.workloads import (
+    MusicGenerator,
+    PolystoreScale,
+    QueryWorkload,
+    build_polyphony,
+)
+from repro.workloads.builder import plan_databases
+
+
+class TestMusicGenerator:
+    def test_deterministic_for_seed(self):
+        one = MusicGenerator(50, seed=9).albums()
+        two = MusicGenerator(50, seed=9).albums()
+        assert one == two
+
+    def test_different_seeds_differ(self):
+        one = MusicGenerator(50, seed=1).albums()
+        two = MusicGenerator(50, seed=2).albums()
+        assert one != two
+
+    def test_transactions_store_shape(self):
+        store = MusicGenerator(30, seed=1).build_transactions()
+        assert len(store.table("inventory")) == 30
+        assert len(store.table("sales")) > 0
+        assert len(store.table("sales_details")) > 0
+
+    def test_sales_details_reference_inventory(self):
+        store = MusicGenerator(30, seed=1).build_transactions()
+        inventory_ids = {pk for pk, __ in store.table("inventory").rows()}
+        for __, row in store.table("sales_details").rows():
+            assert row["item_id"] in inventory_ids
+
+    def test_catalogue_store_shape(self):
+        store = MusicGenerator(30, seed=1).build_catalogue()
+        assert store.count("albums") == 30
+        assert store.count("customers") > 0
+
+    def test_similar_store_uniform_degree(self):
+        store = MusicGenerator(30, seed=1).build_similar(neighbors=3)
+        assert store.node_count() == 30
+        assert store.edge_count() == 90
+
+    def test_discount_store_shape(self):
+        store = MusicGenerator(30, seed=1).build_discount()
+        assert len(store) == 30
+        assert store.get_command("disc:0").endswith("%")
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            MusicGenerator(0)
+
+
+class TestPlanDatabases:
+    def test_base_four(self):
+        names = [name for name, __ in plan_databases(4)]
+        assert names == ["transactions", "catalogue", "similar", "discount"]
+
+    def test_replication_scheme(self):
+        names = [name for name, __ in plan_databases(13)]
+        assert "transactions4" in names
+        assert "catalogue3" in names
+        # Redis is never replicated.
+        assert sum(1 for n in names if n.startswith("discount")) == 1
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ValueError):
+            plan_databases(3)
+        with pytest.raises(ValueError):
+            plan_databases(6)
+
+
+class TestBuilder:
+    def test_bundle_shape(self, small_bundle):
+        assert small_bundle.store_count == 4
+        assert small_bundle.polystore.total_objects() > 4 * 120
+
+    def test_entity_keys_resolve(self, small_bundle):
+        for database in small_bundle.database_names():
+            key = small_bundle.entity_key(database, 0)
+            assert small_bundle.polystore.exists(key), str(key)
+
+    def test_identity_cliques_in_index(self, small_bundle):
+        keys = [
+            small_bundle.entity_key(db, 5)
+            for db in small_bundle.database_names()
+        ]
+        for i, left in enumerate(keys):
+            for right in keys[i + 1:]:
+                relation = small_bundle.aindex.relation(left, right)
+                assert relation is not None
+                assert relation.type is RelationType.IDENTITY
+                assert relation.probability >= 0.9
+
+    def test_matching_edges_link_next_entity(self, small_bundle):
+        names = small_bundle.database_names()
+        left = small_bundle.entity_key(names[0], 3)
+        right = small_bundle.entity_key(names[1], 4)
+        relation = small_bundle.aindex.relation(left, right)
+        assert relation is not None
+        assert relation.type is RelationType.MATCHING
+        assert 0.6 <= relation.probability <= 0.89
+
+    def test_uniform_density(self, seven_store_bundle):
+        """Every object has the same degree: k-1 identities + 2 matchings."""
+        bundle = seven_store_bundle
+        expected = (bundle.store_count - 1) + 2
+        for database in bundle.database_names():
+            for entity in (0, 10, 99):
+                key = bundle.entity_key(database, entity)
+                assert bundle.aindex.degree(key) == expected
+
+    def test_aindex_can_be_skipped(self):
+        bundle = build_polyphony(
+            stores=4, scale=PolystoreScale(n_albums=10), with_aindex=False
+        )
+        assert bundle.aindex.node_count() == 0
+
+    def test_growth_is_linear_in_stores(self):
+        small = build_polyphony(4, PolystoreScale(n_albums=40))
+        large = build_polyphony(7, PolystoreScale(n_albums=40))
+        assert large.aindex.node_count() == pytest.approx(
+            small.aindex.node_count() * 7 / 4, rel=0.01
+        )
+
+
+class TestQueryWorkload:
+    @pytest.mark.parametrize("database_index", [0, 1, 2, 3])
+    @pytest.mark.parametrize("size", [10, 50, 120])
+    def test_exact_result_sizes_per_engine(
+        self, small_bundle, database_index, size
+    ):
+        workload = QueryWorkload(small_bundle)
+        database = small_bundle.database_names()[database_index]
+        query = workload.query(database, size)
+        store = small_bundle.polystore.database(database)
+        results = store.execute(query.query)
+        assert len(results) == size
+
+    def test_variants_shift_windows(self, small_bundle):
+        workload = QueryWorkload(small_bundle)
+        first = workload.query("transactions", 10, variant=0)
+        second = workload.query("transactions", 10, variant=1)
+        store = small_bundle.polystore.database("transactions")
+        keys_one = {o.key for o in store.execute(first.query)}
+        keys_two = {o.key for o in store.execute(second.query)}
+        assert keys_one != keys_two
+
+    def test_oversized_query_rejected(self, small_bundle):
+        workload = QueryWorkload(small_bundle)
+        with pytest.raises(ValueError):
+            workload.query("transactions", 10_000)
+
+    def test_queries_for_size_covers_all_stores(self, seven_store_bundle):
+        workload = QueryWorkload(seven_store_bundle)
+        queries = workload.queries_for_size(10)
+        assert len(queries) == 7
+
+    def test_base_queries_one_per_engine(self, seven_store_bundle):
+        workload = QueryWorkload(seven_store_bundle)
+        queries = workload.base_queries(10)
+        assert sorted(q.engine for q in queries) == [
+            "document", "graph", "keyvalue", "relational",
+        ]
+
+    def test_augmented_answer_scales_with_stores(self, small_bundle,
+                                                 seven_store_bundle):
+        """Level-0 augmentation grows linearly with the store count."""
+        answers = {}
+        for bundle in (small_bundle, seven_store_bundle):
+            quepa = Quepa(bundle.polystore, bundle.aindex)
+            query = QueryWorkload(bundle).query("transactions", 20)
+            answer = quepa.augmented_search(query.database, query.query)
+            answers[bundle.store_count] = len(answer.augmented)
+        assert answers[7] > answers[4]
