@@ -12,6 +12,13 @@ Commands:
     Print a snapshot's databases, object counts and index size.
 ``explore --snapshot DIR --database DB --query Q [--steps N]``
     Run an automatic exploration (always following the strongest link).
+``stats --snapshot DIR --database DB --query Q [--level L] ...``
+    Run one augmented query and print its observability breakdown:
+    per-store latency/query/object counts, cache behaviour, span-kind
+    timings (see :mod:`repro.obs`).
+``trace --snapshot DIR --database DB --query Q [--level L] ...``
+    Run one augmented query and print its span tree on the virtual
+    timeline.
 
 The CLI prints with :class:`~repro.ui.render.TextRenderer` (pass
 ``--color`` for the ANSI renderer, the terminal face of the paper's
@@ -53,13 +60,19 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--out", required=True)
 
     query = commands.add_parser("query", help="run one augmented query")
-    query.add_argument("--snapshot", required=True)
-    query.add_argument("--database", required=True)
-    query.add_argument("--query", required=True)
-    query.add_argument("--level", type=int, default=0)
-    query.add_argument("--augmenter", default=None)
-    query.add_argument("--batch-size", type=int, default=64)
-    query.add_argument("--threads-size", type=int, default=4)
+    _add_query_args(query)
+
+    stats = commands.add_parser(
+        "stats", help="run one query and print its metrics breakdown"
+    )
+    _add_query_args(stats)
+
+    trace = commands.add_parser(
+        "trace", help="run one query and print its span tree"
+    )
+    _add_query_args(trace)
+    trace.add_argument("--limit", type=int, default=100,
+                       help="maximum number of span lines to print")
 
     inspect = commands.add_parser("inspect", help="describe a snapshot")
     inspect.add_argument("--snapshot", required=True)
@@ -74,6 +87,16 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_query_args(subparser) -> None:
+    subparser.add_argument("--snapshot", required=True)
+    subparser.add_argument("--database", required=True)
+    subparser.add_argument("--query", required=True)
+    subparser.add_argument("--level", type=int, default=0)
+    subparser.add_argument("--augmenter", default=None)
+    subparser.add_argument("--batch-size", type=int, default=64)
+    subparser.add_argument("--threads-size", type=int, default=4)
+
+
 def main(argv: Sequence[str] | None = None, out=None) -> int:
     out = out or sys.stdout
     args = build_parser().parse_args(argv)
@@ -85,6 +108,10 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             return _generate(args, out)
         if args.command == "query":
             return _query(args, renderer, out)
+        if args.command == "stats":
+            return _stats(args, out)
+        if args.command == "trace":
+            return _trace(args, out)
         if args.command == "inspect":
             return _inspect(args, out)
         if args.command == "explore":
@@ -190,6 +217,90 @@ def _query(args, renderer: TextRenderer, out) -> int:
         f"{answer.stats.elapsed * 1000:.2f} ms virtual]",
         file=out,
     )
+    return 0
+
+
+def _run_instrumented(args):
+    """Run one augmented query and return (quepa, answer) for reporting."""
+    quepa = _load(args)
+    config = None
+    if args.augmenter:
+        config = AugmentationConfig(
+            augmenter=args.augmenter,
+            batch_size=args.batch_size,
+            threads_size=args.threads_size,
+        )
+    answer = quepa.augmented_search(
+        args.database, args.query, level=args.level, config=config
+    )
+    return quepa, answer
+
+
+def _stats(args, out) -> int:
+    quepa, answer = _run_instrumented(args)
+    stats = answer.stats
+    print(
+        f"query on {args.database} (level {stats.level}, "
+        f"augmenter={stats.augmenter}):",
+        file=out,
+    )
+    print(
+        f"  elapsed {stats.elapsed * 1000:.2f} ms | "
+        f"{stats.queries_issued} native queries | "
+        f"{stats.cache_hits} cache hits | "
+        f"{stats.augmented_count} augmented objects",
+        file=out,
+    )
+    meter = quepa.runtime.meter
+    metrics = quepa.obs.metrics
+    print("per-store breakdown:", file=out)
+    header = (
+        f"  {'database':16s} {'queries':>8s} {'objects':>8s} "
+        f"{'mean_ms':>9s} {'max_ms':>9s}"
+    )
+    print(header, file=out)
+    for database in sorted(meter.queries_by_database):
+        latency = metrics.histogram(
+            "store_call_seconds", database=database
+        ).snapshot()
+        print(
+            f"  {database:16s} "
+            f"{meter.queries_by_database[database]:8d} "
+            f"{meter.objects_by_database.get(database, 0):8d} "
+            f"{latency['mean'] * 1000:9.3f} {latency['max'] * 1000:9.3f}",
+            file=out,
+        )
+    print("span kinds:", file=out)
+    summary = quepa.obs.tracer.summary()
+    for kind in sorted(summary):
+        entry = summary[kind]
+        print(
+            f"  {kind:16s} count={int(entry['count']):<6d} "
+            f"total_ms={entry['total_s'] * 1000:.3f}",
+            file=out,
+        )
+    probes = metrics.counter("cache_probes_total").value
+    hits = metrics.counter("cache_hits_total").value
+    print(
+        f"cache: {int(probes)} probes, {int(hits)} hits "
+        f"({hits / probes:.1%} hit rate)" if probes else "cache: unused",
+        file=out,
+    )
+    return 0
+
+
+def _trace(args, out) -> int:
+    quepa, __ = _run_instrumented(args)
+    from repro.obs import tree_lines
+
+    spans = quepa.obs.tracer.spans()
+    lines = tree_lines(spans)
+    for line in lines[: args.limit]:
+        print(line, file=out)
+    if len(lines) > args.limit:
+        print(f"... and {len(lines) - args.limit} more spans", file=out)
+    if quepa.obs.tracer.dropped:
+        print(f"({quepa.obs.tracer.dropped} spans dropped by cap)", file=out)
     return 0
 
 

@@ -24,12 +24,19 @@ class AugmentationOutcome:
 
     objects: list[AugmentedObject] = field(default_factory=list)
     #: Keys planned but absent from the polystore (feed lazy deletion).
+    #: Deduplicated across seeds by :meth:`Augmenter.execute`.
     missing: list[GlobalKey] = field(default_factory=list)
     cache_hits: int = 0
     queries_issued: int = 0
+    #: Batch flushes that reached no store because the target database
+    #: was down under ``skip_unavailable`` (not counted as issued).
+    skipped_flushes: int = 0
     #: Databases skipped because they were unreachable (only populated
     #: when the configuration sets ``skip_unavailable``).
     unavailable_databases: tuple[str, ...] = ()
+    #: Structured trace summary of the run (span counts/durations per
+    #: kind), stamped by :meth:`Augmenter.execute`.
+    trace: dict | None = None
 
 
 class Augmenter(ABC):
@@ -63,6 +70,10 @@ class Augmenter(ABC):
         self._unavailable = []
         outcome = self._run(ctx, plan, config)
         outcome.unavailable_databases = tuple(sorted(set(self._unavailable)))
+        # The same absent key is appended once per seed that planned it;
+        # deduplicate so lazy deletion does each removal exactly once.
+        outcome.missing = list(dict.fromkeys(outcome.missing))
+        outcome.trace = ctx.obs.trace_summary()
         return outcome
 
     @abstractmethod
@@ -82,8 +93,12 @@ class Augmenter(ABC):
         """Cache lookup with its (small) CPU cost charged."""
         ctx.cpu(ctx.cost_model.cache_probe_cost)
         cached = self.cache.get(fetch.key)
+        metrics = ctx.obs.metrics
+        metrics.counter("cache_probes_total").inc()
         if cached is None:
+            metrics.counter("cache_misses_total").inc()
             return None
+        metrics.counter("cache_hits_total").inc()
         return _augmented(cached, fetch)
 
     def _fetch_single(
@@ -91,13 +106,20 @@ class Augmenter(ABC):
     ) -> AugmentedObject | None:
         """One direct-access query for one planned fetch (cache-aside)."""
         connector = self.registry.connector(fetch.key.database)
-        try:
-            obj = connector.fetch_one(ctx, fetch.key)
-        except StoreUnavailableError:
-            if not self._skip_unavailable:
-                raise
-            self._unavailable.append(fetch.key.database)
-            return None
+        with ctx.span("fetch", database=fetch.key.database) as span:
+            try:
+                obj = connector.fetch_one(ctx, fetch.key)
+            except StoreUnavailableError:
+                if not self._skip_unavailable:
+                    raise
+                self._unavailable.append(fetch.key.database)
+                span.attrs["skipped"] = True
+                ctx.obs.metrics.counter(
+                    "store_unavailable_skips_total",
+                    database=fetch.key.database,
+                ).inc()
+                return None
+            span.attrs["found"] = obj is not None
         if obj is None:
             outcome_missing.append(fetch.key)
             return None
@@ -114,13 +136,21 @@ class Augmenter(ABC):
         """One batch query for a per-database group of planned fetches."""
         unique_keys = list(dict.fromkeys(fetch.key for fetch in group))
         connector = self.registry.connector(database)
-        try:
-            objects = connector.fetch_many(ctx, unique_keys)
-        except StoreUnavailableError:
-            if not self._skip_unavailable:
-                raise
-            self._unavailable.append(database)
-            return []
+        with ctx.span(
+            "fetch_group", database=database, keys=len(unique_keys)
+        ) as span:
+            try:
+                objects = connector.fetch_many(ctx, unique_keys)
+            except StoreUnavailableError:
+                if not self._skip_unavailable:
+                    raise
+                self._unavailable.append(database)
+                span.attrs["skipped"] = True
+                ctx.obs.metrics.counter(
+                    "store_unavailable_skips_total", database=database
+                ).inc()
+                return []
+            span.attrs["found"] = len(objects)
         by_key = {obj.key: obj for obj in objects}
         for obj in objects:
             self.cache.put(obj)

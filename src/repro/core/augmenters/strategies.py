@@ -89,10 +89,19 @@ class BatchAugmenter(Augmenter):
         group: list[PlannedFetch],
         outcome: AugmentationOutcome,
     ) -> None:
+        # A flush that was swallowed by skip_unavailable issued nothing:
+        # count it as skipped, not as a query, or the optimizer trains on
+        # phantom store traffic. _fetch_group records the skip by
+        # appending the database to self._unavailable (parent thread
+        # only, so the length check is race-free here).
+        skips_before = len(self._unavailable)
         outcome.objects.extend(
             self._fetch_group(ctx, database, group, outcome.missing)
         )
-        outcome.queries_issued += 1
+        if len(self._unavailable) > skips_before:
+            outcome.skipped_flushes += 1
+        else:
+            outcome.queries_issued += 1
 
 
 @register_augmenter("inner")
@@ -117,7 +126,10 @@ class InnerAugmenter(Augmenter):
             fetches = plan.fetches_by_seed.get(seed, [])
             if not fetches:
                 continue
-            pool = ctx.pool(config.threads_size)
+            # The pool is created lazily on the first cache miss: a seed
+            # whose fetches all hit cache pays neither pool setup nor an
+            # empty join.
+            pool = None
             pending = 0
             for fetch in fetches:
                 hit = self._probe_cache(ctx, fetch)
@@ -125,10 +137,13 @@ class InnerAugmenter(Augmenter):
                     outcome.cache_hits += 1
                     outcome.objects.append(hit)
                     continue
+                if pool is None:
+                    pool = ctx.pool(config.threads_size)
                 pool.submit(self._worker(fetch))
                 pending += 1
-            for obj, missing_key in pool.join():
-                self._collect(outcome, obj, missing_key)
+            if pool is not None:
+                for obj, missing_key in pool.join():
+                    self._collect(outcome, obj, missing_key)
             outcome.queries_issued += pending
         return outcome
 
@@ -167,6 +182,9 @@ class OuterAugmenter(Augmenter):
         config: AugmentationConfig,
     ) -> AugmentationOutcome:
         outcome = AugmentationOutcome()
+        if plan.total_fetches() == 0:
+            # Empty plan: nothing to submit, so skip pool setup + join.
+            return outcome
         pool = ctx.pool(config.threads_size)
         for seed in plan.seeds:
             fetches = plan.fetches_by_seed.get(seed, [])
@@ -216,6 +234,9 @@ class OuterBatchAugmenter(Augmenter):
         config: AugmentationConfig,
     ) -> AugmentationOutcome:
         outcome = AugmentationOutcome()
+        if plan.total_fetches() == 0:
+            # Empty plan: nothing to submit, so skip pool setup + join.
+            return outcome
         pool = ctx.pool(config.threads_size)
         groups: dict[str, list[PlannedFetch]] = {}
         submitted = 0

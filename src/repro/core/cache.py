@@ -53,9 +53,13 @@ class LruCache:
         re-weighted per query (the probability depends on the path that
         reached it, not on the object itself).
         """
-        if self._capacity == 0:
-            return
         with self._lock:
+            # The capacity check must happen under the lock: a concurrent
+            # resize() (the adaptive optimizer's cache-delta path) may
+            # zero the capacity between check and insert, leaving an
+            # entry stranded in a supposedly disabled cache.
+            if self._capacity == 0:
+                return
             self._entries[obj.key] = obj.with_probability(1.0)
             self._entries.move_to_end(obj.key)
             while len(self._entries) > self._capacity:

@@ -10,7 +10,7 @@ adaptive optimizer.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 
 @dataclass(frozen=True)
@@ -43,7 +43,14 @@ class QueryFeatures:
 
 @dataclass(frozen=True)
 class RunRecord:
-    """One completed augmentation run: features, configuration, time."""
+    """One completed augmentation run: features, configuration, time.
+
+    Beyond the paper's fields, records are enriched with the run's
+    observability data (see :mod:`repro.obs`): per-database query/object
+    counts from the runtime meter and a per-span-kind time breakdown, so
+    the optimizer's training set can explain *where* time went, not just
+    how much of it passed.
+    """
 
     features: QueryFeatures
     augmenter: str
@@ -53,6 +60,14 @@ class RunRecord:
     elapsed: float
     queries_issued: int = 0
     cache_hits: int = 0
+    #: Batch flushes swallowed by skip_unavailable (never reached a store).
+    skipped_flushes: int = 0
+    missing_objects: int = 0
+    #: Per-database native query / object counts for this run.
+    queries_by_database: dict[str, int] = field(default_factory=dict)
+    objects_by_database: dict[str, int] = field(default_factory=dict)
+    #: Span kind -> {"count": n, "total_s": seconds} for this run.
+    span_summary: dict[str, dict] = field(default_factory=dict)
 
     def query_signature(self) -> tuple:
         """Groups runs of the same logical query for label derivation."""

@@ -34,8 +34,9 @@ from repro.core.search import (
 from repro.core.validator import Validator
 from repro.model.objects import AugmentedObject, DataObject, GlobalKey
 from repro.model.polystore import Polystore
-from repro.network.executor import RealRuntime, Runtime, VirtualRuntime
+from repro.network.executor import ExecContext, RealRuntime, Runtime, VirtualRuntime
 from repro.network.latency import DeploymentProfile, centralized_profile
+from repro.obs import Observability
 
 
 class Optimizer(Protocol):
@@ -64,8 +65,13 @@ class Quepa:
         self.aindex = aindex
         self.profile = profile or centralized_profile(list(polystore))
         self.runtime: Runtime = runtime or VirtualRuntime(self.profile)
+        #: Tracing + metrics for this system (shared with the runtime, so
+        #: contexts and augmenters report into the same bundle).
+        self.obs: Observability = self.runtime.obs
         self.config = config or AugmentationConfig()
         self.optimizer = optimizer
+        if optimizer is not None and hasattr(optimizer, "bind_metrics"):
+            optimizer.bind_metrics(self.obs.metrics)
         self.validator = Validator()
         self.registry = ConnectorRegistry(polystore)
         self.cache = LruCache(self.config.cache_size)
@@ -108,10 +114,7 @@ class Quepa:
             return assemble_answer(originals, [], stats)
 
         seeds = [obj.key for obj in originals if obj.key.collection != "_result"]
-        plan = self.augmentation.plan(
-            seeds, level, self.config.min_probability
-        )
-        ctx.cpu(plan.edges_examined * ctx.cost_model.aindex_edge_cost)
+        plan = self._plan(ctx, seeds, level)
         features = QueryFeatures(
             engine=store.engine,
             database=database,
@@ -121,11 +124,14 @@ class Quepa:
             store_count=len(self.polystore),
             deployment=self.profile.name,
         )
-        run_config = self._resolve_config(config, features)
+        run_config = self._resolve_config(config, features, ctx)
         if run_config.cache_size != self.cache.capacity:
             self.cache.resize(run_config.cache_size)
         augmenter = make_augmenter(run_config.augmenter, self.registry, self.cache)
-        outcome = augmenter.execute(ctx, plan, run_config)
+        with ctx.span("augment", augmenter=run_config.augmenter) as span:
+            outcome = augmenter.execute(ctx, plan, run_config)
+            span.attrs["queries"] = outcome.queries_issued
+            span.attrs["cache_hits"] = outcome.cache_hits
         for missing in outcome.missing:
             self.aindex.remove_object(missing)  # lazy deletion (III-C.b)
         self._finish_timer()
@@ -139,19 +145,42 @@ class Quepa:
         stats.batch_size = run_config.batch_size
         stats.threads_size = run_config.threads_size
         stats.cache_size = run_config.cache_size
+        outcome.trace = self.obs.trace_summary()  # now includes all spans
         answer = assemble_answer(originals, outcome.objects, stats)
-        self._emit_record(features, run_config, stats)
+        self._emit_record(features, run_config, stats, outcome)
         return answer
+
+    def _plan(self, ctx: ExecContext, seeds: list[GlobalKey], level: int):
+        """Plan the augmentation, traced and charged as A' index CPU."""
+        with ctx.span("plan", level=level, seeds=len(seeds)) as span:
+            plan = self.augmentation.plan(
+                seeds, level, self.config.min_probability
+            )
+            ctx.cpu(plan.edges_examined * ctx.cost_model.aindex_edge_cost)
+            span.attrs["fetches"] = plan.total_fetches()
+            span.attrs["edges"] = plan.edges_examined
+        return plan
 
     def _resolve_config(
         self,
         explicit: AugmentationConfig | None,
         features: QueryFeatures,
+        ctx: ExecContext | None = None,
     ) -> AugmentationConfig:
         if explicit is not None:
             return explicit
         if self.optimizer is not None:
-            return self.optimizer.configure(features, self.cache.capacity)
+            if ctx is None:
+                return self.optimizer.configure(features, self.cache.capacity)
+            with ctx.span("optimize") as span:
+                chosen = self.optimizer.configure(
+                    features, self.cache.capacity
+                )
+                span.attrs["augmenter"] = chosen.augmenter
+            self.obs.metrics.counter(
+                "optimizer_choices_total", augmenter=chosen.augmenter
+            ).inc()
+            return chosen
         return self.config
 
     def _emit_record(
@@ -159,7 +188,9 @@ class Quepa:
         features: QueryFeatures,
         config: AugmentationConfig,
         stats: SearchStats,
+        outcome=None,
     ) -> None:
+        meter = self.runtime.meter
         record = RunRecord(
             features=features,
             augmenter=config.augmenter,
@@ -169,7 +200,13 @@ class Quepa:
             elapsed=stats.elapsed,
             queries_issued=stats.queries_issued,
             cache_hits=stats.cache_hits,
+            skipped_flushes=getattr(outcome, "skipped_flushes", 0),
+            missing_objects=stats.missing_objects,
+            queries_by_database=dict(meter.queries_by_database),
+            objects_by_database=dict(meter.objects_by_database),
+            span_summary=self.obs.tracer.summary(),
         )
+        self.obs.metrics.counter("runs_recorded_total").inc()
         self.last_record = record
         for listener in self.run_listeners:
             listener(record)
@@ -192,9 +229,11 @@ class Quepa:
         Uses the inner augmenter, which the paper singles out as the
         efficient choice when a single result is augmented at a time.
         """
-        plan = self.augmentation.plan([key], level=level)
         ctx = self.runtime.root()
-        ctx.cpu(plan.edges_examined * ctx.cost_model.aindex_edge_cost)
+        with ctx.span("plan", level=level, seeds=1) as span:
+            plan = self.augmentation.plan([key], level=level)
+            ctx.cpu(plan.edges_examined * ctx.cost_model.aindex_edge_cost)
+            span.attrs["fetches"] = plan.total_fetches()
         augmenter = make_augmenter("inner", self.registry, self.cache)
         step_config = AugmentationConfig(
             augmenter="inner",

@@ -14,6 +14,14 @@ virtual clock with capacity-limited CPU resources (see DESIGN.md);
 :class:`RealRuntime` implements it with ``ThreadPoolExecutor`` and
 optional scaled real sleeps. Answers are identical under both; only the
 time measurements differ.
+
+Both runtimes carry an :class:`~repro.obs.Observability` bundle. Every
+store call, CPU charge and pool lifetime is recorded as spans/metrics on
+the runtime's *own* clock — instrumentation reads the clock but never
+charges it, so virtual-time numbers are identical with tracing on.
+Child contexts created by :meth:`WorkerPool.submit` inherit the active
+span of the submitting context, so traces keep their tree shape across
+worker threads.
 """
 
 from __future__ import annotations
@@ -21,9 +29,11 @@ from __future__ import annotations
 import threading
 import time
 from abc import ABC, abstractmethod
-from typing import Any, Callable, Sequence, TypeVar
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, Sequence, TypeVar
 
 from repro.network.latency import DeploymentProfile
+from repro.obs import Observability, Span
 
 T = TypeVar("T")
 
@@ -62,11 +72,18 @@ class ExecContext(ABC):
 
     #: Set by concrete contexts at construction.
     _runtime: "Runtime"
+    #: The active span this context's operations are children of.
+    _span_id: int | None = None
 
     @property
     def cost_model(self):
         """The deployment profile's cost model (scalar access costs)."""
         return self._runtime.profile.cost_model
+
+    @property
+    def obs(self) -> Observability:
+        """The runtime's tracer + metrics bundle."""
+        return self._runtime.obs
 
     @property
     @abstractmethod
@@ -85,6 +102,58 @@ class ExecContext(ABC):
     def pool(self, workers: int) -> "WorkerPool":
         """Create a pool of ``workers`` logical threads."""
 
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        """Trace a block as a span on this context's clock.
+
+        Purely observational: no CPU or latency is charged. Nested
+        ``span``/``store_call``/pool operations become children.
+        """
+        obs = self._runtime.obs
+        entry = obs.tracer.begin(name, self.now, self._span_id, **attrs)
+        previous, self._span_id = self._span_id, entry.span_id
+        try:
+            yield entry
+        finally:
+            self._span_id = previous
+            obs.tracer.end(entry, self.now)
+
+    # -- shared instrumentation helpers --------------------------------------
+
+    def _record_store_call(
+        self, database: str, started: float, ended: float, objects: int
+    ) -> None:
+        obs = self._runtime.obs
+        obs.tracer.record(
+            "store_call",
+            started,
+            ended,
+            self._span_id,
+            database=database,
+            objects=objects,
+        )
+        metrics = obs.metrics
+        metrics.counter("store_queries_total", database=database).inc()
+        metrics.counter("store_objects_total", database=database).inc(objects)
+        metrics.histogram("store_call_seconds", database=database).observe(
+            ended - started
+        )
+
+    def _record_pool(
+        self,
+        started: float,
+        ended: float,
+        parent_span: int | None,
+        workers: int,
+        tasks: int,
+    ) -> None:
+        obs = self._runtime.obs
+        obs.tracer.record(
+            "pool", started, ended, parent_span, workers=workers, tasks=tasks
+        )
+        obs.metrics.histogram("pool_join_seconds").observe(ended - started)
+        obs.metrics.counter("pool_tasks_total").inc(tasks)
+
 
 class WorkerPool(ABC):
     """A fork-join pool: submit tasks, then join to collect results."""
@@ -99,11 +168,19 @@ class WorkerPool(ABC):
 
 
 class Runtime(ABC):
-    """Factory for the root execution context plus shared metering."""
+    """Factory for the root execution context plus shared metering.
+
+    ``meter`` and the tracer are per-run (reset by :meth:`root`);
+    ``obs.metrics`` accumulates over the runtime's lifetime.
+    """
 
     def __init__(self, profile: DeploymentProfile) -> None:
         self.profile = profile
         self.meter = QueryMeter()
+        self.obs = Observability()
+        #: Stable handle for the hot cpu() path (one lock, no lookup).
+        self._cpu_seconds = self.obs.metrics.counter("cpu_seconds_total")
+        self._pools_created = self.obs.metrics.counter("pools_created_total")
 
     @abstractmethod
     def root(self) -> ExecContext:
@@ -156,8 +233,10 @@ class _VirtualContext(ExecContext):
         machine = self._runtime.profile.quepa_machine
         self._now += seconds
         self._add_demand(machine.name, machine.cores, seconds)
+        self._runtime._cpu_seconds.inc(seconds)
 
     def store_call(self, database: str, fn: StoreOp) -> Sequence[Any]:
+        started = self._now
         results = fn()
         n = len(results)
         profile = self._runtime.profile
@@ -168,12 +247,14 @@ class _VirtualContext(ExecContext):
         self._add_demand(site.machine.name, site.machine.cores, service)
         self.cpu(cost.per_object_cpu * n)
         self._runtime.meter.record(database, n)
+        self._record_store_call(database, started, self._now, n)
         return results
 
     def pool(self, workers: int) -> WorkerPool:
         # Setting up a pool costs the creating thread CPU (the paper's
         # "overhead of creating and synchronizing threads", VII-B.b).
         self.cpu(self._runtime.profile.cost_model.pool_create_overhead)
+        self._runtime._pools_created.inc()
         return _VirtualPool(self._runtime, self, workers)
 
     def advance_to(self, timestamp: float) -> None:
@@ -193,7 +274,8 @@ class _VirtualPool(WorkerPool):
     ) -> None:
         self._runtime = runtime
         self._parent = parent
-        self._slots = [parent.now] * max(1, workers)
+        self._workers = max(1, workers)
+        self._slots = [parent.now] * self._workers
         self._start = parent.now
         self._results: list[Any] = []
         self._ends: list[float] = []
@@ -206,6 +288,7 @@ class _VirtualPool(WorkerPool):
         slot = min(range(len(self._slots)), key=self._slots.__getitem__)
         start = max(self._parent.now, self._slots[slot])
         child = _VirtualContext(self._runtime, start)
+        child._span_id = self._parent._span_id
         result = task(child)
         self._slots[slot] = child.now
         self._results.append(result)
@@ -227,9 +310,17 @@ class _VirtualPool(WorkerPool):
         for machine_name, (cores, busy) in total.items():
             self._parent._add_demand(machine_name, cores, busy)
         results = self._results
+        tasks = len(results)
         self._results = []
         self._ends = []
         self._children = []
+        self._parent._record_pool(
+            self._start,
+            self._parent.now,
+            self._parent._span_id,
+            self._workers,
+            tasks,
+        )
         return results
 
 
@@ -243,6 +334,7 @@ class VirtualRuntime(Runtime):
     def root(self) -> ExecContext:
         self.profile.reset()
         self.meter = QueryMeter()
+        self.obs.tracer.reset()
         self._root = _VirtualContext(self, 0.0)
         return self._root
 
@@ -267,39 +359,60 @@ class _RealContext(ExecContext):
         return time.monotonic()
 
     def cpu(self, seconds: float) -> None:
-        if seconds > 0 and self._runtime.time_scale > 0:
-            time.sleep(seconds * self._runtime.time_scale)
+        if seconds > 0:
+            if self._runtime.time_scale > 0:
+                time.sleep(seconds * self._runtime.time_scale)
+            self._runtime._cpu_seconds.inc(seconds)
 
     def store_call(self, database: str, fn: StoreOp) -> Sequence[Any]:
+        started = self.now
         profile = self._runtime.profile
         site = profile.site(database)
         if self._runtime.time_scale > 0:
             time.sleep(site.roundtrip * self._runtime.time_scale)
         results = fn()
         self._runtime.meter.record(database, len(results))
+        self._record_store_call(database, started, self.now, len(results))
         return results
 
     def pool(self, workers: int) -> WorkerPool:
         self.cpu(self._runtime.profile.cost_model.pool_create_overhead)
-        return _RealPool(self._runtime, workers)
+        self._runtime._pools_created.inc()
+        return _RealPool(self._runtime, self, workers)
 
 
 class _RealPool(WorkerPool):
-    def __init__(self, runtime: "RealRuntime", workers: int) -> None:
+    def __init__(
+        self, runtime: "RealRuntime", parent: _RealContext, workers: int
+    ) -> None:
         from concurrent.futures import ThreadPoolExecutor
 
         self._runtime = runtime
-        self._executor = ThreadPoolExecutor(max_workers=max(1, workers))
+        self._parent = parent
+        self._workers = max(1, workers)
+        self._started = parent.now
+        self._executor = ThreadPoolExecutor(max_workers=self._workers)
         self._futures: list[Any] = []
 
     def submit(self, task: Callable[[ExecContext], T]) -> None:
         child = _RealContext(self._runtime)
+        # Inherit the submitting context's active span (read in the
+        # submitting thread, so the tree is race-free).
+        child._span_id = self._parent._span_id
         self._futures.append(self._executor.submit(task, child))
 
     def join(self) -> list[Any]:
         results = [future.result() for future in self._futures]
+        tasks = len(self._futures)
         self._futures = []
         self._executor.shutdown(wait=True)
+        self._parent._record_pool(
+            self._started,
+            self._parent.now,
+            self._parent._span_id,
+            self._workers,
+            tasks,
+        )
         return results
 
 
@@ -309,11 +422,12 @@ class RealRuntime(Runtime):
     def __init__(self, profile: DeploymentProfile, time_scale: float = 0.0) -> None:
         super().__init__(profile)
         self.time_scale = time_scale
-        self._started = 0.0
+        self._started: float | None = None
         self._stopped = 0.0
 
     def root(self) -> ExecContext:
         self.meter = QueryMeter()
+        self.obs.tracer.reset()
         self._started = time.monotonic()
         self._stopped = 0.0
         return _RealContext(self)
@@ -323,5 +437,9 @@ class RealRuntime(Runtime):
 
     @property
     def elapsed(self) -> float:
+        if self._started is None:
+            # Never ran: report zero rather than a huge negative number
+            # (monotonic epoch minus nothing).
+            return 0.0
         end = self._stopped or time.monotonic()
         return end - self._started

@@ -1,0 +1,73 @@
+"""Observability: pipeline-wide tracing and metrics (ROADMAP item).
+
+The paper's adaptive optimizer learns from logs of completed
+augmentations (Section V); its Figs 9-11 dissect *where* time goes —
+planning vs. cache probes vs. per-store roundtrips vs. pool
+synchronization. This package provides that visibility for the
+reproduction:
+
+* :class:`~repro.obs.trace.Tracer` — per-run spans on the runtime's own
+  clock (virtual or wall), with parent/child structure and attributes;
+* :class:`~repro.obs.metrics.MetricsRegistry` — cumulative thread-safe
+  counters, gauges and fixed-bucket histograms (per-database latency);
+* :class:`Observability` — one bundle of both, created per
+  :class:`~repro.network.executor.Runtime` (hence per ``Quepa``) and
+  reached from any :class:`~repro.network.executor.ExecContext` via
+  ``ctx.obs``.
+
+Results surface three ways: ``AugmentationOutcome.trace`` /
+``RunRecord`` fields (Python API), ``GET /metrics`` + ``GET /trace`` on
+the UI server, and the ``stats`` / ``trace`` CLI subcommands.
+
+Tracing never charges the clocks it reads — virtual-time numbers are
+bit-identical with instrumentation on (see tests/test_benchmark_guard).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import Span, Tracer, tree_lines
+
+
+class Observability:
+    """One tracer + one metrics registry, shared by a runtime's contexts."""
+
+    def __init__(self, max_spans: int = 10_000) -> None:
+        self.tracer = Tracer(max_spans)
+        self.metrics = MetricsRegistry()
+
+    def trace_summary(self) -> dict[str, Any]:
+        """Structured summary of the current run's trace."""
+        return {
+            "spans": len(self.tracer),
+            "dropped": self.tracer.dropped,
+            "by_kind": self.tracer.summary(),
+        }
+
+    def snapshot(self) -> dict[str, Any]:
+        """Everything, JSON-ready (the UI ``/metrics`` payload)."""
+        return {
+            "metrics": self.metrics.snapshot(),
+            "trace": self.trace_summary(),
+        }
+
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observability",
+    "Span",
+    "Tracer",
+    "tree_lines",
+]

@@ -1,0 +1,173 @@
+"""A lightweight span tracer over the runtime's own clock.
+
+A *span* is one timed operation — planning, a store roundtrip, a pool
+lifetime, a fetch — with a name ("kind"), start/end timestamps, an
+optional parent span and free-form key/value attributes. Timestamps are
+whatever clock the active :class:`~repro.network.executor.ExecContext`
+exposes, so under :class:`~repro.network.executor.VirtualRuntime` spans
+are placed on the deterministic virtual timeline and under
+:class:`~repro.network.executor.RealRuntime` on the wall clock. Tracing
+only *reads* the clock; it never charges CPU or latency, so virtual-time
+accounting is bit-identical with and without it (the smoke guard in
+``tests/test_benchmark_guard.py`` pins this).
+
+The tracer is bounded: beyond ``max_spans`` finished spans it counts
+drops instead of growing, so tracing a 10,000-result augmentation cannot
+exhaust memory.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+
+class Span:
+    """One finished or in-flight traced operation."""
+
+    __slots__ = ("span_id", "name", "parent_id", "start", "end", "attrs")
+
+    def __init__(
+        self,
+        span_id: int,
+        name: str,
+        start: float,
+        parent_id: int | None = None,
+        attrs: dict[str, Any] | None = None,
+    ) -> None:
+        self.span_id = span_id
+        self.name = name
+        self.parent_id = parent_id
+        self.start = start
+        self.end: float | None = None
+        self.attrs: dict[str, Any] = attrs or {}
+
+    @property
+    def duration(self) -> float:
+        return 0.0 if self.end is None else self.end - self.start
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "id": self.span_id,
+            "name": self.name,
+            "parent": self.parent_id,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "attrs": dict(self.attrs),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.span_id}, {self.name!r}, start={self.start:.6f}, "
+            f"end={self.end}, parent={self.parent_id})"
+        )
+
+
+class Tracer:
+    """Collects spans for one run (thread-safe, bounded)."""
+
+    def __init__(self, max_spans: int = 10_000) -> None:
+        if max_spans < 1:
+            raise ValueError(f"max_spans must be >= 1, got {max_spans}")
+        self.max_spans = max_spans
+        self._lock = threading.Lock()
+        self._spans: list[Span] = []
+        self._next_id = 1
+        self.dropped = 0
+
+    def begin(
+        self,
+        name: str,
+        start: float,
+        parent_id: int | None = None,
+        **attrs: Any,
+    ) -> Span:
+        """Open a span; it is retained once :meth:`end` closes it."""
+        with self._lock:
+            span = Span(self._next_id, name, start, parent_id, attrs)
+            self._next_id += 1
+        return span
+
+    def end(self, span: Span, end: float) -> None:
+        """Close ``span`` at time ``end`` and retain it (cap permitting)."""
+        span.end = end
+        with self._lock:
+            if len(self._spans) >= self.max_spans:
+                self.dropped += 1
+            else:
+                self._spans.append(span)
+
+    def record(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        parent_id: int | None = None,
+        **attrs: Any,
+    ) -> Span:
+        """One-shot: open and immediately close a span."""
+        span = self.begin(name, start, parent_id, **attrs)
+        self.end(span, end)
+        return span
+
+    def reset(self) -> None:
+        """Drop all spans; called by ``Runtime.root()`` so each run
+        starts a fresh trace."""
+        with self._lock:
+            self._spans = []
+            self._next_id = 1
+            self.dropped = 0
+
+    def spans(self) -> list[Span]:
+        """A snapshot of the finished spans, in completion order."""
+        with self._lock:
+            return list(self._spans)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        """Per span kind: ``{"count": n, "total_s": seconds}``."""
+        out: dict[str, dict[str, float]] = {}
+        for span in self.spans():
+            entry = out.setdefault(span.name, {"count": 0, "total_s": 0.0})
+            entry["count"] += 1
+            entry["total_s"] += span.duration
+        return out
+
+    def as_dicts(self) -> list[dict[str, Any]]:
+        return [span.as_dict() for span in self.spans()]
+
+
+def tree_lines(spans: list[Span]) -> list[str]:
+    """Render spans as an indented tree, ordered by start time.
+
+    Orphan spans (parent evicted by the cap, or none) sit at depth 0.
+    Used by the CLI ``trace`` subcommand.
+    """
+    by_parent: dict[int | None, list[Span]] = {}
+    ids = {span.span_id for span in spans}
+    for span in spans:
+        parent = span.parent_id if span.parent_id in ids else None
+        by_parent.setdefault(parent, []).append(span)
+    lines: list[str] = []
+
+    def walk(parent: int | None, depth: int) -> None:
+        for span in sorted(
+            by_parent.get(parent, []), key=lambda s: (s.start, s.span_id)
+        ):
+            attrs = " ".join(
+                f"{key}={value}" for key, value in sorted(span.attrs.items())
+            )
+            lines.append(
+                "  " * depth
+                + f"{span.name}  start={span.start:.6f}s "
+                + f"dur={span.duration * 1000:.3f}ms"
+                + (f"  {attrs}" if attrs else "")
+            )
+            walk(span.span_id, depth + 1)
+
+    walk(None, 0)
+    return lines

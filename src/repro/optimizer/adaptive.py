@@ -21,6 +21,7 @@ from repro.core.runlog import QueryFeatures
 from repro.errors import NotTrainedError, TrainingError
 from repro.ml.decision_tree import C45Tree
 from repro.ml.regression_tree import RepTree
+from repro.obs.metrics import MetricsRegistry
 from repro.optimizer.logs import RunLogRepository
 
 _BATCHING = ("batch", "outer_batch")
@@ -64,6 +65,17 @@ class AdaptiveOptimizer:
         self.t4: RepTree | None = None
         self._trained_at = 0
         self.report = TrainingReport()
+        #: Observability hook; ``Quepa`` binds its own registry here so
+        #: the choose/record path shows up in the system's metrics.
+        self.metrics: MetricsRegistry | None = None
+
+    def bind_metrics(self, metrics: MetricsRegistry) -> None:
+        """Report optimizer activity into ``metrics`` (the Quepa hook)."""
+        self.metrics = metrics
+
+    def _count(self, name: str, **labels: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name, **labels).inc()
 
     # -- Phase 2: training -------------------------------------------------------
 
@@ -82,6 +94,7 @@ class AdaptiveOptimizer:
         self.t3 = RepTree().fit(t3_examples) if len(t3_examples) >= 4 else None
         self.t4 = RepTree().fit(t4_examples) if len(t4_examples) >= 4 else None
         self._trained_at = len(self.logs)
+        self._count("optimizer_trainings_total")
         self.report = TrainingReport(
             runs=len(self.logs),
             signatures=len(self.logs.best_runs()),
@@ -114,9 +127,11 @@ class AdaptiveOptimizer:
         """Predict the configuration for one query (the Quepa hook)."""
         self._maybe_retrain()
         if self.t1 is None:
+            self._count("optimizer_fallbacks_total")
             return self.fallback
         row = features.as_dict()
         augmenter = self.t1.predict(row)
+        self._count("optimizer_predictions_total", augmenter=augmenter)
         batch_size = self.fallback.batch_size
         if augmenter in _BATCHING and self.t2 is not None:
             batch_size = max(1, round(self.t2.predict(row)))

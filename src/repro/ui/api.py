@@ -13,6 +13,10 @@ POST     /explore/{sid}/close       end the session (records the full path)
 GET      /object/{global_key}       direct access to one data object
 GET      /databases                 the polystore's databases and engines
 GET      /stats                     last run record (for dashboards)
+GET      /metrics                   cumulative metrics registry snapshot
+                                    (per-database latency histograms, cache
+                                    and pool counters)
+GET      /trace                     spans of the last run + per-kind summary
 =======  =========================  ===========================================
 
 Requests and responses are plain dicts that serialize to JSON as-is;
@@ -145,6 +149,10 @@ class QuepaApi:
                 return self.databases()
             case ("GET", ["stats"]):
                 return self.stats()
+            case ("GET", ["metrics"]):
+                return self.metrics()
+            case ("GET", ["trace"]):
+                return self.trace()
         raise ApiError(404, f"no route for {method} /{'/'.join(parts)}")
 
     # -- endpoints ---------------------------------------------------------------
@@ -239,6 +247,24 @@ class QuepaApi:
                 "cache_size": record.cache_size,
                 "elapsed_s": record.elapsed,
                 "features": record.features.as_dict(),
+                "queries_by_database": dict(record.queries_by_database),
+                "objects_by_database": dict(record.objects_by_database),
+                "span_summary": dict(record.span_summary),
+                "skipped_flushes": record.skipped_flushes,
+            }
+        }
+
+    def metrics(self) -> dict[str, Any]:
+        """Cumulative instrument snapshot (counters/gauges/histograms)."""
+        return {"metrics": self.quepa.obs.metrics.snapshot()}
+
+    def trace(self) -> dict[str, Any]:
+        """The last run's spans, plus the per-kind summary."""
+        obs = self.quepa.obs
+        return {
+            "trace": {
+                "summary": obs.trace_summary(),
+                "spans": obs.tracer.as_dicts(),
             }
         }
 

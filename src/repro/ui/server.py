@@ -14,6 +14,11 @@ driven interactively:
 
 Request bodies and responses are JSON. Errors map to their HTTP status
 codes (the same codes :class:`ApiError` carries).
+
+Observability rides along: ``GET /metrics`` returns the cumulative
+metrics snapshot (per-database latency histograms, cache/pool counters)
+and ``GET /trace`` the spans of the last completed run — see
+:mod:`repro.obs` and the "Observability" section of docs/API.md.
 """
 
 from __future__ import annotations

@@ -92,6 +92,29 @@ class TestAnswersAreEquivalent:
         outcome = augmenter.execute(ctx, plan, config)
         assert answer_signature(outcome) == answer_signature(baseline)
 
+    def test_inner_with_warm_cache_creates_no_pool(self, setup):
+        """Regression: INNER paid the pool-creation overhead even when
+        every probe hit the cache and no task was ever submitted."""
+        registry, plan, profile = setup
+        cache = LruCache(10_000)
+        run_augmenter("inner", registry, plan, profile, cache=cache)
+        outcome, runtime = run_augmenter(
+            "inner", registry, plan, profile, cache=cache
+        )
+        assert outcome.cache_hits == plan.total_fetches()
+        pools = runtime.obs.metrics.counter("pools_created_total")
+        assert pools.value == 0
+
+    @pytest.mark.parametrize("name", ("inner", "outer", "outer_batch"))
+    def test_empty_plan_creates_no_pool(self, name, setup, mini_aindex):
+        registry, __, profile = setup
+        empty_plan = Augmentation(mini_aindex).plan([], level=1)
+        assert empty_plan.total_fetches() == 0
+        outcome, runtime = run_augmenter(name, registry, empty_plan, profile)
+        assert outcome.objects == []
+        pools = runtime.obs.metrics.counter("pools_created_total")
+        assert pools.value == 0
+
     def test_probabilities_attached_to_objects(self, setup):
         registry, plan, profile = setup
         outcome, __ = run_augmenter("sequential", registry, plan, profile)

@@ -120,3 +120,36 @@ class TestLru:
             thread.join()
         assert not errors
         assert len(cache) <= 64
+
+    def test_put_races_concurrent_resize(self):
+        """Regression: ``put`` read ``capacity`` outside the lock, so a
+        concurrent ``resize(0)`` could let entries slip into a cache
+        that should store nothing."""
+        cache = LruCache(64)
+        stop = threading.Event()
+        errors = []
+
+        def resizer():
+            while not stop.is_set():
+                cache.resize(0)
+                cache.resize(64)
+
+        def writer():
+            try:
+                for i in range(2000):
+                    cache.put(obj(f"k{i % 50}"))
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        flipper = threading.Thread(target=resizer)
+        workers = [threading.Thread(target=writer) for _ in range(4)]
+        flipper.start()
+        for thread in workers:
+            thread.start()
+        for thread in workers:
+            thread.join()
+        stop.set()
+        flipper.join()
+        assert not errors
+        cache.resize(0)
+        assert len(cache) == 0  # shrink-to-zero always empties it

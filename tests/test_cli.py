@@ -63,6 +63,43 @@ class TestGenerateQueryInspect:
         )
         assert code == 0
 
+    def test_stats_prints_per_store_breakdown(self, snapshot):
+        code, output = run_cli(
+            "stats", "--snapshot", snapshot,
+            "--database", "transactions",
+            "--query", "SELECT * FROM inventory WHERE seq < 5",
+            "--level", "1",
+        )
+        assert code == 0
+        assert "per-store breakdown:" in output
+        assert "catalogue" in output
+        assert "span kinds:" in output
+        assert "store_call" in output
+        assert "cache:" in output
+
+    def test_trace_prints_span_tree(self, snapshot):
+        code, output = run_cli(
+            "trace", "--snapshot", snapshot,
+            "--database", "transactions",
+            "--query", "SELECT * FROM inventory WHERE seq < 5",
+            "--augmenter", "outer_batch",
+        )
+        assert code == 0
+        assert "plan" in output
+        assert "  pool" in output  # indented under the augment span
+        assert "store_call" in output
+
+    def test_trace_limit_truncates(self, snapshot):
+        code, output = run_cli(
+            "trace", "--snapshot", snapshot,
+            "--database", "transactions",
+            "--query", "SELECT * FROM inventory WHERE seq < 20",
+            "--limit", "3",
+        )
+        assert code == 0
+        assert len([l for l in output.splitlines() if l]) <= 5
+        assert "more spans" in output
+
     def test_query_aggregate_fails_cleanly(self, snapshot):
         code, output = run_cli(
             "query", "--snapshot", snapshot,

@@ -89,6 +89,46 @@ class TestAugmentationUnderFailure:
         assert "catalogue.albums.d1" not in keys
         assert answer.stats.unavailable_databases == ("catalogue",)
 
+    def test_batch_skipped_flush_not_counted_as_query(self):
+        """Regression: a flush swallowed by ``skip_unavailable`` used to
+        count toward ``queries_issued`` even though no query ran."""
+        polystore, aindex = polystore_with_down_catalogue()
+        quepa = Quepa(polystore, aindex)
+        config = AugmentationConfig(
+            augmenter="batch", batch_size=2, skip_unavailable=True
+        )
+        answer = quepa.augmented_search("transactions", QUERY, config=config)
+        # The local query plus one flush each for discount and similar;
+        # the failed catalogue flush is reported as skipped instead.
+        assert answer.stats.queries_issued == 3
+        assert quepa.last_record.skipped_flushes == 1
+        skips = quepa.obs.metrics.counter(
+            "store_unavailable_skips_total", database="catalogue"
+        )
+        assert skips.value == 1
+
+    def test_missing_objects_deduped_across_seeds(self):
+        """Regression: one unreachable object shared by many seeds was
+        reported (and lazily deleted) once per seed."""
+        from repro.model.prelations import PRelation
+
+        polystore = make_mini_polystore()
+        aindex = make_mini_aindex()
+        polystore.database("transactions").insert_row(
+            "inventory", {"id": "a99", "artist": "x", "name": "Wishbone"}
+        )
+        # Two seeds point at the same nonexistent object.
+        ghost = K("catalogue.albums.nope")
+        aindex.add(PRelation.identity(K("transactions.inventory.a32"),
+                                      ghost, 0.9))
+        aindex.add(PRelation.identity(K("transactions.inventory.a99"),
+                                      ghost, 0.9))
+        quepa = Quepa(polystore, aindex)
+        answer = quepa.augmented_search(
+            "transactions", "SELECT * FROM inventory WHERE name LIKE '%wish%'"
+        )
+        assert answer.stats.missing_objects == 1
+
     def test_skipped_store_not_lazily_deleted(self):
         """Unavailability is transient: the A' index must keep the
         down store's nodes (unlike genuinely missing objects)."""

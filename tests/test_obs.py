@@ -1,0 +1,323 @@
+"""Tests for the tracing + metrics layer (repro.obs) and its wiring."""
+
+import json
+import threading
+
+import pytest
+
+from repro.core import Quepa
+from repro.core.augmentation import AugmentationConfig
+from repro.network import RealRuntime, VirtualRuntime, centralized_profile
+from repro.obs import (
+    Histogram,
+    MetricsRegistry,
+    Observability,
+    Tracer,
+    tree_lines,
+)
+
+QUERY = "SELECT * FROM inventory WHERE name LIKE '%wish%'"
+
+
+# ---------------------------------------------------------------------------
+# Tracer
+# ---------------------------------------------------------------------------
+
+
+class TestTracer:
+    def test_begin_end_retains_span(self):
+        tracer = Tracer()
+        span = tracer.begin("work", 1.0, None, database="db")
+        assert len(tracer) == 0  # not retained until closed
+        tracer.end(span, 3.5)
+        assert len(tracer) == 1
+        assert span.duration == 2.5
+        assert span.attrs == {"database": "db"}
+
+    def test_record_is_one_shot(self):
+        tracer = Tracer()
+        span = tracer.record("call", 0.0, 0.25, objects=3)
+        assert span.end == 0.25
+        assert tracer.spans() == [span]
+
+    def test_parent_child_ids(self):
+        tracer = Tracer()
+        parent = tracer.begin("outer", 0.0, None)
+        child = tracer.begin("inner", 0.1, parent.span_id)
+        tracer.end(child, 0.2)
+        tracer.end(parent, 0.3)
+        assert child.parent_id == parent.span_id
+        assert parent.parent_id is None
+
+    def test_summary_groups_by_kind(self):
+        tracer = Tracer()
+        tracer.record("fetch", 0.0, 1.0)
+        tracer.record("fetch", 1.0, 3.0)
+        tracer.record("plan", 0.0, 0.5)
+        summary = tracer.summary()
+        assert summary["fetch"] == {"count": 2, "total_s": 3.0}
+        assert summary["plan"]["count"] == 1
+
+    def test_reset_clears_everything(self):
+        tracer = Tracer(max_spans=1)
+        tracer.record("a", 0.0, 1.0)
+        tracer.record("b", 0.0, 1.0)  # over the cap
+        assert tracer.dropped == 1
+        tracer.reset()
+        assert len(tracer) == 0
+        assert tracer.dropped == 0
+        assert tracer.record("c", 0.0, 1.0).span_id == 1  # ids restart
+
+    def test_cap_counts_drops(self):
+        tracer = Tracer(max_spans=2)
+        for i in range(5):
+            tracer.record("s", float(i), float(i) + 1)
+        assert len(tracer) == 2
+        assert tracer.dropped == 3
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(max_spans=0)
+
+    def test_as_dicts_is_json_ready(self):
+        tracer = Tracer()
+        tracer.record("fetch", 0.0, 0.5, database="catalogue")
+        payload = json.dumps(tracer.as_dicts())
+        assert "catalogue" in payload
+
+    def test_tree_lines_indent_children(self):
+        tracer = Tracer()
+        parent = tracer.begin("augment", 0.0, None)
+        tracer.record("fetch", 0.1, 0.2, parent.span_id)
+        tracer.end(parent, 0.3)
+        lines = tree_lines(tracer.spans())
+        assert lines[0].startswith("augment")
+        assert lines[1].startswith("  fetch")
+
+
+# ---------------------------------------------------------------------------
+# Metrics registry
+# ---------------------------------------------------------------------------
+
+
+class TestMetrics:
+    def test_counter_monotonic(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("queries_total")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("pool_size")
+        gauge.set(10)
+        gauge.inc(2)
+        gauge.dec(5)
+        assert gauge.value == 7
+
+    def test_histogram_buckets_cumulative(self):
+        histogram = Histogram(buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        snap = histogram.snapshot()
+        assert snap["count"] == 5
+        assert snap["max"] == 50.0
+        assert snap["mean"] == pytest.approx(56.05 / 5)
+        assert snap["buckets"] == {"0.1": 1, "1": 3, "10": 4, "+Inf": 5}
+
+    def test_histogram_rejects_bad_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=())
+        with pytest.raises(ValueError):
+            Histogram(buckets=(1.0, 1.0))
+
+    def test_get_or_create_by_name_and_labels(self):
+        registry = MetricsRegistry()
+        a = registry.counter("calls", database="x")
+        b = registry.counter("calls", database="x")
+        c = registry.counter("calls", database="y")
+        assert a is b
+        assert a is not c
+        assert len(registry) == 2
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("thing")
+        with pytest.raises(TypeError):
+            registry.gauge("thing")
+
+    def test_snapshot_deterministic_and_json_ready(self):
+        registry = MetricsRegistry()
+        registry.counter("b_metric").inc()
+        registry.counter("a_metric", database="z").inc(2)
+        registry.histogram("lat", database="z").observe(0.2)
+        snap = registry.snapshot()
+        assert [entry["name"] for entry in snap] == [
+            "a_metric", "b_metric", "lat",
+        ]
+        json.dumps(snap)  # must not raise
+        assert snap[0]["labels"] == {"database": "z"}
+        assert snap[0]["value"] == 2
+
+    def test_reset_forgets_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        registry.reset()
+        assert len(registry) == 0
+        assert registry.counter("x").value == 0
+
+
+class TestMetricsThreadSafety:
+    def test_concurrent_counter_and_histogram_updates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits")
+        histogram = registry.histogram("lat")
+
+        def hammer():
+            for _ in range(1000):
+                counter.inc()
+                histogram.observe(0.001)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 8000
+        assert histogram.count == 8000
+        assert histogram.sum == pytest.approx(8.0)
+
+    def test_concurrent_updates_from_real_runtime_pool(self):
+        runtime = RealRuntime(centralized_profile(["db"]))
+        ctx = runtime.root()
+
+        def task(child):
+            for _ in range(200):
+                child.obs.metrics.counter("task_ticks").inc()
+            return 1
+
+        pool = ctx.pool(8)
+        for _ in range(16):
+            pool.submit(task)
+        results = pool.join()
+        assert sum(results) == 16
+        assert runtime.obs.metrics.counter("task_ticks").value == 16 * 200
+
+    def test_registry_get_or_create_race(self):
+        registry = MetricsRegistry()
+        barrier = threading.Barrier(8)
+        instruments = []
+
+        def grab():
+            barrier.wait()
+            instruments.append(registry.counter("shared"))
+
+        threads = [threading.Thread(target=grab) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len({id(instrument) for instrument in instruments}) == 1
+
+
+# ---------------------------------------------------------------------------
+# Runtime wiring
+# ---------------------------------------------------------------------------
+
+
+class TestRuntimeWiring:
+    def test_real_runtime_elapsed_zero_before_root(self):
+        runtime = RealRuntime(centralized_profile(["db"]))
+        # Regression: used to return `monotonic() - 0`, a huge number.
+        assert runtime.elapsed == 0.0
+
+    def test_virtual_root_resets_trace_not_metrics(self, mini_quepa):
+        mini_quepa.augmented_search("transactions", QUERY)
+        counter = mini_quepa.obs.metrics.counter(
+            "store_queries_total", database="transactions"
+        )
+        first = counter.value
+        assert len(mini_quepa.obs.tracer) > 0
+        mini_quepa.augmented_search("transactions", QUERY)
+        # Metrics are cumulative across runs, the tracer is per-run.
+        second = counter.value
+        assert second > first
+        spans = mini_quepa.obs.tracer.spans()
+        assert all(span.start >= 0.0 for span in spans)
+
+    def test_span_nesting_under_pool(self, mini_polystore, mini_aindex):
+        quepa = Quepa(mini_polystore, mini_aindex)
+        config = AugmentationConfig(augmenter="inner", threads_size=2)
+        quepa.augmented_search("transactions", QUERY, config=config)
+        spans = {span.span_id: span for span in quepa.obs.tracer.spans()}
+        fetches = [s for s in spans.values() if s.name == "fetch"]
+        assert fetches, "inner augmenter should emit fetch spans"
+        for fetch in fetches:
+            # Every fetch hangs off the augment span via inheritance.
+            parent = spans[fetch.parent_id]
+            assert parent.name == "augment"
+
+
+# ---------------------------------------------------------------------------
+# Acceptance: a level-1 query is fully observable under both runtimes
+# ---------------------------------------------------------------------------
+
+
+def _assert_observable(quepa):
+    quepa.augmented_search("transactions", QUERY, level=1)
+    summary = quepa.obs.tracer.summary()
+    kinds = set(summary)
+    assert {"plan", "store_call"} <= kinds
+    assert kinds & {"fetch", "fetch_group", "augment"}
+    assert len(kinds) >= 3
+    snap = quepa.obs.metrics.snapshot()
+    latencies = [
+        entry for entry in snap if entry["name"] == "store_call_seconds"
+    ]
+    databases = {entry["labels"]["database"] for entry in latencies}
+    assert "transactions" in databases
+    assert len(databases) >= 2  # level 1 reaches other stores
+    for entry in latencies:
+        assert entry["count"] >= 1
+        assert entry["buckets"]["+Inf"] == entry["count"]
+    trace = quepa.last_record.span_summary
+    assert trace["store_call"]["count"] >= 1
+
+
+class TestAcceptance:
+    def test_virtual_runtime_observable(self, mini_polystore, mini_aindex):
+        profile = centralized_profile(list(mini_polystore))
+        quepa = Quepa(
+            mini_polystore, mini_aindex,
+            runtime=VirtualRuntime(profile),
+        )
+        _assert_observable(quepa)
+
+    def test_real_runtime_observable(self, mini_polystore, mini_aindex):
+        profile = centralized_profile(list(mini_polystore))
+        quepa = Quepa(
+            mini_polystore, mini_aindex,
+            runtime=RealRuntime(profile),
+        )
+        _assert_observable(quepa)
+
+    def test_outcome_carries_trace_summary(self, mini_quepa):
+        answer = mini_quepa.augmented_search("transactions", QUERY, level=1)
+        assert answer.stats.elapsed > 0.0
+        record = mini_quepa.last_record
+        assert record.queries_by_database["transactions"] >= 1
+        assert sum(record.objects_by_database.values()) > 0
+
+
+class TestObservabilityBundle:
+    def test_snapshot_shape(self):
+        obs = Observability()
+        obs.metrics.counter("x").inc()
+        obs.tracer.record("y", 0.0, 1.0)
+        snap = obs.snapshot()
+        assert snap["trace"]["spans"] == 1
+        assert snap["trace"]["by_kind"]["y"]["count"] == 1
+        assert snap["metrics"][0]["name"] == "x"

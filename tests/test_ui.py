@@ -198,6 +198,64 @@ class TestOtherEndpoints:
         response = api.handle("GET", "/stats")
         assert response["last_run"]["features"]["engine"] == "relational"
 
+    def test_stats_carries_observability_fields(self, api):
+        api.handle("POST", "/query",
+                   {"database": "transactions", "query": QUERY, "level": 1})
+        last = api.handle("GET", "/stats")["last_run"]
+        assert last["queries_by_database"]["transactions"] >= 1
+        assert last["span_summary"]["store_call"]["count"] >= 1
+        assert last["skipped_flushes"] == 0
+
+    def test_metrics_endpoint(self, api):
+        api.handle("POST", "/query",
+                   {"database": "transactions", "query": QUERY, "level": 1})
+        metrics = api.handle("GET", "/metrics")["metrics"]
+        by_name = {}
+        for entry in metrics:
+            by_name.setdefault(entry["name"], []).append(entry)
+        latencies = by_name["store_call_seconds"]
+        databases = {entry["labels"]["database"] for entry in latencies}
+        assert "transactions" in databases
+        assert len(databases) >= 2  # level 1 touched other stores
+        assert all(entry["type"] == "histogram" for entry in latencies)
+        assert by_name["cache_probes_total"][0]["value"] > 0
+
+    def test_metrics_accumulate_across_queries(self, api):
+        def issued():
+            metrics = api.handle("GET", "/metrics")["metrics"]
+            return sum(
+                entry["value"] for entry in metrics
+                if entry["name"] == "store_queries_total"
+            )
+
+        api.handle("POST", "/query",
+                   {"database": "transactions", "query": QUERY})
+        first = issued()
+        api.handle("POST", "/query",
+                   {"database": "transactions", "query": QUERY})
+        assert issued() > first
+
+    def test_trace_endpoint(self, api):
+        api.handle("POST", "/query",
+                   {"database": "transactions", "query": QUERY, "level": 1})
+        trace = api.handle("GET", "/trace")["trace"]
+        kinds = set(trace["summary"]["by_kind"])
+        assert {"plan", "store_call"} <= kinds
+        assert len(kinds) >= 3
+        assert trace["summary"]["spans"] == len(trace["spans"])
+        names = {span["name"] for span in trace["spans"]}
+        assert "store_call" in names
+
+    def test_trace_resets_per_run(self, api):
+        api.handle("POST", "/query",
+                   {"database": "transactions", "query": QUERY, "level": 1})
+        deep = api.handle("GET", "/trace")["trace"]["summary"]["spans"]
+        api.handle("POST", "/query",
+                   {"database": "transactions", "query": QUERY,
+                    "augment": False})
+        shallow = api.handle("GET", "/trace")["trace"]["summary"]["spans"]
+        assert shallow < deep  # the tracer only holds the last run
+
     def test_unknown_route_is_404(self, api):
         with pytest.raises(ApiError) as err:
             api.handle("GET", "/teapot")

@@ -86,6 +86,24 @@ class TestHttpEndpoints:
             urllib.request.urlopen(request, timeout=5)
         assert err.value.code == 400
 
+    def test_metrics_over_http(self, server):
+        post(server, "/query",
+             {"database": "transactions", "query": QUERY, "level": 1})
+        status, payload = get(server, "/metrics")
+        assert status == 200
+        names = {entry["name"] for entry in payload["metrics"]}
+        assert "store_call_seconds" in names
+        assert "cache_probes_total" in names
+
+    def test_trace_over_http(self, server):
+        post(server, "/query",
+             {"database": "transactions", "query": QUERY, "level": 1})
+        status, payload = get(server, "/trace")
+        assert status == 200
+        summary = payload["trace"]["summary"]
+        assert len(summary["by_kind"]) >= 3
+        assert summary["spans"] > 0
+
     def test_unknown_route_is_404(self, server):
         with pytest.raises(urllib.error.HTTPError) as err:
             get(server, "/teapot")
