@@ -23,6 +23,14 @@ from repro.workloads import PolystoreScale, build_polyphony
 
 FULL = os.environ.get("REPRO_FULL") == "1"
 
+
+def pytest_collection_modifyitems(items):
+    """Everything under ``benchmarks/`` carries the ``benchmark`` marker,
+    so ``-m 'not benchmark'`` works when collecting tests and figures
+    together."""
+    for item in items:
+        item.add_marker(pytest.mark.benchmark)
+
 #: Query result sizes (the paper: 100, 500, 1000, 5000, 10000).
 QUERY_SIZES = (100, 500, 1000, 5000, 10000) if FULL else (100, 500, 1000)
 #: Largest query size; entities per store must cover it.

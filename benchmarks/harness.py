@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
+import json
+import time
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.core import Quepa
 from repro.core.augmentation import AugmentationConfig
@@ -10,15 +13,27 @@ from repro.network import centralized_profile, distributed_profile
 from repro.workloads import QueryWorkload
 from repro.workloads.queries import WorkloadQuery
 
+#: Machine-readable benchmark outputs (``BENCH_<figure>.json``) land
+#: next to the human-readable ``results/*.txt`` files.
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
 
 @dataclass
 class RunTimes:
-    """Virtual end-to-end times of a cold and a warm execution."""
+    """Virtual end-to-end times of a cold and a warm execution.
+
+    ``cold``/``warm`` are deterministic virtual-clock seconds (the
+    figures' y-axis); ``cold_wall``/``warm_wall`` are the real seconds
+    the harness spent computing them, which is what the perf-trajectory
+    JSON tracks across PRs.
+    """
 
     cold: float
     warm: float
     queries_issued: int
     augmented: int
+    cold_wall: float = 0.0
+    warm_wall: float = 0.0
 
 
 def make_profile(bundle, deployment: str):
@@ -44,18 +59,68 @@ def run_cold_warm(
         bundle.polystore, bundle.aindex,
         profile=make_profile(bundle, deployment),
     )
+    started = time.perf_counter()
     cold = quepa.augmented_search(
         query.database, query.query, level=level, config=config
     )
+    cold_done = time.perf_counter()
     warm = quepa.augmented_search(
         query.database, query.query, level=level, config=config
     )
+    warm_done = time.perf_counter()
     return RunTimes(
         cold=cold.stats.elapsed,
         warm=warm.stats.elapsed,
         queries_issued=cold.stats.queries_issued,
         augmented=len(cold.augmented),
+        cold_wall=cold_done - started,
+        warm_wall=warm_done - cold_done,
     )
+
+
+def write_bench_json(
+    figure: str,
+    sweeps: list[dict],
+    baseline: dict | None = None,
+) -> Path:
+    """Write ``BENCH_<figure>.json`` next to the ``.txt`` results.
+
+    ``sweeps`` is a list of per-point records, each carrying the sweep
+    parameters plus virtual-time and wall-clock numbers. ``baseline``
+    optionally records the previous PR's wall-clock for the same sweep,
+    so the perf trajectory is visible in one file.
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{figure}.json"
+    payload: dict = {"figure": figure, "sweeps": sweeps}
+    if baseline is not None:
+        payload["baseline"] = payload_baseline = dict(baseline)
+        after = sum(point.get("warm_wall_s", 0.0) for point in sweeps)
+        before = payload_baseline.get("warm_wall_s_total")
+        if before and after:
+            payload["speedup_warm_wall"] = round(before / after, 2)
+    payload["warm_wall_s_total"] = round(
+        sum(point.get("warm_wall_s", 0.0) for point in sweeps), 6
+    )
+    payload["cold_wall_s_total"] = round(
+        sum(point.get("cold_wall_s", 0.0) for point in sweeps), 6
+    )
+    path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+    return path
+
+
+def sweep_point_record(label: dict, times: RunTimes) -> dict:
+    """One JSON record: sweep parameters + virtual and wall times."""
+    record = dict(label)
+    record.update(
+        cold_s=round(times.cold, 6),
+        warm_s=round(times.warm, 6),
+        queries=times.queries_issued,
+        augmented=times.augmented,
+        cold_wall_s=round(times.cold_wall, 6),
+        warm_wall_s=round(times.warm_wall, 6),
+    )
+    return record
 
 
 def average_over_stores(

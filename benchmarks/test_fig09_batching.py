@@ -17,9 +17,21 @@ from repro.core.augmentation import AugmentationConfig
 from repro.workloads import QueryWorkload
 
 from .conftest import QUERY_SIZES
-from .harness import run_cold_warm
+from .harness import run_cold_warm, sweep_point_record, write_bench_json
 
 BATCH_SIZES = (1, 4, 16, 64, 256, 1024, 4096)
+
+#: Wall-clock of the same sweep measured at the previous PR's HEAD
+#: (c2101a1) on the same machine, recorded so ``BENCH_fig09.json``
+#: carries the before/after perf trajectory. The *virtual* times are
+#: identical across the two revisions by construction (the guard in
+#: ``tests/test_benchmark_guard.py`` pins them); only the real seconds
+#: spent computing them moved.
+BASELINE_WALL = {
+    "commit": "c2101a1",
+    "warm_wall_s_total": 3.612,
+    "cold_wall_s_total": 5.512,
+}
 
 
 def sweep(bundle, augmenter: str, level: int):
@@ -95,6 +107,17 @@ def test_fig09_batch_size_sweep(benchmark, bundle10, report):
         "shape-checks passed: batching monotone + plateau, BATCH more "
         "sensitive than OUTER-BATCH, threading advantage fades when warm"
     )
+
+    sweeps = [
+        sweep_point_record(
+            {"augmenter": name, "batch_size": batch_size, "level": 0},
+            times,
+        )
+        for name, curve in results.items()
+        for batch_size, times in curve.items()
+    ]
+    path = write_bench_json("fig09", sweeps, baseline=BASELINE_WALL)
+    report.note(f"wall-clock trajectory written to {path.name}")
 
 
 def test_fig09_warm_level1(benchmark, bundle10, report):

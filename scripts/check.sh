@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Tier-1 gate: the unit suite plus the virtual-time benchmark guard.
+#
+# The guard (tests/test_benchmark_guard.py) recomputes representative
+# Fig 9 sweep points and compares them bit-for-bit against the
+# committed seed results, so any change that moves the deterministic
+# cost model fails here before it reaches the figures.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+python -m pytest -x -q -m "not benchmark and not slow"
+python -m pytest -x -q tests/test_benchmark_guard.py

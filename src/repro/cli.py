@@ -35,6 +35,7 @@ from repro.core import Quepa
 from repro.core.augmentation import AugmentationConfig
 from repro.errors import ReproError
 from repro.persistence import load_snapshot, save_snapshot
+from repro.stores.querycache import parse_cache_stats
 from repro.ui.render import AnsiRenderer, TextRenderer
 from repro.workloads import PolystoreScale, build_polyphony
 
@@ -279,13 +280,41 @@ def _stats(args, out) -> int:
             f"total_ms={entry['total_s'] * 1000:.3f}",
             file=out,
         )
-    probes = metrics.counter("cache_probes_total").value
-    hits = metrics.counter("cache_hits_total").value
-    print(
-        f"cache: {int(probes)} probes, {int(hits)} hits "
-        f"({hits / probes:.1%} hit rate)" if probes else "cache: unused",
-        file=out,
-    )
+    cache = quepa.cache.stats()
+    probes = cache["hits"] + cache["misses"]
+    if probes:
+        print(
+            f"cache: {probes} probes, {cache['hits']} hits "
+            f"({cache['hit_rate']:.1%} hit rate), "
+            f"{cache['size']}/{cache['capacity']} entries, "
+            f"{cache['evictions']} evictions",
+            file=out,
+        )
+        for index, shard in enumerate(cache["shards"]):
+            print(
+                f"  shard {index}: {shard['size']:6d} entries "
+                f"{shard['hits']:8d} hits {shard['misses']:8d} misses",
+                file=out,
+            )
+    else:
+        print("cache: unused", file=out)
+    refreezes = getattr(quepa.aindex, "refreezes", None)
+    if refreezes is not None:
+        print(
+            f"planner: {refreezes} index refreezes "
+            f"(generation {quepa.aindex.generation})",
+            file=out,
+        )
+    parse_lines = [
+        f"  {entry['name']:18s} {entry['hits']:8d} hits "
+        f"{entry['misses']:8d} misses ({entry['hit_rate']:.1%} hit rate)"
+        for entry in parse_cache_stats()
+        if entry["hits"] or entry["misses"]
+    ]
+    if parse_lines:
+        print("parse caches:", file=out)
+        for line in parse_lines:
+            print(line, file=out)
     return 0
 
 

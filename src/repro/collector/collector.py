@@ -60,7 +60,9 @@ class Collector:
         report = CollectorReport()
         objects = []
         for database in polystore:
-            for obj in polystore.database(database).iter_objects():
+            # Chunked multi_get scan: one native batch per chunk rather
+            # than one point lookup per object, same objects and order.
+            for obj in polystore.database(database).scan_objects():
                 objects.append(obj)
         report.objects_scanned = len(objects)
 

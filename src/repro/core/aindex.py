@@ -16,6 +16,14 @@ dropped with :meth:`AIndex.remove_object`. Every *inferred* edge records
 its two supporting edges (lineage), enabling the cascading deletion the
 paper lists as future work (:meth:`AIndex.remove_relation` with
 ``cascade=True``).
+
+The index carries a monotonically increasing ``generation`` counter,
+bumped on every successful mutation. :meth:`AIndex.frozen` returns a
+cached :class:`~repro.core.compressed.FrozenAIndex` CSR snapshot of the
+current generation, rebuilding it only when the live index has changed
+since the last freeze — this is what lets the augmentation planner scan
+a compact read-only snapshot by default while lazy deletions still
+invalidate it transparently.
 """
 
 from __future__ import annotations
@@ -53,6 +61,13 @@ class AIndex:
             tuple[GlobalKey, GlobalKey], set[tuple[GlobalKey, GlobalKey]]
         ] = {}
         self.enforce_consistency = enforce_consistency
+        #: Bumped on every successful mutation; read snapshots compare it
+        #: to decide whether a cached freeze is still current.
+        self.generation = 0
+        #: Times :meth:`frozen` actually rebuilt the snapshot.
+        self.refreezes = 0
+        self._frozen_snapshot = None
+        self._frozen_generation = -1
 
     # -- size ------------------------------------------------------------------
 
@@ -111,6 +126,7 @@ class AIndex:
                 return False
         self._adjacency.setdefault(a, {})[b] = (rel_type, probability)
         self._adjacency.setdefault(b, {})[a] = (rel_type, probability)
+        self.generation += 1
         return True
 
     def _propagate_identity(self, relation: PRelation) -> None:
@@ -196,6 +212,24 @@ class AIndex:
         }
         return replica
 
+    # -- read snapshot ------------------------------------------------------------
+
+    def frozen(self):
+        """The CSR snapshot of the current generation, rebuilt on demand.
+
+        The snapshot is cached: repeated calls between mutations return
+        the same :class:`~repro.core.compressed.FrozenAIndex` instance,
+        so planners pay the freeze cost once per index generation rather
+        than once per query.
+        """
+        if self._frozen_generation != self.generation:
+            from repro.core.compressed import FrozenAIndex
+
+            self._frozen_snapshot = FrozenAIndex.freeze(self)
+            self._frozen_generation = self.generation
+            self.refreezes += 1
+        return self._frozen_snapshot
+
     # -- queries --------------------------------------------------------------------
 
     def neighbors(
@@ -209,6 +243,23 @@ class AIndex:
             Neighbor(other, edge_type, probability)
             for other, (edge_type, probability) in adjacency.items()
             if rel_type is None or edge_type is rel_type
+        ]
+
+    def neighbor_arcs(
+        self, key: GlobalKey
+    ) -> list[tuple[GlobalKey, float]]:
+        """All edges out of ``key`` as bare ``(key, probability)`` pairs.
+
+        The planner's traversal never looks at the relation type, so this
+        skips the per-edge :class:`Neighbor` construction. Pairs come in
+        adjacency insertion order, same as :meth:`neighbors`.
+        """
+        adjacency = self._adjacency.get(key)
+        if not adjacency:
+            return []
+        return [
+            (other, probability)
+            for other, (_, probability) in adjacency.items()
         ]
 
     def relation(self, a: GlobalKey, b: GlobalKey) -> PRelation | None:
@@ -236,6 +287,7 @@ class AIndex:
             return 0
         for other in adjacency:
             self._adjacency.get(other, {}).pop(key, None)
+        self.generation += 1
         return len(adjacency)
 
     def remove_relation(
@@ -251,6 +303,7 @@ class AIndex:
         if self._adjacency.get(a, {}).pop(b, None) is None:
             return 0
         self._adjacency.get(b, {}).pop(a, None)
+        self.generation += 1
         removed = 1
         removed_pair = _pair(a, b)
         self._lineage.pop(removed_pair, None)

@@ -57,6 +57,9 @@ class Augmenter(ABC):
         #: Databases that raised StoreUnavailableError (append-only;
         #: list.append is atomic, so worker threads may share it).
         self._unavailable: list[str] = []
+        #: Per-probe CPU charge; resolved per run by :meth:`execute` so
+        #: _probe_cache skips the cost-model attribute chase.
+        self._probe_cost = 0.0
 
     def execute(
         self,
@@ -68,7 +71,22 @@ class Augmenter(ABC):
         validate_config(config)
         self._skip_unavailable = config.skip_unavailable
         self._unavailable = []
+        # The probe loop runs once per planned fetch; per-probe metric
+        # increments (registry lookup + counter lock, three per probe)
+        # dwarf the cache probe itself. The shard counters inside the
+        # cache already count every probe under their shard lock, so the
+        # obs counters are published once per run from the stats delta.
+        self._probe_cost = ctx.cost_model.cache_probe_cost
+        before = self.cache.stats()
         outcome = self._run(ctx, plan, config)
+        after = self.cache.stats()
+        metrics = ctx.obs.metrics
+        hits = after["hits"] - before["hits"]
+        misses = after["misses"] - before["misses"]
+        if hits or misses:
+            metrics.counter("cache_probes_total").inc(hits + misses)
+            metrics.counter("cache_hits_total").inc(hits)
+            metrics.counter("cache_misses_total").inc(misses)
         outcome.unavailable_databases = tuple(sorted(set(self._unavailable)))
         # The same absent key is appended once per seed that planned it;
         # deduplicate so lazy deletion does each removal exactly once.
@@ -90,15 +108,15 @@ class Augmenter(ABC):
     def _probe_cache(
         self, ctx: ExecContext, fetch: PlannedFetch
     ) -> AugmentedObject | None:
-        """Cache lookup with its (small) CPU cost charged."""
-        ctx.cpu(ctx.cost_model.cache_probe_cost)
+        """Cache lookup with its (small) CPU cost charged.
+
+        Hit/miss accounting happens inside the cache's shard counters;
+        :meth:`execute` publishes the per-run delta to the obs metrics.
+        """
+        ctx.cpu(self._probe_cost)
         cached = self.cache.get(fetch.key)
-        metrics = ctx.obs.metrics
-        metrics.counter("cache_probes_total").inc()
         if cached is None:
-            metrics.counter("cache_misses_total").inc()
             return None
-        metrics.counter("cache_hits_total").inc()
         return _augmented(cached, fetch)
 
     def _fetch_single(

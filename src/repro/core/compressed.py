@@ -12,6 +12,16 @@ The snapshot implements the same ``neighbors`` protocol the
 augmentation planner uses, so ``Augmentation(FrozenAIndex.freeze(ix))``
 works unchanged. It is immutable: maintenance (insertions, lazy
 deletions, promotion) stays on the live index; refreeze to publish.
+In practice planners obtain snapshots via :meth:`AIndex.frozen`, which
+caches the freeze per index generation, so a refreeze happens only
+after the live index actually mutated.
+
+Freezing preserves the live index's node and adjacency iteration order
+(Python dicts iterate in insertion order, which is deterministic for a
+given build sequence). This matters: the planner's best-first traversal
+breaks probability ties by discovery order, so an order-preserving
+snapshot replays the live traversal edge-for-edge and the virtual-time
+benchmarks stay bit-identical whichever index backs the plan.
 """
 
 from __future__ import annotations
@@ -41,21 +51,25 @@ class FrozenAIndex:
         self._targets = targets
         self._probabilities = probabilities
         self._is_identity = is_identity
+        #: Per-node (key, probability) arc lists, built lazily from the
+        #: CSR arrays on first access (planner fast path).
+        self._arcs: list[list[tuple[GlobalKey, float]] | None] = [None] * len(
+            keys
+        )
 
     # -- construction ---------------------------------------------------------
 
     @classmethod
     def freeze(cls, index: AIndex) -> "FrozenAIndex":
-        """Build a snapshot of ``index`` (sorted, deterministic)."""
-        keys = sorted(index.nodes(), key=str)
+        """Build a snapshot of ``index``, preserving its iteration order."""
+        keys = list(index.nodes())
         ids = {key: i for i, key in enumerate(keys)}
         offsets = array("l", [0])
         targets = array("l")
         probabilities = array("d")
         is_identity: list[bool] = []
         for key in keys:
-            neighbors = sorted(index.neighbors(key), key=lambda n: str(n.key))
-            for neighbor in neighbors:
+            for neighbor in index.neighbors(key):
                 targets.append(ids[neighbor.key])
                 probabilities.append(neighbor.probability)
                 is_identity.append(neighbor.type is RelationType.IDENTITY)
@@ -89,6 +103,38 @@ class FrozenAIndex:
                 )
             )
         return out
+
+    def neighbor_arcs(
+        self, key: GlobalKey
+    ) -> list[tuple[GlobalKey, float]]:
+        """All edges out of ``key`` as bare ``(key, probability)`` pairs.
+
+        Same order as :meth:`neighbors`, minus the per-edge
+        :class:`Neighbor` and :class:`RelationType` materialization the
+        planner never looks at. Arc lists are memoized per node, so
+        repeated traversals (every seed of a plan revisits hub nodes)
+        reduce to one list lookup.
+        """
+        node = self._ids.get(key)
+        if node is None:
+            return []
+        arcs = self._arcs[node]
+        if arcs is None:
+            keys = self._keys
+            targets = self._targets
+            probabilities = self._probabilities
+            arcs = [
+                (keys[targets[position]], probabilities[position])
+                for position in range(
+                    self._offsets[node], self._offsets[node + 1]
+                )
+            ]
+            self._arcs[node] = arcs
+        return arcs
+
+    def frozen(self) -> "FrozenAIndex":
+        """A frozen index is its own snapshot (mirrors ``AIndex.frozen``)."""
+        return self
 
     def relation(self, a: GlobalKey, b: GlobalKey) -> PRelation | None:
         for neighbor in self.neighbors(a):

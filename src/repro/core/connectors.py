@@ -15,7 +15,6 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.errors import KeyNotFoundError
 from repro.model.objects import DataObject, GlobalKey
 from repro.model.polystore import Polystore
 from repro.network.executor import ExecContext
@@ -49,10 +48,11 @@ class Connector:
         )
 
     def _get_list(self, key: GlobalKey) -> list[DataObject]:
-        try:
-            return [self.store.get(key)]
-        except KeyNotFoundError:
-            return []
+        # Single fetches ride the same native batch protocol as groups
+        # (a one-key IN / $in / MGET): one code path per engine, and
+        # missing keys come back as an empty list rather than an
+        # exception crossing the store boundary.
+        return self.store.multi_get((key,))
 
 
 class ConnectorRegistry:

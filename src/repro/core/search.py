@@ -94,9 +94,16 @@ def assemble_answer(
         current = best.get(entry.key)
         if current is None or entry.probability > current.probability:
             best[entry.key] = entry
-    ranked = sorted(
-        best.values(), key=lambda entry: (-entry.probability, str(entry.key))
-    )
+    # Decorate-sort-undecorate: one entry per key, so the (probability,
+    # key-text) prefix is unique and the entries themselves are never
+    # compared. Going through entry.object skips two property hops per
+    # element, which dominates the sort at answer sizes ~10k.
+    decorated = [
+        (-entry.object.probability, str(entry.object.key), entry)
+        for entry in best.values()
+    ]
+    decorated.sort()
+    ranked = [entry for __, __, entry in decorated]
     stats.augmented_count = len(ranked)
     stats.original_count = len(originals)
     return AugmentedAnswer(list(originals), ranked, stats)

@@ -37,6 +37,7 @@ from repro.model.polystore import Polystore
 from repro.network.executor import ExecContext, RealRuntime, Runtime, VirtualRuntime
 from repro.network.latency import DeploymentProfile, centralized_profile
 from repro.obs import Observability
+from repro.stores.querycache import parse_cache_stats
 
 
 class Optimizer(Protocol):
@@ -134,6 +135,7 @@ class Quepa:
             span.attrs["cache_hits"] = outcome.cache_hits
         for missing in outcome.missing:
             self.aindex.remove_object(missing)  # lazy deletion (III-C.b)
+        self._publish_planner_metrics()
         self._finish_timer()
         stats.planned_fetches = plan.total_fetches()
         stats.queries_issued = outcome.queries_issued + 1  # + the local query
@@ -149,6 +151,25 @@ class Quepa:
         answer = assemble_answer(originals, outcome.objects, stats)
         self._emit_record(features, run_config, stats, outcome)
         return answer
+
+    def _publish_planner_metrics(self) -> None:
+        """Publish planner/parse-cache state to the metrics registry.
+
+        Gauges rather than counters: the refreeze count lives on the
+        index and parse-cache hits on process-wide caches, so each
+        search stamps the current totals instead of accumulating.
+        """
+        metrics = self.obs.metrics
+        refreezes = getattr(self.aindex, "refreezes", None)
+        if refreezes is not None:
+            metrics.gauge("aindex_refreezes_total").set(refreezes)
+        for entry in parse_cache_stats():
+            metrics.gauge(
+                "parse_cache_hits_total", cache=entry["name"]
+            ).set(entry["hits"])
+            metrics.gauge(
+                "parse_cache_hit_rate", cache=entry["name"]
+            ).set(entry["hit_rate"])
 
     def _plan(self, ctx: ExecContext, seeds: list[GlobalKey], level: int):
         """Plan the augmentation, traced and charged as A' index CPU."""

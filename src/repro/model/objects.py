@@ -30,6 +30,14 @@ class GlobalKey:
     database: str
     collection: str
     key: str
+    #: Memoized textual form. Keys are interned all over the hot paths
+    #: (plan ordering, answer assembly, freeze determinism), so the join
+    #: is computed once per key instead of once per __str__ call.
+    _text: str = field(init=False, repr=False, compare=False, default="")
+    #: Memoized hash. Keys index every hot dict (cache shards, planner
+    #: distance maps, batch regrouping), and the generated dataclass
+    #: hash re-tuples three strings per call; 0 means "not yet computed".
+    _hash: int = field(init=False, repr=False, compare=False, default=0)
 
     def __post_init__(self) -> None:
         if not self.database or GLOBAL_KEY_SEPARATOR in self.database:
@@ -54,7 +62,20 @@ class GlobalKey:
         return cls(parts[0], parts[1], parts[2])
 
     def __str__(self) -> str:
-        return GLOBAL_KEY_SEPARATOR.join((self.database, self.collection, self.key))
+        text = self._text
+        if not text:
+            text = GLOBAL_KEY_SEPARATOR.join(
+                (self.database, self.collection, self.key)
+            )
+            object.__setattr__(self, "_text", text)
+        return text
+
+    def __hash__(self) -> int:
+        value = self._hash
+        if value == 0:
+            value = hash((self.database, self.collection, self.key)) or -1
+            object.__setattr__(self, "_hash", value)
+        return value
 
 
 @dataclass(frozen=True, slots=True)

@@ -123,8 +123,8 @@ class ExecContext(ABC):
     def _record_store_call(
         self, database: str, started: float, ended: float, objects: int
     ) -> None:
-        obs = self._runtime.obs
-        obs.tracer.record(
+        runtime = self._runtime
+        runtime.obs.tracer.record(
             "store_call",
             started,
             ended,
@@ -132,12 +132,10 @@ class ExecContext(ABC):
             database=database,
             objects=objects,
         )
-        metrics = obs.metrics
-        metrics.counter("store_queries_total", database=database).inc()
-        metrics.counter("store_objects_total", database=database).inc(objects)
-        metrics.histogram("store_call_seconds", database=database).observe(
-            ended - started
-        )
+        queries, totals, seconds = runtime._store_instruments(database)
+        queries.inc()
+        totals.inc(objects)
+        seconds.observe(ended - started)
 
     def _record_pool(
         self,
@@ -181,6 +179,22 @@ class Runtime(ABC):
         #: Stable handle for the hot cpu() path (one lock, no lookup).
         self._cpu_seconds = self.obs.metrics.counter("cpu_seconds_total")
         self._pools_created = self.obs.metrics.counter("pools_created_total")
+        #: Per-database instrument handles for the store_call hot path;
+        #: one registry lookup per database for the runtime's lifetime.
+        self._store_handles: dict[str, tuple] = {}
+
+    def _store_instruments(self, database: str) -> tuple:
+        """The (queries, objects, seconds) instruments for ``database``."""
+        handles = self._store_handles.get(database)
+        if handles is None:
+            metrics = self.obs.metrics
+            handles = (
+                metrics.counter("store_queries_total", database=database),
+                metrics.counter("store_objects_total", database=database),
+                metrics.histogram("store_call_seconds", database=database),
+            )
+            self._store_handles[database] = handles
+        return handles
 
     @abstractmethod
     def root(self) -> ExecContext:
@@ -217,6 +231,12 @@ class _VirtualContext(ExecContext):
         self._now = start
         #: machine name -> (cores, accumulated busy seconds)
         self.demand: dict[str, tuple[int, float]] = {}
+        # cpu() runs once per cache probe; resolve the QUEPA machine and
+        # the cpu-seconds counter once per context instead of per call.
+        machine = runtime.profile.quepa_machine
+        self._quepa_name = machine.name
+        self._quepa_cores = machine.cores
+        self._cpu_counter = runtime._cpu_seconds
 
     @property
     def now(self) -> float:
@@ -230,10 +250,16 @@ class _VirtualContext(ExecContext):
     def cpu(self, seconds: float) -> None:
         if seconds <= 0:
             return
-        machine = self._runtime.profile.quepa_machine
         self._now += seconds
-        self._add_demand(machine.name, machine.cores, seconds)
-        self._runtime._cpu_seconds.inc(seconds)
+        # Inlined _add_demand for the QUEPA machine: same accumulation
+        # order (one float addition per call), fewer lookups.
+        name = self._quepa_name
+        current = self.demand.get(name)
+        self.demand[name] = (
+            self._quepa_cores,
+            seconds if current is None else current[1] + seconds,
+        )
+        self._cpu_counter.inc(seconds)
 
     def store_call(self, database: str, fn: StoreOp) -> Sequence[Any]:
         started = self._now

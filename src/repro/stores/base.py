@@ -97,10 +97,15 @@ class Store(ABC):
 
         Missing keys are dropped, mirroring the lazy-deletion rule: an
         object deleted from the store silently disappears from answers.
+        Duplicate keys are fetched once (first occurrence wins the
+        ordering), matching the set semantics of the native batch
+        operations — ``WHERE pk IN (...)``, ``$in``, MGET — the engine
+        subclasses implement. The whole call counts as one
+        ``multi_gets`` operation regardless of the number of keys.
         """
         self.stats.multi_gets += 1
         found: list[DataObject] = []
-        for key in keys:
+        for key in dict.fromkeys(keys):
             try:
                 value = self.get_value(key.collection, key.key)
             except KeyNotFoundError:
@@ -130,6 +135,28 @@ class Store(ABC):
             for local_key in self.collection_keys(collection):
                 key = GlobalKey(self.database_name, collection, local_key)
                 yield DataObject(key, self.get_value(collection, local_key))
+
+    def scan_objects(self, chunk_size: int = 512) -> Iterator[DataObject]:
+        """Iterate every data object via chunked batch fetches.
+
+        Same objects and order as :meth:`iter_objects`, but routed
+        through :meth:`multi_get` so a full-store scan (the collector's
+        input) issues one native batch operation per ``chunk_size`` keys
+        instead of one point lookup per object.
+        """
+        if not self.database_name:
+            raise ValueError("store must be attached to a polystore first")
+        for collection in self.collections():
+            chunk: list[GlobalKey] = []
+            for local_key in self.collection_keys(collection):
+                chunk.append(
+                    GlobalKey(self.database_name, collection, local_key)
+                )
+                if len(chunk) >= chunk_size:
+                    yield from self.multi_get(chunk)
+                    chunk = []
+            if chunk:
+                yield from self.multi_get(chunk)
 
     def capabilities(self) -> StoreCapabilities:
         return StoreCapabilities(name=self.engine)

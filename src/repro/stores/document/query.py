@@ -12,9 +12,10 @@ matches.
 from __future__ import annotations
 
 import re
-from typing import Any, Iterable, Mapping
+from typing import Any, Callable, Iterable, Mapping
 
 from repro.errors import QueryError
+from repro.stores.querycache import QueryCache
 
 _COMPARATORS = {"$eq", "$ne", "$gt", "$gte", "$lt", "$lte"}
 _TYPE_NAMES = {
@@ -34,8 +35,13 @@ def resolve_path(document: Any, path: str) -> list[Any]:
     Returns an empty list when the path does not exist. A document
     ``{"a": [{"b": 1}, {"b": 2}]}`` resolves ``"a.b"`` to ``[1, 2]``.
     """
+    return _resolve_parts(document, path.split("."))
+
+
+def _resolve_parts(document: Any, parts: list[str]) -> list[Any]:
+    """``resolve_path`` over a pre-split path (the compiled-filter form)."""
     values = [document]
-    for part in path.split("."):
+    for part in parts:
         next_values: list[Any] = []
         for value in values:
             if isinstance(value, Mapping):
@@ -145,25 +151,88 @@ def _match_condition(candidates: Iterable[Any], condition: Any) -> bool:
     return False
 
 
-def matches_filter(document: Mapping[str, Any], query: Mapping[str, Any]) -> bool:
-    """True if ``document`` satisfies the Mongo-style ``query``."""
+#: Compiled-filter cache: a filter document compiles to a matcher
+#: closure with paths pre-split and logical operators pre-dispatched,
+#: so evaluating the same filter over many documents (or many calls)
+#: skips the per-document interpretation of the query structure.
+_FILTER_CACHE = QueryCache("document_filters")
+
+#: Matcher signature: document in, verdict out.
+FilterMatcher = Callable[[Mapping[str, Any]], bool]
+
+
+def _compile(query: Mapping[str, Any]) -> FilterMatcher:
+    """Translate a filter document into a matcher closure.
+
+    Unknown top-level operators are rejected here, at compile time —
+    callers still observe the :class:`QueryError` on the first
+    ``matches_filter`` call, exactly as the interpretive version did.
+    """
+    clauses: list[FilterMatcher] = []
     for key, condition in query.items():
         if key == "$and":
-            if not all(matches_filter(document, sub) for sub in condition):
-                return False
+            subs = [_compile(sub) for sub in condition]
+            clauses.append(
+                lambda doc, subs=subs: all(sub(doc) for sub in subs)
+            )
         elif key == "$or":
-            if not any(matches_filter(document, sub) for sub in condition):
-                return False
+            subs = [_compile(sub) for sub in condition]
+            clauses.append(
+                lambda doc, subs=subs: any(sub(doc) for sub in subs)
+            )
         elif key == "$nor":
-            if any(matches_filter(document, sub) for sub in condition):
-                return False
+            subs = [_compile(sub) for sub in condition]
+            clauses.append(
+                lambda doc, subs=subs: not any(sub(doc) for sub in subs)
+            )
         elif key.startswith("$"):
             raise QueryError(f"unknown top-level operator {key!r}")
         else:
-            values = resolve_path(document, key)
-            if not _match_condition(values, condition):
+            parts = key.split(".")
+            clauses.append(
+                lambda doc, parts=parts, condition=condition: _match_condition(
+                    _resolve_parts(doc, parts), condition
+                )
+            )
+    if len(clauses) == 1:
+        return clauses[0]
+
+    def matcher(document: Mapping[str, Any]) -> bool:
+        for clause in clauses:
+            if not clause(document):
                 return False
-    return True
+        return True
+
+    return matcher
+
+
+def _filter_key(value: Any) -> Any:
+    """A hashable mirror of a filter document (raises TypeError if the
+    filter contains values that cannot be hashed even via conversion)."""
+    if isinstance(value, Mapping):
+        return tuple(sorted((k, _filter_key(v)) for k, v in value.items()))
+    if isinstance(value, list):
+        return tuple(_filter_key(item) for item in value)
+    hash(value)
+    return value
+
+
+def compile_filter(query: Mapping[str, Any]) -> FilterMatcher:
+    """The compiled matcher for ``query``, cached by its content.
+
+    Filters with unhashable atoms (rare: custom objects as operands)
+    are compiled fresh on every call rather than cached.
+    """
+    try:
+        key = _filter_key(query)
+    except TypeError:
+        return _compile(query)
+    return _FILTER_CACHE.get_or_compute(key, lambda: _compile(query))
+
+
+def matches_filter(document: Mapping[str, Any], query: Mapping[str, Any]) -> bool:
+    """True if ``document`` satisfies the Mongo-style ``query``."""
+    return compile_filter(query)(document)
 
 
 def project(

@@ -15,7 +15,11 @@ from typing import Any, Iterator, Mapping
 from repro.errors import DuplicateKeyError, KeyNotFoundError, QueryError
 from repro.model.objects import DataObject, GlobalKey
 from repro.stores.base import Store
-from repro.stores.document.query import matches_filter, project, resolve_path
+from repro.stores.document.query import (
+    compile_filter,
+    project,
+    resolve_path,
+)
 
 
 class DocumentStore(Store):
@@ -95,9 +99,9 @@ class DocumentStore(Store):
     ) -> int:
         """Update every document matching ``query``; returns the count."""
         documents = self._require(collection)
+        matcher = compile_filter(query)
         targets = [
-            doc_id for doc_id, doc in documents.items()
-            if matches_filter(doc, query)
+            doc_id for doc_id, doc in documents.items() if matcher(doc)
         ]
         for doc_id in targets:
             self.update_one(collection, doc_id, changes)
@@ -108,9 +112,9 @@ class DocumentStore(Store):
     ) -> int:
         """Delete every document matching ``query``; returns the count."""
         documents = self._require(collection)
+        matcher = compile_filter(query)
         targets = [
-            doc_id for doc_id, doc in documents.items()
-            if matches_filter(doc, query)
+            doc_id for doc_id, doc in documents.items() if matcher(doc)
         ]
         for doc_id in targets:
             self.delete_one(collection, doc_id)
@@ -141,7 +145,8 @@ class DocumentStore(Store):
         documents = self._require(collection)
         query = query or {}
         candidates = self._candidates(collection, documents, query)
-        matched = [doc for doc in candidates if matches_filter(doc, query)]
+        matcher = compile_filter(query)
+        matched = [doc for doc in candidates if matcher(doc)]
         if sort:
             for field, direction in reversed(sort):
                 matched.sort(
@@ -166,7 +171,8 @@ class DocumentStore(Store):
         documents = self._require(collection)
         if not query:
             return len(documents)
-        return sum(1 for doc in documents.values() if matches_filter(doc, query))
+        matcher = compile_filter(query)
+        return sum(1 for doc in documents.values() if matcher(doc))
 
     # -- Store contract -----------------------------------------------------------
 
@@ -201,6 +207,26 @@ class DocumentStore(Store):
         if documents is None or key not in documents:
             raise KeyNotFoundError(f"{collection}._id={key}")
         return dict(documents[key])
+
+    def multi_get(self, keys) -> list[DataObject]:  # type: ignore[override]
+        """Batch fetch via one ``{"_id": {"$in": [...]}}`` per collection.
+
+        Keys are probed directly through each collection's ``_id`` map
+        (the ``$in`` fast path); duplicates fetch once and missing keys
+        are dropped. Results keep first-occurrence input order.
+        """
+        self.stats.multi_gets += 1
+        found: list[DataObject] = []
+        collections = self._collections
+        for key in dict.fromkeys(keys):
+            documents = collections.get(key.collection)
+            if documents is None:
+                continue
+            document = documents.get(key.key)
+            if document is not None:
+                found.append(DataObject(key, dict(document)))
+        self.stats.objects_returned += len(found)
+        return found
 
     def collections(self) -> list[str]:
         return list(self._collections)

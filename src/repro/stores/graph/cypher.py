@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Iterator, Optional
 
 from repro.errors import QueryError
+from repro.stores.querycache import QueryCache
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.stores.graph.store import Edge, GraphStore, Node
@@ -346,9 +347,14 @@ class _Parser:
         return OrderItem(variable, prop, ascending)
 
 
+#: Pattern cache: ``CypherQuery`` and its components are frozen, so one
+#: parsed query is safely shared by every execution of the same text.
+_PATTERN_CACHE = QueryCache("cypher_patterns")
+
+
 def parse_cypher(text: str) -> CypherQuery:
-    """Parse one Cypher-subset query."""
-    return _Parser(text).parse()
+    """Parse one Cypher-subset query (cached by query text)."""
+    return _PATTERN_CACHE.get_or_compute(text, lambda: _Parser(text).parse())
 
 
 # ---------------------------------------------------------------------------

@@ -304,6 +304,24 @@ class GraphStore(Store):
             raise KeyNotFoundError(f"{collection}.{key}")
         return node.payload()
 
+    def multi_get(self, keys) -> list[DataObject]:  # type: ignore[override]
+        """Batch fetch via one node-id lookup per unique key.
+
+        Probes the node map directly (the engine's internal-id batch
+        lookup), checking each node carries the requested label;
+        duplicates fetch once and missing keys are dropped.
+        """
+        self.stats.multi_gets += 1
+        found: list[DataObject] = []
+        nodes = self._nodes
+        for key in dict.fromkeys(keys):
+            node = nodes.get(key.key)
+            if node is None or key.collection not in node.labels:
+                continue
+            found.append(DataObject(key, node.payload()))
+        self.stats.objects_returned += len(found)
+        return found
+
     def collections(self) -> list[str]:
         return sorted(self._by_label)
 

@@ -141,6 +141,26 @@ class KeyValueStore(Store):
             raise KeyNotFoundError(f"{collection}.{key}")
         return self._data[key]
 
+    def multi_get(self, keys) -> list[DataObject]:  # type: ignore[override]
+        """Batch fetch via one MGET over the keyspace.
+
+        Duplicates fetch once and missing keys are dropped (MGET
+        returns nil for them), matching the store contract.
+        """
+        self.stats.multi_gets += 1
+        unique_keys = [
+            key for key in dict.fromkeys(keys)
+            if key.collection == self.keyspace and key.key in self._data
+        ]
+        found = [
+            DataObject(key, value)
+            for key, value in zip(
+                unique_keys, self.mget([key.key for key in unique_keys])
+            )
+        ]
+        self.stats.objects_returned += len(found)
+        return found
+
     def collections(self) -> list[str]:
         return [self.keyspace]
 

@@ -1,0 +1,107 @@
+"""Bounded parse/compile caches for the native query languages.
+
+Every store speaks its own language (SQL, Mongo-style filter documents,
+a Cypher subset), and the paper's workloads re-issue the same query
+texts thousands of times — the batch-size sweeps run one statement per
+point, and the augmenters re-parse the rewritten probe statements on
+every flush. Parsing is pure (all three ASTs are frozen dataclasses),
+so the parsed artifact can be shared between callers and cached keyed
+by the query text.
+
+:class:`QueryCache` is a small thread-safe LRU used by
+:mod:`repro.stores.relational.parser`, :mod:`repro.stores.document.query`
+and :mod:`repro.stores.graph.cypher`. Each cache registers itself by
+name so the CLI ``stats`` command (and tests) can enumerate hit rates
+without importing every store module.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Hashable
+
+#: Default number of parsed statements kept per language. Query texts
+#: are short and ASTs small; 256 comfortably covers the workloads while
+#: bounding memory for adversarial streams of distinct statements.
+DEFAULT_CAPACITY = 256
+
+_REGISTRY: dict[str, "QueryCache"] = {}
+
+
+class QueryCache:
+    """Thread-safe bounded LRU mapping query text to a parsed artifact.
+
+    ``get_or_compute`` runs the ``compute`` callable outside the lock:
+    two threads racing on the same new key may both parse, and the
+    later result wins — parsing is pure, so duplicated work is the only
+    cost, and the lock is never held across user code. A ``compute``
+    that raises caches nothing (malformed queries stay cheap to reject
+    but are not pinned in the cache).
+    """
+
+    def __init__(self, name: str, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.name = name
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        _REGISTRY[name] = self
+
+    def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self.misses += 1
+            else:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return value
+        value = compute()
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+        return value
+
+    def clear(self) -> None:
+        """Drop all entries and reset the hit/miss counters."""
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def stats(self) -> dict:
+        """Consistent snapshot of size and hit/miss counters."""
+        with self._lock:
+            hits, misses, size = self.hits, self.misses, len(self._entries)
+        probes = hits + misses
+        return {
+            "name": self.name,
+            "capacity": self.capacity,
+            "size": size,
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": (hits / probes) if probes else 0.0,
+        }
+
+
+def parse_cache_stats() -> list[dict]:
+    """Snapshots of every registered parse cache, sorted by name.
+
+    Only caches whose store module has been imported appear — the
+    registry is populated at import time by the module-level cache
+    instances.
+    """
+    return [_REGISTRY[name].stats() for name in sorted(_REGISTRY)]
+
+
+def clear_parse_caches() -> None:
+    """Reset every registered cache (test isolation helper)."""
+    for cache in _REGISTRY.values():
+        cache.clear()

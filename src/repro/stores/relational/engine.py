@@ -10,7 +10,7 @@ lookups. The native language is the SQL subset of
 
 from __future__ import annotations
 
-from typing import Any, Iterator, Mapping
+from typing import Any, Iterable, Iterator, Mapping
 
 from repro.errors import (
     DuplicateKeyError,
@@ -91,10 +91,21 @@ class Table:
 
     def create_index(self, column: str) -> None:
         self.schema.column(column)  # validates existence
+        if column == self.schema.primary_key or column in self._indexes:
+            # Idempotent: the column is already covered (by the primary
+            # key or an existing index, which writes keep current), so
+            # re-creating must not rebuild from scratch.
+            return
         index: dict[Any, set[str]] = {}
         for pk, row in self._rows.items():
             index.setdefault(row.get(column), set()).add(pk)
         self._indexes[column] = index
+
+    def get_rows(self, pks: Iterable[str]) -> list[tuple[str, dict[str, Any]]]:
+        """Point-probe several primary keys at once (``WHERE pk IN``);
+        missing keys are skipped."""
+        rows = self._rows
+        return [(pk, rows[pk]) for pk in pks if pk in rows]
 
     def has_index(self, column: str) -> bool:
         return column == self.schema.primary_key or column in self._indexes
@@ -272,18 +283,28 @@ class RelationalStore(Store):
         return dict(table.row(key))
 
     def multi_get(self, keys) -> list[DataObject]:  # type: ignore[override]
-        """Batch fetch via one logical ``WHERE pk IN (...)`` per table."""
+        """Batch fetch via one logical ``WHERE pk IN (...)`` per table.
+
+        Keys are grouped per table and probed through the primary-key
+        map in one pass each; duplicates fetch once and missing keys
+        are dropped. Results keep first-occurrence input order.
+        """
         self.stats.multi_gets += 1
-        found: list[DataObject] = []
-        for key in keys:
-            table = self._tables.get(key.collection)
+        unique_keys = list(dict.fromkeys(keys))
+        by_table: dict[str, list[GlobalKey]] = {}
+        for key in unique_keys:
+            by_table.setdefault(key.collection, []).append(key)
+        fetched: dict[GlobalKey, DataObject] = {}
+        for collection, table_keys in by_table.items():
+            table = self._tables.get(collection)
             if table is None:
                 continue
-            try:
-                row = table.row(key.key)
-            except KeyNotFoundError:
-                continue
-            found.append(DataObject(key, dict(row)))
+            rows = dict(table.get_rows(key.key for key in table_keys))
+            for key in table_keys:
+                row = rows.get(key.key)
+                if row is not None:
+                    fetched[key] = DataObject(key, dict(row))
+        found = [fetched[key] for key in unique_keys if key in fetched]
         self.stats.objects_returned += len(found)
         return found
 

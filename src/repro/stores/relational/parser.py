@@ -29,6 +29,7 @@ import re
 from typing import Optional
 
 from repro.errors import SqlSyntaxError
+from repro.stores.querycache import QueryCache
 from repro.stores.relational.ast import (
     AGGREGATE_FUNCTIONS,
     Assignment,
@@ -575,6 +576,13 @@ class Parser:
         return FuncCall(upper, tuple(args), distinct)
 
 
+#: Statement cache: the AST is frozen dataclasses, so one parsed
+#: ``Statement`` is safely shared by every execution of the same text.
+_STATEMENT_CACHE = QueryCache("sql_statements")
+
+
 def parse_sql(sql: str) -> Statement:
-    """Parse one SQL statement into its AST."""
-    return Parser(sql).parse_statement()
+    """Parse one SQL statement into its AST (cached by query text)."""
+    return _STATEMENT_CACHE.get_or_compute(
+        sql, lambda: Parser(sql).parse_statement()
+    )

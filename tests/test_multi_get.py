@@ -1,0 +1,144 @@
+"""The ``multi_get`` bulk-fetch contract, on every engine.
+
+Each store implements the batch protocol natively (relational PK
+probe, document ``$in``, graph node-id batch, key-value MGET), so the
+contract is pinned engine by engine: missing keys are dropped,
+duplicates are fetched once (first occurrence wins the ordering), and
+the whole call counts as one ``multi_gets`` operation. A property test
+cross-checks ``multi_get`` against single ``get`` calls on arbitrary
+key sequences drawn over present and absent keys.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import KeyNotFoundError
+from repro.model import GlobalKey
+
+from tests.conftest import make_mini_polystore
+
+K = GlobalKey.parse
+
+#: Every object of the mini polystore, per database (all four engines).
+PRESENT = {
+    "transactions": [
+        K("transactions.inventory.a32"),
+        K("transactions.inventory.a33"),
+        K("transactions.inventory.a34"),
+    ],
+    "catalogue": [
+        K("catalogue.albums.d1"),
+        K("catalogue.albums.d2"),
+        K("catalogue.customers.c1"),
+    ],
+    "discount": [
+        K("discount.drop.k1:cure:wish"),
+        K("discount.drop.k2:pixies:doolittle"),
+    ],
+    "similar": [
+        K("similar.Item.i1"),
+        K("similar.Item.i2"),
+        K("similar.Item.i3"),
+    ],
+}
+
+#: Keys that must be dropped: absent key, wrong collection, absent
+#: collection — one triple per database.
+ABSENT = {
+    "transactions": [
+        K("transactions.inventory.zzz"),
+        K("transactions.nowhere.a32"),
+    ],
+    "catalogue": [K("catalogue.albums.zzz"), K("catalogue.nowhere.d1")],
+    "discount": [K("discount.drop.zzz"), K("discount.other.k1:cure:wish")],
+    "similar": [K("similar.Item.zzz"), K("similar.Other.i1")],
+}
+
+DATABASES = sorted(PRESENT)
+
+
+@pytest.fixture(scope="module")
+def polystore():
+    """One shared instance: multi_get is read-only."""
+    return make_mini_polystore()
+
+
+@pytest.mark.parametrize("database", DATABASES)
+def test_multi_get_matches_single_gets(polystore, database):
+    store = polystore.database(database)
+    keys = PRESENT[database]
+    objects = store.multi_get(keys)
+    assert [obj.key for obj in objects] == keys
+    for obj in objects:
+        assert obj.value == store.get(obj.key).value
+
+
+@pytest.mark.parametrize("database", DATABASES)
+def test_multi_get_drops_missing_keys(polystore, database):
+    store = polystore.database(database)
+    keys = [PRESENT[database][0], *ABSENT[database], PRESENT[database][-1]]
+    objects = store.multi_get(keys)
+    assert [obj.key for obj in objects] == [
+        PRESENT[database][0],
+        PRESENT[database][-1],
+    ]
+    for absent in ABSENT[database]:
+        with pytest.raises(KeyNotFoundError):
+            store.get(absent)
+
+
+@pytest.mark.parametrize("database", DATABASES)
+def test_multi_get_deduplicates_first_occurrence(polystore, database):
+    store = polystore.database(database)
+    first, second = PRESENT[database][0], PRESENT[database][1]
+    objects = store.multi_get([second, first, second, first, second])
+    assert [obj.key for obj in objects] == [second, first]
+
+
+@pytest.mark.parametrize("database", DATABASES)
+def test_multi_get_counts_one_batch_operation(polystore, database):
+    store = polystore.database(database)
+    before = store.stats.multi_gets
+    store.multi_get(PRESENT[database])
+    store.multi_get([])
+    assert store.stats.multi_gets == before + 2
+
+
+@pytest.mark.parametrize("database", DATABASES)
+def test_multi_get_empty_input(polystore, database):
+    assert polystore.database(database).multi_get([]) == []
+
+
+# -- property: multi_get == the deduplicated single-get results ------------
+
+_ALL_KEYS = [key for keys in PRESENT.values() for key in keys] + [
+    key for keys in ABSENT.values() for key in keys
+]
+_KEY_INDEX = st.integers(min_value=0, max_value=len(_ALL_KEYS) - 1)
+
+#: Shared read-only instance for the property test (building a
+#: polystore per example would dominate the runtime).
+_POLYSTORE = make_mini_polystore()
+
+
+@pytest.mark.slow
+@settings(max_examples=200, deadline=None)
+@given(indexes=st.lists(_KEY_INDEX, max_size=20))
+def test_multi_get_equals_single_gets_property(indexes):
+    keys = [_ALL_KEYS[index] for index in indexes]
+    by_database: dict[str, list[GlobalKey]] = {}
+    for key in keys:
+        by_database.setdefault(key.database, []).append(key)
+    for database, group in by_database.items():
+        store = _POLYSTORE.database(database)
+        expected = []
+        for key in dict.fromkeys(group):
+            try:
+                expected.append((key, store.get(key).value))
+            except KeyNotFoundError:
+                continue
+        got = store.multi_get(group)
+        assert [(obj.key, obj.value) for obj in got] == expected

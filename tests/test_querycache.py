@@ -1,0 +1,105 @@
+"""Parse/compile caches of the native query languages."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QueryError, SqlSyntaxError
+from repro.stores.document.query import compile_filter, matches_filter
+from repro.stores.graph.cypher import parse_cypher
+from repro.stores.querycache import (
+    QueryCache,
+    clear_parse_caches,
+    parse_cache_stats,
+)
+from repro.stores.relational.parser import parse_sql
+
+
+def test_query_cache_hit_miss_and_eviction():
+    cache = QueryCache("test_hits", capacity=2)
+    assert cache.get_or_compute("a", lambda: 1) == 1
+    assert cache.get_or_compute("a", lambda: 2) == 1  # cached, not recomputed
+    assert cache.get_or_compute("b", lambda: 2) == 2
+    cache.get_or_compute("c", lambda: 3)  # evicts "a" (LRU)
+    assert cache.get_or_compute("a", lambda: 9) == 9
+    stats = cache.stats()
+    assert stats["hits"] == 1
+    assert stats["misses"] == 4
+    assert stats["size"] == 2
+    assert 0.0 < stats["hit_rate"] < 1.0
+
+
+def test_query_cache_does_not_cache_failures():
+    cache = QueryCache("test_failures", capacity=4)
+
+    def boom():
+        raise ValueError("nope")
+
+    with pytest.raises(ValueError):
+        cache.get_or_compute("bad", boom)
+    assert cache.stats()["size"] == 0
+    assert cache.get_or_compute("bad", lambda: "ok") == "ok"
+
+
+def test_query_cache_clear_resets_counters():
+    cache = QueryCache("test_clear", capacity=4)
+    cache.get_or_compute("x", lambda: 1)
+    cache.get_or_compute("x", lambda: 1)
+    cache.clear()
+    stats = cache.stats()
+    assert (stats["size"], stats["hits"], stats["misses"]) == (0, 0, 0)
+
+
+def test_parse_sql_returns_shared_statement():
+    text = "SELECT * FROM inventory WHERE price > 10"
+    assert parse_sql(text) is parse_sql(text)
+    with pytest.raises(SqlSyntaxError):
+        parse_sql("SELEKT nope")
+
+
+def test_parse_cypher_returns_shared_query():
+    text = "MATCH (a:Item) RETURN a"
+    assert parse_cypher(text) is parse_cypher(text)
+
+
+def test_compiled_filter_is_shared_and_equivalent():
+    query = {"year": {"$gte": 1989}, "$or": [{"artist": "Pixies"}, {"x": 1}]}
+    assert compile_filter(query) is compile_filter(dict(query))
+    document = {"artist": "Pixies", "year": 1989}
+    assert matches_filter(document, query)
+    assert not matches_filter({"artist": "Cure", "year": 1980}, query)
+
+
+def test_compiled_filter_rejects_unknown_operator():
+    with pytest.raises(QueryError):
+        matches_filter({"a": 1}, {"$xor": [{"a": 1}]})
+
+
+def test_unhashable_filter_compiles_uncached():
+    class Odd:
+        __hash__ = None
+
+        def __eq__(self, other):
+            return isinstance(other, int) and other % 2 == 1
+
+    query = {"a": Odd()}
+    assert matches_filter({"a": 3}, query)
+    assert not matches_filter({"a": 2}, query)
+
+
+def test_parse_cache_stats_lists_registered_caches():
+    parse_sql("SELECT * FROM inventory")
+    names = [entry["name"] for entry in parse_cache_stats()]
+    assert names == sorted(names)
+    assert "sql_statements" in names
+    assert "document_filters" in names
+    assert "cypher_patterns" in names
+
+
+def test_clear_parse_caches_resets_everything():
+    parse_sql("SELECT * FROM inventory")
+    clear_parse_caches()
+    for entry in parse_cache_stats():
+        if entry["name"].startswith("test_"):
+            continue
+        assert entry["size"] == entry["hits"] == entry["misses"] == 0
