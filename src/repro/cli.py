@@ -18,7 +18,15 @@ Commands:
     timings (see :mod:`repro.obs`).
 ``trace --snapshot DIR --database DB --query Q [--level L] ...``
     Run one augmented query and print its span tree on the virtual
-    timeline.
+    timeline (``--format=chrome`` emits Chrome trace-event JSON that
+    opens in Perfetto).
+``explain --snapshot DIR --database DB --query Q [--level L] [--analyze]``
+    EXPLAIN (or EXPLAIN ANALYZE) an augmented query: store access path,
+    A' index traversal, pool/batching decisions, optimizer rule
+    firings, estimated vs actual rows and queries.
+``events --snapshot DIR --database DB --query Q [--slow-ms T] ...``
+    Run one augmented query with the event journal armed and print the
+    recorded events (slow queries, lazy deletions, run completions).
 
 The CLI prints with :class:`~repro.ui.render.TextRenderer` (pass
 ``--color`` for the ANSI renderer, the terminal face of the paper's
@@ -28,8 +36,9 @@ probability colors).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.core import Quepa
 from repro.core.augmentation import AugmentationConfig
@@ -74,6 +83,31 @@ def build_parser() -> argparse.ArgumentParser:
     _add_query_args(trace)
     trace.add_argument("--limit", type=int, default=100,
                        help="maximum number of span lines to print")
+    trace.add_argument("--format", choices=("tree", "chrome"),
+                       default="tree", dest="trace_format",
+                       help="tree (default) or Chrome trace-event JSON")
+
+    explain = commands.add_parser(
+        "explain", help="explain how an augmented query would run"
+    )
+    _add_query_args(explain)
+    explain.add_argument("--analyze", action="store_true",
+                         help="also execute and report actual rows/time")
+    explain.add_argument("--json", action="store_true", dest="as_json",
+                         help="print the report as JSON")
+
+    events = commands.add_parser(
+        "events", help="run one query and print the event journal"
+    )
+    _add_query_args(events)
+    events.add_argument("--slow-ms", type=float, default=None,
+                        help="arm the slow-query log at this threshold")
+    events.add_argument("--jsonl", default=None,
+                        help="also append events to this JSONL file")
+    events.add_argument("--min-severity", default=None,
+                        choices=("debug", "info", "warning", "error"))
+    events.add_argument("--limit", type=int, default=50,
+                        help="maximum number of events to print")
 
     inspect = commands.add_parser("inspect", help="describe a snapshot")
     inspect.add_argument("--snapshot", required=True)
@@ -113,6 +147,10 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             return _stats(args, out)
         if args.command == "trace":
             return _trace(args, out)
+        if args.command == "explain":
+            return _explain(args, out)
+        if args.command == "events":
+            return _events(args, out)
         if args.command == "inspect":
             return _inspect(args, out)
         if args.command == "explore":
@@ -257,7 +295,8 @@ def _stats(args, out) -> int:
     print("per-store breakdown:", file=out)
     header = (
         f"  {'database':16s} {'queries':>8s} {'objects':>8s} "
-        f"{'mean_ms':>9s} {'max_ms':>9s}"
+        f"{'mean_ms':>9s} {'p50_ms':>9s} {'p95_ms':>9s} {'p99_ms':>9s} "
+        f"{'max_ms':>9s}"
     )
     print(header, file=out)
     for database in sorted(meter.queries_by_database):
@@ -268,7 +307,11 @@ def _stats(args, out) -> int:
             f"  {database:16s} "
             f"{meter.queries_by_database[database]:8d} "
             f"{meter.objects_by_database.get(database, 0):8d} "
-            f"{latency['mean'] * 1000:9.3f} {latency['max'] * 1000:9.3f}",
+            f"{latency['mean'] * 1000:9.3f} "
+            f"{latency['p50'] * 1000:9.3f} "
+            f"{latency['p95'] * 1000:9.3f} "
+            f"{latency['p99'] * 1000:9.3f} "
+            f"{latency['max'] * 1000:9.3f}",
             file=out,
         )
     print("span kinds:", file=out)
@@ -320,16 +363,126 @@ def _stats(args, out) -> int:
 
 def _trace(args, out) -> int:
     quepa, __ = _run_instrumented(args)
-    from repro.obs import tree_lines
+    from repro.obs import to_chrome_trace, tree_lines
 
     spans = quepa.obs.tracer.spans()
+    if args.trace_format == "chrome":
+        # Pure JSON on stdout so it pipes straight into a .json file
+        # that Perfetto / chrome://tracing can open.
+        json.dump(to_chrome_trace(spans), out)
+        print(file=out)
+        return 0
     lines = tree_lines(spans)
     for line in lines[: args.limit]:
         print(line, file=out)
     if len(lines) > args.limit:
         print(f"... and {len(lines) - args.limit} more spans", file=out)
-    if quepa.obs.tracer.dropped:
-        print(f"({quepa.obs.tracer.dropped} spans dropped by cap)", file=out)
+    tracer_stats = quepa.obs.tracer.stats()
+    if tracer_stats["dropped"]:
+        print(
+            f"warning: {tracer_stats['dropped']} spans dropped "
+            f"(cap {tracer_stats['max_spans']})",
+            file=out,
+        )
+    return 0
+
+
+def _parse_query(text: str) -> Any:
+    """CLI queries are strings; JSON objects/arrays become the dict and
+    tuple query forms of the document/graph/key-value stores."""
+    stripped = text.strip()
+    if stripped.startswith(("{", "[")):
+        try:
+            loaded = json.loads(stripped)
+        except ValueError:
+            return text
+        return tuple(loaded) if isinstance(loaded, list) else loaded
+    return text
+
+
+def _print_report(data: dict, out, indent: int = 0) -> None:
+    pad = "  " * indent
+    for key, value in data.items():
+        if isinstance(value, dict):
+            print(f"{pad}{key}:", file=out)
+            _print_report(value, out, indent + 1)
+        elif (
+            isinstance(value, list)
+            and value
+            and all(isinstance(item, dict) for item in value)
+        ):
+            print(f"{pad}{key}:", file=out)
+            for item in value:
+                print(f"{pad}  -", file=out)
+                _print_report(item, out, indent + 2)
+        else:
+            print(f"{pad}{key}: {value}", file=out)
+
+
+def _explain(args, out) -> int:
+    quepa = _load(args)
+    config = None
+    if args.augmenter:
+        config = AugmentationConfig(
+            augmenter=args.augmenter,
+            batch_size=args.batch_size,
+            threads_size=args.threads_size,
+        )
+    report = quepa.explain(
+        args.database,
+        _parse_query(args.query),
+        level=args.level,
+        config=config,
+        analyze=args.analyze,
+    )
+    if args.as_json:
+        json.dump(report, out, indent=2, default=str)
+        print(file=out)
+    else:
+        _print_report(report, out)
+    return 0
+
+
+def _events(args, out) -> int:
+    quepa = _load(args)
+    if args.slow_ms is not None:
+        quepa.obs.slow_query_threshold = args.slow_ms / 1000.0
+    if args.jsonl:
+        quepa.obs.events.attach_sink(args.jsonl)
+    config = None
+    if args.augmenter:
+        config = AugmentationConfig(
+            augmenter=args.augmenter,
+            batch_size=args.batch_size,
+            threads_size=args.threads_size,
+        )
+    try:
+        quepa.augmented_search(
+            args.database,
+            _parse_query(args.query),
+            level=args.level,
+            config=config,
+        )
+    finally:
+        quepa.obs.events.close_sink()
+    entries = quepa.obs.events.events(
+        min_severity=args.min_severity, limit=args.limit
+    )
+    for event in entries:
+        attrs = " ".join(
+            f"{key}={value}" for key, value in sorted(event.attrs.items())
+        )
+        print(
+            f"[{event.severity:7s}] t={event.ts:.6f}s {event.kind}"
+            + (f"  {attrs}" if attrs else ""),
+            file=out,
+        )
+    stats = quepa.obs.events.stats()
+    print(
+        f"({stats['emitted']} events emitted, {stats['dropped']} dropped, "
+        f"showing {len(entries)})",
+        file=out,
+    )
     return 0
 
 

@@ -158,6 +158,50 @@ class Augmentation:
                 self._plan_cache.popitem(last=False)
         return plan
 
+    def explain(
+        self,
+        seeds: list[GlobalKey],
+        level: int,
+        min_probability: float = 0.0,
+    ) -> dict:
+        """Describe how ``alpha^level`` over ``seeds`` would be planned.
+
+        Reports the A' index traversal — which snapshot (type and
+        generation), whether the plan cache already holds this plan,
+        edges walked, and the planned fetch workload per target
+        database. Planning is index-only, so this runs the real
+        traversal (or replays the cached plan) but never touches a
+        store.
+        """
+        index = self._planning_index()
+        cacheable = index is not self.aindex or not hasattr(index, "add")
+        plan_cache_hit = False
+        if cacheable:
+            cached = self._plan_cache.get(
+                (level, min_probability, tuple(seeds))
+            )
+            plan_cache_hit = cached is not None and cached[0] is index
+        plan = self.plan(seeds, level, min_probability)
+        fetches_by_database: dict[str, int] = {}
+        for fetch in plan.all_fetches():
+            database = fetch.key.database
+            fetches_by_database[database] = (
+                fetches_by_database.get(database, 0) + 1
+            )
+        return {
+            "level": level,
+            "seeds": len(seeds),
+            "min_probability": min_probability,
+            "snapshot": type(index).__name__,
+            "snapshot_generation": getattr(self.aindex, "generation", None),
+            "refreezes": getattr(self.aindex, "refreezes", None),
+            "plan_cacheable": cacheable,
+            "plan_cache_hit": plan_cache_hit,
+            "edges_examined": plan.edges_examined,
+            "planned_fetches": plan.total_fetches(),
+            "fetches_by_database": dict(sorted(fetches_by_database.items())),
+        }
+
     def _expand(
         self, index, seed: GlobalKey, level: int, min_probability: float
     ) -> tuple[list[PlannedFetch], int]:

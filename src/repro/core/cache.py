@@ -122,6 +122,13 @@ class LruCache:
                 shard.entries.popitem(last=False)
                 shard.evictions += 1
 
+    def contains(self, key: GlobalKey) -> bool:
+        """Non-mutating membership probe: no recency refresh, no hit or
+        miss counted (EXPLAIN must not perturb what it observes)."""
+        shard = self._shard(key)
+        with shard.lock:
+            return key in shard.entries
+
     def invalidate(self, key: GlobalKey) -> bool:
         shard = self._shard(key)
         with shard.lock:

@@ -30,7 +30,11 @@ class Connector:
 
     def fetch_one(self, ctx: ExecContext, key: GlobalKey) -> DataObject | None:
         """One direct-access query for a single object."""
-        results = ctx.store_call(self.database, lambda: self._get_list(key))
+        # ``query`` is only stringified if a slow-query event fires, so
+        # pass the key itself rather than formatting on the hot path.
+        results = ctx.store_call(
+            self.database, lambda: self._get_list(key), query=key
+        )
         return results[0] if results else None
 
     def fetch_many(
@@ -44,7 +48,11 @@ class Connector:
         if not keys:
             return []
         return list(
-            ctx.store_call(self.database, lambda: self.store.multi_get(keys))
+            ctx.store_call(
+                self.database,
+                lambda: self.store.multi_get(keys),
+                query=("multi_get", len(keys)),
+            )
         )
 
     def _get_list(self, key: GlobalKey) -> list[DataObject]:

@@ -16,6 +16,8 @@ Typical use::
 
 from __future__ import annotations
 
+import math
+from dataclasses import asdict
 from typing import Any, Callable, Protocol
 
 from repro.core.aindex import AIndex
@@ -102,7 +104,11 @@ class Quepa:
         validation = self.validator.validate(store, query)
         ctx = self.runtime.root()
         originals = list(
-            ctx.store_call(database, lambda: store.execute(validation.query))
+            ctx.store_call(
+                database,
+                lambda: store.execute(validation.query),
+                query=validation.query,
+            )
         )
         stats = SearchStats(
             database=database,
@@ -135,6 +141,14 @@ class Quepa:
             span.attrs["cache_hits"] = outcome.cache_hits
         for missing in outcome.missing:
             self.aindex.remove_object(missing)  # lazy deletion (III-C.b)
+        if outcome.missing:
+            self.obs.events.emit(
+                "lazy_deletion",
+                severity="info",
+                ts=self.runtime.elapsed,
+                database=database,
+                removed=len(outcome.missing),
+            )
         self._publish_planner_metrics()
         self._finish_timer()
         stats.planned_fetches = plan.total_fetches()
@@ -150,7 +164,184 @@ class Quepa:
         outcome.trace = self.obs.trace_summary()  # now includes all spans
         answer = assemble_answer(originals, outcome.objects, stats)
         self._emit_record(features, run_config, stats, outcome)
+        self.obs.events.emit(
+            "augmentation_completed",
+            ts=stats.elapsed,
+            database=database,
+            level=level,
+            augmenter=run_config.augmenter,
+            elapsed_s=stats.elapsed,
+            queries=stats.queries_issued,
+            cache_hits=stats.cache_hits,
+        )
         return answer
+
+    # -- EXPLAIN / ANALYZE -----------------------------------------------------
+
+    def explain(
+        self,
+        database: str,
+        query: Any,
+        level: int = 0,
+        config: AugmentationConfig | None = None,
+        analyze: bool = False,
+    ) -> dict[str, Any]:
+        """Explain how an augmented search would run, end to end.
+
+        Stitches together the store engine's access-path report, the A'
+        index traversal (snapshot generation, plan-cache hit, edges
+        walked), the pool/batching decisions of the augmenter the
+        configuration resolution would pick, per-database cache
+        would-hit counts, and — when an optimizer is attached — the
+        T1-T4 rule firings behind the choice.
+
+        Plain EXPLAIN runs only the local query (planning needs its
+        seeds; the A' index traversal itself is store-free). With
+        ``analyze=True`` the full augmented search also executes and an
+        ``"actual"`` section reports measured elapsed time, queries
+        issued and cache hits next to the estimates.
+        """
+        store = self.polystore.database(database)
+        validation = self.validator.validate(store, query)
+        report: dict[str, Any] = {
+            "database": database,
+            "level": level,
+            "analyze": analyze,
+            "query": {
+                "rewritten": validation.rewritten,
+                "store": store.explain(validation.query, analyze=analyze),
+            },
+        }
+        # Seeds come from the local answer; running it here mirrors the
+        # first step of augmented_search but stays off the runtime's
+        # clocks (EXPLAIN is free in virtual time).
+        originals = store.execute(validation.query)
+        seeds = [
+            obj.key for obj in originals if obj.key.collection != "_result"
+        ]
+        min_probability = self.config.min_probability
+        report["plan"] = self.augmentation.explain(
+            seeds, level, min_probability
+        )
+        features = QueryFeatures(
+            engine=store.engine,
+            database=database,
+            level=level,
+            original_count=len(originals),
+            planned_fetches=report["plan"]["planned_fetches"],
+            store_count=len(self.polystore),
+            deployment=self.profile.name,
+        )
+        chosen, source, rules = self._explain_config(config, features)
+        report["config"] = {"source": source, **asdict(chosen)}
+        if rules:
+            report["config"]["rules"] = rules
+        report["execution"] = self._explain_execution(
+            chosen, seeds, level, min_probability
+        )
+        if analyze:
+            answer = self.augmented_search(
+                database, query, level=level, config=config
+            )
+            stats = answer.stats
+            report["actual"] = {
+                "elapsed_s": stats.elapsed,
+                "queries_issued": stats.queries_issued,
+                "cache_hits": stats.cache_hits,
+                "augmented_objects": len(answer.augmented),
+                "missing_objects": stats.missing_objects,
+                "augmenter": stats.augmenter,
+                "queries_by_database": dict(
+                    self.runtime.meter.queries_by_database
+                ),
+                "trace": self.obs.trace_summary(),
+            }
+        return report
+
+    def _explain_config(
+        self, explicit: AugmentationConfig | None, features: QueryFeatures
+    ) -> tuple[AugmentationConfig, str, list[dict]]:
+        """Resolve the config as :meth:`_resolve_config` would, without
+        side effects, and report where it came from."""
+        if explicit is not None:
+            return explicit, "explicit", []
+        if self.optimizer is not None:
+            if hasattr(self.optimizer, "explain_choice"):
+                choice = self.optimizer.explain_choice(
+                    features, self.cache.capacity
+                )
+                return choice["config"], "optimizer", choice["rules"]
+            return (
+                self.optimizer.configure(features, self.cache.capacity),
+                "optimizer",
+                [],
+            )
+        return self.config, "default", []
+
+    _POOL_SHAPES = {
+        "sequential": "no pool: one direct-access query per fetch",
+        "batch": "no pool: native batch query per flush, grouped by database",
+        "inner": "one pool per seed over that seed's fetch list",
+        "outer": "one pool over all fetches",
+        "outer_batch": "one pool whose tasks are batch flushes",
+        "outer_inner": "nested pools: outer over seeds, inner per seed",
+    }
+
+    def _explain_execution(
+        self,
+        chosen: AugmentationConfig,
+        seeds: list[Any],
+        level: int,
+        min_probability: float,
+    ) -> dict[str, Any]:
+        """Pool/batching decisions plus per-database cache would-hits.
+
+        Cache probes use :meth:`LruCache.contains`, which neither
+        refreshes recency nor counts hits/misses — EXPLAIN must not
+        change what a subsequent real run observes. A key planned for
+        several seeds is fetched at most once: the first miss populates
+        the cache, so repeats count as hits, matching what the run's
+        own counters will report.
+        """
+        plan = self.augmentation.plan(seeds, level, min_probability)
+        batching = chosen.augmenter in ("batch", "outer_batch")
+        pooled = chosen.augmenter in (
+            "inner", "outer", "outer_batch", "outer_inner",
+        )
+        per_database: dict[str, dict[str, int]] = {}
+        would_hit = 0
+        seen: set[Any] = set()
+        for fetch in plan.all_fetches():
+            entry = per_database.setdefault(
+                fetch.key.database, {"fetches": 0, "cached": 0}
+            )
+            entry["fetches"] += 1
+            if fetch.key in seen or self.cache.contains(fetch.key):
+                entry["cached"] += 1
+                would_hit += 1
+            seen.add(fetch.key)
+        estimated_queries = 1  # the local query
+        for entry in per_database.values():
+            misses = entry["fetches"] - entry["cached"]
+            entry["estimated_queries"] = (
+                math.ceil(misses / chosen.batch_size) if batching else misses
+            )
+            estimated_queries += entry["estimated_queries"]
+        return {
+            "augmenter": chosen.augmenter,
+            "batching": batching,
+            "batch_size": chosen.batch_size if batching else None,
+            "pooled": pooled,
+            "pool_workers": chosen.threads_size if pooled else 0,
+            "shape": self._POOL_SHAPES.get(chosen.augmenter, "unknown"),
+            "cache": {
+                "capacity": self.cache.capacity,
+                "size": len(self.cache),
+                "would_hit": would_hit,
+            },
+            "per_database": dict(sorted(per_database.items())),
+            "estimated_queries": estimated_queries,
+        }
 
     def _publish_planner_metrics(self) -> None:
         """Publish planner/parse-cache state to the metrics registry.

@@ -242,6 +242,44 @@ class C45Tree:
         assert node.label is not None
         return node.label
 
+    def decision_path(
+        self, features: Mapping[str, FeatureValue]
+    ) -> list[str]:
+        """The tests taken by :meth:`predict` on ``features``, as human-
+        readable rule strings ending in the predicted label."""
+        if self._root is None:
+            raise NotTrainedError("call fit() before predict()")
+        path: list[str] = []
+        node = self._root
+        while not node.is_leaf:
+            assert node.feature is not None
+            value = features.get(node.feature)
+            if node.threshold is not None:
+                if value is None:
+                    path.append(
+                        f"{node.feature} missing -> {node.majority!r}"
+                    )
+                    return path
+                if float(value) <= node.threshold:
+                    path.append(
+                        f"{node.feature} = {value} <= {node.threshold:g}"
+                    )
+                    child = node.children.get("le")
+                else:
+                    path.append(
+                        f"{node.feature} = {value} > {node.threshold:g}"
+                    )
+                    child = node.children.get("gt")
+            else:
+                path.append(f"{node.feature} = {value!r}")
+                child = node.children.get(value)
+            if child is None:
+                path.append(f"no branch -> {node.majority!r}")
+                return path
+            node = child
+        path.append(f"-> {node.label!r}")
+        return path
+
     def predict_many(
         self, rows: list[Mapping[str, FeatureValue]]
     ) -> list[str]:

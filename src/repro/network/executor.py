@@ -95,8 +95,14 @@ class ExecContext(ABC):
         """Perform ``seconds`` of QUEPA-side CPU work."""
 
     @abstractmethod
-    def store_call(self, database: str, fn: StoreOp) -> Sequence[Any]:
-        """Execute one native query against ``database`` and charge it."""
+    def store_call(
+        self, database: str, fn: StoreOp, query: Any = None
+    ) -> Sequence[Any]:
+        """Execute one native query against ``database`` and charge it.
+
+        ``query`` is the native query text/descriptor, used only for
+        slow-query events — never executed or charged.
+        """
 
     @abstractmethod
     def pool(self, workers: int) -> "WorkerPool":
@@ -121,7 +127,12 @@ class ExecContext(ABC):
     # -- shared instrumentation helpers --------------------------------------
 
     def _record_store_call(
-        self, database: str, started: float, ended: float, objects: int
+        self,
+        database: str,
+        started: float,
+        ended: float,
+        objects: int,
+        query: Any = None,
     ) -> None:
         runtime = self._runtime
         runtime.obs.tracer.record(
@@ -136,6 +147,20 @@ class ExecContext(ABC):
         queries.inc()
         totals.inc(objects)
         seconds.observe(ended - started)
+        # Slow-query log: observational only (reads the clocks already
+        # taken above, charges nothing), and a single None check when
+        # disabled — the default — keeps it off the hot path.
+        threshold = runtime.obs.slow_query_threshold
+        if threshold is not None and ended - started >= threshold:
+            runtime.obs.events.emit(
+                "slow_query",
+                severity="warning",
+                ts=ended,
+                database=database,
+                query="" if query is None else str(query),
+                elapsed_s=ended - started,
+                objects=objects,
+            )
 
     def _record_pool(
         self,
@@ -261,7 +286,9 @@ class _VirtualContext(ExecContext):
         )
         self._cpu_counter.inc(seconds)
 
-    def store_call(self, database: str, fn: StoreOp) -> Sequence[Any]:
+    def store_call(
+        self, database: str, fn: StoreOp, query: Any = None
+    ) -> Sequence[Any]:
         started = self._now
         results = fn()
         n = len(results)
@@ -273,7 +300,7 @@ class _VirtualContext(ExecContext):
         self._add_demand(site.machine.name, site.machine.cores, service)
         self.cpu(cost.per_object_cpu * n)
         self._runtime.meter.record(database, n)
-        self._record_store_call(database, started, self._now, n)
+        self._record_store_call(database, started, self._now, n, query)
         return results
 
     def pool(self, workers: int) -> WorkerPool:
@@ -390,7 +417,9 @@ class _RealContext(ExecContext):
                 time.sleep(seconds * self._runtime.time_scale)
             self._runtime._cpu_seconds.inc(seconds)
 
-    def store_call(self, database: str, fn: StoreOp) -> Sequence[Any]:
+    def store_call(
+        self, database: str, fn: StoreOp, query: Any = None
+    ) -> Sequence[Any]:
         started = self.now
         profile = self._runtime.profile
         site = profile.site(database)
@@ -398,7 +427,9 @@ class _RealContext(ExecContext):
             time.sleep(site.roundtrip * self._runtime.time_scale)
         results = fn()
         self._runtime.meter.record(database, len(results))
-        self._record_store_call(database, started, self.now, len(results))
+        self._record_store_call(
+            database, started, self.now, len(results), query
+        )
         return results
 
     def pool(self, workers: int) -> WorkerPool:

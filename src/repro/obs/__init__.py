@@ -27,6 +27,12 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.obs.events import SEVERITIES, Event, EventJournal
+from repro.obs.export import (
+    parse_prometheus_text,
+    to_chrome_trace,
+    to_prometheus,
+)
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -38,17 +44,32 @@ from repro.obs.trace import Span, Tracer, tree_lines
 
 
 class Observability:
-    """One tracer + one metrics registry, shared by a runtime's contexts."""
+    """Tracer + metrics registry + event journal, shared by a runtime's
+    contexts.
 
-    def __init__(self, max_spans: int = 10_000) -> None:
+    ``slow_query_threshold`` (seconds, ``None`` = disabled, the default)
+    arms the per-store slow-query log: any store roundtrip whose elapsed
+    time meets the threshold emits a ``slow_query`` warning event with
+    the store name, native query text and elapsed time in its attrs.
+    """
+
+    def __init__(
+        self,
+        max_spans: int = 10_000,
+        max_events: int = 2048,
+        slow_query_threshold: float | None = None,
+    ) -> None:
         self.tracer = Tracer(max_spans)
         self.metrics = MetricsRegistry()
+        self.events = EventJournal(max_events)
+        self.slow_query_threshold = slow_query_threshold
 
     def trace_summary(self) -> dict[str, Any]:
         """Structured summary of the current run's trace."""
+        stats = self.tracer.stats()
         return {
-            "spans": len(self.tracer),
-            "dropped": self.tracer.dropped,
+            "spans": stats["spans"],
+            "dropped": stats["dropped"],
             "by_kind": self.tracer.summary(),
         }
 
@@ -57,17 +78,24 @@ class Observability:
         return {
             "metrics": self.metrics.snapshot(),
             "trace": self.trace_summary(),
+            "events": self.events.stats(),
         }
 
 
 __all__ = [
     "DEFAULT_BUCKETS",
+    "SEVERITIES",
     "Counter",
+    "Event",
+    "EventJournal",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "Observability",
     "Span",
     "Tracer",
+    "parse_prometheus_text",
+    "to_chrome_trace",
+    "to_prometheus",
     "tree_lines",
 ]

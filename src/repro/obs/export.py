@@ -1,0 +1,205 @@
+"""Standard exporters: Prometheus text exposition and Chrome trace JSON.
+
+Two wire formats so the reproduction's observability plugs into stock
+tooling instead of bespoke dashboards:
+
+* :func:`to_prometheus` renders a :meth:`MetricsRegistry.snapshot` as
+  Prometheus/OpenMetrics text exposition (``# TYPE`` headers, cumulative
+  ``_bucket{le=...}`` / ``_sum`` / ``_count`` series for histograms,
+  escaped label values). :func:`parse_prometheus_text` is the matching
+  line-format parser used to round-trip the output in tests.
+* :func:`to_chrome_trace` converts tracer spans into Chrome trace-event
+  JSON (phase ``"X"`` complete events with microsecond ``ts``/``dur``),
+  so a trace opens directly as a flamegraph in Perfetto or
+  ``chrome://tracing``. Spans from concurrent pool workers overlap in
+  time; the exporter assigns each span a ``tid`` lane such that spans
+  sharing a lane nest properly (a child only joins its parent's lane
+  when it fits inside it), which is what the flamegraph renderers
+  require.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Iterable
+
+from repro.obs.trace import Span
+
+_NAME_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+_SERIES_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
+_LABEL_PAIR = re.compile(r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:\\.|[^"\\])*)"')
+
+
+# -- Prometheus text exposition ------------------------------------------------
+
+
+def to_prometheus(snapshot: list[dict[str, Any]]) -> str:
+    """Render a metrics-registry snapshot as Prometheus text exposition."""
+    lines: list[str] = []
+    typed: set[str] = set()
+    for entry in snapshot:
+        name = _metric_name(entry["name"])
+        kind = entry["type"]
+        labels = entry.get("labels", {})
+        if name not in typed:
+            lines.append(f"# TYPE {name} {kind}")
+            typed.add(name)
+        if kind == "histogram":
+            for bound, cumulative in entry["buckets"].items():
+                lines.append(
+                    _series(
+                        f"{name}_bucket", {**labels, "le": bound}, cumulative
+                    )
+                )
+            lines.append(_series(f"{name}_sum", labels, entry["sum"]))
+            lines.append(_series(f"{name}_count", labels, entry["count"]))
+        else:
+            lines.append(_series(name, labels, entry["value"]))
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _metric_name(name: Any) -> str:
+    cleaned = _NAME_SANITIZE.sub("_", str(name))
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _series(name: str, labels: dict[str, Any], value: Any) -> str:
+    if labels:
+        rendered = ",".join(
+            f'{_metric_name(key)}="{_escape_label(str(val))}"'
+            for key, val in sorted(labels.items(), key=lambda kv: str(kv[0]))
+        )
+        return f"{name}{{{rendered}}} {_format_value(value)}"
+    return f"{name} {_format_value(value)}"
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: Any) -> str:
+    number = float(value)
+    if number == float("inf"):
+        return "+Inf"
+    if number == float("-inf"):
+        return "-Inf"
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def parse_prometheus_text(text: str) -> list[dict[str, Any]]:
+    """Parse text exposition back into ``{name, labels, value}`` rows.
+
+    Supports exactly what :func:`to_prometheus` emits (plus blank and
+    comment lines); used to verify the exporter round-trips.
+    """
+    rows: list[dict[str, Any]] = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SERIES_LINE.match(line)
+        if match is None:
+            raise ValueError(f"unparseable exposition line: {raw!r}")
+        labels: dict[str, str] = {}
+        body = match.group("labels")
+        if body:
+            for pair in _LABEL_PAIR.finditer(body):
+                value = pair.group("value")
+                value = (
+                    value.replace("\\n", "\n")
+                    .replace('\\"', '"')
+                    .replace("\\\\", "\\")
+                )
+                labels[pair.group("key")] = value
+        raw_value = match.group("value")
+        if raw_value == "+Inf":
+            value_f = float("inf")
+        elif raw_value == "-Inf":
+            value_f = float("-inf")
+        else:
+            value_f = float(raw_value)
+        rows.append(
+            {"name": match.group("name"), "labels": labels, "value": value_f}
+        )
+    return rows
+
+
+# -- Chrome trace events -------------------------------------------------------
+
+
+def to_chrome_trace(spans: Iterable[Span], pid: int = 1) -> dict[str, Any]:
+    """Convert spans into the Chrome trace-event JSON object format.
+
+    Every span becomes one phase-``X`` (complete) event with ``ts`` and
+    ``dur`` in microseconds. ``tid`` lanes are assigned so nesting is
+    preserved: a span lands on its parent's lane only when the parent is
+    still open there and fully contains it; otherwise it takes the first
+    idle lane (or a fresh one). Concurrent pool fetches therefore render
+    as parallel "threads" instead of corrupting the flamegraph.
+    """
+    ordered = sorted(spans, key=lambda s: (s.start, s.span_id))
+    events: list[dict[str, Any]] = []
+    lane_of: dict[int, int] = {}
+    stacks: dict[int, list[tuple[int, float]]] = {}
+    next_tid = 1
+    for span in ordered:
+        end = span.end if span.end is not None else span.start
+        tid: int | None = None
+        if span.parent_id is not None:
+            parent_tid = lane_of.get(span.parent_id)
+            if parent_tid is not None:
+                stack = stacks[parent_tid]
+                while stack and stack[-1][1] <= span.start:
+                    stack.pop()
+                if (
+                    stack
+                    and stack[-1][0] == span.parent_id
+                    and end <= stack[-1][1]
+                ):
+                    tid = parent_tid
+        if tid is None:
+            for candidate in sorted(stacks):
+                stack = stacks[candidate]
+                while stack and stack[-1][1] <= span.start:
+                    stack.pop()
+                if not stack:
+                    tid = candidate
+                    break
+            if tid is None:
+                tid = next_tid
+                next_tid += 1
+                stacks[tid] = []
+        stacks[tid].append((span.span_id, end))
+        lane_of[span.span_id] = tid
+        args: dict[str, Any] = {"span_id": span.span_id}
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        for key, value in span.attrs.items():
+            args[str(key)] = (
+                value
+                if isinstance(value, (str, int, float, bool)) or value is None
+                else str(value)
+            )
+        events.append(
+            {
+                "name": span.name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": span.start * 1e6,
+                "dur": (end - span.start) * 1e6,
+                "pid": pid,
+                "tid": tid,
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}

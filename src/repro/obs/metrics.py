@@ -124,6 +124,13 @@ class Histogram:
         with self._lock:
             return self._sum / self._count if self._count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """Bucket-interpolated quantile estimate, ``q`` in [0, 1]."""
+        with self._lock:
+            counts = list(self._counts)
+            total, biggest = self._count, self._max
+        return _bucket_quantile(self.bounds, counts, total, biggest, q)
+
     def snapshot(self) -> dict[str, Any]:
         with self._lock:
             counts = list(self._counts)
@@ -139,8 +146,36 @@ class Histogram:
             "sum": summed,
             "max": biggest,
             "mean": summed / total if total else 0.0,
+            "p50": _bucket_quantile(self.bounds, counts, total, biggest, 0.50),
+            "p95": _bucket_quantile(self.bounds, counts, total, biggest, 0.95),
+            "p99": _bucket_quantile(self.bounds, counts, total, biggest, 0.99),
             "buckets": cumulative,
         }
+
+
+def _bucket_quantile(
+    bounds: tuple[float, ...],
+    counts: list[int],
+    total: int,
+    biggest: float,
+    q: float,
+) -> float:
+    """Estimate the q-quantile by linear interpolation within the bucket
+    holding rank ``q * total`` (Prometheus ``histogram_quantile`` style).
+    Observations above the last bound are pinned to the observed max."""
+    if total <= 0:
+        return 0.0
+    rank = q * total
+    cumulative = 0
+    for index, count in enumerate(counts[:-1]):
+        previous = cumulative
+        cumulative += count
+        if cumulative >= rank:
+            lower = bounds[index - 1] if index > 0 else 0.0
+            upper = bounds[index]
+            fraction = (rank - previous) / count if count else 0.0
+            return lower + (upper - lower) * fraction
+    return biggest
 
 
 class MetricsRegistry:
@@ -193,9 +228,18 @@ class MetricsRegistry:
 
     def snapshot(self) -> list[dict[str, Any]]:
         """A JSON-ready, deterministically ordered dump of every
-        instrument: name, type, labels and current values."""
+        instrument: name, type, labels and current values.
+
+        Sorted on an explicit ``(str(name), labels)`` key: sorting the
+        raw dict items would compare instrument objects (or differing
+        key shapes) and raise ``TypeError`` as soon as two names tie or
+        a non-string name sneaks in.
+        """
         with self._lock:
-            items = sorted(self._instruments.items())
+            items = sorted(
+                self._instruments.items(),
+                key=lambda item: (str(item[0][0]), item[0][1]),
+            )
         out = []
         for (name, labels), instrument in items:
             entry = {

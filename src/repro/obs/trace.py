@@ -74,7 +74,7 @@ class Tracer:
         self._lock = threading.Lock()
         self._spans: list[Span] = []
         self._next_id = 1
-        self.dropped = 0
+        self._dropped = 0
 
     def begin(
         self,
@@ -94,7 +94,7 @@ class Tracer:
         span.end = end
         with self._lock:
             if len(self._spans) >= self.max_spans:
-                self.dropped += 1
+                self._dropped += 1
             else:
                 self._spans.append(span)
 
@@ -117,12 +117,27 @@ class Tracer:
         with self._lock:
             self._spans = []
             self._next_id = 1
-            self.dropped = 0
+            self._dropped = 0
 
     def spans(self) -> list[Span]:
         """A snapshot of the finished spans, in completion order."""
         with self._lock:
             return list(self._spans)
+
+    @property
+    def dropped(self) -> int:
+        """Spans discarded because the cap was reached (locked read)."""
+        with self._lock:
+            return self._dropped
+
+    def stats(self) -> dict[str, int]:
+        """Span count, drop count and cap, read under one lock."""
+        with self._lock:
+            return {
+                "spans": len(self._spans),
+                "dropped": self._dropped,
+                "max_spans": self.max_spans,
+            }
 
     def __len__(self) -> int:
         with self._lock:

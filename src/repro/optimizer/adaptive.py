@@ -154,6 +154,127 @@ class AdaptiveOptimizer:
         """The paper's formula: current + (predicted - current) / 10."""
         return max(0, round(current + (predicted - current) / 10.0))
 
+    def explain_choice(
+        self, features: QueryFeatures, current_cache_size: int
+    ) -> dict:
+        """The configuration :meth:`configure` would pick, plus which
+        rules (T1-T4) fired and why.
+
+        Side-effect free: no retraining is triggered and no metrics are
+        bumped, so EXPLAIN never perturbs what it observes.
+        """
+        rules: list[dict] = []
+        if self.t1 is None:
+            rules.append(
+                {
+                    "tree": "T1",
+                    "role": "augmenter",
+                    "fired": False,
+                    "outcome": self.fallback.augmenter,
+                    "detail": "not trained; fallback config used",
+                }
+            )
+            return {"config": self.fallback, "rules": rules}
+        row = features.as_dict()
+        augmenter = self.t1.predict(row)
+        rules.append(
+            {
+                "tree": "T1",
+                "role": "augmenter",
+                "fired": True,
+                "outcome": augmenter,
+                "detail": " / ".join(self.t1.decision_path(row)),
+            }
+        )
+        batch_size = self.fallback.batch_size
+        if augmenter in _BATCHING and self.t2 is not None:
+            batch_size = max(1, round(self.t2.predict(row)))
+            rules.append(
+                {
+                    "tree": "T2",
+                    "role": "batch_size",
+                    "fired": True,
+                    "outcome": batch_size,
+                    "detail": f"{augmenter} batches, regressor predicted "
+                    f"{self.t2.predict(row):g}",
+                }
+            )
+        else:
+            rules.append(
+                {
+                    "tree": "T2",
+                    "role": "batch_size",
+                    "fired": False,
+                    "outcome": batch_size,
+                    "detail": (
+                        f"{augmenter} does not batch"
+                        if augmenter not in _BATCHING
+                        else "not trained"
+                    ),
+                }
+            )
+        threads_size = self.fallback.threads_size
+        if augmenter in _CONCURRENT and self.t3 is not None:
+            threads_size = max(1, round(self.t3.predict(row)))
+            rules.append(
+                {
+                    "tree": "T3",
+                    "role": "threads_size",
+                    "fired": True,
+                    "outcome": threads_size,
+                    "detail": f"{augmenter} is concurrent, regressor "
+                    f"predicted {self.t3.predict(row):g}",
+                }
+            )
+        else:
+            rules.append(
+                {
+                    "tree": "T3",
+                    "role": "threads_size",
+                    "fired": False,
+                    "outcome": threads_size,
+                    "detail": (
+                        f"{augmenter} is sequential"
+                        if augmenter not in _CONCURRENT
+                        else "not trained"
+                    ),
+                }
+            )
+        cache_size = current_cache_size
+        if self.t4 is not None:
+            predicted = max(0.0, self.t4.predict(row))
+            cache_size = self.smooth_cache_size(current_cache_size, predicted)
+            rules.append(
+                {
+                    "tree": "T4",
+                    "role": "cache_size",
+                    "fired": True,
+                    "outcome": cache_size,
+                    "detail": f"smoothed {current_cache_size} toward "
+                    f"predicted {predicted:g}: current + (predicted - "
+                    f"current) / 10",
+                }
+            )
+        else:
+            rules.append(
+                {
+                    "tree": "T4",
+                    "role": "cache_size",
+                    "fired": False,
+                    "outcome": cache_size,
+                    "detail": "not trained; cache size unchanged",
+                }
+            )
+        return {
+            "config": AugmentationConfig(
+                augmenter=augmenter,
+                batch_size=batch_size,
+                threads_size=threads_size,
+                cache_size=cache_size,
+            ),
+            "rules": rules,
+        }
+
     # -- inspection -----------------------------------------------------------------
 
     def describe(self) -> str:

@@ -17,6 +17,7 @@ many native operations an augmenter actually issued.
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator
@@ -70,6 +71,47 @@ class Store(ABC):
     @abstractmethod
     def execute(self, query: Any) -> list[DataObject]:
         """Run a query in the engine's native language."""
+
+    def explain(self, query: Any, analyze: bool = False) -> dict[str, Any]:
+        """EXPLAIN (and with ``analyze=True``, ANALYZE) a native query.
+
+        Plain EXPLAIN inspects the query without executing it and
+        reports the chosen access path — index probe vs. scan, which
+        index, estimated rows examined and estimated cost (rows the
+        engine must touch). ANALYZE additionally runs the query through
+        :meth:`execute` (so store stats count it) and appends
+        ``actual_rows`` (result rows) and ``actual_time_s`` (wall
+        clock). Estimated rows are *examined* rows, like a classic
+        EXPLAIN; actual rows are *returned* rows, so estimated >= actual
+        for selective queries.
+        """
+        report: dict[str, Any] = {
+            "engine": self.engine,
+            "database": self.database_name or None,
+            "query": describe_query(query),
+        }
+        report.update(self._explain_plan(query))
+        if analyze:
+            started = time.perf_counter()
+            results = self.execute(query)
+            elapsed = time.perf_counter() - started
+            report["actual_rows"] = len(results)
+            report["actual_time_s"] = elapsed
+        return report
+
+    def _explain_plan(self, query: Any) -> dict[str, Any]:
+        """Engine-specific access-path description (no execution).
+
+        The base fallback assumes a full scan of every object; each
+        engine overrides this with its real index-selection logic.
+        """
+        total = self.count_objects()
+        return {
+            "access_path": "scan",
+            "index": None,
+            "estimated_rows": total,
+            "estimated_cost": float(total),
+        }
 
     # -- key access ----------------------------------------------------------
 
@@ -160,3 +202,9 @@ class Store(ABC):
 
     def capabilities(self) -> StoreCapabilities:
         return StoreCapabilities(name=self.engine)
+
+
+def describe_query(query: Any, limit: int = 200) -> str:
+    """A short printable form of a native query for explain/event output."""
+    text = query if isinstance(query, str) else repr(query)
+    return text if len(text) <= limit else text[: limit - 3] + "..."

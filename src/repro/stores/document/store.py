@@ -202,6 +202,51 @@ class DocumentStore(Store):
             for doc in documents
         ]
 
+    def _explain_plan(self, query: Any) -> dict[str, Any]:
+        """Access path for a find: equality index probe when the filter
+        has a top-level ``field: literal`` / ``field: {"$in": [...]}``
+        predicate on an indexed field (the :meth:`_candidates` rule),
+        collection scan otherwise."""
+        if isinstance(query, tuple) and len(query) == 2:
+            collection, filter_doc = query
+        elif isinstance(query, Mapping) and "collection" in query:
+            collection = query["collection"]
+            filter_doc = query.get("filter", {})
+        else:
+            raise QueryError(f"unsupported document query: {query!r}")
+        documents = self._require(collection)
+        indexes = self._indexes.get(collection, {})
+        for field, condition in (filter_doc or {}).items():
+            if field.startswith("$") or field not in indexes:
+                continue
+            index = indexes[field]
+            if isinstance(condition, Mapping):
+                if set(condition) == {"$in"} and isinstance(
+                    condition["$in"], (list, tuple)
+                ):
+                    ids: set[str] = set()
+                    for value in condition["$in"]:
+                        ids |= index.get(_hashable(value), set())
+                    examined = len(ids)
+                else:
+                    continue
+            else:
+                examined = len(index.get(_hashable(condition), set()))
+            return {
+                "access_path": "index_probe",
+                "index": f"{collection}.{field}",
+                "collection": collection,
+                "estimated_rows": examined,
+                "estimated_cost": float(examined),
+            }
+        return {
+            "access_path": "collection_scan",
+            "index": None,
+            "collection": collection,
+            "estimated_rows": len(documents),
+            "estimated_cost": float(len(documents)),
+        }
+
     def get_value(self, collection: str, key: str) -> Any:
         documents = self._collections.get(collection)
         if documents is None or key not in documents:

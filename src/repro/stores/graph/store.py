@@ -289,6 +289,69 @@ class GraphStore(Store):
         self.stats.objects_returned += len(objects)
         return objects
 
+    def _explain_plan(self, query: Any) -> dict[str, Any]:
+        """Access path for a graph query: label-index scan when the
+        (first) node pattern has a label, adjacency probe for
+        ``neighbors``, bounded BFS for ``traverse``, full node scan
+        otherwise."""
+        if isinstance(query, str):
+            from repro.stores.graph.cypher import parse_cypher
+
+            parsed = parse_cypher(query)
+            label = parsed.nodes[0].label if parsed.nodes else None
+            plan = self._match_plan(label)
+            plan["hops"] = len(parsed.edges)
+            if parsed.edges:
+                # Each hop expands the frontier through adjacency lists.
+                plan["estimated_cost"] = float(
+                    plan["estimated_rows"]
+                    + len(parsed.edges) * self.edge_count()
+                )
+            return plan
+        if not isinstance(query, Mapping) or "op" not in query:
+            raise QueryError(f"unsupported graph query: {query!r}")
+        op = query["op"]
+        if op == "match":
+            return self._match_plan(query.get("label"))
+        if op == "neighbors":
+            node_id = query["node"]
+            degree = len(self._outgoing.get(node_id, ())) + len(
+                self._incoming.get(node_id, ())
+            )
+            return {
+                "access_path": "adjacency_probe",
+                "index": "adjacency",
+                "estimated_rows": degree,
+                "estimated_cost": float(degree),
+            }
+        if op == "traverse":
+            # Upper bound: a BFS can touch every node and edge once.
+            nodes, edges = self.node_count(), self.edge_count()
+            return {
+                "access_path": "bfs_traversal",
+                "index": "adjacency",
+                "depth": query.get("depth", 1),
+                "estimated_rows": nodes,
+                "estimated_cost": float(nodes + edges),
+            }
+        raise QueryError(f"unknown graph op {op!r}")
+
+    def _match_plan(self, label: str | None) -> dict[str, Any]:
+        if label is not None:
+            examined = len(self._by_label.get(label, ()))
+            return {
+                "access_path": "label_index",
+                "index": f"label:{label}",
+                "estimated_rows": examined,
+                "estimated_cost": float(examined),
+            }
+        return {
+            "access_path": "node_scan",
+            "index": None,
+            "estimated_rows": self.node_count(),
+            "estimated_cost": float(self.node_count()),
+        }
+
     def cypher(self, text: str) -> list[dict[str, Any]]:
         """Run a Cypher-subset query and return plain value rows."""
         from repro.stores.graph.cypher import execute_cypher

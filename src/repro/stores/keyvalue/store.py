@@ -130,6 +130,55 @@ class KeyValueStore(Store):
             self._object(key) for key in parts[1:] if key in self._data
         ]
 
+    def _explain_plan(self, query: Any) -> dict[str, Any]:
+        """Access path for a key-value query: direct key probes for
+        GET/MGET (and the connector's ``("mget", keys)`` form), full
+        keyspace scan for KEYS / bare glob patterns."""
+        data = self._data
+        if (
+            isinstance(query, tuple)
+            and len(query) == 2
+            and query[0] == "mget"
+        ):
+            keys = list(query[1])
+            return {
+                "access_path": "key_probe",
+                "index": "keyspace_hash",
+                "estimated_rows": len(keys),
+                "estimated_cost": float(len(keys)),
+            }
+        if not isinstance(query, str):
+            raise QueryError(f"unsupported key-value query: {query!r}")
+        from repro.stores.keyvalue.commands import _HANDLERS, parse_command
+
+        parts = parse_command(query)
+        verb = parts[0].upper()
+        if verb == "GET":
+            return {
+                "access_path": "key_probe",
+                "index": "keyspace_hash",
+                "estimated_rows": 1 if len(parts) > 1 and parts[1] in data else 0,
+                "estimated_cost": 1.0,
+            }
+        if verb == "MGET":
+            probes = len(parts) - 1
+            return {
+                "access_path": "key_probe",
+                "index": "keyspace_hash",
+                "estimated_rows": probes,
+                "estimated_cost": float(probes),
+            }
+        # KEYS, SCAN, unknown verbs (bare glob patterns) — all walk the
+        # whole keyspace and filter.
+        return {
+            "access_path": "keyspace_scan",
+            "index": None,
+            "pattern": parts[1] if verb in _HANDLERS and len(parts) > 1
+            else query.strip() or "*",
+            "estimated_rows": len(data),
+            "estimated_cost": float(len(data)),
+        }
+
     def command(self, text: str) -> Any:
         """Run any Redis-style command string (including writes)."""
         from repro.stores.keyvalue.commands import execute_command

@@ -276,6 +276,74 @@ class RelationalStore(Store):
             objects.append(DataObject(key, dict(row.values)))
         return objects
 
+    def _explain_plan(self, query: Any) -> dict[str, Any]:
+        """Access path for a SQL SELECT: index probe when the WHERE has
+        a usable equality/IN conjunct on an indexed column (the same
+        test :class:`SelectExecutor` applies), full table scan
+        otherwise. Joins report their strategy (hash vs. nested loop)."""
+        from repro.stores.relational.executor import (
+            _index_lookup,
+            _join_equality,
+        )
+
+        if not isinstance(query, str):
+            raise QueryError(
+                f"relational queries are SQL strings, got {query!r}"
+            )
+        parsed = parse_sql(query)
+        if not isinstance(parsed, Select):
+            return {
+                "access_path": "statement",
+                "index": None,
+                "statement": type(parsed).__name__,
+                "estimated_rows": 0,
+                "estimated_cost": 0.0,
+            }
+        table = self.table(parsed.table.name)
+        lookup = _index_lookup(parsed.where, parsed.table.binding, table)
+        if lookup is not None:
+            column, values = lookup
+            examined = sum(
+                len(table.index_lookup(column, value)) for value in values
+            )
+            plan: dict[str, Any] = {
+                "access_path": "index_probe",
+                "index": f"{parsed.table.name}.{column}",
+                "estimated_rows": examined,
+                "estimated_cost": float(examined),
+            }
+        else:
+            examined = len(table)
+            plan = {
+                "access_path": "full_scan",
+                "index": None,
+                "estimated_rows": examined,
+                "estimated_cost": float(examined),
+            }
+        plan["table"] = parsed.table.name
+        if parsed.joins:
+            joins = []
+            cost = plan["estimated_cost"]
+            for join in parsed.joins:
+                right = self.table(join.table.name)
+                hashed = _join_equality(join.on, join.table.binding) is not None
+                joins.append(
+                    {
+                        "table": join.table.name,
+                        "strategy": "hash_join" if hashed else "nested_loop",
+                        "rows": len(right),
+                    }
+                )
+                # A hash join builds once and probes per row; a nested
+                # loop re-scans the right side for every left row.
+                if hashed:
+                    cost += len(right) + plan["estimated_rows"]
+                else:
+                    cost += plan["estimated_rows"] * len(right)
+            plan["joins"] = joins
+            plan["estimated_cost"] = float(cost)
+        return plan
+
     def get_value(self, collection: str, key: str) -> Any:
         table = self._tables.get(collection)
         if table is None:

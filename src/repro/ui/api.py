@@ -15,8 +15,16 @@ GET      /databases                 the polystore's databases and engines
 GET      /stats                     last run record (for dashboards)
 GET      /metrics                   cumulative metrics registry snapshot
                                     (per-database latency histograms, cache
-                                    and pool counters)
-GET      /trace                     spans of the last run + per-kind summary
+                                    and pool counters);
+                                    ``?format=prometheus`` returns text
+                                    exposition for a Prometheus scrape
+GET      /trace                     spans of the last run + per-kind summary;
+                                    ``?format=chrome`` returns Chrome
+                                    trace-event JSON (Perfetto-openable)
+GET      /events                    the event journal (``?kind=``,
+                                    ``?min_severity=``, ``?limit=``)
+POST     /explain                   EXPLAIN/ANALYZE an augmented query; body:
+                                    database, query, level, analyze, config
 =======  =========================  ===========================================
 
 Requests and responses are plain dicts that serialize to JSON as-is;
@@ -29,6 +37,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+from urllib.parse import parse_qs
 from typing import Any, Mapping
 
 from repro.core.exploration import ExplorationSession
@@ -44,7 +53,30 @@ from repro.errors import (
     UnknownDatabaseError,
 )
 from repro.model.objects import AugmentedObject, DataObject, GlobalKey
+from repro.obs import to_chrome_trace, to_prometheus
 from repro.ui.render import probability_band
+
+
+class TextResponse(dict):
+    """A non-JSON payload (e.g. Prometheus text exposition).
+
+    Still a dict, so callers that treat every API response as a JSON
+    mapping keep working; the HTTP server special-cases it and writes
+    ``body`` raw with ``content_type`` instead of serializing.
+    """
+
+    def __init__(
+        self, body: str, content_type: str = "text/plain; charset=utf-8"
+    ) -> None:
+        super().__init__(body=body, content_type=content_type)
+
+    @property
+    def body(self) -> str:
+        return self["body"]
+
+    @property
+    def content_type(self) -> str:
+        return self["content_type"]
 
 
 class ApiError(Exception):
@@ -114,10 +146,16 @@ class QuepaApi:
     ) -> dict[str, Any]:
         """Dispatch one request; raises :class:`ApiError` on failure."""
         body = body or {}
+        path, _, query_string = path.partition("?")
         parts = [part for part in path.split("/") if part]
+        # Last value wins for repeated parameters, like most web stacks.
+        params = {
+            key: values[-1]
+            for key, values in parse_qs(query_string).items()
+        }
         try:
             with self._lock:
-                return self._route(method.upper(), parts, body)
+                return self._route(method.upper(), parts, body, params)
         except ApiError:
             raise
         except NotAugmentableError as exc:
@@ -130,11 +168,17 @@ class QuepaApi:
             raise ApiError(500, str(exc)) from exc
 
     def _route(
-        self, method: str, parts: list[str], body: Mapping[str, Any]
+        self,
+        method: str,
+        parts: list[str],
+        body: Mapping[str, Any],
+        params: Mapping[str, str],
     ) -> dict[str, Any]:
         match (method, parts):
             case ("POST", ["query"]):
                 return self.query(body)
+            case ("POST", ["explain"]):
+                return self.explain(body)
             case ("POST", ["explore"]):
                 return self.open_exploration(body)
             case ("GET", ["explore", sid]):
@@ -150,9 +194,11 @@ class QuepaApi:
             case ("GET", ["stats"]):
                 return self.stats()
             case ("GET", ["metrics"]):
-                return self.metrics()
+                return self.metrics(params)
             case ("GET", ["trace"]):
-                return self.trace()
+                return self.trace(params)
+            case ("GET", ["events"]):
+                return self.events(params)
         raise ApiError(404, f"no route for {method} /{'/'.join(parts)}")
 
     # -- endpoints ---------------------------------------------------------------
@@ -254,19 +300,72 @@ class QuepaApi:
             }
         }
 
-    def metrics(self) -> dict[str, Any]:
+    def metrics(
+        self, params: Mapping[str, str] | None = None
+    ) -> dict[str, Any]:
         """Cumulative instrument snapshot (counters/gauges/histograms)."""
-        return {"metrics": self.quepa.obs.metrics.snapshot()}
+        fmt = (params or {}).get("format", "json")
+        snapshot = self.quepa.obs.metrics.snapshot()
+        if fmt == "prometheus":
+            return TextResponse(
+                to_prometheus(snapshot),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
+        if fmt != "json":
+            raise ApiError(400, f"unknown metrics format {fmt!r}")
+        return {"metrics": snapshot}
 
-    def trace(self) -> dict[str, Any]:
+    def trace(
+        self, params: Mapping[str, str] | None = None
+    ) -> dict[str, Any]:
         """The last run's spans, plus the per-kind summary."""
         obs = self.quepa.obs
+        fmt = (params or {}).get("format", "json")
+        if fmt == "chrome":
+            return to_chrome_trace(obs.tracer.spans())
+        if fmt != "json":
+            raise ApiError(400, f"unknown trace format {fmt!r}")
         return {
             "trace": {
                 "summary": obs.trace_summary(),
                 "spans": obs.tracer.as_dicts(),
             }
         }
+
+    def events(
+        self, params: Mapping[str, str] | None = None
+    ) -> dict[str, Any]:
+        """The event journal, filtered by kind / severity / limit."""
+        params = params or {}
+        limit_text = params.get("limit")
+        try:
+            limit = int(limit_text) if limit_text is not None else None
+        except ValueError as exc:
+            raise ApiError(400, f"limit must be an integer, got {limit_text!r}") from exc
+        journal = self.quepa.obs.events
+        try:
+            events = journal.as_dicts(
+                kind=params.get("kind"),
+                min_severity=params.get("min_severity"),
+                limit=limit,
+            )
+        except ValueError as exc:
+            raise ApiError(400, str(exc)) from exc
+        return {"events": events, "stats": journal.stats()}
+
+    def explain(self, body: Mapping[str, Any]) -> dict[str, Any]:
+        """EXPLAIN (or ANALYZE) one augmented query without serving it."""
+        database = _require(body, "database")
+        query = _require(body, "query")
+        level = int(body.get("level", 0))
+        if level < 0:
+            raise ApiError(400, "level must be >= 0")
+        config = _parse_config(body.get("config"))
+        report = self.quepa.explain(
+            database, query, level=level,
+            config=config, analyze=bool(body.get("analyze", False)),
+        )
+        return {"explain": report}
 
     # -- internals ------------------------------------------------------------------
 

@@ -16,9 +16,12 @@ Request bodies and responses are JSON. Errors map to their HTTP status
 codes (the same codes :class:`ApiError` carries).
 
 Observability rides along: ``GET /metrics`` returns the cumulative
-metrics snapshot (per-database latency histograms, cache/pool counters)
-and ``GET /trace`` the spans of the last completed run — see
-:mod:`repro.obs` and the "Observability" section of docs/API.md.
+metrics snapshot (``?format=prometheus`` for text exposition, served
+with the Prometheus content type), ``GET /trace`` the spans of the
+last completed run (``?format=chrome`` for Chrome trace-event JSON),
+``GET /events`` the structured event journal, and ``POST /explain``
+an EXPLAIN/ANALYZE report — see :mod:`repro.obs` and
+docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
@@ -29,7 +32,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
 from repro.core.system import Quepa
-from repro.ui.api import ApiError, QuepaApi
+from repro.ui.api import ApiError, QuepaApi, TextResponse
 
 
 class QuepaHttpServer:
@@ -108,9 +111,14 @@ def _make_handler(api: QuepaApi) -> type[BaseHTTPRequestHandler]:
             self._reply(200, response)
 
         def _reply(self, status: int, payload: dict[str, Any]) -> None:
-            data = json.dumps(payload).encode("utf-8")
+            if isinstance(payload, TextResponse):
+                data = payload.body.encode("utf-8")
+                content_type = payload.content_type
+            else:
+                data = json.dumps(payload).encode("utf-8")
+                content_type = "application/json"
             self.send_response(status)
-            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(data)))
             self.end_headers()
             self.wfile.write(data)

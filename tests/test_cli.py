@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import io
+import json
 
 import pytest
 
@@ -73,6 +74,7 @@ class TestGenerateQueryInspect:
         assert code == 0
         assert "per-store breakdown:" in output
         assert "catalogue" in output
+        assert "p50_ms" in output and "p95_ms" in output and "p99_ms" in output
         assert "span kinds:" in output
         assert "store_call" in output
         assert "cache:" in output
@@ -99,6 +101,88 @@ class TestGenerateQueryInspect:
         assert code == 0
         assert len([l for l in output.splitlines() if l]) <= 5
         assert "more spans" in output
+
+    def test_trace_chrome_format_is_pure_json(self, snapshot):
+        code, output = run_cli(
+            "trace", "--snapshot", snapshot,
+            "--database", "transactions",
+            "--query", "SELECT * FROM inventory WHERE seq < 5",
+            "--format", "chrome",
+        )
+        assert code == 0
+        payload = json.loads(output)  # nothing but the trace on stdout
+        events = payload["traceEvents"]
+        assert events
+        assert all(event["ph"] == "X" for event in events)
+        names = {event["name"] for event in events}
+        assert "store_call" in names
+
+    def test_explain_reports_plan_and_estimates(self, snapshot):
+        code, output = run_cli(
+            "explain", "--snapshot", snapshot,
+            "--database", "transactions",
+            "--query", "SELECT * FROM inventory WHERE seq < 5",
+            "--level", "1",
+        )
+        assert code == 0
+        assert "access_path:" in output
+        assert "planned_fetches:" in output
+        assert "estimated_queries:" in output
+        assert "actual" not in output.split("execution:")[0]
+
+    def test_explain_analyze_json(self, snapshot):
+        code, output = run_cli(
+            "explain", "--snapshot", snapshot,
+            "--database", "transactions",
+            "--query", "SELECT * FROM inventory WHERE seq < 5",
+            "--level", "1", "--analyze", "--json",
+        )
+        assert code == 0
+        report = json.loads(output)
+        assert report["query"]["store"]["access_path"] == "full_scan"
+        assert report["query"]["store"]["actual_rows"] == 5
+        assert report["actual"]["queries_issued"] >= 1
+
+    def test_explain_with_explicit_augmenter(self, snapshot):
+        code, output = run_cli(
+            "explain", "--snapshot", snapshot,
+            "--database", "transactions",
+            "--query", "SELECT * FROM inventory WHERE seq < 5",
+            "--level", "1", "--augmenter", "outer_batch", "--json",
+        )
+        assert code == 0
+        report = json.loads(output)
+        assert report["config"]["source"] == "explicit"
+        assert report["execution"]["batching"] is True
+
+    def test_events_shows_journal_and_footer(self, snapshot):
+        code, output = run_cli(
+            "events", "--snapshot", snapshot,
+            "--database", "transactions",
+            "--query", "SELECT * FROM inventory WHERE seq < 5",
+            "--level", "1",
+        )
+        assert code == 0
+        assert "augmentation_completed" in output
+        assert "events emitted" in output
+
+    def test_events_slow_query_log(self, snapshot, tmp_path):
+        sink = tmp_path / "slow.jsonl"
+        code, output = run_cli(
+            "events", "--snapshot", snapshot,
+            "--database", "transactions",
+            "--query", "SELECT * FROM inventory WHERE seq < 5",
+            "--level", "1",
+            "--slow-ms", "0", "--jsonl", str(sink),
+            "--min-severity", "warning",
+        )
+        assert code == 0
+        assert "slow_query" in output
+        assert "augmentation_completed" not in output  # below warning
+        lines = sink.read_text().splitlines()
+        assert lines
+        kinds = {json.loads(line)["kind"] for line in lines}
+        assert "slow_query" in kinds
 
     def test_query_aggregate_fails_cleanly(self, snapshot):
         code, output = run_cli(

@@ -1,0 +1,300 @@
+"""Tests for EXPLAIN/ANALYZE: per-engine access paths and the report
+``Quepa.explain`` stitches over them."""
+
+import pytest
+
+from repro.core import Quepa
+from repro.core.augmentation import AugmentationConfig
+from repro.core.runlog import QueryFeatures, RunRecord
+from repro.errors import QueryError
+from repro.network import centralized_profile
+from repro.optimizer.adaptive import AdaptiveOptimizer
+from repro.workloads import QueryWorkload
+
+QUERY = "SELECT * FROM inventory WHERE name LIKE '%wish%'"
+
+
+# ---------------------------------------------------------------------------
+# Per-engine access paths
+# ---------------------------------------------------------------------------
+
+
+class TestRelationalExplain:
+    def test_full_scan_without_usable_index(self, mini_polystore):
+        store = mini_polystore.database("transactions")
+        report = store.explain("SELECT * FROM inventory WHERE price > 12")
+        assert report["engine"] == "relational"
+        assert report["access_path"] == "full_scan"
+        assert report["index"] is None
+        assert report["estimated_rows"] == 3
+
+    def test_primary_key_is_an_index_probe(self, mini_polystore):
+        store = mini_polystore.database("transactions")
+        report = store.explain("SELECT * FROM inventory WHERE id = 'a32'")
+        assert report["access_path"] == "index_probe"
+        assert report["index"] == "inventory.id"
+        assert report["estimated_rows"] == 1
+
+    def test_created_index_changes_the_plan(self, mini_polystore):
+        store = mini_polystore.database("transactions")
+        before = store.explain("SELECT * FROM inventory WHERE artist = 'Cure'")
+        assert before["access_path"] == "full_scan"
+        store.table("inventory").create_index("artist")
+        after = store.explain("SELECT * FROM inventory WHERE artist = 'Cure'")
+        assert after["access_path"] == "index_probe"
+        assert after["index"] == "inventory.artist"
+        assert after["estimated_rows"] == 2  # two Cure albums
+
+    def test_analyze_reports_actual_rows_and_time(self, mini_polystore):
+        store = mini_polystore.database("transactions")
+        report = store.explain(
+            "SELECT * FROM inventory WHERE artist = 'Cure'", analyze=True
+        )
+        assert report["actual_rows"] == 2
+        assert report["actual_time_s"] >= 0.0
+        # Estimated rows are examined rows, so estimated >= returned.
+        assert report["estimated_rows"] >= report["actual_rows"]
+
+    def test_plain_explain_does_not_execute(self, mini_polystore):
+        store = mini_polystore.database("transactions")
+        before = store.stats.queries
+        report = store.explain("SELECT * FROM inventory")
+        assert "actual_rows" not in report
+        assert store.stats.queries == before
+
+    def test_rejects_non_sql_query(self, mini_polystore):
+        store = mini_polystore.database("transactions")
+        with pytest.raises(QueryError):
+            store.explain({"op": "match"})
+
+
+class TestDocumentExplain:
+    def test_collection_scan_without_index(self, mini_polystore):
+        store = mini_polystore.database("catalogue")
+        report = store.explain(("albums", {"artist": "Pixies"}))
+        assert report["engine"] == "document"
+        assert report["access_path"] == "collection_scan"
+        assert report["estimated_rows"] == 2  # both albums examined
+
+    def test_index_probe_on_indexed_field(self, mini_polystore):
+        store = mini_polystore.database("catalogue")
+        store.create_index("albums", "artist")
+        report = store.explain(("albums", {"artist": "Pixies"}))
+        assert report["access_path"] == "index_probe"
+        assert report["index"] == "albums.artist"
+        assert report["estimated_rows"] == 1
+
+    def test_index_probe_on_in_condition(self, mini_polystore):
+        store = mini_polystore.database("catalogue")
+        store.create_index("albums", "artist")
+        report = store.explain(
+            ("albums", {"artist": {"$in": ["Pixies", "The Cure"]}})
+        )
+        assert report["access_path"] == "index_probe"
+        assert report["estimated_rows"] == 2
+
+    def test_analyze(self, mini_polystore):
+        store = mini_polystore.database("catalogue")
+        report = store.explain(("albums", {}), analyze=True)
+        assert report["actual_rows"] == 2
+
+
+class TestGraphExplain:
+    def test_match_uses_the_label_index(self, mini_polystore):
+        store = mini_polystore.database("similar")
+        report = store.explain({"op": "match", "label": "Item"})
+        assert report["engine"] == "graph"
+        assert report["access_path"] == "label_index"
+        assert report["index"] == "label:Item"
+        assert report["estimated_rows"] == 3
+
+    def test_cypher_counts_hops(self, mini_polystore):
+        store = mini_polystore.database("similar")
+        report = store.explain("MATCH (a:Item)-[:SIMILAR]->(b) RETURN b")
+        assert report["access_path"] == "label_index"
+        assert report["hops"] == 1
+        assert report["estimated_cost"] > report["estimated_rows"]
+
+    def test_neighbors_is_an_adjacency_probe(self, mini_polystore):
+        store = mini_polystore.database("similar")
+        report = store.explain({"op": "neighbors", "node": "i2"})
+        assert report["access_path"] == "adjacency_probe"
+        assert report["estimated_rows"] == 2  # one in, one out
+
+    def test_analyze_match(self, mini_polystore):
+        store = mini_polystore.database("similar")
+        report = store.explain({"op": "match", "label": "Item"}, analyze=True)
+        assert report["actual_rows"] == 3
+
+
+class TestKeyValueExplain:
+    def test_get_is_a_key_probe(self, mini_polystore):
+        store = mini_polystore.database("discount")
+        report = store.explain("GET k1:cure:wish")
+        assert report["engine"] == "keyvalue"
+        assert report["access_path"] == "key_probe"
+        assert report["index"] == "keyspace_hash"
+        assert report["estimated_rows"] == 1
+
+    def test_get_missing_key_estimates_zero(self, mini_polystore):
+        store = mini_polystore.database("discount")
+        report = store.explain("GET nope")
+        assert report["access_path"] == "key_probe"
+        assert report["estimated_rows"] == 0
+
+    def test_keys_glob_is_a_keyspace_scan(self, mini_polystore):
+        store = mini_polystore.database("discount")
+        report = store.explain("KEYS *")
+        assert report["access_path"] == "keyspace_scan"
+        assert report["estimated_rows"] == 2
+
+    def test_connector_mget_form(self, mini_polystore):
+        store = mini_polystore.database("discount")
+        report = store.explain(("mget", ["k1:cure:wish", "k2:pixies:doolittle"]))
+        assert report["access_path"] == "key_probe"
+        assert report["estimated_rows"] == 2
+
+    def test_analyze_get(self, mini_polystore):
+        store = mini_polystore.database("discount")
+        report = store.explain("GET k1:cure:wish", analyze=True)
+        assert report["actual_rows"] == 1
+
+
+# ---------------------------------------------------------------------------
+# The stitched Quepa.explain report
+# ---------------------------------------------------------------------------
+
+
+class TestQuepaExplain:
+    def test_report_sections(self, mini_quepa):
+        report = mini_quepa.explain("transactions", QUERY, level=1)
+        assert report["database"] == "transactions"
+        assert report["level"] == 1
+        assert report["query"]["store"]["access_path"] == "full_scan"
+        plan = report["plan"]
+        assert plan["seeds"] == 1
+        assert plan["planned_fetches"] > 0
+        assert plan["edges_examined"] > 0
+        assert "snapshot_generation" in plan
+        assert report["config"]["source"] == "default"
+        execution = report["execution"]
+        assert execution["augmenter"] == "sequential"
+        assert execution["batching"] is False
+        assert execution["pooled"] is False
+        assert execution["estimated_queries"] >= 1
+        assert "actual" not in report  # plain EXPLAIN
+
+    def test_plan_cache_hit_on_second_explain(self, mini_quepa):
+        first = mini_quepa.explain("transactions", QUERY, level=1)
+        second = mini_quepa.explain("transactions", QUERY, level=1)
+        assert first["plan"]["plan_cache_hit"] is False
+        assert second["plan"]["plan_cache_hit"] is True
+
+    def test_explicit_config_is_reported(self, mini_quepa):
+        config = AugmentationConfig(augmenter="outer_batch", threads_size=3)
+        report = mini_quepa.explain(
+            "transactions", QUERY, level=1, config=config
+        )
+        assert report["config"]["source"] == "explicit"
+        execution = report["execution"]
+        assert execution["augmenter"] == "outer_batch"
+        assert execution["batching"] is True
+        assert execution["pooled"] is True
+        assert execution["pool_workers"] == 3
+        assert "pool" in execution["shape"]
+
+    def test_analyze_estimates_match_actuals_cold(
+        self, mini_polystore, mini_aindex
+    ):
+        quepa = Quepa(mini_polystore, mini_aindex)
+        report = quepa.explain("transactions", QUERY, level=1, analyze=True)
+        actual = report["actual"]
+        # Sequential augmenter on a cold cache: one native query per
+        # planned miss plus the local query — the estimate is exact.
+        assert actual["queries_issued"] == report["execution"]["estimated_queries"]
+        assert actual["augmented_objects"] > 0
+        assert actual["elapsed_s"] > 0.0
+        assert set(actual["queries_by_database"]) >= {"transactions"}
+
+    def test_explain_predicts_cache_hits_after_a_run(self, mini_quepa):
+        cold = mini_quepa.explain("transactions", QUERY, level=1)
+        assert cold["execution"]["cache"]["would_hit"] == 0
+        mini_quepa.augmented_search("transactions", QUERY, level=1)
+        warm = mini_quepa.explain("transactions", QUERY, level=1)
+        assert warm["execution"]["cache"]["would_hit"] > 0
+
+    def test_explain_does_not_perturb_cache_counters(self, mini_quepa):
+        mini_quepa.augmented_search("transactions", QUERY, level=1)
+        stats_before = mini_quepa.cache.stats()
+        mini_quepa.explain("transactions", QUERY, level=1)
+        stats_after = mini_quepa.cache.stats()
+        assert stats_after["hits"] == stats_before["hits"]
+        assert stats_after["misses"] == stats_before["misses"]
+
+    def test_untrained_optimizer_reports_fallback_rule(
+        self, mini_polystore, mini_aindex
+    ):
+        quepa = Quepa(
+            mini_polystore, mini_aindex, optimizer=AdaptiveOptimizer()
+        )
+        report = quepa.explain("transactions", QUERY, level=1)
+        assert report["config"]["source"] == "optimizer"
+        rules = report["config"]["rules"]
+        assert rules[0]["tree"] == "T1"
+        assert rules[0]["fired"] is False
+        assert "not trained" in rules[0]["detail"]
+
+    def test_trained_optimizer_reports_decision_path(
+        self, mini_polystore, mini_aindex
+    ):
+        optimizer = AdaptiveOptimizer()
+        for level, augmenter, elapsed in (
+            (0, "sequential", 0.01), (1, "outer", 0.5), (2, "batch", 0.3),
+        ):
+            features = QueryFeatures(
+                engine="relational", database="transactions", level=level,
+                original_count=1, planned_fetches=4, store_count=4,
+                deployment="centralized",
+            )
+            optimizer.logs.add(RunRecord(
+                features=features, augmenter=augmenter, batch_size=64,
+                threads_size=4, cache_size=1024, elapsed=elapsed,
+            ))
+        optimizer.train()
+        quepa = Quepa(mini_polystore, mini_aindex, optimizer=optimizer)
+        report = quepa.explain("transactions", QUERY, level=1)
+        rules = {rule["tree"]: rule for rule in report["config"]["rules"]}
+        assert rules["T1"]["fired"] is True
+        assert rules["T1"]["outcome"] == report["execution"]["augmenter"]
+        assert "->" in rules["T1"]["detail"]
+        assert {"T2", "T3", "T4"} <= set(rules)
+        # EXPLAIN is side-effect free: no prediction counter was bumped.
+        names = {entry["name"] for entry in quepa.obs.metrics.snapshot()}
+        assert "optimizer_predictions_total" not in names
+
+
+# ---------------------------------------------------------------------------
+# Acceptance: the fig09 workload explains on all four engines
+# ---------------------------------------------------------------------------
+
+
+class TestWorkloadAcceptance:
+    def test_every_engine_reports_path_and_rows(self, small_bundle):
+        quepa = Quepa(
+            small_bundle.polystore, small_bundle.aindex,
+            profile=centralized_profile([n for n, _ in small_bundle.databases]),
+        )
+        workload = QueryWorkload(small_bundle)
+        seen_engines = set()
+        for item in workload.base_queries(20):
+            report = quepa.explain(
+                item.database, item.query, level=1, analyze=True
+            )
+            store_report = report["query"]["store"]
+            seen_engines.add(store_report["engine"])
+            assert store_report["access_path"]
+            assert store_report["estimated_rows"] >= 0
+            assert store_report["actual_rows"] == 20
+            assert store_report["estimated_rows"] >= store_report["actual_rows"]
+            assert report["actual"]["queries_issued"] >= 1
+        assert seen_engines == {"relational", "document", "graph", "keyvalue"}

@@ -85,6 +85,18 @@ class TestTracer:
         payload = json.dumps(tracer.as_dicts())
         assert "catalogue" in payload
 
+    def test_stats_is_one_consistent_snapshot(self):
+        tracer = Tracer(max_spans=2)
+        for i in range(5):
+            tracer.record("s", float(i), float(i) + 1)
+        assert tracer.stats() == {
+            "spans": 2, "dropped": 3, "max_spans": 2,
+        }
+        tracer.reset()
+        assert tracer.stats() == {
+            "spans": 0, "dropped": 0, "max_spans": 2,
+        }
+
     def test_tree_lines_indent_children(self):
         tracer = Tracer()
         parent = tracer.begin("augment", 0.0, None)
@@ -161,6 +173,16 @@ class TestMetrics:
         json.dumps(snap)  # must not raise
         assert snap[0]["labels"] == {"database": "z"}
         assert snap[0]["value"] == 2
+
+    def test_snapshot_sorts_mixed_name_types(self):
+        # Regression: a non-string metric name used to make the
+        # snapshot sort raise TypeError (str vs int comparison).
+        registry = MetricsRegistry()
+        registry.counter("zeta").inc()
+        registry.counter(99).inc(2)
+        names = [entry["name"] for entry in registry.snapshot()]
+        assert set(names) == {"zeta", 99}
+        json.dumps(registry.snapshot(), default=str)
 
     def test_reset_forgets_instruments(self):
         registry = MetricsRegistry()

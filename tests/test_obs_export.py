@@ -1,0 +1,284 @@
+"""Tests for the exporters (Prometheus text, Chrome trace JSON), the
+histogram percentiles and the span-tree renderer edge cases."""
+
+import json
+
+import pytest
+
+from repro.core import Quepa
+from repro.core.augmentation import AugmentationConfig
+from repro.obs import (
+    Histogram,
+    MetricsRegistry,
+    Tracer,
+    parse_prometheus_text,
+    to_chrome_trace,
+    to_prometheus,
+    tree_lines,
+)
+
+QUERY = "SELECT * FROM inventory WHERE name LIKE '%wish%'"
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+
+
+class TestPrometheusExport:
+    def test_counters_and_gauges_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("queries_total", database="catalogue").inc(7)
+        registry.counter("queries_total", database="discount").inc(2)
+        registry.gauge("pool_size").set(3)
+        text = to_prometheus(registry.snapshot())
+        rows = parse_prometheus_text(text)
+        by_series = {
+            (row["name"], tuple(sorted(row["labels"].items()))): row["value"]
+            for row in rows
+        }
+        assert by_series[
+            ("queries_total", (("database", "catalogue"),))
+        ] == 7.0
+        assert by_series[("queries_total", (("database", "discount"),))] == 2.0
+        assert by_series[("pool_size", ())] == 3.0
+
+    def test_type_header_once_per_metric_name(self):
+        registry = MetricsRegistry()
+        registry.counter("hits", shard="0").inc()
+        registry.counter("hits", shard="1").inc()
+        text = to_prometheus(registry.snapshot())
+        assert text.count("# TYPE hits counter") == 1
+
+    def test_histogram_series_shape(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "latency_seconds", buckets=(0.1, 1.0), database="x"
+        )
+        for value in (0.05, 0.5, 5.0):
+            histogram.observe(value)
+        text = to_prometheus(registry.snapshot())
+        rows = parse_prometheus_text(text)
+        buckets = {
+            row["labels"]["le"]: row["value"]
+            for row in rows
+            if row["name"] == "latency_seconds_bucket"
+        }
+        # Cumulative counts, +Inf covers everything.
+        assert buckets == {"0.1": 1.0, "1": 2.0, "+Inf": 3.0}
+        totals = {
+            row["name"]: row["value"]
+            for row in rows
+            if row["name"].endswith(("_sum", "_count"))
+        }
+        assert totals["latency_seconds_count"] == 3.0
+        assert totals["latency_seconds_sum"] == pytest.approx(5.55)
+
+    def test_label_values_escaped_and_restored(self):
+        registry = MetricsRegistry()
+        nasty = 'a"b\\c\nd'
+        registry.counter("odd", note=nasty).inc()
+        text = to_prometheus(registry.snapshot())
+        assert "\n" not in text.splitlines()[1]  # newline escaped in-line
+        rows = parse_prometheus_text(text)
+        assert rows[0]["labels"]["note"] == nasty
+
+    def test_metric_names_sanitized(self):
+        registry = MetricsRegistry()
+        registry.counter("weird.name-1").inc()
+        text = to_prometheus(registry.snapshot())
+        assert "weird_name_1 1" in text
+        parse_prometheus_text(text)  # must stay parseable
+
+    def test_empty_snapshot_is_empty_text(self):
+        assert to_prometheus([]) == ""
+        assert parse_prometheus_text("") == []
+
+    def test_parser_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_text("}{not a series line")
+
+    def test_live_registry_from_a_run(self, mini_quepa):
+        mini_quepa.augmented_search("transactions", QUERY, level=1)
+        text = to_prometheus(mini_quepa.obs.metrics.snapshot())
+        rows = parse_prometheus_text(text)
+        names = {row["name"] for row in rows}
+        assert "store_queries_total" in names
+        assert "store_call_seconds_bucket" in names
+        assert "store_call_seconds_count" in names
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace events
+# ---------------------------------------------------------------------------
+
+
+class TestChromeTraceExport:
+    def test_event_schema(self):
+        tracer = Tracer()
+        parent = tracer.begin("augment", 0.0, None, level=1)
+        tracer.record("fetch", 0.001, 0.002, parent.span_id, database="d")
+        tracer.end(parent, 0.004)
+        payload = to_chrome_trace(tracer.spans())
+        json.dumps(payload)  # valid JSON
+        assert payload["displayTimeUnit"] == "ms"
+        events = payload["traceEvents"]
+        assert len(events) == 2
+        for event in events:
+            assert event["ph"] == "X"
+            assert isinstance(event["ts"], float)
+            assert isinstance(event["dur"], float)
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["tid"], int)
+        fetch = next(e for e in events if e["name"] == "fetch")
+        assert fetch["ts"] == pytest.approx(1000.0)  # 0.001 s in µs
+        assert fetch["dur"] == pytest.approx(1000.0)
+        assert fetch["args"]["parent_id"] == parent.span_id
+        assert fetch["args"]["database"] == "d"
+
+    def test_child_nests_on_parent_lane(self):
+        tracer = Tracer()
+        parent = tracer.begin("outer", 0.0, None)
+        child = tracer.begin("inner", 0.1, parent.span_id)
+        tracer.end(child, 0.2)
+        tracer.end(parent, 1.0)
+        events = to_chrome_trace(tracer.spans())["traceEvents"]
+        by_name = {event["name"]: event for event in events}
+        assert by_name["inner"]["tid"] == by_name["outer"]["tid"]
+        # ts/dur containment: the child sits inside the parent.
+        outer, inner = by_name["outer"], by_name["inner"]
+        assert inner["ts"] >= outer["ts"]
+        assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"]
+
+    def test_overlapping_siblings_get_separate_lanes(self):
+        tracer = Tracer()
+        parent = tracer.begin("pool", 0.0, None)
+        a = tracer.begin("fetch", 0.1, parent.span_id)
+        b = tracer.begin("fetch", 0.2, parent.span_id)  # overlaps a
+        tracer.end(a, 0.5)
+        tracer.end(b, 0.6)
+        tracer.end(parent, 1.0)
+        events = to_chrome_trace(tracer.spans())["traceEvents"]
+        fetches = [e for e in events if e["name"] == "fetch"]
+        assert fetches[0]["tid"] != fetches[1]["tid"]
+
+    def test_sequential_siblings_share_the_parent_lane(self):
+        tracer = Tracer()
+        parent = tracer.begin("pool", 0.0, None)
+        a = tracer.begin("fetch", 0.1, parent.span_id)
+        tracer.end(a, 0.2)
+        b = tracer.begin("fetch", 0.3, parent.span_id)
+        tracer.end(b, 0.4)
+        tracer.end(parent, 1.0)
+        events = to_chrome_trace(tracer.spans())["traceEvents"]
+        tids = {event["tid"] for event in events}
+        assert len(tids) == 1
+
+    def test_non_primitive_attrs_stringified(self):
+        tracer = Tracer()
+        tracer.record("s", 0.0, 1.0, None, keys=["a", "b"])
+        event = to_chrome_trace(tracer.spans())["traceEvents"][0]
+        assert event["args"]["keys"] == "['a', 'b']"
+        json.dumps(event)
+
+    def test_real_run_exports_consistent_tree(self, mini_quepa):
+        config = AugmentationConfig(augmenter="outer", threads_size=2)
+        mini_quepa.augmented_search(
+            "transactions", QUERY, level=1, config=config
+        )
+        spans = mini_quepa.obs.tracer.spans()
+        events = to_chrome_trace(spans)["traceEvents"]
+        assert len(events) == len(spans)
+        # Within each lane, events sorted by ts must nest like a stack:
+        # every event either starts after the previous one ends, or is
+        # fully contained in it.
+        by_tid = {}
+        for event in sorted(events, key=lambda e: (e["ts"], -e["dur"])):
+            stack = by_tid.setdefault(event["tid"], [])
+            while stack and stack[-1] <= event["ts"]:
+                stack.pop()
+            if stack:
+                assert event["ts"] + event["dur"] <= stack[-1] + 1e-6
+            stack.append(event["ts"] + event["dur"])
+
+
+# ---------------------------------------------------------------------------
+# tree_lines edge cases (CLI span tree)
+# ---------------------------------------------------------------------------
+
+
+class TestTreeLines:
+    def test_orphan_span_renders_at_depth_zero(self):
+        tracer = Tracer()
+        # Parent id 999 was never retained (evicted or foreign).
+        tracer.record("orphan", 0.0, 1.0, 999)
+        lines = tree_lines(tracer.spans())
+        assert len(lines) == 1
+        assert lines[0].startswith("orphan")  # no indentation
+
+    def test_eviction_keeps_children_renderable(self):
+        tracer = Tracer(max_spans=2)
+        parent = tracer.begin("parent", 0.0, None)
+        child = tracer.begin("child", 0.1, parent.span_id)
+        grandchild = tracer.begin("grandchild", 0.2, child.span_id)
+        tracer.end(grandchild, 0.3)
+        tracer.end(child, 0.4)
+        tracer.end(parent, 0.5)  # over the cap: dropped
+        assert tracer.dropped == 1
+        lines = tree_lines(tracer.spans())
+        # The child lost its parent and sits at depth 0; its own child
+        # still nests underneath it.
+        assert len(lines) == 2
+        assert lines[0].startswith("child")
+        assert lines[1].startswith("  grandchild")
+
+    def test_mixed_roots_sorted_by_start(self):
+        tracer = Tracer()
+        tracer.record("late", 2.0, 3.0)
+        tracer.record("early", 0.0, 1.0)
+        lines = tree_lines(tracer.spans())
+        assert lines[0].startswith("early")
+        assert lines[1].startswith("late")
+
+
+# ---------------------------------------------------------------------------
+# Histogram percentiles
+# ---------------------------------------------------------------------------
+
+
+class TestHistogramPercentiles:
+    def test_empty_histogram_is_zero(self):
+        histogram = Histogram(buckets=(1.0, 2.0))
+        assert histogram.percentile(0.5) == 0.0
+        snap = histogram.snapshot()
+        assert (snap["p50"], snap["p95"], snap["p99"]) == (0.0, 0.0, 0.0)
+
+    def test_interpolates_inside_the_bucket(self):
+        histogram = Histogram(buckets=(1.0, 2.0, 4.0))
+        for __ in range(100):
+            histogram.observe(0.5)
+        # All mass in (0, 1]: rank 50 of 100 sits halfway up the bucket.
+        assert histogram.percentile(0.5) == pytest.approx(0.5)
+        assert histogram.percentile(0.99) == pytest.approx(0.99)
+
+    def test_spread_across_buckets(self):
+        histogram = Histogram(buckets=(1.0, 2.0, 4.0))
+        for value in (0.5,) * 50 + (1.5,) * 50:
+            histogram.observe(value)
+        # p50 = top of the first bucket, p95 interpolates the second.
+        assert histogram.percentile(0.5) == pytest.approx(1.0)
+        assert 1.0 < histogram.percentile(0.95) <= 2.0
+
+    def test_overflow_bucket_pins_to_observed_max(self):
+        histogram = Histogram(buckets=(1.0,))
+        histogram.observe(10.0)
+        histogram.observe(50.0)
+        assert histogram.percentile(0.99) == 50.0
+
+    def test_snapshot_carries_percentiles(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat")
+        histogram.observe(0.002)
+        entry = registry.snapshot()[0]
+        assert entry["p50"] > 0.0
+        assert entry["p50"] <= entry["p95"] <= entry["p99"]

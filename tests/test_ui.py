@@ -1,8 +1,12 @@
 """Tests for the REST-shaped API and the renderers."""
 
+import json
+
 import pytest
 
+from repro.obs import parse_prometheus_text
 from repro.ui import AnsiRenderer, ApiError, QuepaApi, TextRenderer, probability_band
+from repro.ui.api import TextResponse
 
 QUERY = "SELECT * FROM inventory WHERE name LIKE '%wish%'"
 
@@ -268,6 +272,84 @@ class TestOtherEndpoints:
             assert err.to_response() == {
                 "error": err.message, "status": 404,
             }
+
+
+class TestObservabilityEndpoints:
+    def test_metrics_prometheus_format(self, api):
+        api.handle("POST", "/query",
+                   {"database": "transactions", "query": QUERY, "level": 1})
+        response = api.handle("GET", "/metrics?format=prometheus")
+        assert isinstance(response, TextResponse)
+        assert response.content_type.startswith("text/plain")
+        assert "# TYPE" in response.body
+        rows = parse_prometheus_text(response.body)
+        names = {row["name"] for row in rows}
+        assert "store_queries_total" in names
+        assert "store_call_seconds_bucket" in names
+
+    def test_metrics_unknown_format_is_400(self, api):
+        with pytest.raises(ApiError) as err:
+            api.handle("GET", "/metrics?format=xml")
+        assert err.value.status == 400
+
+    def test_trace_chrome_format(self, api):
+        api.handle("POST", "/query",
+                   {"database": "transactions", "query": QUERY, "level": 1})
+        payload = api.handle("GET", "/trace?format=chrome")
+        events = payload["traceEvents"]
+        assert events and all(event["ph"] == "X" for event in events)
+        json.dumps(payload)
+
+    def test_events_endpoint_with_filters(self, api):
+        api.handle("POST", "/query",
+                   {"database": "transactions", "query": QUERY, "level": 1})
+        response = api.handle("GET", "/events")
+        kinds = {event["kind"] for event in response["events"]}
+        assert "augmentation_completed" in kinds
+        assert response["stats"]["emitted"] >= 1
+        filtered = api.handle(
+            "GET", "/events?kind=augmentation_completed&limit=1"
+        )
+        assert len(filtered["events"]) == 1
+
+    def test_events_bad_params_are_400(self, api):
+        with pytest.raises(ApiError) as err:
+            api.handle("GET", "/events?limit=soon")
+        assert err.value.status == 400
+        with pytest.raises(ApiError) as err:
+            api.handle("GET", "/events?min_severity=loud")
+        assert err.value.status == 400
+
+    def test_explain_endpoint(self, api):
+        response = api.handle(
+            "POST", "/explain",
+            {"database": "transactions", "query": QUERY, "level": 1},
+        )
+        report = response["explain"]
+        assert report["query"]["store"]["access_path"] == "full_scan"
+        assert report["plan"]["planned_fetches"] > 0
+        assert report["execution"]["estimated_queries"] >= 1
+        assert "actual" not in report
+
+    def test_explain_analyze_with_config(self, api):
+        response = api.handle(
+            "POST", "/explain",
+            {"database": "transactions", "query": QUERY, "level": 1,
+             "analyze": True, "config": {"augmenter": "batch"}},
+        )
+        report = response["explain"]
+        assert report["config"]["source"] == "explicit"
+        assert report["execution"]["batching"] is True
+        assert report["actual"]["queries_issued"] >= 1
+
+    def test_explain_missing_field_is_400(self, api):
+        with pytest.raises(ApiError) as err:
+            api.handle("POST", "/explain", {"database": "transactions"})
+        assert err.value.status == 400
+
+    def test_query_string_ignored_on_other_routes(self, api):
+        response = api.handle("GET", "/databases?whatever=1")
+        assert len(response["databases"]) == 4
 
 
 class TestRenderers:

@@ -104,6 +104,52 @@ class TestHttpEndpoints:
         assert len(summary["by_kind"]) >= 3
         assert summary["spans"] > 0
 
+    def test_prometheus_scrape_over_http(self, server):
+        from repro.obs import parse_prometheus_text
+
+        post(server, "/query",
+             {"database": "transactions", "query": QUERY, "level": 1})
+        with urllib.request.urlopen(
+            server.url + "/metrics?format=prometheus", timeout=5
+        ) as response:
+            assert response.status == 200
+            content_type = response.headers["Content-Type"]
+            body = response.read().decode("utf-8")
+        # Served raw with the Prometheus content type, not as JSON.
+        assert content_type.startswith("text/plain")
+        assert "version=0.0.4" in content_type
+        names = {row["name"] for row in parse_prometheus_text(body)}
+        assert "store_queries_total" in names
+
+    def test_chrome_trace_over_http(self, server):
+        post(server, "/query",
+             {"database": "transactions", "query": QUERY, "level": 1})
+        status, payload = get(server, "/trace?format=chrome")
+        assert status == 200
+        assert payload["traceEvents"]
+        assert all(event["ph"] == "X" for event in payload["traceEvents"])
+
+    def test_events_over_http(self, server):
+        post(server, "/query",
+             {"database": "transactions", "query": QUERY, "level": 1})
+        status, payload = get(
+            server, "/events?kind=augmentation_completed"
+        )
+        assert status == 200
+        assert payload["events"]
+        assert payload["events"][0]["attrs"]["database"] == "transactions"
+
+    def test_explain_over_http(self, server):
+        status, payload = post(
+            server, "/explain",
+            {"database": "transactions", "query": QUERY, "level": 1,
+             "analyze": True},
+        )
+        assert status == 200
+        report = payload["explain"]
+        assert report["query"]["store"]["access_path"] == "full_scan"
+        assert report["actual"]["augmented_objects"] > 0
+
     def test_unknown_route_is_404(self, server):
         with pytest.raises(urllib.error.HTTPError) as err:
             get(server, "/teapot")
