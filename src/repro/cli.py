@@ -27,6 +27,11 @@ Commands:
 ``events --snapshot DIR --database DB --query Q [--slow-ms T] ...``
     Run one augmented query with the event journal armed and print the
     recorded events (slow queries, lazy deletions, run completions).
+``faults --snapshot DIR --database DB --query Q --inject SPEC ...``
+    Run one augmented query under an injected fault schedule (specs
+    look like ``db:kind[:k=v,...]``, kinds: fail/stall/truncate/flap)
+    with the resilience layer armed, then print whether the answer
+    degraded, the breaker states and the injection/retry counters.
 
 The CLI prints with :class:`~repro.ui.render.TextRenderer` (pass
 ``--color`` for the ANSI renderer, the terminal face of the paper's
@@ -109,6 +114,26 @@ def build_parser() -> argparse.ArgumentParser:
     events.add_argument("--limit", type=int, default=50,
                         help="maximum number of events to print")
 
+    faults = commands.add_parser(
+        "faults", help="run one query under an injected fault schedule"
+    )
+    _add_query_args(faults)
+    faults.add_argument(
+        "--inject", action="append", default=[], metavar="SPEC",
+        help="fault spec 'db:kind[:k=v,...]' (repeatable); kinds: "
+             "fail, stall, truncate, flap",
+    )
+    faults.add_argument("--fault-seed", type=int, default=0,
+                        help="seed of the fault schedule RNG")
+    faults.add_argument("--retries", type=int, default=3,
+                        help="retry attempts per store call")
+    faults.add_argument("--breaker-threshold", type=int, default=5,
+                        help="consecutive failures that trip a breaker")
+    faults.add_argument("--timeout-budget", type=float, default=None,
+                        help="per-augmentation budget in virtual seconds")
+    faults.add_argument("--json", action="store_true", dest="as_json",
+                        help="print the fault report as JSON")
+
     inspect = commands.add_parser("inspect", help="describe a snapshot")
     inspect.add_argument("--snapshot", required=True)
 
@@ -151,6 +176,8 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             return _explain(args, out)
         if args.command == "events":
             return _events(args, out)
+        if args.command == "faults":
+            return _faults(args, out)
         if args.command == "inspect":
             return _inspect(args, out)
         if args.command == "explore":
@@ -483,6 +510,65 @@ def _events(args, out) -> int:
         f"showing {len(entries)})",
         file=out,
     )
+    return 0
+
+
+def _faults(args, out) -> int:
+    from repro.faults import FaultInjector, ResilienceConfig, parse_fault_spec
+
+    polystore, aindex = load_snapshot(args.snapshot)
+    injector = FaultInjector(seed=args.fault_seed)
+    try:
+        for spec_text in args.inject:
+            injector.add(parse_fault_spec(spec_text))
+    except ValueError as exc:
+        print(f"error: {exc}", file=out)
+        return 1
+    resilience = ResilienceConfig(
+        retry_max_attempts=args.retries,
+        breaker_failure_threshold=args.breaker_threshold,
+    )
+    config = AugmentationConfig(
+        augmenter=args.augmenter or "sequential",
+        batch_size=args.batch_size,
+        threads_size=args.threads_size,
+        skip_unavailable=True,
+        timeout_budget=args.timeout_budget,
+    )
+    quepa = Quepa(
+        polystore, aindex, resilience=resilience, faults=injector
+    )
+    answer = quepa.augmented_search(
+        args.database,
+        _parse_query(args.query),
+        level=args.level,
+        config=config,
+    )
+    stats = answer.stats
+    report = {
+        "answer": {
+            "original_count": stats.original_count,
+            "augmented_count": stats.augmented_count,
+            "degraded": stats.degraded,
+            "errors": dict(stats.errors),
+            "unavailable_databases": list(stats.unavailable_databases),
+            "elapsed_s": stats.elapsed,
+            "queries_issued": stats.queries_issued,
+        },
+        **quepa.fault_report(),
+    }
+    if args.as_json:
+        json.dump(report, out, indent=2, default=str)
+        print(file=out)
+        return 0
+    flag = "DEGRADED" if stats.degraded else "complete"
+    print(
+        f"answer: {flag} — {stats.original_count} originals, "
+        f"{stats.augmented_count} augmented, "
+        f"{stats.elapsed * 1000:.2f} ms virtual",
+        file=out,
+    )
+    _print_report({k: v for k, v in report.items() if k != "answer"}, out)
     return 0
 
 

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from repro.collector.blocking import TokenBlocker
 from repro.collector.matching import PairwiseMatcher
 from repro.core.aindex import AIndex
+from repro.errors import StoreUnavailableError
 from repro.model.polystore import Polystore
 from repro.model.prelations import PRelation
 
@@ -26,6 +27,11 @@ class CollectorSettings:
     min_token_length: int = 3
     #: Stop after this many candidate pairs (None = exhaustive).
     max_candidate_pairs: int | None = None
+    #: Keep collecting when a database is unreachable: its objects are
+    #: skipped (and reported) instead of failing the whole run. The A'
+    #: index stays correct — a skipped store just contributes no new
+    #: p-relations until a later run picks it up.
+    skip_unavailable: bool = True
 
 
 @dataclass
@@ -38,6 +44,10 @@ class CollectorReport:
     identities: int = 0
     matchings: int = 0
     relations: list[PRelation] = field(default_factory=list)
+    #: Databases whose scan failed under ``skip_unavailable``.
+    skipped_databases: tuple[str, ...] = ()
+    #: Database -> reason for each skipped scan.
+    errors: dict[str, str] = field(default_factory=dict)
 
 
 class Collector:
@@ -59,11 +69,19 @@ class Collector:
         """Run blocking + matching over ``polystore`` into ``aindex``."""
         report = CollectorReport()
         objects = []
+        skipped: list[str] = []
         for database in polystore:
             # Chunked multi_get scan: one native batch per chunk rather
             # than one point lookup per object, same objects and order.
-            for obj in polystore.database(database).scan_objects():
-                objects.append(obj)
+            try:
+                for obj in polystore.database(database).scan_objects():
+                    objects.append(obj)
+            except StoreUnavailableError as exc:
+                if not self.settings.skip_unavailable:
+                    raise
+                skipped.append(database)
+                report.errors[database] = f"unavailable: {exc}"
+        report.skipped_databases = tuple(skipped)
         report.objects_scanned = len(objects)
 
         pairs = []

@@ -46,6 +46,10 @@ class AugmentationConfig:
     #: Degrade gracefully when a store is down: skip its objects instead
     #: of failing the whole augmented query (loose coupling in action).
     skip_unavailable: bool = False
+    #: Runtime-clock seconds the augmentation may spend before further
+    #: store calls are skipped (degrading the outcome). ``None`` = no
+    #: budget. Checked between fetches, never mid-call.
+    timeout_budget: float | None = None
 
 
 @dataclass(frozen=True, slots=True)

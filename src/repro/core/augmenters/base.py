@@ -12,6 +12,7 @@ from repro.core.connectors import ConnectorRegistry
 from repro.errors import (
     ConfigurationError,
     StoreUnavailableError,
+    TimeoutExceeded,
     UnknownAugmenterError,
 )
 from repro.model.objects import AugmentedObject, DataObject, GlobalKey
@@ -34,6 +35,14 @@ class AugmentationOutcome:
     #: Databases skipped because they were unreachable (only populated
     #: when the configuration sets ``skip_unavailable``).
     unavailable_databases: tuple[str, ...] = ()
+    #: True iff a fault cost this run planned objects: some planned key
+    #: is neither in ``objects`` nor (genuinely) ``missing``. A flaky
+    #: store whose every fetch succeeded on retry does *not* degrade.
+    degraded: bool = False
+    #: Database -> reason for every store that misbehaved during the
+    #: run (unavailable, truncated results, timeout budget), whether or
+    #: not objects were ultimately lost.
+    errors: dict[str, str] = field(default_factory=dict)
     #: Structured trace summary of the run (span counts/durations per
     #: kind), stamped by :meth:`Augmenter.execute`.
     trace: dict | None = None
@@ -57,6 +66,15 @@ class Augmenter(ABC):
         #: Databases that raised StoreUnavailableError (append-only;
         #: list.append is atomic, so worker threads may share it).
         self._unavailable: list[str] = []
+        #: Database -> reason for every fault seen this run (dict item
+        #: assignment is atomic, so worker threads may share it).
+        self._errors: dict[str, str] = {}
+        #: Virtual deadline of this run (``None`` = no timeout budget).
+        self._deadline: float | None = None
+        self._budget_exceeded = False
+        #: Fetches barred by the timeout budget (parent thread reads the
+        #: delta to keep them out of ``queries_issued``).
+        self._budget_skips = 0
         #: Per-probe CPU charge; resolved per run by :meth:`execute` so
         #: _probe_cache skips the cost-model attribute chase.
         self._probe_cost = 0.0
@@ -71,6 +89,14 @@ class Augmenter(ABC):
         validate_config(config)
         self._skip_unavailable = config.skip_unavailable
         self._unavailable = []
+        self._errors = {}
+        self._budget_exceeded = False
+        self._budget_skips = 0
+        self._deadline = (
+            ctx.now + config.timeout_budget
+            if config.timeout_budget is not None
+            else None
+        )
         # The probe loop runs once per planned fetch; per-probe metric
         # increments (registry lookup + counter lock, three per probe)
         # dwarf the cache probe itself. The shard counters inside the
@@ -91,6 +117,18 @@ class Augmenter(ABC):
         # The same absent key is appended once per seed that planned it;
         # deduplicate so lazy deletion does each removal exactly once.
         outcome.missing = list(dict.fromkeys(outcome.missing))
+        outcome.errors = dict(sorted(self._errors.items()))
+        if outcome.errors:
+            # Degraded iff a fault actually cost us objects: planned
+            # keys that neither materialized nor were found genuinely
+            # absent. A retried-then-successful fetch, or a skipped
+            # store whose keys all arrived via another route, leaves
+            # the answer complete — errors are reported, but the
+            # outcome is not degraded.
+            planned = {fetch.key for fetch in plan.all_fetches()}
+            got = {entry.key for entry in outcome.objects}
+            lost = planned - got - set(outcome.missing)
+            outcome.degraded = bool(lost)
         outcome.trace = ctx.obs.trace_summary()
         return outcome
 
@@ -119,26 +157,69 @@ class Augmenter(ABC):
             return None
         return _augmented(cached, fetch)
 
+    def _over_budget(self, ctx: ExecContext, database: str) -> bool:
+        """True when the timeout budget bars any further store calls.
+
+        The first exhausted check emits a ``timeout_budget_exceeded``
+        event; every barred database lands in the run's error report
+        and is counted as skipped (the store was never contacted).
+        """
+        deadline = self._deadline
+        if deadline is None or ctx.now < deadline:
+            return False
+        if not self._skip_unavailable:
+            # Strict mode: an exhausted budget is an error, not a
+            # silently smaller answer.
+            raise TimeoutExceeded(
+                f"augmentation timeout budget exhausted at t={ctx.now:.6f}s "
+                f"(deadline {deadline:.6f}s)"
+            )
+        if not self._budget_exceeded:
+            self._budget_exceeded = True
+            ctx.obs.events.emit(
+                "timeout_budget_exceeded",
+                severity="warning",
+                ts=ctx.now,
+                deadline=deadline,
+            )
+        self._budget_skips += 1
+        self._note_fault(ctx, database, "timeout budget exceeded")
+        return True
+
+    def _note_fault(
+        self, ctx: ExecContext, database: str, reason: str
+    ) -> None:
+        """Record one skipped/degraded database for this run."""
+        self._unavailable.append(database)
+        self._errors.setdefault(database, reason)
+        ctx.obs.metrics.counter(
+            "store_unavailable_skips_total", database=database
+        ).inc()
+
     def _fetch_single(
         self, ctx: ExecContext, fetch: PlannedFetch, outcome_missing: list[GlobalKey]
     ) -> AugmentedObject | None:
         """One direct-access query for one planned fetch (cache-aside)."""
-        connector = self.registry.connector(fetch.key.database)
-        with ctx.span("fetch", database=fetch.key.database) as span:
+        database = fetch.key.database
+        if self._over_budget(ctx, database):
+            return None
+        connector = self.registry.connector(database)
+        with ctx.span("fetch", database=database) as span:
             try:
                 obj = connector.fetch_one(ctx, fetch.key)
-            except StoreUnavailableError:
+            except StoreUnavailableError as exc:
                 if not self._skip_unavailable:
                     raise
-                self._unavailable.append(fetch.key.database)
+                self._note_fault(ctx, database, f"unavailable: {exc}")
                 span.attrs["skipped"] = True
-                ctx.obs.metrics.counter(
-                    "store_unavailable_skips_total",
-                    database=fetch.key.database,
-                ).inc()
                 return None
             span.attrs["found"] = obj is not None
         if obj is None:
+            if getattr(ctx, "last_call_truncated", False):
+                # The store dropped the tail of the reply: the object
+                # may well exist, so it must not feed lazy deletion.
+                self._errors.setdefault(database, "truncated results")
+                return None
             outcome_missing.append(fetch.key)
             return None
         self.cache.put(obj)
@@ -152,6 +233,8 @@ class Augmenter(ABC):
         outcome_missing: list[GlobalKey],
     ) -> list[AugmentedObject]:
         """One batch query for a per-database group of planned fetches."""
+        if self._over_budget(ctx, database):
+            return []
         unique_keys = list(dict.fromkeys(fetch.key for fetch in group))
         connector = self.registry.connector(database)
         with ctx.span(
@@ -159,16 +242,19 @@ class Augmenter(ABC):
         ) as span:
             try:
                 objects = connector.fetch_many(ctx, unique_keys)
-            except StoreUnavailableError:
+            except StoreUnavailableError as exc:
                 if not self._skip_unavailable:
                     raise
-                self._unavailable.append(database)
+                self._note_fault(ctx, database, f"unavailable: {exc}")
                 span.attrs["skipped"] = True
-                ctx.obs.metrics.counter(
-                    "store_unavailable_skips_total", database=database
-                ).inc()
                 return []
             span.attrs["found"] = len(objects)
+        # A truncated reply dropped the tail of the batch: the absent
+        # keys may well exist, so they must not feed lazy deletion
+        # (partial batches count only the objects actually returned).
+        truncated = getattr(ctx, "last_call_truncated", False)
+        if truncated:
+            self._errors.setdefault(database, "truncated results")
         by_key = {obj.key: obj for obj in objects}
         for obj in objects:
             self.cache.put(obj)
@@ -177,7 +263,7 @@ class Augmenter(ABC):
         for fetch in group:
             obj = by_key.get(fetch.key)
             if obj is None:
-                if fetch.key not in seen_missing:
+                if not truncated and fetch.key not in seen_missing:
                     seen_missing.add(fetch.key)
                     outcome_missing.append(fetch.key)
                 continue
@@ -237,3 +323,7 @@ def validate_config(config: AugmentationConfig) -> None:
         )
     if config.cache_size < 0:
         raise ConfigurationError(f"cache_size must be >= 0, got {config.cache_size}")
+    if config.timeout_budget is not None and config.timeout_budget <= 0:
+        raise ConfigurationError(
+            f"timeout_budget must be > 0, got {config.timeout_budget}"
+        )

@@ -47,8 +47,15 @@ class SequentialAugmenter(Augmenter):
             outcome.cache_hits += 1
             outcome.objects.append(hit)
             return
+        # A fetch barred by the timeout budget never reached a store:
+        # count it as skipped, not as an issued query (parent thread
+        # only, so the counter delta is race-free here).
+        skips_before = self._budget_skips
         obj = self._fetch_single(ctx, fetch, outcome.missing)
-        outcome.queries_issued += 1
+        if self._budget_skips > skips_before:
+            outcome.skipped_flushes += 1
+        else:
+            outcome.queries_issued += 1
         if obj is not None:
             outcome.objects.append(obj)
 

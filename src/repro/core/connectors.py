@@ -22,19 +22,33 @@ from repro.stores.base import Store
 
 
 class Connector:
-    """Key-based access to one database of the polystore."""
+    """Key-based access to one database of the polystore.
 
-    def __init__(self, database: str, store: Store) -> None:
+    With a :class:`~repro.faults.ResilienceManager` attached, every
+    fetch goes through its retry + circuit-breaker policy; without one
+    (the default) fetches hit ``ctx.store_call`` directly, so the
+    fault-free hot path is unchanged.
+    """
+
+    def __init__(
+        self, database: str, store: Store, resilience=None
+    ) -> None:
         self.database = database
         self.store = store
+        self.resilience = resilience
 
     def fetch_one(self, ctx: ExecContext, key: GlobalKey) -> DataObject | None:
         """One direct-access query for a single object."""
         # ``query`` is only stringified if a slow-query event fires, so
         # pass the key itself rather than formatting on the hot path.
-        results = ctx.store_call(
-            self.database, lambda: self._get_list(key), query=key
-        )
+        if self.resilience is not None:
+            results = self.resilience.call(
+                ctx, self.database, lambda: self._get_list(key), query=key
+            )
+        else:
+            results = ctx.store_call(
+                self.database, lambda: self._get_list(key), query=key
+            )
         return results[0] if results else None
 
     def fetch_many(
@@ -47,13 +61,13 @@ class Connector:
         """
         if not keys:
             return []
-        return list(
-            ctx.store_call(
-                self.database,
-                lambda: self.store.multi_get(keys),
-                query=("multi_get", len(keys)),
+        op = lambda: self.store.multi_get(keys)  # noqa: E731
+        query = ("multi_get", len(keys))
+        if self.resilience is not None:
+            return list(
+                self.resilience.call(ctx, self.database, op, query=query)
             )
-        )
+        return list(ctx.store_call(self.database, op, query=query))
 
     def _get_list(self, key: GlobalKey) -> list[DataObject]:
         # Single fetches ride the same native batch protocol as groups
@@ -66,10 +80,11 @@ class Connector:
 class ConnectorRegistry:
     """Connectors for every database of a polystore."""
 
-    def __init__(self, polystore: Polystore) -> None:
+    def __init__(self, polystore: Polystore, resilience=None) -> None:
         self.polystore = polystore
+        self.resilience = resilience
         self._connectors = {
-            name: Connector(name, store)
+            name: Connector(name, store, resilience)
             for name, store in polystore.databases.items()
         }
 
@@ -79,7 +94,7 @@ class ConnectorRegistry:
         if cached is None or cached.store is not current:
             # The polystore may have grown, or the store may have been
             # detached and re-attached (e.g. recovery after an outage).
-            cached = Connector(database, current)
+            cached = Connector(database, current, self.resilience)
             self._connectors[database] = cached
         return cached
 

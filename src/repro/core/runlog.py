@@ -63,9 +63,15 @@ class RunRecord:
     #: Batch flushes swallowed by skip_unavailable (never reached a store).
     skipped_flushes: int = 0
     missing_objects: int = 0
+    #: True iff faults cost this run planned objects (degraded answer).
+    degraded: bool = False
+    #: Database -> reason for every store that misbehaved during the run.
+    errors: dict[str, str] = field(default_factory=dict)
     #: Per-database native query / object counts for this run.
     queries_by_database: dict[str, int] = field(default_factory=dict)
     objects_by_database: dict[str, int] = field(default_factory=dict)
+    #: Per-database failed store calls (injected faults, outages).
+    failed_queries_by_database: dict[str, int] = field(default_factory=dict)
     #: Span kind -> {"count": n, "total_s": seconds} for this run.
     span_summary: dict[str, dict] = field(default_factory=dict)
 

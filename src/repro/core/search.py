@@ -72,6 +72,11 @@ class SearchStats:
     rewritten: bool = False
     #: Databases skipped under graceful degradation (skip_unavailable).
     unavailable_databases: tuple[str, ...] = ()
+    #: True iff faults cost this answer planned objects (see
+    #: :class:`~repro.core.augmenters.base.AugmentationOutcome`).
+    degraded: bool = False
+    #: Database -> reason for every store that misbehaved during the run.
+    errors: dict[str, str] = field(default_factory=dict)
 
 
 def assemble_answer(

@@ -17,7 +17,7 @@ Typical use::
 from __future__ import annotations
 
 import math
-from dataclasses import asdict
+from dataclasses import asdict, replace
 from typing import Any, Callable, Protocol
 
 from repro.core.aindex import AIndex
@@ -34,6 +34,8 @@ from repro.core.search import (
     assemble_answer,
 )
 from repro.core.validator import Validator
+from repro.errors import StoreUnavailableError
+from repro.faults import FaultInjector, ResilienceConfig, ResilienceManager
 from repro.model.objects import AugmentedObject, DataObject, GlobalKey
 from repro.model.polystore import Polystore
 from repro.network.executor import ExecContext, RealRuntime, Runtime, VirtualRuntime
@@ -63,6 +65,8 @@ class Quepa:
         config: AugmentationConfig | None = None,
         optimizer: Optimizer | None = None,
         promotion_policy: PromotionPolicy | None = None,
+        resilience: ResilienceConfig | ResilienceManager | None = None,
+        faults: FaultInjector | None = None,
     ) -> None:
         self.polystore = polystore
         self.aindex = aindex
@@ -75,8 +79,20 @@ class Quepa:
         self.optimizer = optimizer
         if optimizer is not None and hasattr(optimizer, "bind_metrics"):
             optimizer.bind_metrics(self.obs.metrics)
+        #: Retry/breaker policy for store calls (None = direct calls,
+        #: the fault-free hot path).
+        if isinstance(resilience, ResilienceConfig):
+            resilience = ResilienceManager(resilience)
+        self.resilience: ResilienceManager | None = resilience
+        if self.resilience is not None:
+            self.resilience.bind(self.obs)
+        #: Seeded fault schedule evaluated inside store_call (None = off).
+        self.faults = faults
+        if faults is not None:
+            faults.bind(self.obs)
+            self.runtime.faults = faults
         self.validator = Validator()
-        self.registry = ConnectorRegistry(polystore)
+        self.registry = ConnectorRegistry(polystore, self.resilience)
         self.cache = LruCache(self.config.cache_size)
         self.augmentation = Augmentation(aindex)
         self.paths = PathRepository(aindex, promotion_policy)
@@ -103,13 +119,24 @@ class Quepa:
         store = self.polystore.database(database)
         validation = self.validator.validate(store, query)
         ctx = self.runtime.root()
-        originals = list(
-            ctx.store_call(
-                database,
-                lambda: store.execute(validation.query),
-                query=validation.query,
-            )
-        )
+        op = lambda: store.execute(validation.query)  # noqa: E731
+        try:
+            if self.resilience is not None:
+                originals = list(
+                    self.resilience.call(
+                        ctx, database, op, query=validation.query
+                    )
+                )
+            else:
+                originals = list(
+                    ctx.store_call(database, op, query=validation.query)
+                )
+        except StoreUnavailableError as exc:
+            if self.resilience is None or not self.resilience.config.degrade:
+                raise
+            # The queried store itself is unreachable: no seeds, no
+            # augmentation — answer empty but degraded, never raise.
+            return self._degraded_local_answer(database, level, validation, exc)
         stats = SearchStats(
             database=database,
             level=level,
@@ -131,7 +158,7 @@ class Quepa:
             store_count=len(self.polystore),
             deployment=self.profile.name,
         )
-        run_config = self._resolve_config(config, features, ctx)
+        run_config = self._apply_degradation(self._resolve_config(config, features, ctx))
         if run_config.cache_size != self.cache.capacity:
             self.cache.resize(run_config.cache_size)
         augmenter = make_augmenter(run_config.augmenter, self.registry, self.cache)
@@ -157,6 +184,16 @@ class Quepa:
         stats.missing_objects = len(outcome.missing)
         stats.elapsed = self.runtime.elapsed
         stats.unavailable_databases = outcome.unavailable_databases
+        stats.degraded = outcome.degraded
+        stats.errors = dict(outcome.errors)
+        if outcome.degraded:
+            self.obs.events.emit(
+                "degraded_answer",
+                severity="warning",
+                ts=stats.elapsed,
+                database=database,
+                errors=dict(outcome.errors),
+            )
         stats.augmenter = run_config.augmenter
         stats.batch_size = run_config.batch_size
         stats.threads_size = run_config.threads_size
@@ -373,6 +410,70 @@ class Quepa:
             span.attrs["edges"] = plan.edges_examined
         return plan
 
+    def _apply_degradation(
+        self, config: AugmentationConfig
+    ) -> AugmentationConfig:
+        """Force ``skip_unavailable`` when resilience asks to degrade.
+
+        With a resilience policy whose ``degrade`` flag is set, every
+        run tolerates unreachable stores regardless of how the config
+        was chosen (explicit, optimizer, default). The original config
+        object is never mutated.
+        """
+        if (
+            self.resilience is not None
+            and self.resilience.config.degrade
+            and not config.skip_unavailable
+        ):
+            return replace(config, skip_unavailable=True)
+        return config
+
+    def _degraded_local_answer(
+        self, database: str, level: int, validation, exc: Exception
+    ) -> AugmentedAnswer:
+        """Empty degraded answer when the queried store is unreachable."""
+        self._finish_timer()
+        stats = SearchStats(
+            database=database,
+            level=level,
+            rewritten=validation.rewritten,
+            elapsed=self.runtime.elapsed,
+            unavailable_databases=(database,),
+            degraded=True,
+            errors={database: f"unavailable: {exc}"},
+        )
+        self.obs.events.emit(
+            "degraded_answer",
+            severity="warning",
+            ts=stats.elapsed,
+            database=database,
+            errors=dict(stats.errors),
+        )
+        return assemble_answer([], [], stats)
+
+    def fault_report(self) -> dict[str, Any]:
+        """Fault/resilience state of this system, JSON-ready.
+
+        Combines the injector's schedule and injection counters, the
+        resilience snapshot (breaker states, retries, fast-fails) and
+        the meter's per-database failed-call counts. Sections are
+        ``None`` when the corresponding layer is not attached.
+        """
+        meter = self.runtime.meter
+        return {
+            "faults": (
+                self.faults.stats() if self.faults is not None else None
+            ),
+            "resilience": (
+                self.resilience.snapshot()
+                if self.resilience is not None
+                else None
+            ),
+            "failed_queries_by_database": dict(
+                meter.failed_queries_by_database
+            ),
+        }
+
     def _resolve_config(
         self,
         explicit: AugmentationConfig | None,
@@ -414,8 +515,11 @@ class Quepa:
             cache_hits=stats.cache_hits,
             skipped_flushes=getattr(outcome, "skipped_flushes", 0),
             missing_objects=stats.missing_objects,
+            degraded=stats.degraded,
+            errors=dict(stats.errors),
             queries_by_database=dict(meter.queries_by_database),
             objects_by_database=dict(meter.objects_by_database),
+            failed_queries_by_database=dict(meter.failed_queries_by_database),
             span_summary=self.obs.tracer.summary(),
         )
         self.obs.metrics.counter("runs_recorded_total").inc()
@@ -447,11 +551,15 @@ class Quepa:
             ctx.cpu(plan.edges_examined * ctx.cost_model.aindex_edge_cost)
             span.attrs["fetches"] = plan.total_fetches()
         augmenter = make_augmenter("inner", self.registry, self.cache)
-        step_config = AugmentationConfig(
-            augmenter="inner",
-            batch_size=self.config.batch_size,
-            threads_size=self.config.threads_size,
-            cache_size=self.cache.capacity,
+        step_config = self._apply_degradation(
+            AugmentationConfig(
+                augmenter="inner",
+                batch_size=self.config.batch_size,
+                threads_size=self.config.threads_size,
+                cache_size=self.cache.capacity,
+                skip_unavailable=self.config.skip_unavailable,
+                timeout_budget=self.config.timeout_budget,
+            )
         )
         outcome = augmenter.execute(ctx, plan, step_config)
         for missing in outcome.missing:

@@ -55,8 +55,29 @@ class SchemaError(StoreError):
     """A row does not conform to its table schema."""
 
 
-class StoreUnavailableError(StoreError):
+class FaultError(StoreError):
+    """Base for fault-layer errors (see :mod:`repro.faults`).
+
+    Covers injected faults, open circuit breakers and exhausted timeout
+    budgets. A ``FaultError`` is still a :class:`StoreError`, so code
+    that treats store trouble generically keeps working.
+    """
+
+
+class StoreUnavailableError(FaultError):
     """A store could not be reached (down, timing out, flaky)."""
+
+
+class InjectedFaultError(StoreUnavailableError):
+    """A configured fault schedule failed this call on purpose."""
+
+
+class CircuitOpenError(StoreUnavailableError):
+    """The per-store circuit breaker is open; the call was not sent."""
+
+
+class TimeoutExceeded(FaultError):
+    """A per-augmentation timeout budget was exhausted."""
 
 
 class QueryError(StoreError):

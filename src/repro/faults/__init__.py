@@ -1,0 +1,43 @@
+"""Fault injection and resilience for the polystore boundary.
+
+QUEPA's loose coupling means any store can fail, stall, return
+truncated results or flap while the rest of the polystore keeps
+answering. This package provides both halves of that story:
+
+* :mod:`repro.faults.injector` — :class:`FaultInjector`, a seeded,
+  deterministic fault schedule evaluated inside
+  ``ExecContext.store_call`` (virtual-clock driven, so chaos tests are
+  reproducible bit-for-bit);
+* :mod:`repro.faults.resilience` — :class:`ResilienceManager` with
+  per-store retry (exponential backoff + deterministic jitter, charged
+  on the runtime's own clock), per-store circuit breakers whose trips
+  and recoveries land in the event journal, and the configuration for
+  graceful degradation.
+
+See docs/RESILIENCE.md for the fault model, the breaker state machine
+and the degradation semantics.
+"""
+
+from repro.faults.injector import (
+    KINDS,
+    FaultDecision,
+    FaultInjector,
+    FaultSpec,
+    parse_fault_spec,
+)
+from repro.faults.resilience import (
+    CircuitBreaker,
+    ResilienceConfig,
+    ResilienceManager,
+)
+
+__all__ = [
+    "KINDS",
+    "CircuitBreaker",
+    "FaultDecision",
+    "FaultInjector",
+    "FaultSpec",
+    "ResilienceConfig",
+    "ResilienceManager",
+    "parse_fault_spec",
+]

@@ -1,0 +1,292 @@
+"""Deterministic fault injection at the store-call boundary.
+
+A :class:`FaultInjector` is attached to a
+:class:`~repro.network.executor.Runtime` (``runtime.faults``); every
+``ExecContext.store_call`` consults it before touching the store. With
+no injector attached the hot path pays a single ``None`` check, so the
+virtual-time benchmark numbers stay bit-identical (pinned by
+tests/test_benchmark_guard.py and tests/test_faults.py).
+
+Fault kinds:
+
+``fail``
+    The call never reaches the store: it is charged one roundtrip plus
+    the per-query overhead and raises
+    :class:`~repro.errors.InjectedFaultError`.
+``stall``
+    The call succeeds but an extra ``stall_seconds`` of latency is
+    charged first (a slow network path or an overloaded engine).
+``truncate``
+    The call succeeds but only a ``keep_fraction`` prefix of the
+    results comes back — a store that drops the tail of a batch.
+``flap``
+    The store alternates between available and unavailable windows
+    driven by the *virtual clock*: down for ``down_seconds`` every
+    ``up_seconds + down_seconds`` cycle.
+
+Randomized kinds (``rate < 1``) draw from a per-database
+``random.Random`` seeded from ``(seed, database)``, so a schedule is a
+pure function of the seed, the call order and the clock — reruns are
+bit-identical, which is what makes chaos tests assertable.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass, field, replace
+
+KINDS: tuple[str, ...] = ("fail", "stall", "truncate", "flap")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One configured fault on one database."""
+
+    database: str
+    kind: str
+    #: Probability that an eligible call is affected (ignored by flap;
+    #: superseded by ``every`` when set).
+    rate: float = 1.0
+    #: If > 0, affect every Nth call instead of drawing from the RNG.
+    every: int = 0
+    #: Extra latency charged by ``stall`` faults, in (virtual) seconds.
+    stall_seconds: float = 0.05
+    #: Fraction of results kept by ``truncate`` faults.
+    keep_fraction: float = 0.5
+    #: Flap cycle: available for ``up_seconds`` ...
+    up_seconds: float = 1.0
+    #: ... then unavailable for ``down_seconds``.
+    down_seconds: float = 1.0
+    #: Offset into the flap cycle at t = 0.
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}, expected one of {KINDS}"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+        if self.every < 0:
+            raise ValueError(f"every must be >= 0, got {self.every}")
+        if self.stall_seconds < 0:
+            raise ValueError("stall_seconds must be >= 0")
+        if not 0.0 <= self.keep_fraction <= 1.0:
+            raise ValueError(
+                f"keep_fraction must be in [0, 1], got {self.keep_fraction}"
+            )
+        if self.kind == "flap" and (
+            self.up_seconds <= 0 or self.down_seconds <= 0
+        ):
+            raise ValueError("flap windows must be > 0 seconds")
+
+    def as_dict(self) -> dict:
+        return {
+            "database": self.database,
+            "kind": self.kind,
+            "rate": self.rate,
+            "every": self.every,
+            "stall_seconds": self.stall_seconds,
+            "keep_fraction": self.keep_fraction,
+            "up_seconds": self.up_seconds,
+            "down_seconds": self.down_seconds,
+            "phase": self.phase,
+        }
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """What the injector decided for one store call."""
+
+    action: str = "ok"  # "ok" | "fail" | "stall" | "truncate"
+    extra_seconds: float = 0.0
+    keep_fraction: float = 1.0
+
+    @property
+    def ok(self) -> bool:
+        return self.action == "ok"
+
+
+_OK = FaultDecision()
+
+
+class FaultInjector:
+    """Seeded, deterministic fault schedules, per database (thread-safe).
+
+    Specs are evaluated in configuration order; the first one that
+    fires wins, except that ``stall`` composes with a later ``fail`` /
+    ``truncate`` decision (a slow *and* broken store is a realistic
+    combination). Every fired fault is counted and, when an event
+    journal is bound (see :meth:`bind`), emitted as a
+    ``fault_injected`` warning event on the runtime's own clock.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._specs: dict[str, list[FaultSpec]] = {}
+        self._rngs: dict[str, random.Random] = {}
+        self._calls: dict[str, int] = {}
+        self._fired: dict[tuple[str, str], int] = {}
+        self._truncated_objects: dict[str, int] = {}
+        self._lock = threading.Lock()
+        self._journal = None
+        self._metrics = None
+
+    # -- configuration -------------------------------------------------------
+
+    def add(self, spec: FaultSpec) -> FaultSpec:
+        """Register one fault spec; returns it for chaining."""
+        with self._lock:
+            self._specs.setdefault(spec.database, []).append(spec)
+        return spec
+
+    def inject(self, database: str, kind: str, **params) -> FaultSpec:
+        """Shorthand: build and register a :class:`FaultSpec`."""
+        return self.add(FaultSpec(database=database, kind=kind, **params))
+
+    def clear(self, database: str | None = None) -> None:
+        """Drop the schedules of ``database`` (or all of them)."""
+        with self._lock:
+            if database is None:
+                self._specs.clear()
+            else:
+                self._specs.pop(database, None)
+
+    def bind(self, obs) -> None:
+        """Report injections into an :class:`~repro.obs.Observability`."""
+        self._journal = obs.events
+        self._metrics = obs.metrics
+
+    # -- the decision hot path ----------------------------------------------
+
+    def decide(self, database: str, now: float) -> FaultDecision:
+        """What should happen to the next call against ``database``."""
+        specs = self._specs.get(database)
+        if not specs:
+            return _OK
+        with self._lock:
+            call = self._calls.get(database, 0) + 1
+            self._calls[database] = call
+            decision = _OK
+            stall = 0.0
+            for spec in specs:
+                if not self._fires(spec, database, call, now):
+                    continue
+                self._fired[(database, spec.kind)] = (
+                    self._fired.get((database, spec.kind), 0) + 1
+                )
+                if spec.kind == "stall":
+                    stall += spec.stall_seconds
+                    self._emit(database, spec, call, now)
+                    continue
+                action = "fail" if spec.kind == "flap" else spec.kind
+                decision = FaultDecision(
+                    action=action,
+                    keep_fraction=spec.keep_fraction,
+                )
+                self._emit(database, spec, call, now)
+                break
+            if stall:
+                decision = replace(decision, extra_seconds=stall)
+            return decision
+
+    def _fires(
+        self, spec: FaultSpec, database: str, call: int, now: float
+    ) -> bool:
+        if spec.kind == "flap":
+            cycle = spec.up_seconds + spec.down_seconds
+            return (now + spec.phase) % cycle >= spec.up_seconds
+        if spec.every > 0:
+            return call % spec.every == 0
+        if spec.rate >= 1.0:
+            return True
+        if spec.rate <= 0.0:
+            return False
+        rng = self._rngs.get(database)
+        if rng is None:
+            rng = random.Random(f"{self.seed}:{database}")
+            self._rngs[database] = rng
+        return rng.random() < spec.rate
+
+    def _emit(
+        self, database: str, spec: FaultSpec, call: int, now: float
+    ) -> None:
+        if self._metrics is not None:
+            self._metrics.counter(
+                "faults_injected_total", database=database, kind=spec.kind
+            ).inc()
+        if self._journal is not None:
+            self._journal.emit(
+                "fault_injected",
+                severity="warning",
+                ts=now,
+                database=database,
+                fault_kind=spec.kind,
+                call=call,
+            )
+
+    def note_truncation(self, database: str, dropped: int) -> None:
+        """Record how many objects a truncate fault dropped."""
+        with self._lock:
+            self._truncated_objects[database] = (
+                self._truncated_objects.get(database, 0) + dropped
+            )
+
+    # -- inspection ----------------------------------------------------------
+
+    def specs(self) -> list[FaultSpec]:
+        with self._lock:
+            return [
+                spec for group in self._specs.values() for spec in group
+            ]
+
+    def stats(self) -> dict:
+        """Injection counters, JSON-ready (the CLI/UI ``faults`` view)."""
+        with self._lock:
+            fired: dict[str, dict[str, int]] = {}
+            for (database, kind), count in sorted(self._fired.items()):
+                fired.setdefault(database, {})[kind] = count
+            return {
+                "seed": self.seed,
+                "specs": [
+                    spec.as_dict()
+                    for group in self._specs.values()
+                    for spec in group
+                ],
+                "calls_by_database": dict(sorted(self._calls.items())),
+                "fired_by_database": fired,
+                "truncated_objects_by_database": dict(
+                    sorted(self._truncated_objects.items())
+                ),
+            }
+
+
+def parse_fault_spec(text: str) -> FaultSpec:
+    """Parse a CLI fault spec: ``database:kind[:key=value,...]``.
+
+    Examples::
+
+        catalogue:fail
+        catalogue:fail:rate=0.5
+        discount:stall:stall_seconds=0.2,every=3
+        similar:flap:up_seconds=0.5,down_seconds=0.5
+    """
+    parts = text.split(":", 2)
+    if len(parts) < 2:
+        raise ValueError(
+            f"fault spec {text!r} must look like 'database:kind[:k=v,...]'"
+        )
+    database, kind = parts[0], parts[1]
+    params: dict[str, float | int] = {}
+    if len(parts) == 3 and parts[2]:
+        for pair in parts[2].split(","):
+            key, _, value = pair.partition("=")
+            if not _:
+                raise ValueError(f"bad fault parameter {pair!r} in {text!r}")
+            key = key.strip()
+            params[key] = int(value) if key == "every" else float(value)
+    try:
+        return FaultSpec(database=database, kind=kind, **params)
+    except TypeError as exc:
+        raise ValueError(f"bad fault spec {text!r}: {exc}") from None

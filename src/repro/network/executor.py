@@ -32,6 +32,7 @@ from abc import ABC, abstractmethod
 from contextlib import contextmanager
 from typing import Any, Callable, Iterator, Sequence, TypeVar
 
+from repro.errors import InjectedFaultError, StoreError
 from repro.network.latency import DeploymentProfile
 from repro.obs import Observability, Span
 
@@ -48,6 +49,7 @@ class QueryMeter:
         self._lock = threading.Lock()
         self.queries_by_database: dict[str, int] = {}
         self.objects_by_database: dict[str, int] = {}
+        self.failed_queries_by_database: dict[str, int] = {}
 
     def record(self, database: str, objects: int) -> None:
         with self._lock:
@@ -56,6 +58,22 @@ class QueryMeter:
             )
             self.objects_by_database[database] = (
                 self.objects_by_database.get(database, 0) + objects
+            )
+
+    def record_failure(self, database: str) -> None:
+        """A query that errored: counted as issued, zero objects.
+
+        Failed calls used to vanish from the meter entirely, so a
+        partial batch (some calls errored mid-run) over-represented the
+        store's throughput: only the objects actually returned may
+        count, but the roundtrips still happened.
+        """
+        with self._lock:
+            self.queries_by_database[database] = (
+                self.queries_by_database.get(database, 0) + 1
+            )
+            self.failed_queries_by_database[database] = (
+                self.failed_queries_by_database.get(database, 0) + 1
             )
 
     @property
@@ -74,6 +92,10 @@ class ExecContext(ABC):
     _runtime: "Runtime"
     #: The active span this context's operations are children of.
     _span_id: int | None = None
+    #: Whether the most recent (fault-injected) store call returned a
+    #: truncated result list; augmenters read this to keep truncated
+    #: keys out of the ``missing`` (lazy-deletion) accounting.
+    last_call_truncated: bool = False
 
     @property
     def cost_model(self):
@@ -107,6 +129,14 @@ class ExecContext(ABC):
     @abstractmethod
     def pool(self, workers: int) -> "WorkerPool":
         """Create a pool of ``workers`` logical threads."""
+
+    @abstractmethod
+    def sleep(self, seconds: float) -> None:
+        """Wait without consuming CPU (retry backoff, flap recovery).
+
+        Virtual contexts advance their local clock without adding
+        machine demand; real contexts sleep scaled wall time.
+        """
 
     @contextmanager
     def span(self, name: str, **attrs: Any) -> Iterator[Span]:
@@ -162,6 +192,44 @@ class ExecContext(ABC):
                 objects=objects,
             )
 
+    def _record_failed_call(
+        self,
+        database: str,
+        started: float,
+        ended: float,
+        query: Any = None,
+        injected: bool = False,
+    ) -> None:
+        """Instrument a store call that errored (no objects returned).
+
+        Failed calls are kept out of ``store_queries_total`` (which
+        counts answered queries) and the latency histogram; they get
+        their own counter plus a ``store_call`` span flagged with
+        ``error`` so traces show where time went while a store was
+        misbehaving.
+        """
+        runtime = self._runtime
+        runtime.obs.tracer.record(
+            "store_call",
+            started,
+            ended,
+            self._span_id,
+            database=database,
+            objects=0,
+            error=True,
+        )
+        runtime.obs.metrics.counter(
+            "store_failures_total", database=database
+        ).inc()
+        runtime.obs.events.emit(
+            "store_call_failed",
+            severity="warning",
+            ts=ended,
+            database=database,
+            query="" if query is None else str(query),
+            injected=injected,
+        )
+
     def _record_pool(
         self,
         started: float,
@@ -201,6 +269,10 @@ class Runtime(ABC):
         self.profile = profile
         self.meter = QueryMeter()
         self.obs = Observability()
+        #: Optional :class:`~repro.faults.FaultInjector`; when ``None``
+        #: (the default) store calls take the plain hot path and the
+        #: fault layer costs exactly one attribute check.
+        self.faults = None
         #: Stable handle for the hot cpu() path (one lock, no lookup).
         self._cpu_seconds = self.obs.metrics.counter("cpu_seconds_total")
         self._pools_created = self.obs.metrics.counter("pools_created_total")
@@ -289,8 +361,14 @@ class _VirtualContext(ExecContext):
     def store_call(
         self, database: str, fn: StoreOp, query: Any = None
     ) -> Sequence[Any]:
+        if self._runtime.faults is not None:
+            return self._injected_store_call(database, fn, query)
         started = self._now
-        results = fn()
+        try:
+            results = fn()
+        except StoreError:
+            self._charge_failed_call(database, started, query)
+            raise
         n = len(results)
         profile = self._runtime.profile
         cost = profile.cost_model
@@ -302,6 +380,75 @@ class _VirtualContext(ExecContext):
         self._runtime.meter.record(database, n)
         self._record_store_call(database, started, self._now, n, query)
         return results
+
+    def _charge_failed_call(
+        self, database: str, started: float, query: Any, injected: bool = False
+    ) -> None:
+        """Charge and meter a store call that came back as an error.
+
+        The error reply still crossed the network and was admitted by
+        the engine, so the roundtrip and the per-query overhead are
+        charged — only the per-object costs are not, since no objects
+        were returned.
+        """
+        profile = self._runtime.profile
+        cost = profile.cost_model
+        site = profile.site(database)
+        self._now += site.roundtrip + cost.per_query_overhead
+        self._add_demand(
+            site.machine.name, site.machine.cores, cost.per_query_overhead
+        )
+        self._runtime.meter.record_failure(database)
+        self._record_failed_call(
+            database, started, self._now, query, injected=injected
+        )
+
+    def _injected_store_call(
+        self, database: str, fn: StoreOp, query: Any
+    ) -> Sequence[Any]:
+        """The store-call path with the fault injector armed."""
+        runtime = self._runtime
+        decision = runtime.faults.decide(database, self._now)
+        self.last_call_truncated = False
+        started = self._now
+        if decision.extra_seconds:
+            # A stall is pure added latency: the clock moves, no CPU.
+            self._now += decision.extra_seconds
+        if decision.action == "fail":
+            self._charge_failed_call(database, started, query, injected=True)
+            raise InjectedFaultError(
+                f"{database}: injected fault (schedule seed "
+                f"{runtime.faults.seed})"
+            )
+        try:
+            results = fn()
+        except StoreError:
+            self._charge_failed_call(database, started, query)
+            raise
+        if decision.action == "truncate":
+            results = list(results)
+            kept = int(len(results) * decision.keep_fraction)
+            if kept < len(results):
+                runtime.faults.note_truncation(database, len(results) - kept)
+                results = results[:kept]
+                self.last_call_truncated = True
+        n = len(results)
+        profile = runtime.profile
+        cost = profile.cost_model
+        site = profile.site(database)
+        service = cost.per_query_overhead + cost.per_object_service * n
+        self._now += site.roundtrip + service
+        self._add_demand(site.machine.name, site.machine.cores, service)
+        self.cpu(cost.per_object_cpu * n)
+        runtime.meter.record(database, n)
+        self._record_store_call(database, started, self._now, n, query)
+        return results
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            # Waiting occupies no cores: the local clock advances but
+            # no machine demand accumulates (unlike cpu()).
+            self._now += seconds
 
     def pool(self, workers: int) -> WorkerPool:
         # Setting up a pool costs the creating thread CPU (the paper's
@@ -421,16 +568,45 @@ class _RealContext(ExecContext):
         self, database: str, fn: StoreOp, query: Any = None
     ) -> Sequence[Any]:
         started = self.now
-        profile = self._runtime.profile
+        runtime = self._runtime
+        profile = runtime.profile
         site = profile.site(database)
-        if self._runtime.time_scale > 0:
-            time.sleep(site.roundtrip * self._runtime.time_scale)
-        results = fn()
-        self._runtime.meter.record(database, len(results))
+        if runtime.time_scale > 0:
+            time.sleep(site.roundtrip * runtime.time_scale)
+        decision = None
+        if runtime.faults is not None:
+            decision = runtime.faults.decide(database, self.now)
+            self.last_call_truncated = False
+            if decision.extra_seconds and runtime.time_scale > 0:
+                time.sleep(decision.extra_seconds * runtime.time_scale)
+            if decision.action == "fail":
+                runtime.meter.record_failure(database)
+                self._record_failed_call(
+                    database, started, self.now, query, injected=True
+                )
+                raise InjectedFaultError(f"{database}: injected fault")
+        try:
+            results = fn()
+        except StoreError:
+            runtime.meter.record_failure(database)
+            self._record_failed_call(database, started, self.now, query)
+            raise
+        if decision is not None and decision.action == "truncate":
+            results = list(results)
+            kept = int(len(results) * decision.keep_fraction)
+            if kept < len(results):
+                runtime.faults.note_truncation(database, len(results) - kept)
+                results = results[:kept]
+                self.last_call_truncated = True
+        runtime.meter.record(database, len(results))
         self._record_store_call(
             database, started, self.now, len(results), query
         )
         return results
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0 and self._runtime.time_scale > 0:
+            time.sleep(seconds * self._runtime.time_scale)
 
     def pool(self, workers: int) -> WorkerPool:
         self.cpu(self._runtime.profile.cost_model.pool_create_overhead)

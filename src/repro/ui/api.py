@@ -23,6 +23,9 @@ GET      /trace                     spans of the last run + per-kind summary;
                                     trace-event JSON (Perfetto-openable)
 GET      /events                    the event journal (``?kind=``,
                                     ``?min_severity=``, ``?limit=``)
+GET      /faults                    fault/resilience state: injected
+                                    schedules and counters, breaker
+                                    states, retries, failed calls
 POST     /explain                   EXPLAIN/ANALYZE an augmented query; body:
                                     database, query, level, analyze, config
 =======  =========================  ===========================================
@@ -123,6 +126,11 @@ def _answer_payload(answer: AugmentedAnswer) -> dict[str, Any]:
             "elapsed_s": answer.stats.elapsed,
             "augmenter": answer.stats.augmenter,
             "rewritten": answer.stats.rewritten,
+            "degraded": answer.stats.degraded,
+            "errors": dict(answer.stats.errors),
+            "unavailable_databases": list(
+                answer.stats.unavailable_databases
+            ),
         },
     }
 
@@ -199,6 +207,8 @@ class QuepaApi:
                 return self.trace(params)
             case ("GET", ["events"]):
                 return self.events(params)
+            case ("GET", ["faults"]):
+                return self.faults()
         raise ApiError(404, f"no route for {method} /{'/'.join(parts)}")
 
     # -- endpoints ---------------------------------------------------------------
@@ -297,6 +307,11 @@ class QuepaApi:
                 "objects_by_database": dict(record.objects_by_database),
                 "span_summary": dict(record.span_summary),
                 "skipped_flushes": record.skipped_flushes,
+                "degraded": record.degraded,
+                "errors": dict(record.errors),
+                "failed_queries_by_database": dict(
+                    record.failed_queries_by_database
+                ),
             }
         }
 
@@ -353,6 +368,10 @@ class QuepaApi:
             raise ApiError(400, str(exc)) from exc
         return {"events": events, "stats": journal.stats()}
 
+    def faults(self) -> dict[str, Any]:
+        """Fault/resilience state of the served system (see /faults)."""
+        return {"faults": self.quepa.fault_report()}
+
     def explain(self, body: Mapping[str, Any]) -> dict[str, Any]:
         """EXPLAIN (or ANALYZE) one augmented query without serving it."""
         database = _require(body, "database")
@@ -388,7 +407,7 @@ def _parse_config(raw: Any) -> AugmentationConfig | None:
     if not isinstance(raw, Mapping):
         raise ApiError(400, "config must be an object")
     allowed = {"augmenter", "batch_size", "threads_size", "cache_size",
-               "min_probability"}
+               "min_probability", "skip_unavailable", "timeout_budget"}
     unknown = set(raw) - allowed
     if unknown:
         raise ApiError(400, f"unknown config fields {sorted(unknown)}")

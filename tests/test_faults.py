@@ -1,0 +1,556 @@
+"""The fault-injection & resilience layer (repro.faults).
+
+Three families of tests live here:
+
+* plain unit tests of the injector's decision logic and the meter's
+  failed-call accounting — always run (tier-1);
+* the zero-fault-overhead regression: with no injector attached, the
+  fault layer must not add store calls, events, or a single float
+  operation to the virtual-time numbers — always run (tier-1);
+* ``chaos``-marked suites that run seeded fault schedules over a
+  Fig 9-shaped workload and assert augmentations complete or degrade
+  cleanly, breakers trip and recover at the configured thresholds, and
+  retry backoff timing is exact under the virtual clock. Deselected by
+  the tier-1 gate (``-m "not chaos"``); CI runs them in their own step.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Quepa
+from repro.core.augmentation import AugmentationConfig
+from repro.errors import (
+    CircuitOpenError,
+    ConfigurationError,
+    InjectedFaultError,
+    StoreUnavailableError,
+    TimeoutExceeded,
+)
+from repro.faults import (
+    CircuitBreaker,
+    FaultInjector,
+    FaultSpec,
+    ResilienceConfig,
+    ResilienceManager,
+    parse_fault_spec,
+)
+from repro.testing import DownStore
+from repro.workloads import PolystoreScale, QueryWorkload, build_polyphony
+
+from .conftest import make_mini_aindex, make_mini_polystore
+
+
+# ---------------------------------------------------------------------------
+# Fixtures: a Fig 9-shaped (smaller) workload bundle
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def chaos_bundle():
+    """A private bundle for fault runs (never share a mutated A' index)."""
+    return build_polyphony(stores=4, scale=PolystoreScale(n_albums=80), seed=11)
+
+
+def run_query(quepa, bundle, database="transactions", size=10, level=1,
+              config=None):
+    query = QueryWorkload(bundle).query(database, size)
+    return quepa.augmented_search(
+        query.database, query.query, level=level, config=config
+    )
+
+
+def answer_keys(answer):
+    return (
+        {obj.key for obj in answer.originals}
+        | {entry.key for entry in answer.augmented}
+    )
+
+
+# ---------------------------------------------------------------------------
+# Spec parsing and validation (tier-1)
+# ---------------------------------------------------------------------------
+
+
+class TestFaultSpec:
+    def test_parse_minimal(self):
+        spec = parse_fault_spec("catalogue:fail")
+        assert spec.database == "catalogue"
+        assert spec.kind == "fail"
+        assert spec.rate == 1.0
+
+    def test_parse_parameters(self):
+        spec = parse_fault_spec("discount:stall:stall_seconds=0.2,every=3")
+        assert spec.stall_seconds == 0.2
+        assert spec.every == 3
+        assert isinstance(spec.every, int)
+
+    @pytest.mark.parametrize("text", [
+        "nocolon", "db:unknown_kind", "db:fail:rate", "db:fail:bogus=1",
+        "db:fail:rate=2.0",
+    ])
+    def test_parse_rejects(self, text):
+        with pytest.raises(ValueError):
+            parse_fault_spec(text)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec(database="db", kind="flap", up_seconds=0.0)
+        with pytest.raises(ValueError):
+            FaultSpec(database="db", kind="truncate", keep_fraction=1.5)
+
+    def test_as_dict_round_trips(self):
+        spec = FaultSpec(database="db", kind="truncate", keep_fraction=0.25)
+        assert FaultSpec(**spec.as_dict()) == spec
+
+
+class TestInjectorDecisions:
+    def test_every_nth_call(self):
+        injector = FaultInjector()
+        injector.inject("db", "fail", every=3)
+        actions = [injector.decide("db", 0.0).action for _ in range(6)]
+        assert actions == ["ok", "ok", "fail", "ok", "ok", "fail"]
+
+    def test_rate_is_seeded_and_deterministic(self):
+        first = FaultInjector(seed=5)
+        first.inject("db", "fail", rate=0.5)
+        second = FaultInjector(seed=5)
+        second.inject("db", "fail", rate=0.5)
+        a = [first.decide("db", 0.0).action for _ in range(32)]
+        b = [second.decide("db", 0.0).action for _ in range(32)]
+        assert a == b
+        assert "fail" in a and "ok" in a
+
+    def test_flap_follows_the_clock(self):
+        injector = FaultInjector()
+        injector.inject("db", "flap", up_seconds=1.0, down_seconds=0.5)
+        assert injector.decide("db", 0.2).action == "ok"
+        assert injector.decide("db", 1.2).action == "fail"
+        assert injector.decide("db", 1.6).action == "ok"  # next cycle
+
+    def test_stall_composes_with_fail(self):
+        injector = FaultInjector()
+        injector.inject("db", "stall", stall_seconds=0.25)
+        injector.inject("db", "fail")
+        decision = injector.decide("db", 0.0)
+        assert decision.action == "fail"
+        assert decision.extra_seconds == 0.25
+
+    def test_other_databases_untouched(self):
+        injector = FaultInjector()
+        injector.inject("db", "fail")
+        assert injector.decide("other", 0.0).action == "ok"
+
+    def test_stats_counts_fired_faults(self):
+        injector = FaultInjector()
+        injector.inject("db", "fail", every=2)
+        for _ in range(4):
+            injector.decide("db", 0.0)
+        stats = injector.stats()
+        assert stats["calls_by_database"] == {"db": 4}
+        assert stats["fired_by_database"] == {"db": {"fail": 2}}
+
+
+# ---------------------------------------------------------------------------
+# Meter + missing accounting when fetches fail mid-batch (tier-1)
+# ---------------------------------------------------------------------------
+
+
+class TestFailureAccounting:
+    def _quepa_with_down_catalogue(self):
+        polystore = make_mini_polystore()
+        polystore.attach("catalogue", DownStore(polystore.detach("catalogue")))
+        return Quepa(polystore, make_mini_aindex())
+
+    def test_failed_calls_are_metered(self):
+        quepa = self._quepa_with_down_catalogue()
+        config = AugmentationConfig(skip_unavailable=True)
+        answer = quepa.augmented_search(
+            "transactions", "SELECT * FROM inventory", level=1, config=config
+        )
+        meter = quepa.runtime.meter
+        # The roundtrip happened: the failed call counts as issued with
+        # zero objects, and separately as failed.
+        assert meter.failed_queries_by_database.get("catalogue", 0) >= 1
+        assert meter.queries_by_database.get("catalogue", 0) >= 1
+        assert meter.objects_by_database.get("catalogue", 0) == 0
+        # Answered-query metrics must not include the failures.
+        answered = quepa.obs.metrics.counter(
+            "store_queries_total", database="catalogue"
+        ).value
+        failures = quepa.obs.metrics.counter(
+            "store_failures_total", database="catalogue"
+        ).value
+        assert answered == 0
+        assert failures == meter.failed_queries_by_database["catalogue"]
+        assert answer.stats.degraded
+        assert "catalogue" in answer.stats.errors
+
+    def test_failed_fetches_do_not_feed_lazy_deletion(self):
+        quepa = self._quepa_with_down_catalogue()
+        nodes_before = quepa.aindex.node_count()
+        config = AugmentationConfig(skip_unavailable=True)
+        answer = quepa.augmented_search(
+            "transactions", "SELECT * FROM inventory", level=1, config=config
+        )
+        # The skipped objects exist; they must not be deleted as missing.
+        assert answer.stats.missing_objects == 0
+        assert quepa.aindex.node_count() == nodes_before
+
+    def test_truncated_batches_count_only_returned_objects(self):
+        injector = FaultInjector()
+        injector.inject("catalogue", "truncate", keep_fraction=0.0)
+        quepa = Quepa(
+            make_mini_polystore(), make_mini_aindex(), faults=injector,
+            resilience=ResilienceConfig(retry_max_attempts=1),
+        )
+        nodes_before = quepa.aindex.node_count()
+        answer = quepa.augmented_search(
+            "transactions", "SELECT * FROM inventory", level=1,
+            config=AugmentationConfig(augmenter="batch", skip_unavailable=True),
+        )
+        meter = quepa.runtime.meter
+        assert meter.objects_by_database.get("catalogue", 0) == 0
+        assert answer.stats.errors.get("catalogue") == "truncated results"
+        assert answer.stats.degraded
+        # Truncated keys may well exist: no lazy deletion.
+        assert answer.stats.missing_objects == 0
+        assert quepa.aindex.node_count() == nodes_before
+
+
+# ---------------------------------------------------------------------------
+# Zero-fault overhead: the layer must be invisible when unused (tier-1)
+# ---------------------------------------------------------------------------
+
+
+class TestZeroFaultOverhead:
+    FAULT_EVENT_KINDS = {
+        "fault_injected", "store_call_failed", "retry", "degraded_answer",
+        "breaker_open", "breaker_half_open", "breaker_closed",
+        "timeout_budget_exceeded",
+    }
+
+    def test_numbers_identical_with_empty_fault_layer(self, small_bundle):
+        query = QueryWorkload(small_bundle).query("transactions", 20)
+        config = AugmentationConfig(augmenter="batch", batch_size=32)
+
+        plain = Quepa(small_bundle.polystore, small_bundle.aindex)
+        baseline = plain.augmented_search(
+            query.database, query.query, level=1, config=config
+        )
+
+        armed = Quepa(
+            small_bundle.polystore, small_bundle.aindex,
+            faults=FaultInjector(),  # attached, but no specs
+            resilience=ResilienceConfig(),
+        )
+        shadowed = armed.augmented_search(
+            query.database, query.query, level=1, config=config
+        )
+
+        # Bit-identical virtual time, same traffic, same answer.
+        assert shadowed.stats.elapsed == baseline.stats.elapsed
+        assert shadowed.stats.queries_issued == baseline.stats.queries_issued
+        assert (
+            armed.runtime.meter.queries_by_database
+            == plain.runtime.meter.queries_by_database
+        )
+        assert answer_keys(shadowed) == answer_keys(baseline)
+        assert not shadowed.stats.degraded
+        assert shadowed.stats.errors == {}
+
+    def test_no_fault_events_or_failure_metrics_without_faults(
+        self, small_bundle
+    ):
+        quepa = Quepa(small_bundle.polystore, small_bundle.aindex)
+        query = QueryWorkload(small_bundle).query("transactions", 10)
+        quepa.augmented_search(query.database, query.query, level=1)
+        kinds = {event.kind for event in quepa.obs.events.events()}
+        assert not (kinds & self.FAULT_EVENT_KINDS)
+        names = {entry["name"] for entry in quepa.obs.metrics.snapshot()}
+        assert "store_failures_total" not in names
+        assert "faults_injected_total" not in names
+        assert quepa.runtime.meter.failed_queries_by_database == {}
+
+    def test_fault_report_without_layers(self, small_bundle):
+        quepa = Quepa(small_bundle.polystore, small_bundle.aindex)
+        report = quepa.fault_report()
+        assert report["faults"] is None
+        assert report["resilience"] is None
+        assert report["failed_queries_by_database"] == {}
+
+
+class TestConfigValidation:
+    def test_timeout_budget_must_be_positive(self, mini_quepa):
+        with pytest.raises(ConfigurationError):
+            mini_quepa.augmented_search(
+                "transactions", "SELECT * FROM inventory", level=1,
+                config=AugmentationConfig(timeout_budget=0.0),
+            )
+
+    def test_resilience_config_validation(self):
+        with pytest.raises(ValueError):
+            ResilienceConfig(retry_max_attempts=0)
+        with pytest.raises(ValueError):
+            ResilienceConfig(breaker_failure_threshold=0)
+        with pytest.raises(ValueError):
+            ResilienceConfig(retry_multiplier=0.0)
+
+
+# ---------------------------------------------------------------------------
+# Chaos: seeded schedules over the workload (deselected in tier-1)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.chaos
+class TestChaosNeverRaises:
+    """With faults on any single store, Quepa never raises."""
+
+    KINDS = (
+        {"kind": "fail", "rate": 0.6},
+        {"kind": "truncate", "rate": 0.5, "keep_fraction": 0.5},
+        {"kind": "stall", "stall_seconds": 0.02},
+        {"kind": "flap", "up_seconds": 0.05, "down_seconds": 0.05},
+    )
+
+    @pytest.mark.parametrize("augmenter", ["sequential", "batch", "outer_batch"])
+    def test_single_store_faults_degrade_cleanly(self, chaos_bundle, augmenter):
+        baseline = run_query(
+            Quepa(chaos_bundle.polystore, chaos_bundle.aindex),
+            chaos_bundle,
+            config=AugmentationConfig(augmenter=augmenter),
+        )
+        baseline_keys = answer_keys(baseline)
+        for seed, database in enumerate(sorted(chaos_bundle.polystore)):
+            for params in self.KINDS:
+                injector = FaultInjector(seed=seed)
+                injector.inject(database, **params)
+                quepa = Quepa(
+                    chaos_bundle.polystore, chaos_bundle.aindex,
+                    faults=injector,
+                    resilience=ResilienceConfig(
+                        retry_max_attempts=2, breaker_failure_threshold=3
+                    ),
+                )
+                answer = run_query(
+                    quepa, chaos_bundle,
+                    config=AugmentationConfig(augmenter=augmenter),
+                )
+                keys = answer_keys(answer)
+                assert keys <= baseline_keys
+                if answer.stats.degraded:
+                    assert answer.stats.errors
+                if keys == baseline_keys:
+                    assert not answer.stats.degraded
+
+    def test_breaker_trip_lands_in_journal(self, chaos_bundle):
+        injector = FaultInjector()
+        injector.inject("catalogue", "fail")
+        quepa = Quepa(
+            chaos_bundle.polystore, chaos_bundle.aindex,
+            faults=injector,
+            resilience=ResilienceConfig(
+                retry_max_attempts=1, breaker_failure_threshold=2
+            ),
+        )
+        answer = run_query(quepa, chaos_bundle, size=12)
+        assert answer.stats.degraded
+        kinds = [event.kind for event in quepa.obs.events.events()]
+        assert "breaker_open" in kinds
+        report = quepa.fault_report()
+        breaker = report["resilience"]["breakers"]["catalogue"]
+        assert breaker["state"] == "open"
+        assert breaker["trips"] == 1
+        # Once open, further calls fast-fail without touching the store.
+        assert report["resilience"]["fast_fails_by_database"]["catalogue"] > 0
+
+
+@pytest.mark.chaos
+class TestCircuitBreakerLifecycle:
+    def test_state_machine(self):
+        events = []
+        breaker = CircuitBreaker(
+            "db", failure_threshold=3, recovery_timeout=1.0,
+            half_open_max_calls=2,
+            emit=lambda kind, now, db, **a: events.append((kind, now)),
+        )
+        for t in (0.1, 0.2):
+            breaker.record_failure(t)
+        assert breaker.state == "closed"
+        breaker.record_failure(0.3)  # third consecutive failure trips
+        assert breaker.state == "open"
+        assert breaker.allow(0.5) is False  # still cooling down
+        assert breaker.allow(1.4) is True  # past 0.3 + 1.0 -> half-open
+        assert breaker.state == "half_open"
+        assert breaker.allow(1.45) is True  # second half-open probe
+        assert breaker.allow(1.5) is False  # max in-flight probes
+        breaker.record_success(1.5)
+        assert breaker.state == "half_open"  # needs 2 successes
+        breaker.record_success(1.6)
+        assert breaker.state == "closed"
+        assert breaker.trips == 1
+        assert breaker.recoveries == 1
+        assert [kind for kind, _ in events] == [
+            "breaker_open", "breaker_half_open", "breaker_closed"
+        ]
+
+    def test_half_open_failure_reopens(self):
+        breaker = CircuitBreaker(
+            "db", failure_threshold=1, recovery_timeout=0.5
+        )
+        breaker.record_failure(0.0)
+        assert breaker.allow(0.6) is True  # half-open probe
+        breaker.record_failure(0.6)
+        assert breaker.state == "open"
+        assert breaker.trips == 2
+
+
+class _StubContext:
+    """Minimal ExecContext for driving ResilienceManager directly."""
+
+    def __init__(self):
+        self.now = 0.0
+        self.calls = 0
+        self.fail_first = 0
+
+    def store_call(self, database, fn, query=None):
+        self.calls += 1
+        self.now += 0.01  # a fixed per-call roundtrip
+        if self.calls <= self.fail_first:
+            raise StoreUnavailableError(f"{database}: down")
+        return fn()
+
+    def sleep(self, seconds):
+        self.now += seconds
+
+
+@pytest.mark.chaos
+class TestRetryBackoffTiming:
+    def test_backoff_delays_replay_the_seeded_rng(self):
+        import random
+
+        config = ResilienceConfig(
+            retry_base_delay=0.05, retry_multiplier=2.0,
+            retry_jitter=0.5, retry_seed=9,
+        )
+        manager = ResilienceManager(config)
+        observed = [manager.backoff_delay("db", attempt) for attempt in (1, 2, 3)]
+        rng = random.Random("9:db:retry")
+        expected = [
+            0.05 * 2.0 ** (attempt - 1) * (1 + 0.5 * rng.random())
+            for attempt in (1, 2, 3)
+        ]
+        assert observed == expected
+
+    def test_exact_virtual_time_of_a_recovered_call(self):
+        config = ResilienceConfig(
+            retry_max_attempts=3, retry_base_delay=0.1,
+            retry_multiplier=2.0, retry_jitter=0.0,
+            breaker_failure_threshold=10,
+        )
+        manager = ResilienceManager(config)
+        ctx = _StubContext()
+        ctx.fail_first = 2
+        result = manager.call(ctx, "db", lambda: ["ok"])
+        assert result == ["ok"]
+        assert ctx.calls == 3
+        # 3 roundtrips + backoff 0.1 (after attempt 1) + 0.2 (after 2).
+        assert ctx.now == pytest.approx(3 * 0.01 + 0.1 + 0.2, abs=1e-12)
+        snapshot = manager.snapshot()
+        assert snapshot["retries_by_database"] == {"db": 2}
+
+    def test_exhausted_retries_reraise(self):
+        manager = ResilienceManager(ResilienceConfig(retry_max_attempts=2))
+        ctx = _StubContext()
+        ctx.fail_first = 99
+        with pytest.raises(StoreUnavailableError):
+            manager.call(ctx, "db", lambda: ["never"])
+        assert ctx.calls == 2
+
+    def test_open_breaker_fast_fails(self):
+        manager = ResilienceManager(
+            ResilienceConfig(
+                retry_max_attempts=1, breaker_failure_threshold=1,
+                breaker_recovery_timeout=10.0,
+            )
+        )
+        ctx = _StubContext()
+        ctx.fail_first = 1
+        with pytest.raises(StoreUnavailableError):
+            manager.call(ctx, "db", lambda: ["x"])
+        calls_before = ctx.calls
+        with pytest.raises(CircuitOpenError):
+            manager.call(ctx, "db", lambda: ["x"])
+        assert ctx.calls == calls_before  # the store was never contacted
+
+
+@pytest.mark.chaos
+class TestSeededScheduleDeterminism:
+    def _run(self, bundle, seed):
+        injector = FaultInjector(seed=seed)
+        injector.inject("catalogue", "fail", rate=0.4)
+        injector.inject("discount", "stall", stall_seconds=0.03, every=2)
+        quepa = Quepa(
+            bundle.polystore, bundle.aindex, faults=injector,
+            resilience=ResilienceConfig(retry_max_attempts=2),
+        )
+        answer = run_query(quepa, bundle, size=15)
+        return answer, quepa
+
+    def test_same_seed_bit_identical(self, chaos_bundle):
+        first, q1 = self._run(chaos_bundle, seed=21)
+        second, q2 = self._run(chaos_bundle, seed=21)
+        assert first.stats.elapsed == second.stats.elapsed
+        assert answer_keys(first) == answer_keys(second)
+        assert first.stats.errors == second.stats.errors
+        assert first.stats.degraded == second.stats.degraded
+        assert (
+            q1.runtime.meter.queries_by_database
+            == q2.runtime.meter.queries_by_database
+        )
+        assert (
+            q1.faults.stats()["fired_by_database"]
+            == q2.faults.stats()["fired_by_database"]
+        )
+
+    def test_different_seed_changes_the_schedule(self, chaos_bundle):
+        first, q1 = self._run(chaos_bundle, seed=21)
+        second, q2 = self._run(chaos_bundle, seed=22)
+        assert (
+            q1.faults.stats()["fired_by_database"]
+            != q2.faults.stats()["fired_by_database"]
+        )
+
+
+@pytest.mark.chaos
+class TestTimeoutBudget:
+    def test_budget_skips_remaining_fetches(self, chaos_bundle):
+        quepa = Quepa(chaos_bundle.polystore, chaos_bundle.aindex)
+        baseline = run_query(quepa, chaos_bundle, size=15)
+
+        budgeted = Quepa(chaos_bundle.polystore, chaos_bundle.aindex)
+        answer = run_query(
+            budgeted, chaos_bundle, size=15,
+            config=AugmentationConfig(
+                skip_unavailable=True,
+                timeout_budget=baseline.stats.elapsed / 4,
+            ),
+        )
+        assert answer.stats.queries_issued < baseline.stats.queries_issued
+        assert answer.stats.degraded
+        assert any(
+            "timeout budget" in reason
+            for reason in answer.stats.errors.values()
+        )
+        kinds = {event.kind for event in budgeted.obs.events.events()}
+        assert "timeout_budget_exceeded" in kinds
+        # Skipped keys exist: they must not feed lazy deletion.
+        assert answer.stats.missing_objects == 0
+
+    def test_strict_mode_raises(self, chaos_bundle):
+        quepa = Quepa(chaos_bundle.polystore, chaos_bundle.aindex)
+        with pytest.raises(TimeoutExceeded):
+            run_query(
+                quepa, chaos_bundle, size=15,
+                config=AugmentationConfig(timeout_budget=1e-9),
+            )

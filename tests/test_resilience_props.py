@@ -1,0 +1,164 @@
+"""Property tests for resilience invariants (seeded, pure stdlib).
+
+For randomly drawn fault schedules over a generated polystore, two
+invariants must hold against the fault-free run of the same query:
+
+* **subset** — a faulted run never invents objects: its answer key set
+  (originals and augmented) is a subset of the fault-free answer's;
+* **degraded iff different** — ``stats.degraded`` is True exactly when
+  the faulted answer lost objects the fault-free answer has. Errors may
+  be reported without degradation (a retry that recovered), but a
+  degraded flag always comes with a non-empty ``errors`` report.
+
+Schedules are drawn from a seeded ``random.Random`` so every failure
+reproduces from the printed case seed.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import Quepa
+from repro.core.augmentation import AugmentationConfig
+from repro.faults import FaultInjector, ResilienceConfig
+from repro.workloads import PolystoreScale, QueryWorkload, build_polyphony
+
+CASE_SEEDS = range(24)
+
+
+@pytest.fixture(scope="module")
+def props_bundle():
+    """A private bundle: fault runs must not share an A' index that
+    other tests' lazy deletions could have shrunk."""
+    return build_polyphony(stores=4, scale=PolystoreScale(n_albums=60), seed=13)
+
+
+def draw_schedule(rng: random.Random, databases: list[str]) -> FaultInjector:
+    """One to three random fault specs on random databases."""
+    injector = FaultInjector(seed=rng.randrange(1_000_000))
+    for _ in range(rng.randint(1, 3)):
+        database = rng.choice(databases)
+        kind = rng.choice(("fail", "stall", "truncate", "flap"))
+        if kind == "fail":
+            injector.inject(database, kind, rate=rng.uniform(0.1, 1.0))
+        elif kind == "stall":
+            injector.inject(
+                database, kind,
+                rate=rng.uniform(0.3, 1.0),
+                stall_seconds=rng.uniform(0.005, 0.05),
+            )
+        elif kind == "truncate":
+            injector.inject(
+                database, kind,
+                rate=rng.uniform(0.2, 1.0),
+                keep_fraction=rng.choice((0.0, 0.25, 0.5, 0.75)),
+            )
+        else:
+            injector.inject(
+                database, kind,
+                up_seconds=rng.uniform(0.01, 0.1),
+                down_seconds=rng.uniform(0.01, 0.1),
+                phase=rng.uniform(0.0, 0.1),
+            )
+    return injector
+
+
+def draw_config(rng: random.Random) -> AugmentationConfig:
+    return AugmentationConfig(
+        augmenter=rng.choice(("sequential", "batch", "outer_batch")),
+        batch_size=rng.choice((4, 16, 64)),
+        threads_size=rng.choice((2, 4)),
+    )
+
+
+def answer_keys(answer):
+    return (
+        {obj.key for obj in answer.originals}
+        | {entry.key for entry in answer.augmented}
+    )
+
+
+@pytest.mark.chaos
+class TestResilienceProperties:
+    @pytest.mark.parametrize("case_seed", CASE_SEEDS)
+    def test_subset_and_degraded_iff_lost(self, props_bundle, case_seed):
+        rng = random.Random(case_seed)
+        databases = sorted(props_bundle.polystore)
+        workload = QueryWorkload(props_bundle)
+        query = workload.query(
+            rng.choice(databases), size=rng.randint(2, 12)
+        )
+        level = rng.randint(1, 2)
+        config = draw_config(rng)
+
+        clean = Quepa(props_bundle.polystore, props_bundle.aindex)
+        baseline = clean.augmented_search(
+            query.database, query.query, level=level, config=config
+        )
+        baseline_keys = answer_keys(baseline)
+
+        injector = draw_schedule(rng, databases)
+        faulted_system = Quepa(
+            props_bundle.polystore, props_bundle.aindex,
+            faults=injector,
+            resilience=ResilienceConfig(
+                retry_max_attempts=rng.randint(1, 3),
+                breaker_failure_threshold=rng.randint(2, 6),
+                retry_base_delay=0.01,
+            ),
+        )
+        faulted = faulted_system.augmented_search(
+            query.database, query.query, level=level, config=config
+        )
+        faulted_keys = answer_keys(faulted)
+
+        case = f"case_seed={case_seed} schedule={injector.stats()['specs']}"
+        # Subset: faults can only lose objects, never invent them.
+        assert faulted_keys <= baseline_keys, case
+        # Degraded iff the answer actually lost objects.
+        lost = baseline_keys - faulted_keys
+        assert faulted.stats.degraded == bool(lost), case
+        # A degraded answer always says which stores misbehaved.
+        if faulted.stats.degraded:
+            assert faulted.stats.errors, case
+        # Determinism: replaying the same schedule reproduces the run.
+        replay_injector = FaultInjector(seed=injector.seed)
+        for spec in injector.specs():
+            replay_injector.add(spec)
+        replay_system = Quepa(
+            props_bundle.polystore, props_bundle.aindex,
+            faults=replay_injector,
+            resilience=faulted_system.resilience.config,
+        )
+        replay = replay_system.augmented_search(
+            query.database, query.query, level=level, config=config
+        )
+        assert replay.stats.elapsed == faulted.stats.elapsed, case
+        assert answer_keys(replay) == faulted_keys, case
+
+    @pytest.mark.parametrize("case_seed", [3, 7, 11])
+    def test_errors_without_loss_is_not_degraded(self, props_bundle, case_seed):
+        """A schedule whose every failure recovers on retry loses
+        nothing: the answer is complete and not degraded."""
+        databases = sorted(props_bundle.polystore)
+        workload = QueryWorkload(props_bundle)
+        query = workload.query("transactions", size=6)
+        injector = FaultInjector(seed=case_seed)
+        # One guaranteed failure per store call, but retries always
+        # succeed on the second attempt (every=2 fires on even calls).
+        injector.inject("catalogue", "fail", every=2)
+        quepa = Quepa(
+            props_bundle.polystore, props_bundle.aindex,
+            faults=injector,
+            resilience=ResilienceConfig(
+                retry_max_attempts=3, breaker_failure_threshold=50
+            ),
+        )
+        baseline = Quepa(
+            props_bundle.polystore, props_bundle.aindex
+        ).augmented_search(query.database, query.query, level=1)
+        answer = quepa.augmented_search(query.database, query.query, level=1)
+        assert answer_keys(answer) == answer_keys(baseline)
+        assert not answer.stats.degraded
