@@ -1,0 +1,180 @@
+"""Serving benchmark: throughput and tail latency vs concurrent clients.
+
+Not a paper figure — the paper drives QUEPA one query at a time — but
+the roadmap's serving layer needs its own evidence: a closed-loop
+client fleet (seeded, deterministic scripts) against one shared Quepa
+on the *real* runtime with scaled store latencies (``time_scale=1``:
+virtual store roundtrips become real, GIL-releasing sleeps, so
+concurrency genuinely overlaps them).
+
+Checked claims:
+
+* warm throughput scales at least 2x from 1 to 8 concurrent clients
+  at a fixed total request count (closed system, 8 workers);
+* no request is shed or failed at any client count (ample queue);
+* tail latency is reported (p50/p95/p99) and grows no worse than the
+  client count would explain;
+* the virtual-time guard numbers of Fig 9 stay bit-identical — the
+  serving layer must not perturb the deterministic cost model.
+
+Outputs ``results/serving_scaling.txt`` and ``BENCH_serving.json``.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.core import Quepa
+from repro.core.augmentation import AugmentationConfig
+from repro.network import RealRuntime, centralized_profile
+from repro.serving import LoadGenerator, QuepaServer, ServingConfig
+from repro.workloads import QueryWorkload
+
+from .harness import run_cold_warm, write_bench_json
+
+CLIENT_COUNTS = (1, 2, 4, 8)
+TOTAL_REQUESTS = 48  # per sweep point, split across the clients
+WORKERS = 8
+TIME_SCALE = 1.0
+SEED = 17
+
+
+def _make_server(bundle):
+    profile = centralized_profile(list(bundle.polystore))
+    quepa = Quepa(
+        bundle.polystore,
+        bundle.aindex,
+        profile=profile,
+        runtime=RealRuntime(profile, time_scale=TIME_SCALE),
+    )
+    return QuepaServer(
+        quepa,
+        ServingConfig(workers=WORKERS, queue_capacity=4 * TOTAL_REQUESTS),
+    )
+
+
+def _sweep_point(bundle, clients: int):
+    """Warm-up pass then measured pass at one client count.
+
+    Each point gets a fresh Quepa (own cache): the warm-up replays the
+    exact scripts the measured pass will issue, so every point measures
+    a fully warm cache and the 1-vs-8 comparison is apples to apples.
+    """
+    per_client = TOTAL_REQUESTS // clients
+    workload = QueryWorkload(bundle)
+    with _make_server(bundle) as server:
+        generator = LoadGenerator(
+            server,
+            workload,
+            sizes=(8, 12),
+            levels=(1,),
+            seed=SEED,
+        )
+        warmup = generator.run(clients, per_client)
+        measured = generator.run(clients, per_client)
+    assert warmup.failed == 0 and warmup.shed == 0
+    return measured
+
+
+def test_serving_throughput_scales_with_clients(benchmark, bundle4, report):
+    results = benchmark.pedantic(
+        lambda: {
+            clients: _sweep_point(bundle4, clients)
+            for clients in CLIENT_COUNTS
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    report.section(
+        f"Serving: warm QPS + tail latency vs clients "
+        f"({WORKERS} workers, time_scale={TIME_SCALE}, "
+        f"{TOTAL_REQUESTS} requests/point)"
+    )
+    for clients, load in results.items():
+        report.row(
+            clients=clients,
+            qps=load.qps,
+            p50_ms=load.latency_p50 * 1000,
+            p95_ms=load.latency_p95 * 1000,
+            p99_ms=load.latency_p99 * 1000,
+            completed=load.completed,
+            shed=load.shed,
+            failed=load.failed,
+        )
+
+    # Claim 2: ample queue — nothing shed, nothing failed, no drops.
+    for clients, load in results.items():
+        assert load.completed == TOTAL_REQUESTS, (
+            f"{clients} clients: dropped requests"
+        )
+        assert load.shed == 0 and load.failed == 0
+
+    # Claim 1: closed-loop throughput scales >= 2x from 1 to 8 clients.
+    scaling = results[8].qps / results[1].qps
+    report.note(f"throughput scaling 1->8 clients: {scaling:.2f}x")
+    assert scaling >= 2.0, (
+        f"expected >= 2x warm throughput scaling, got {scaling:.2f}x "
+        f"({results[1].qps:.1f} -> {results[8].qps:.1f} QPS)"
+    )
+    # More clients should not *reduce* throughput anywhere on the curve.
+    assert results[8].qps >= results[2].qps * 0.9
+
+    # Claim 3: per-request tail latency stays bounded — in a closed
+    # system with as many workers as clients it must not blow up
+    # superlinearly with the client count.
+    p95_1 = max(results[1].latency_p95, 1e-9)
+    assert results[8].latency_p95 <= p95_1 * 8 * 2.0
+
+    sweeps = [
+        {
+            "clients": clients,
+            "workers": WORKERS,
+            "time_scale": TIME_SCALE,
+            "requests": load.completed,
+            "qps": round(load.qps, 3),
+            "p50_ms": round(load.latency_p50 * 1000, 3),
+            "p95_ms": round(load.latency_p95 * 1000, 3),
+            "p99_ms": round(load.latency_p99 * 1000, 3),
+            "mean_ms": round(load.latency_mean * 1000, 3),
+            "warm_wall_s": round(load.wall_s, 6),
+        }
+        for clients, load in results.items()
+    ]
+    path = write_bench_json("serving", sweeps)
+    report.note(f"QPS/latency sweep written to {path.name}")
+
+
+# -- the virtual-time guard must hold under the serving layer ---------------
+
+GUARD_RESULTS = (
+    Path(__file__).resolve().parent / "results"
+    / "fig09_batch_size_sweep.txt"
+)
+GUARD_POINTS = (("batch", 16), ("outer_batch", 256))
+_COLD = re.compile(
+    r"augmenter=(\w+)\s+batch_size=(\d+)\s+cold_s=([\d.]+)\s+queries=(\d+)"
+)
+
+
+def test_fig09_guard_numbers_bit_identical(bundle10):
+    """Re-assert (inside the benchmark suite) that the committed Fig 9
+    virtual-time numbers are untouched: the serving layer adds wall
+    clocks and locks, never virtual cost."""
+    committed = {}
+    for line in GUARD_RESULTS.read_text().splitlines():
+        if match := _COLD.search(line):
+            augmenter, batch_size, cold_s, queries = match.groups()
+            committed[(augmenter, int(batch_size))] = (cold_s, int(queries))
+    workload = QueryWorkload(bundle10)
+    query = workload.query("transactions", 1000)
+    for augmenter, batch_size in GUARD_POINTS:
+        expected_cold, expected_queries = committed[(augmenter, batch_size)]
+        config = AugmentationConfig(
+            augmenter=augmenter, batch_size=batch_size,
+            threads_size=4, cache_size=200_000,
+        )
+        times = run_cold_warm(bundle10, query, config, level=0)
+        assert f"{times.cold:.6f}" == expected_cold
+        assert times.queries_issued == expected_queries

@@ -9,5 +9,5 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH=src
 
-python -m pytest -x -q -m "not benchmark and not slow and not chaos"
+python -m pytest -x -q -m "not benchmark and not slow and not chaos and not concurrency"
 python -m pytest -x -q tests/test_benchmark_guard.py

@@ -32,6 +32,14 @@ Commands:
     look like ``db:kind[:k=v,...]``, kinds: fail/stall/truncate/flap)
     with the resilience layer armed, then print whether the answer
     degraded, the breaker states and the injection/retry counters.
+``serve --snapshot DIR [--port P] [--workers N] ...``
+    Serve a snapshot over HTTP through the multi-session scheduler
+    (:mod:`repro.serving`): bounded admission queue, per-session
+    fairness, deadlines. ``GET /serving`` reports live status.
+``loadgen --stores N --albums M --clients C --requests R ...``
+    Build a Polyphony polystore in memory, start an embedded server,
+    and drive it with the seeded closed-loop load generator; prints
+    QPS and latency percentiles (``--json`` for machine-readable).
 
 The CLI prints with :class:`~repro.ui.render.TextRenderer` (pass
 ``--color`` for the ANSI renderer, the terminal face of the paper's
@@ -134,6 +142,35 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--json", action="store_true", dest="as_json",
                         help="print the fault report as JSON")
 
+    serve = commands.add_parser(
+        "serve", help="serve a snapshot over HTTP via the scheduler"
+    )
+    serve.add_argument("--snapshot", required=True)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="HTTP port (0 picks a free port)")
+    _add_serving_args(serve)
+    serve.add_argument("--duration", type=float, default=None,
+                       help="run for this many seconds then exit "
+                            "(default: until interrupted)")
+
+    loadgen = commands.add_parser(
+        "loadgen", help="drive an embedded server with seeded load"
+    )
+    loadgen.add_argument("--stores", type=int, default=4)
+    loadgen.add_argument("--albums", type=int, default=120)
+    loadgen.add_argument("--seed", type=int, default=42)
+    _add_serving_args(loadgen)
+    loadgen.add_argument("--clients", type=int, default=4)
+    loadgen.add_argument("--requests", type=int, default=10,
+                         help="requests per client")
+    loadgen.add_argument("--size", type=int, default=16,
+                         help="workload query result-size knob")
+    loadgen.add_argument("--level", type=int, default=1,
+                         help="augmentation level of generated queries")
+    loadgen.add_argument("--json", action="store_true", dest="as_json",
+                         help="print the load report as JSON")
+
     inspect = commands.add_parser("inspect", help="describe a snapshot")
     inspect.add_argument("--snapshot", required=True)
 
@@ -157,6 +194,21 @@ def _add_query_args(subparser) -> None:
     subparser.add_argument("--threads-size", type=int, default=4)
 
 
+def _add_serving_args(subparser) -> None:
+    subparser.add_argument("--workers", type=int, default=4,
+                           help="scheduler worker threads")
+    subparser.add_argument("--queue-capacity", type=int, default=64,
+                           help="admission queue bound (backpressure)")
+    subparser.add_argument("--max-inflight", type=int, default=2,
+                           help="per-session concurrent-request cap")
+    subparser.add_argument("--deadline", type=float, default=None,
+                           help="default per-request deadline, seconds")
+    subparser.add_argument("--time-scale", type=float, default=0.0,
+                           help="scale factor for simulated store "
+                                "latencies on the real runtime "
+                                "(0 disables sleeping)")
+
+
 def main(argv: Sequence[str] | None = None, out=None) -> int:
     out = out or sys.stdout
     args = build_parser().parse_args(argv)
@@ -178,6 +230,10 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             return _events(args, out)
         if args.command == "faults":
             return _faults(args, out)
+        if args.command == "serve":
+            return _serve(args, out)
+        if args.command == "loadgen":
+            return _loadgen(args, out)
         if args.command == "inspect":
             return _inspect(args, out)
         if args.command == "explore":
@@ -569,6 +625,123 @@ def _faults(args, out) -> int:
         file=out,
     )
     _print_report({k: v for k, v in report.items() if k != "answer"}, out)
+    return 0
+
+
+def _serving_config(args):
+    from repro.serving import ServingConfig
+
+    return ServingConfig(
+        workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        max_inflight_per_session=args.max_inflight,
+        default_deadline=args.deadline,
+    )
+
+
+def _real_quepa(polystore, aindex, time_scale: float) -> Quepa:
+    """A QUEPA on the wall-clock runtime, as a served instance runs."""
+    from repro.network import RealRuntime, centralized_profile
+
+    profile = centralized_profile(list(polystore))
+    runtime = RealRuntime(profile, time_scale=time_scale)
+    return Quepa(polystore, aindex, profile=profile, runtime=runtime)
+
+
+def _serve(args, out) -> int:
+    import time as _time
+
+    from repro.serving import QuepaServer
+    from repro.ui.server import serve as http_serve
+
+    polystore, aindex = load_snapshot(args.snapshot)
+    quepa = _real_quepa(polystore, aindex, args.time_scale)
+    with QuepaServer(quepa, _serving_config(args)) as server:
+        endpoint = http_serve(
+            quepa, host=args.host, port=args.port, server=server
+        )
+        try:
+            print(
+                f"serving {args.snapshot} at {endpoint.url} "
+                f"({args.workers} workers, queue {args.queue_capacity}); "
+                f"POST /query, GET /serving",
+                file=out,
+            )
+            if args.duration is not None:
+                _time.sleep(args.duration)
+            else:  # pragma: no cover - interactive loop
+                try:
+                    while True:
+                        _time.sleep(3600)
+                except KeyboardInterrupt:
+                    pass
+        finally:
+            endpoint.shutdown()
+    totals = server.status()["totals"]
+    shed = totals["shed"]["queue_full"] + totals["shed"]["deadline"]
+    print(
+        f"served {totals['completed']} requests "
+        f"({shed} shed, {totals['failed']} failed)",
+        file=out,
+    )
+    return 0
+
+
+def _loadgen(args, out) -> int:
+    from repro.serving import LoadGenerator, QuepaServer
+    from repro.workloads.queries import QueryWorkload
+
+    bundle = build_polyphony(
+        stores=args.stores,
+        scale=PolystoreScale(n_albums=args.albums),
+        seed=args.seed,
+    )
+    quepa = _real_quepa(bundle.polystore, bundle.aindex, args.time_scale)
+    workload = QueryWorkload(bundle)
+    with QuepaServer(quepa, _serving_config(args)) as server:
+        generator = LoadGenerator(
+            server,
+            workload,
+            sizes=(args.size,),
+            levels=(args.level,),
+            seed=args.seed,
+            deadline=args.deadline,
+        )
+        report = generator.run(args.clients, args.requests)
+        status = server.status()
+    if args.as_json:
+        json.dump(
+            {"load": report.as_dict(), "serving": status},
+            out, indent=2, default=str,
+        )
+        print(file=out)
+        return 0
+    print(
+        f"loadgen: {report.clients} clients x "
+        f"{report.requests_per_client} requests "
+        f"(seed {report.seed}) in {report.wall_s:.3f}s",
+        file=out,
+    )
+    print(
+        f"  {report.completed} completed, {report.shed} shed, "
+        f"{report.failed} failed — {report.qps:.1f} QPS",
+        file=out,
+    )
+    print(
+        f"  latency ms: p50={report.latency_p50 * 1000:.2f} "
+        f"p95={report.latency_p95 * 1000:.2f} "
+        f"p99={report.latency_p99 * 1000:.2f} "
+        f"mean={report.latency_mean * 1000:.2f}",
+        file=out,
+    )
+    totals = status["totals"]
+    shed = totals["shed"]["queue_full"] + totals["shed"]["deadline"]
+    print(
+        f"  server: admitted={totals['admitted']} "
+        f"completed={totals['completed']} "
+        f"shed={shed} failed={totals['failed']}",
+        file=out,
+    )
     return 0
 
 

@@ -28,6 +28,7 @@ invalidate it transparently.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
@@ -68,6 +69,11 @@ class AIndex:
         self.refreezes = 0
         self._frozen_snapshot = None
         self._frozen_generation = -1
+        #: Guards every mutation and the freeze path, so a concurrent
+        #: writer can never tear the adjacency dicts out from under a
+        #: snapshot rebuild. Reentrant because consistency propagation
+        #: and cascading deletion recurse through the public surface.
+        self._mutex = threading.RLock()
 
     # -- size ------------------------------------------------------------------
 
@@ -75,7 +81,8 @@ class AIndex:
         return len(self._adjacency)
 
     def edge_count(self) -> int:
-        return sum(len(adj) for adj in self._adjacency.values()) // 2
+        with self._mutex:
+            return sum(len(adj) for adj in self._adjacency.values()) // 2
 
     def __contains__(self, key: GlobalKey) -> bool:
         return key in self._adjacency
@@ -87,19 +94,21 @@ class AIndex:
 
     def add(self, relation: PRelation) -> None:
         """Insert a p-relation, enforcing the Consistency Condition."""
-        inferred = self._set_edge(
-            relation.left, relation.right, relation.type, relation.probability
-        )
-        if not inferred or not self.enforce_consistency:
-            return
-        if relation.type is RelationType.IDENTITY:
-            self._propagate_identity(relation)
-        else:
-            self._propagate_matching(relation)
+        with self._mutex:
+            inferred = self._set_edge(
+                relation.left, relation.right, relation.type, relation.probability
+            )
+            if not inferred or not self.enforce_consistency:
+                return
+            if relation.type is RelationType.IDENTITY:
+                self._propagate_identity(relation)
+            else:
+                self._propagate_matching(relation)
 
     def add_all(self, relations: Iterable[PRelation]) -> None:
-        for relation in relations:
-            self.add(relation)
+        with self._mutex:
+            for relation in relations:
+                self.add(relation)
 
     def _set_edge(
         self,
@@ -204,12 +213,13 @@ class AIndex:
         """An independent replica of this index (Section III-A: each
         QUEPA instance has its own A' index replica)."""
         replica = AIndex(enforce_consistency=self.enforce_consistency)
-        replica._adjacency = {
-            key: dict(adjacency) for key, adjacency in self._adjacency.items()
-        }
-        replica._lineage = {
-            pair: set(supports) for pair, supports in self._lineage.items()
-        }
+        with self._mutex:
+            replica._adjacency = {
+                key: dict(adjacency) for key, adjacency in self._adjacency.items()
+            }
+            replica._lineage = {
+                pair: set(supports) for pair, supports in self._lineage.items()
+            }
         return replica
 
     # -- read snapshot ------------------------------------------------------------
@@ -221,14 +231,27 @@ class AIndex:
         the same :class:`~repro.core.compressed.FrozenAIndex` instance,
         so planners pay the freeze cost once per index generation rather
         than once per query.
-        """
-        if self._frozen_generation != self.generation:
-            from repro.core.compressed import FrozenAIndex
 
-            self._frozen_snapshot = FrozenAIndex.freeze(self)
-            self._frozen_generation = self.generation
-            self.refreezes += 1
-        return self._frozen_snapshot
+        Thread-safe: the rebuild happens under the index mutex, so a
+        concurrent writer can never tear the adjacency dicts mid-freeze
+        and two readers never build the same generation twice. Each
+        snapshot is stamped with the generation it was frozen from
+        (``FrozenAIndex.generation``), which is what serving-layer
+        snapshot isolation pins per request.
+        """
+        if self._frozen_generation == self.generation:
+            # Fast path: `_frozen_snapshot` is assigned before
+            # `_frozen_generation` below, so a matching generation
+            # always sees the finished snapshot.
+            return self._frozen_snapshot
+        with self._mutex:
+            if self._frozen_generation != self.generation:
+                from repro.core.compressed import FrozenAIndex
+
+                self._frozen_snapshot = FrozenAIndex.freeze(self)
+                self._frozen_generation = self.generation
+                self.refreezes += 1
+            return self._frozen_snapshot
 
     # -- queries --------------------------------------------------------------------
 
@@ -236,14 +259,15 @@ class AIndex:
         self, key: GlobalKey, rel_type: RelationType | None = None
     ) -> list[Neighbor]:
         """All edges out of ``key``, optionally filtered by type."""
-        adjacency = self._adjacency.get(key)
-        if not adjacency:
-            return []
-        return [
-            Neighbor(other, edge_type, probability)
-            for other, (edge_type, probability) in adjacency.items()
-            if rel_type is None or edge_type is rel_type
-        ]
+        with self._mutex:
+            adjacency = self._adjacency.get(key)
+            if not adjacency:
+                return []
+            return [
+                Neighbor(other, edge_type, probability)
+                for other, (edge_type, probability) in adjacency.items()
+                if rel_type is None or edge_type is rel_type
+            ]
 
     def neighbor_arcs(
         self, key: GlobalKey
@@ -254,13 +278,14 @@ class AIndex:
         skips the per-edge :class:`Neighbor` construction. Pairs come in
         adjacency insertion order, same as :meth:`neighbors`.
         """
-        adjacency = self._adjacency.get(key)
-        if not adjacency:
-            return []
-        return [
-            (other, probability)
-            for other, (_, probability) in adjacency.items()
-        ]
+        with self._mutex:
+            adjacency = self._adjacency.get(key)
+            if not adjacency:
+                return []
+            return [
+                (other, probability)
+                for other, (_, probability) in adjacency.items()
+            ]
 
     def relation(self, a: GlobalKey, b: GlobalKey) -> PRelation | None:
         edge = self._adjacency.get(a, {}).get(b)
@@ -282,13 +307,14 @@ class AIndex:
         p-relations that were derived *via* this node are kept, per the
         paper's stated strategy.
         """
-        adjacency = self._adjacency.pop(key, None)
-        if adjacency is None:
-            return 0
-        for other in adjacency:
-            self._adjacency.get(other, {}).pop(key, None)
-        self.generation += 1
-        return len(adjacency)
+        with self._mutex:
+            adjacency = self._adjacency.pop(key, None)
+            if adjacency is None:
+                return 0
+            for other in adjacency:
+                self._adjacency.get(other, {}).pop(key, None)
+            self.generation += 1
+            return len(adjacency)
 
     def remove_relation(
         self, a: GlobalKey, b: GlobalKey, cascade: bool = False
@@ -300,22 +326,23 @@ class AIndex:
         system the paper plans as future work. Returns the number of
         edges removed.
         """
-        if self._adjacency.get(a, {}).pop(b, None) is None:
-            return 0
-        self._adjacency.get(b, {}).pop(a, None)
-        self.generation += 1
-        removed = 1
-        removed_pair = _pair(a, b)
-        self._lineage.pop(removed_pair, None)
-        if cascade:
-            dependents = [
-                pair
-                for pair, supports in self._lineage.items()
-                if removed_pair in supports
-            ]
-            for pair in dependents:
-                removed += self.remove_relation(pair[0], pair[1], cascade=True)
-        return removed
+        with self._mutex:
+            if self._adjacency.get(a, {}).pop(b, None) is None:
+                return 0
+            self._adjacency.get(b, {}).pop(a, None)
+            self.generation += 1
+            removed = 1
+            removed_pair = _pair(a, b)
+            self._lineage.pop(removed_pair, None)
+            if cascade:
+                dependents = [
+                    pair
+                    for pair, supports in self._lineage.items()
+                    if removed_pair in supports
+                ]
+                for pair in dependents:
+                    removed += self.remove_relation(pair[0], pair[1], cascade=True)
+            return removed
 
     def is_inferred(self, a: GlobalKey, b: GlobalKey) -> bool:
         return _pair(a, b) in self._lineage

@@ -22,6 +22,7 @@ and o2 = transactions.inventory.a32 appears in its augmentation).
 from __future__ import annotations
 
 import heapq
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
@@ -118,6 +119,9 @@ class Augmentation:
         self._plan_cache: "OrderedDict[tuple, tuple[object, AugmentationPlan]]" = (
             OrderedDict()
         )
+        #: Guards the plan cache's LRU bookkeeping; concurrent serving
+        #: sessions share one planner per Quepa instance.
+        self._plan_cache_lock = threading.Lock()
 
     def _planning_index(self):
         """The read snapshot to traverse: frozen if available, else live."""
@@ -147,19 +151,21 @@ class Augmentation:
         cache_key = None
         if cacheable:
             cache_key = (level, min_probability, tuple(seeds))
-            cached = self._plan_cache.get(cache_key)
-            if cached is not None and cached[0] is index:
-                self._plan_cache.move_to_end(cache_key)
-                return cached[1]
+            with self._plan_cache_lock:
+                cached = self._plan_cache.get(cache_key)
+                if cached is not None and cached[0] is index:
+                    self._plan_cache.move_to_end(cache_key)
+                    return cached[1]
         plan = AugmentationPlan(level=level, seeds=list(seeds))
         for seed in seeds:
             fetches, edges = self._expand(index, seed, level, min_probability)
             plan.fetches_by_seed[seed] = fetches
             plan.edges_examined += edges
         if cacheable:
-            self._plan_cache[cache_key] = (index, plan)
-            while len(self._plan_cache) > self.PLAN_CACHE_SIZE:
-                self._plan_cache.popitem(last=False)
+            with self._plan_cache_lock:
+                self._plan_cache[cache_key] = (index, plan)
+                while len(self._plan_cache) > self.PLAN_CACHE_SIZE:
+                    self._plan_cache.popitem(last=False)
         return plan
 
     def explain(
@@ -181,9 +187,10 @@ class Augmentation:
         cacheable = index is not self.aindex or not hasattr(index, "add")
         plan_cache_hit = False
         if cacheable:
-            cached = self._plan_cache.get(
-                (level, min_probability, tuple(seeds))
-            )
+            with self._plan_cache_lock:
+                cached = self._plan_cache.get(
+                    (level, min_probability, tuple(seeds))
+                )
             plan_cache_hit = cached is not None and cached[0] is index
         plan = self.plan(seeds, level, min_probability)
         fetches_by_database: dict[str, int] = {}

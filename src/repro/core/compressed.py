@@ -56,6 +56,10 @@ class FrozenAIndex:
         self._arcs: list[list[tuple[GlobalKey, float]] | None] = [None] * len(
             keys
         )
+        #: Generation of the live index this snapshot was frozen from
+        #: (``None`` for snapshots built outside :meth:`freeze`). The
+        #: serving layer pins this per request for snapshot isolation.
+        self.generation: int | None = None
 
     # -- construction ---------------------------------------------------------
 
@@ -74,7 +78,9 @@ class FrozenAIndex:
                 probabilities.append(neighbor.probability)
                 is_identity.append(neighbor.type is RelationType.IDENTITY)
             offsets.append(len(targets))
-        return cls(keys, offsets, targets, probabilities, is_identity)
+        snapshot = cls(keys, offsets, targets, probabilities, is_identity)
+        snapshot.generation = getattr(index, "generation", None)
+        return snapshot
 
     # -- AIndex read protocol -----------------------------------------------------
 

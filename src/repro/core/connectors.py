@@ -61,7 +61,7 @@ class Connector:
         """
         if not keys:
             return []
-        op = lambda: self.store.multi_get(keys)  # noqa: E731
+        op = lambda: self._multi_get(keys)  # noqa: E731
         query = ("multi_get", len(keys))
         if self.resilience is not None:
             return list(
@@ -74,7 +74,14 @@ class Connector:
         # (a one-key IN / $in / MGET): one code path per engine, and
         # missing keys come back as an empty list rather than an
         # exception crossing the store boundary.
-        return self.store.multi_get((key,))
+        return self._multi_get((key,))
+
+    def _multi_get(self, keys: Sequence[GlobalKey]) -> list[DataObject]:
+        # Every key fetch holds the store's engine lock: the engines are
+        # unsynchronized in-memory structures, and serving-layer writers
+        # may be mutating them between (never during) reads.
+        with self.store.lock:
+            return self.store.multi_get(keys)
 
 
 class ConnectorRegistry:

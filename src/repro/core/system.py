@@ -115,11 +115,85 @@ class Quepa:
         ``level`` is the augmentation level of Definition 3. With
         ``augment=False`` only the (validated) local query runs — used
         to seed explorations and as the no-augmentation baseline.
+
+        This is the classic single-session entry point: it resets the
+        runtime (meter, tracer, run timer) via ``runtime.root()`` and
+        reports elapsed time from :attr:`Runtime.elapsed`. It must not
+        be called concurrently with itself; the serving layer uses
+        :meth:`serve_search` instead.
         """
         store = self.polystore.database(database)
         validation = self.validator.validate(store, query)
         ctx = self.runtime.root()
-        op = lambda: store.execute(validation.query)  # noqa: E731
+        return self._search_body(
+            ctx,
+            store,
+            database,
+            validation,
+            level,
+            config,
+            augment,
+            finish=self._finish_timer,
+            clock=lambda: self.runtime.elapsed,
+        )
+
+    def serve_search(
+        self,
+        database: str,
+        query: Any,
+        level: int = 0,
+        config: AugmentationConfig | None = None,
+        augment: bool = True,
+    ) -> AugmentedAnswer:
+        """Concurrency-safe :meth:`augmented_search` for served sessions.
+
+        Same answer for the same inputs, but safe to call from many
+        threads at once against one ``Quepa`` instance: the request
+        runs on a fresh :meth:`Runtime.request_context` (no shared
+        meter/tracer/timer resets), measures ``stats.elapsed`` as a
+        local clock delta on its own context, and reads the A' index
+        through one pinned :class:`FrozenAIndex` snapshot per request,
+        so concurrent p-relation writers never tear a traversal.
+
+        The runtime's meter and metrics accumulate across all served
+        requests rather than being per-run, so a :class:`RunRecord`
+        emitted here carries cumulative per-database query counts.
+        """
+        store = self.polystore.database(database)
+        validation = self.validator.validate(store, query)
+        ctx = self.runtime.request_context()
+        start = ctx.now
+        return self._search_body(
+            ctx,
+            store,
+            database,
+            validation,
+            level,
+            config,
+            augment,
+            finish=lambda: None,
+            clock=lambda: ctx.now - start,
+        )
+
+    def _search_body(
+        self,
+        ctx: ExecContext,
+        store,
+        database: str,
+        validation,
+        level: int,
+        config: AugmentationConfig | None,
+        augment: bool,
+        finish: Callable[[], None],
+        clock: Callable[[], float],
+    ) -> AugmentedAnswer:
+        """The shared search pipeline behind both entry points.
+
+        ``finish`` is called exactly where the classic path stopped the
+        run timer; ``clock`` reports elapsed run seconds (classic:
+        :attr:`Runtime.elapsed`; serving: a context-local delta).
+        """
+        op = lambda: self._locked_execute(store, validation.query)  # noqa: E731
         try:
             if self.resilience is not None:
                 originals = list(
@@ -136,15 +210,17 @@ class Quepa:
                 raise
             # The queried store itself is unreachable: no seeds, no
             # augmentation — answer empty but degraded, never raise.
-            return self._degraded_local_answer(database, level, validation, exc)
+            return self._degraded_local_answer(
+                database, level, validation, exc, finish, clock
+            )
         stats = SearchStats(
             database=database,
             level=level,
             rewritten=validation.rewritten,
         )
         if not augment:
-            self._finish_timer()
-            stats.elapsed = self.runtime.elapsed
+            finish()
+            stats.elapsed = clock()
             return assemble_answer(originals, [], stats)
 
         seeds = [obj.key for obj in originals if obj.key.collection != "_result"]
@@ -172,17 +248,17 @@ class Quepa:
             self.obs.events.emit(
                 "lazy_deletion",
                 severity="info",
-                ts=self.runtime.elapsed,
+                ts=clock(),
                 database=database,
                 removed=len(outcome.missing),
             )
         self._publish_planner_metrics()
-        self._finish_timer()
+        finish()
         stats.planned_fetches = plan.total_fetches()
         stats.queries_issued = outcome.queries_issued + 1  # + the local query
         stats.cache_hits = outcome.cache_hits
         stats.missing_objects = len(outcome.missing)
-        stats.elapsed = self.runtime.elapsed
+        stats.elapsed = clock()
         stats.unavailable_databases = outcome.unavailable_databases
         stats.degraded = outcome.degraded
         stats.errors = dict(outcome.errors)
@@ -252,7 +328,7 @@ class Quepa:
         # Seeds come from the local answer; running it here mirrors the
         # first step of augmented_search but stays off the runtime's
         # clocks (EXPLAIN is free in virtual time).
-        originals = store.execute(validation.query)
+        originals = self._locked_execute(store, validation.query)
         seeds = [
             obj.key for obj in originals if obj.key.collection != "_result"
         ]
@@ -288,9 +364,9 @@ class Quepa:
                 "augmented_objects": len(answer.augmented),
                 "missing_objects": stats.missing_objects,
                 "augmenter": stats.augmenter,
-                "queries_by_database": dict(
-                    self.runtime.meter.queries_by_database
-                ),
+                "queries_by_database": self.runtime.meter.snapshot()[
+                    "queries_by_database"
+                ],
                 "trace": self.obs.trace_summary(),
             }
         return report
@@ -428,16 +504,33 @@ class Quepa:
             return replace(config, skip_unavailable=True)
         return config
 
+    def _locked_execute(self, store, query) -> list[DataObject]:
+        """Run a native query holding the store's engine lock.
+
+        The engines are unsynchronized in-memory structures; the lock
+        keeps a serving-layer writer from mutating them mid-scan. It
+        costs one uncontended acquire on the classic single-session
+        path and never touches the charged (virtual-time) costs.
+        """
+        with store.lock:
+            return store.execute(query)
+
     def _degraded_local_answer(
-        self, database: str, level: int, validation, exc: Exception
+        self,
+        database: str,
+        level: int,
+        validation,
+        exc: Exception,
+        finish: Callable[[], None],
+        clock: Callable[[], float],
     ) -> AugmentedAnswer:
         """Empty degraded answer when the queried store is unreachable."""
-        self._finish_timer()
+        finish()
         stats = SearchStats(
             database=database,
             level=level,
             rewritten=validation.rewritten,
-            elapsed=self.runtime.elapsed,
+            elapsed=clock(),
             unavailable_databases=(database,),
             degraded=True,
             errors={database: f"unavailable: {exc}"},
@@ -459,7 +552,7 @@ class Quepa:
         the meter's per-database failed-call counts. Sections are
         ``None`` when the corresponding layer is not attached.
         """
-        meter = self.runtime.meter
+        meter = self.runtime.meter.snapshot()
         return {
             "faults": (
                 self.faults.stats() if self.faults is not None else None
@@ -469,9 +562,9 @@ class Quepa:
                 if self.resilience is not None
                 else None
             ),
-            "failed_queries_by_database": dict(
-                meter.failed_queries_by_database
-            ),
+            "failed_queries_by_database": meter[
+                "failed_queries_by_database"
+            ],
         }
 
     def _resolve_config(
@@ -503,7 +596,7 @@ class Quepa:
         stats: SearchStats,
         outcome=None,
     ) -> None:
-        meter = self.runtime.meter
+        meter = self.runtime.meter.snapshot()
         record = RunRecord(
             features=features,
             augmenter=config.augmenter,
@@ -517,9 +610,9 @@ class Quepa:
             missing_objects=stats.missing_objects,
             degraded=stats.degraded,
             errors=dict(stats.errors),
-            queries_by_database=dict(meter.queries_by_database),
-            objects_by_database=dict(meter.objects_by_database),
-            failed_queries_by_database=dict(meter.failed_queries_by_database),
+            queries_by_database=meter["queries_by_database"],
+            objects_by_database=meter["objects_by_database"],
+            failed_queries_by_database=meter["failed_queries_by_database"],
             span_summary=self.obs.tracer.summary(),
         )
         self.obs.metrics.counter("runs_recorded_total").inc()
@@ -546,6 +639,27 @@ class Quepa:
         efficient choice when a single result is augmented at a time.
         """
         ctx = self.runtime.root()
+        return self._augment_object_body(ctx, key, level, self._finish_timer)
+
+    def serve_augment_object(
+        self, key: GlobalKey, level: int = 0
+    ) -> list[AugmentedObject]:
+        """Concurrency-safe :meth:`augment_object` for served sessions.
+
+        Runs the exploration step on a fresh request context (no
+        shared-state resets), so many exploration sessions can step
+        concurrently against one ``Quepa`` instance.
+        """
+        ctx = self.runtime.request_context()
+        return self._augment_object_body(ctx, key, level, lambda: None)
+
+    def _augment_object_body(
+        self,
+        ctx: ExecContext,
+        key: GlobalKey,
+        level: int,
+        finish: Callable[[], None],
+    ) -> list[AugmentedObject]:
         with ctx.span("plan", level=level, seeds=1) as span:
             plan = self.augmentation.plan([key], level=level)
             ctx.cpu(plan.edges_examined * ctx.cost_model.aindex_edge_cost)
@@ -564,7 +678,7 @@ class Quepa:
         outcome = augmenter.execute(ctx, plan, step_config)
         for missing in outcome.missing:
             self.aindex.remove_object(missing)
-        self._finish_timer()
+        finish()
         ranked = sorted(
             outcome.objects, key=lambda entry: (-entry.probability, str(entry.key))
         )

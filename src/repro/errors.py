@@ -114,6 +114,31 @@ class ConfigurationError(AugmentationError):
 
 
 # --------------------------------------------------------------------------
+# Serving errors
+# --------------------------------------------------------------------------
+
+
+class ServingError(ReproError):
+    """Base for serving-layer (scheduler/server) errors."""
+
+
+class ServerBusy(ServingError):
+    """The admission queue is full; the request was shed (load shedding).
+
+    Clients should back off and retry; the server remains healthy.
+    """
+
+
+class RequestDeadlineExceeded(ServingError):
+    """A request's deadline expired while it was still queued.
+
+    A deadline that expires *during* execution surfaces as
+    :class:`TimeoutExceeded` instead, via the augmentation timeout
+    budget the deadline was translated into.
+    """
+
+
+# --------------------------------------------------------------------------
 # Optimizer / ML errors
 # --------------------------------------------------------------------------
 

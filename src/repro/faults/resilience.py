@@ -117,6 +117,7 @@ class CircuitBreaker:
     def record_success(self, now: float) -> None:
         with self._lock:
             if self._state == self.HALF_OPEN:
+                self._release_probe_locked()
                 self._half_open_successes += 1
                 if self._half_open_successes >= self.half_open_max_calls:
                     self._state = self.CLOSED
@@ -129,6 +130,7 @@ class CircuitBreaker:
     def record_failure(self, now: float) -> None:
         with self._lock:
             if self._state == self.HALF_OPEN:
+                self._release_probe_locked()
                 self._trip(now, reopened=True)
                 return
             if self._state == self.OPEN:
@@ -136,6 +138,29 @@ class CircuitBreaker:
             self._consecutive_failures += 1
             if self._consecutive_failures >= self.failure_threshold:
                 self._trip(now)
+
+    def release(self, now: float) -> None:
+        """Return a half-open probe slot without a verdict.
+
+        Called when an admitted call dies of something that is not a
+        store error (a cancelled worker, an unrelated exception), so
+        the probe neither succeeded nor failed. Without this, every
+        such call leaks one ``_half_open_inflight`` slot; with
+        ``half_open_max_calls`` slots leaked the breaker would refuse
+        all probes and wedge half-open forever under concurrency.
+        """
+        with self._lock:
+            if self._state == self.HALF_OPEN:
+                self._release_probe_locked()
+
+    def _release_probe_locked(self) -> None:
+        # Probe slots count calls *in flight*, so every admitted probe
+        # must give its slot back exactly once, whatever its outcome.
+        # A verdict may also land after another thread already closed
+        # or re-tripped the breaker (slots were reset); the floor at
+        # zero makes such late verdicts harmless.
+        if self._half_open_inflight > 0:
+            self._half_open_inflight -= 1
 
     def _trip(self, now: float, reopened: bool = False) -> None:
         self._state = self.OPEN
@@ -210,6 +235,12 @@ class ResilienceManager:
                 ctx.sleep(delay)
                 attempt += 1
                 continue
+            except BaseException:
+                # Not a store verdict (worker cancelled, unrelated bug):
+                # give any half-open probe slot back so the breaker
+                # cannot wedge with phantom in-flight probes.
+                breaker.release(ctx.now)
+                raise
             breaker.record_success(ctx.now)
             return results
 

@@ -76,13 +76,33 @@ class QueryMeter:
                 self.failed_queries_by_database.get(database, 0) + 1
             )
 
+    def snapshot(self) -> dict[str, dict[str, int]]:
+        """A consistent copy of all three per-database tallies.
+
+        Readers that iterate the meter while store calls are in flight
+        (record emission, fault reports, ``explain --analyze``) must use
+        this instead of copying the dicts directly: an unlocked
+        ``dict(...)`` can raise ``RuntimeError: dictionary changed size
+        during iteration`` under concurrent sessions.
+        """
+        with self._lock:
+            return {
+                "queries_by_database": dict(self.queries_by_database),
+                "objects_by_database": dict(self.objects_by_database),
+                "failed_queries_by_database": dict(
+                    self.failed_queries_by_database
+                ),
+            }
+
     @property
     def total_queries(self) -> int:
-        return sum(self.queries_by_database.values())
+        with self._lock:
+            return sum(self.queries_by_database.values())
 
     @property
     def total_objects(self) -> int:
-        return sum(self.objects_by_database.values())
+        with self._lock:
+            return sum(self.objects_by_database.values())
 
 
 class ExecContext(ABC):
@@ -296,6 +316,17 @@ class Runtime(ABC):
     @abstractmethod
     def root(self) -> ExecContext:
         """The main-process context; also resets timing state."""
+
+    @abstractmethod
+    def request_context(self) -> ExecContext:
+        """A fresh context for one served request.
+
+        Unlike :meth:`root`, this does NOT reset the shared meter,
+        tracer or run timer, so many requests can execute concurrently
+        against one runtime (the serving layer's contract). Request
+        durations are measured as ``ctx.now`` deltas on the returned
+        context rather than via :attr:`elapsed`.
+        """
 
     @property
     @abstractmethod
@@ -538,6 +569,14 @@ class VirtualRuntime(Runtime):
         self._root = _VirtualContext(self, 0.0)
         return self._root
 
+    def request_context(self) -> ExecContext:
+        """A fresh virtual context at t=0 with no shared-state resets.
+
+        Each served request gets its own local clock; the runtime's
+        meter/tracer/metrics keep accumulating across requests.
+        """
+        return _VirtualContext(self, 0.0)
+
     @property
     def elapsed(self) -> float:
         if self._root is None:
@@ -663,6 +702,10 @@ class RealRuntime(Runtime):
         self.obs.tracer.reset()
         self._started = time.monotonic()
         self._stopped = 0.0
+        return _RealContext(self)
+
+    def request_context(self) -> ExecContext:
+        """A fresh wall-clock context with no shared-state resets."""
         return _RealContext(self)
 
     def stop(self) -> None:

@@ -1,0 +1,628 @@
+"""A multi-session serving front end for one shared Quepa instance.
+
+The paper's evaluation drives QUEPA one query at a time; the roadmap's
+north star is a system that serves heavy traffic from many concurrent
+users. Polystore middlewares (BigDAWG's query endpoint, for instance)
+put a scheduler between clients and the stores — this module is that
+layer for the reproduction:
+
+* **Bounded admission queue with load shedding** — at most
+  ``queue_capacity`` requests wait; past that, :meth:`Scheduler.submit`
+  raises :class:`~repro.errors.ServerBusy` (backpressure, the server
+  itself stays healthy).
+* **Per-session fair scheduling** — sessions get round-robin turns and
+  FIFO order within a session, with a per-session in-flight cap so one
+  chatty client cannot monopolize the worker pool.
+* **Snapshot-isolated A' reads** — each request plans over the one
+  :class:`~repro.core.compressed.FrozenAIndex` snapshot pinned when it
+  starts (see :meth:`Quepa.serve_search`), so concurrent p-relation
+  writers never tear a traversal.
+* **Per-request deadlines** — a wall-clock deadline sheds requests
+  that expire while queued and is translated into the remaining
+  :attr:`AugmentationConfig.timeout_budget` for execution.
+
+Everything is observable: an in-flight gauge, queue depth, admission
+counters, per-session QPS and latency histograms (feeding the existing
+p50/p95/p99 stats path), and ``request_admitted``/``request_shed``
+events in the journal. See docs/SERVING.md.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, replace
+from typing import Any
+
+from repro.core.augmentation import AugmentationConfig
+from repro.core.system import Quepa
+from repro.errors import RequestDeadlineExceeded, ServerBusy
+from repro.model.objects import GlobalKey
+from repro.network.executor import RealRuntime
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Knobs of the serving layer (documented in docs/SERVING.md)."""
+
+    #: Worker threads executing requests against the shared Quepa.
+    workers: int = 4
+    #: Requests that may wait for a worker; past this, submissions are
+    #: shed with :class:`ServerBusy`.
+    queue_capacity: int = 64
+    #: Per-session concurrent executions (fairness cap).
+    max_inflight_per_session: int = 2
+    #: Default wall-clock deadline in seconds for requests that do not
+    #: carry their own (``None`` = no deadline).
+    default_deadline: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+        if self.max_inflight_per_session < 1:
+            raise ValueError("max_inflight_per_session must be >= 1")
+        if self.default_deadline is not None and self.default_deadline <= 0:
+            raise ValueError("default_deadline must be > 0")
+
+
+class Request:
+    """One queued unit of work: an augmented search or exploration step."""
+
+    __slots__ = (
+        "id", "session", "kind", "database", "query", "level", "config",
+        "augment", "key", "deadline", "submitted_at", "started_at",
+        "finished_at", "status", "answer", "error", "done",
+    )
+
+    def __init__(
+        self,
+        request_id: int,
+        session: str,
+        kind: str,
+        *,
+        database: str | None = None,
+        query: Any = None,
+        level: int = 0,
+        config: AugmentationConfig | None = None,
+        augment: bool = True,
+        key: GlobalKey | None = None,
+        deadline: float | None = None,
+    ) -> None:
+        self.id = request_id
+        self.session = session
+        self.kind = kind
+        self.database = database
+        self.query = query
+        self.level = level
+        self.config = config
+        self.augment = augment
+        self.key = key
+        self.deadline = deadline
+        self.submitted_at = 0.0
+        self.started_at = 0.0
+        self.finished_at = 0.0
+        self.status = "queued"
+        self.answer: Any = None
+        self.error: BaseException | None = None
+        self.done = threading.Event()
+
+
+class Ticket:
+    """A client's handle on a submitted request."""
+
+    def __init__(self, request: Request) -> None:
+        self._request = request
+
+    @property
+    def id(self) -> int:
+        return self._request.id
+
+    @property
+    def session(self) -> str:
+        return self._request.session
+
+    def done(self) -> bool:
+        return self._request.done.is_set()
+
+    @property
+    def status(self) -> str:
+        return self._request.status
+
+    def result(self, timeout: float | None = None) -> Any:
+        """Block until the request finishes; return or raise its outcome."""
+        if not self._request.done.wait(timeout):
+            raise TimeoutError(
+                f"request {self._request.id} still "
+                f"{self._request.status} after {timeout}s"
+            )
+        if self._request.error is not None:
+            raise self._request.error
+        return self._request.answer
+
+
+class Scheduler:
+    """Fair, bounded scheduling of requests onto a shared Quepa."""
+
+    def __init__(
+        self, quepa: Quepa, config: ServingConfig | None = None
+    ) -> None:
+        self.quepa = quepa
+        self.config = config or ServingConfig()
+        self.obs = quepa.obs
+        self._cond = threading.Condition()
+        #: session -> FIFO of queued requests.
+        self._queues: dict[str, deque[Request]] = {}
+        #: Round-robin order over sessions with queued work. A session
+        #: appears at most once; capped sessions stay in rotation.
+        self._order: deque[str] = deque()
+        self._queued = 0
+        self._inflight = 0
+        self._inflight_by_session: dict[str, int] = {}
+        self._ids = itertools.count(1)
+        self._threads: list[threading.Thread] = []
+        self._running = False
+        self._draining = False
+        self._started_at = 0.0
+        # Reconciliation counters (also mirrored as obs metrics):
+        # submitted == admitted + shed_queue_full, and at quiescence
+        # admitted == completed + failed + shed_deadline.
+        self._submitted = 0
+        self._admitted = 0
+        self._shed_queue_full = 0
+        self._shed_deadline = 0
+        self._completed = 0
+        self._failed = 0
+        self._by_session: dict[str, dict[str, int]] = {}
+        metrics = self.obs.metrics
+        self._inflight_gauge = metrics.gauge("serving_inflight")
+        self._depth_gauge = metrics.gauge("serving_queue_depth")
+        self._latency_hist = metrics.histogram("serving_latency_seconds")
+        self._wait_hist = metrics.histogram("serving_queue_wait_seconds")
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        with self._cond:
+            if self._running:
+                return
+            self._running = True
+            self._draining = False
+            self._started_at = time.monotonic()
+            self._threads = [
+                threading.Thread(
+                    target=self._worker_loop,
+                    name=f"quepa-serve-{i}",
+                    daemon=True,
+                )
+                for i in range(self.config.workers)
+            ]
+        for thread in self._threads:
+            thread.start()
+
+    def stop(self, drain: bool = True, timeout: float = 30.0) -> None:
+        """Stop the workers; with ``drain`` finish queued work first."""
+        with self._cond:
+            if not self._running:
+                return
+            self._draining = drain
+            self._running = False
+            if not drain:
+                # Fail whatever is still queued so no client blocks on
+                # a request that will never run.
+                for queue in self._queues.values():
+                    while queue:
+                        request = queue.popleft()
+                        self._queued -= 1
+                        request.status = "failed"
+                        request.error = ServerBusy(
+                            "server stopped before the request ran"
+                        )
+                        self._failed += 1
+                        self._session_stats(request.session)["failed"] += 1
+                        request.done.set()
+                self._order.clear()
+                self._depth_gauge.set(self._queued)
+            self._cond.notify_all()
+        for thread in self._threads:
+            thread.join(timeout)
+        self._threads = []
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, request: Request) -> Ticket:
+        """Admit (or shed) one request; never blocks on execution."""
+        now = time.monotonic()
+        request.submitted_at = now
+        if request.deadline is None:
+            request.deadline = self.config.default_deadline
+        with self._cond:
+            if not self._running:
+                raise ServerBusy("server is not running")
+            self._submitted += 1
+            stats = self._session_stats(request.session)
+            stats["submitted"] += 1
+            if self._queued >= self.config.queue_capacity:
+                self._shed_queue_full += 1
+                stats["shed_queue_full"] += 1
+                self._emit_shed(request, "queue_full", now)
+                raise ServerBusy(
+                    f"admission queue full "
+                    f"({self.config.queue_capacity} queued)"
+                )
+            self._admitted += 1
+            stats["admitted"] += 1
+            queue = self._queues.setdefault(request.session, deque())
+            queue.append(request)
+            self._queued += 1
+            if len(queue) == 1 and request.session not in self._order:
+                self._order.append(request.session)
+            self._depth_gauge.set(self._queued)
+            self.obs.metrics.counter(
+                "serving_requests_total", outcome="admitted"
+            ).inc()
+            self.obs.events.emit(
+                "request_admitted",
+                severity="debug",
+                ts=now - self._started_at,
+                session=request.session,
+                request_id=request.id,
+                queue_depth=self._queued,
+            )
+            self._cond.notify()
+        return Ticket(request)
+
+    def next_id(self) -> int:
+        return next(self._ids)
+
+    # -- the worker loop -----------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            request = self._next_request()
+            if request is None:
+                return
+            self._execute(request)
+
+    def _next_request(self) -> Request | None:
+        with self._cond:
+            while True:
+                request = self._pick_locked()
+                if request is not None:
+                    return request
+                if not self._running and (
+                    not self._draining or self._queued == 0
+                ):
+                    return None
+                self._cond.wait(0.1)
+
+    def _pick_locked(self) -> Request | None:
+        """Round-robin over sessions; FIFO within a session."""
+        cap = self.config.max_inflight_per_session
+        for _ in range(len(self._order)):
+            session = self._order.popleft()
+            queue = self._queues.get(session)
+            if not queue:
+                continue  # stale rotation entry
+            if self._inflight_by_session.get(session, 0) >= cap:
+                self._order.append(session)  # capped: keep its turn
+                continue
+            request = queue.popleft()
+            self._queued -= 1
+            if queue:
+                self._order.append(session)
+            self._inflight_by_session[session] = (
+                self._inflight_by_session.get(session, 0) + 1
+            )
+            self._inflight += 1
+            self._depth_gauge.set(self._queued)
+            self._inflight_gauge.set(self._inflight)
+            return request
+        return None
+
+    def _execute(self, request: Request) -> None:
+        request.started_at = time.monotonic()
+        waited = request.started_at - request.submitted_at
+        self._wait_hist.observe(waited)
+        expired = (
+            request.deadline is not None and waited >= request.deadline
+        )
+        if expired:
+            request.status = "shed"
+            request.error = RequestDeadlineExceeded(
+                f"deadline of {request.deadline:.3f}s expired after "
+                f"{waited:.3f}s in queue"
+            )
+        else:
+            request.status = "running"
+            try:
+                request.answer = self._run(request, waited)
+                request.status = "completed"
+            except BaseException as exc:  # report, never kill a worker
+                request.error = exc
+                request.status = "failed"
+        request.finished_at = time.monotonic()
+        latency = request.finished_at - request.submitted_at
+        session = request.session
+        with self._cond:
+            self._inflight -= 1
+            remaining = self._inflight_by_session.get(session, 1) - 1
+            if remaining > 0:
+                self._inflight_by_session[session] = remaining
+            else:
+                self._inflight_by_session.pop(session, None)
+            stats = self._session_stats(session)
+            if request.status == "completed":
+                self._completed += 1
+                stats["completed"] += 1
+            elif request.status == "shed":
+                self._shed_deadline += 1
+                stats["shed_deadline"] += 1
+            else:
+                self._failed += 1
+                stats["failed"] += 1
+            self._inflight_gauge.set(self._inflight)
+            self._cond.notify_all()
+        metrics = self.obs.metrics
+        metrics.counter(
+            "serving_requests_total", outcome=request.status
+        ).inc()
+        metrics.counter(
+            "serving_session_requests_total", session=session
+        ).inc()
+        if request.status == "completed":
+            self._latency_hist.observe(latency)
+            metrics.histogram(
+                "serving_session_latency_seconds", session=session
+            ).observe(latency)
+        elif request.status == "shed":
+            self._emit_shed(request, "deadline", request.finished_at)
+        request.done.set()
+
+    def _run(self, request: Request, waited: float) -> Any:
+        config = self._effective_config(request, waited)
+        if request.kind == "augment":
+            return self.quepa.serve_augment_object(
+                request.key, level=request.level
+            )
+        return self.quepa.serve_search(
+            request.database,
+            request.query,
+            level=request.level,
+            config=config,
+            augment=request.augment,
+        )
+
+    def _effective_config(
+        self, request: Request, waited: float
+    ) -> AugmentationConfig | None:
+        """Fold the remaining deadline into the timeout budget.
+
+        Under :class:`RealRuntime` the execution clock is the wall
+        clock, so the budget is the wall time the request has left;
+        under virtual runtimes the deadline is interpreted directly as
+        a virtual-time budget (queue wait is wall time and does not map
+        onto the virtual clock). A request with no deadline keeps its
+        config untouched — including ``None``, which preserves the
+        optimizer's right to choose.
+        """
+        if request.deadline is None:
+            return request.config
+        if isinstance(self.quepa.runtime, RealRuntime):
+            budget = max(request.deadline - waited, 1e-9)
+        else:
+            budget = request.deadline
+        base = request.config or self.quepa.config
+        if base.timeout_budget is not None:
+            budget = min(base.timeout_budget, budget)
+        return replace(base, timeout_budget=budget)
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def _session_stats(self, session: str) -> dict[str, int]:
+        stats = self._by_session.get(session)
+        if stats is None:
+            stats = {
+                "submitted": 0,
+                "admitted": 0,
+                "completed": 0,
+                "failed": 0,
+                "shed_queue_full": 0,
+                "shed_deadline": 0,
+            }
+            self._by_session[session] = stats
+        return stats
+
+    def _emit_shed(self, request: Request, reason: str, now: float) -> None:
+        self.obs.metrics.counter(
+            "serving_shed_total", reason=reason
+        ).inc()
+        self.obs.events.emit(
+            "request_shed",
+            severity="warning",
+            ts=max(now - self._started_at, 0.0),
+            session=request.session,
+            request_id=request.id,
+            reason=reason,
+        )
+
+    def status(self) -> dict[str, Any]:
+        """Queue/worker/session state, JSON-ready, totals reconciled."""
+        with self._cond:
+            uptime = (
+                time.monotonic() - self._started_at
+                if self._started_at
+                else 0.0
+            )
+            totals = {
+                "submitted": self._submitted,
+                "admitted": self._admitted,
+                "shed": {
+                    "queue_full": self._shed_queue_full,
+                    "deadline": self._shed_deadline,
+                },
+                "completed": self._completed,
+                "failed": self._failed,
+            }
+            sessions = {
+                name: dict(stats)
+                for name, stats in sorted(self._by_session.items())
+            }
+            queued_by_session = {
+                name: len(queue)
+                for name, queue in self._queues.items()
+                if queue
+            }
+            inflight_by_session = dict(self._inflight_by_session)
+            report = {
+                "running": self._running,
+                "workers": self.config.workers,
+                "queue_capacity": self.config.queue_capacity,
+                "max_inflight_per_session": (
+                    self.config.max_inflight_per_session
+                ),
+                "default_deadline": self.config.default_deadline,
+                "uptime_s": uptime,
+                "queue_depth": self._queued,
+                "inflight": self._inflight,
+                "totals": totals,
+            }
+        metrics = self.obs.metrics
+        latency = metrics.histogram("serving_latency_seconds")
+        report["latency_s"] = {
+            "p50": latency.percentile(0.50),
+            "p95": latency.percentile(0.95),
+            "p99": latency.percentile(0.99),
+            "mean": latency.mean(),
+            "count": latency.count,
+        }
+        for name, stats in sessions.items():
+            stats["queued"] = queued_by_session.get(name, 0)
+            stats["inflight"] = inflight_by_session.get(name, 0)
+            stats["qps"] = (
+                stats["completed"] / uptime if uptime > 0 else 0.0
+            )
+            hist = metrics.histogram(
+                "serving_session_latency_seconds", session=name
+            )
+            stats["latency_s"] = {
+                "p50": hist.percentile(0.50),
+                "p95": hist.percentile(0.95),
+                "p99": hist.percentile(0.99),
+            }
+        report["sessions"] = sessions
+        return report
+
+
+class QuepaServer:
+    """The serving front end: a scheduler plus a client-facing API.
+
+    One ``QuepaServer`` wraps one shared :class:`Quepa` instance.
+    Usable as a context manager::
+
+        with QuepaServer(quepa, ServingConfig(workers=8)) as server:
+            answer = server.search("s1", "mysql", "SELECT ...", level=1)
+    """
+
+    def __init__(
+        self, quepa: Quepa, config: ServingConfig | None = None
+    ) -> None:
+        self.quepa = quepa
+        self.config = config or ServingConfig()
+        self.scheduler = Scheduler(quepa, self.config)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "QuepaServer":
+        self.scheduler.start()
+        return self
+
+    def stop(self, drain: bool = True, timeout: float = 30.0) -> None:
+        self.scheduler.stop(drain=drain, timeout=timeout)
+
+    def __enter__(self) -> "QuepaServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- client API ----------------------------------------------------------
+
+    def submit_search(
+        self,
+        session: str,
+        database: str,
+        query: Any,
+        level: int = 0,
+        config: AugmentationConfig | None = None,
+        augment: bool = True,
+        deadline: float | None = None,
+    ) -> Ticket:
+        """Queue an augmented search; raises :class:`ServerBusy` if shed."""
+        request = Request(
+            self.scheduler.next_id(),
+            session,
+            "search",
+            database=database,
+            query=query,
+            level=level,
+            config=config,
+            augment=augment,
+            deadline=deadline,
+        )
+        return self.scheduler.submit(request)
+
+    def search(
+        self,
+        session: str,
+        database: str,
+        query: Any,
+        level: int = 0,
+        config: AugmentationConfig | None = None,
+        augment: bool = True,
+        deadline: float | None = None,
+        timeout: float | None = None,
+    ) -> Any:
+        """Submit and wait: the synchronous client call."""
+        ticket = self.submit_search(
+            session, database, query,
+            level=level, config=config, augment=augment, deadline=deadline,
+        )
+        return ticket.result(timeout)
+
+    def submit_augment(
+        self,
+        session: str,
+        key: GlobalKey,
+        level: int = 0,
+        deadline: float | None = None,
+    ) -> Ticket:
+        """Queue one exploration step (augment a single object)."""
+        request = Request(
+            self.scheduler.next_id(),
+            session,
+            "augment",
+            key=key,
+            level=level,
+            deadline=deadline,
+        )
+        return self.scheduler.submit(request)
+
+    def augment(
+        self,
+        session: str,
+        key: GlobalKey,
+        level: int = 0,
+        deadline: float | None = None,
+        timeout: float | None = None,
+    ) -> Any:
+        ticket = self.submit_augment(
+            session, key, level=level, deadline=deadline
+        )
+        return ticket.result(timeout)
+
+    def status(self) -> dict[str, Any]:
+        return self.scheduler.status()

@@ -17,6 +17,7 @@ many native operations an augmenter actually issued.
 
 from __future__ import annotations
 
+import threading
 import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
@@ -65,6 +66,19 @@ class Store(ABC):
         #: Name under which this store is attached to a polystore.
         self.database_name: str = ""
         self.stats = StoreStats()
+        #: Engine-level mutual exclusion. The engines themselves are
+        #: plain in-memory dicts with no internal locking (like an
+        #: embedded store); concurrent access goes through this lock.
+        #: Connectors and the Quepa search path take it around every
+        #: read, and writers that mutate a store while a server is
+        #: running must take it around every mutation:
+        #:
+        #:     with store.lock:
+        #:         store.insert(...)
+        #:
+        #: Reentrant, so an engine method may call another locked
+        #: method on the same store.
+        self.lock = threading.RLock()
 
     # -- native access ------------------------------------------------------
 

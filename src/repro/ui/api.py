@@ -52,6 +52,8 @@ from repro.errors import (
     KeyNotFoundError,
     NotAugmentableError,
     ReproError,
+    RequestDeadlineExceeded,
+    ServerBusy,
     UnknownAugmenterError,
     UnknownDatabaseError,
 )
@@ -138,13 +140,19 @@ def _answer_payload(answer: AugmentedAnswer) -> dict[str, Any]:
 class QuepaApi:
     """Routes REST-shaped requests onto a :class:`Quepa` instance."""
 
-    def __init__(self, quepa: Quepa) -> None:
+    def __init__(self, quepa: Quepa, server=None) -> None:
         self.quepa = quepa
+        #: Optional :class:`~repro.serving.QuepaServer`. When attached,
+        #: POST /query runs through its scheduler — concurrently, with
+        #: admission control — instead of under the global lock, and
+        #: GET /serving reports scheduler status.
+        self.server = server
         self._sessions: dict[str, ExplorationSession] = {}
         self._session_ids = itertools.count(1)
-        # One QUEPA instance serves one query at a time (its runtime and
-        # timer are per-instance state); parallelism is achieved by
-        # deploying more instances (Section III-A / repro.cluster).
+        # Without a serving layer, one QUEPA instance serves one query
+        # at a time (the classic runtime resets per-run state); the
+        # lock serializes those requests. With a server attached,
+        # queries bypass it and scheduling happens in repro.serving.
         self._lock = threading.Lock()
 
     # -- generic dispatch ----------------------------------------------------
@@ -162,10 +170,21 @@ class QuepaApi:
             for key, values in parse_qs(query_string).items()
         }
         try:
+            if self.server is not None and (method.upper(), parts) == (
+                "POST",
+                ["query"],
+            ):
+                # Scheduled path: concurrency control lives in the
+                # serving layer, not in this process-wide lock.
+                return self.query(body)
             with self._lock:
                 return self._route(method.upper(), parts, body, params)
         except ApiError:
             raise
+        except ServerBusy as exc:
+            raise ApiError(503, str(exc)) from exc
+        except RequestDeadlineExceeded as exc:
+            raise ApiError(504, str(exc)) from exc
         except NotAugmentableError as exc:
             raise ApiError(422, str(exc)) from exc
         except (UnknownDatabaseError, KeyNotFoundError) as exc:
@@ -209,6 +228,8 @@ class QuepaApi:
                 return self.events(params)
             case ("GET", ["faults"]):
                 return self.faults()
+            case ("GET", ["serving"]):
+                return self.serving()
         raise ApiError(404, f"no route for {method} /{'/'.join(parts)}")
 
     # -- endpoints ---------------------------------------------------------------
@@ -220,11 +241,34 @@ class QuepaApi:
         if level < 0:
             raise ApiError(400, "level must be >= 0")
         config = _parse_config(body.get("config"))
-        answer = self.quepa.augmented_search(
-            database, query, level=level,
-            config=config, augment=bool(body.get("augment", True)),
-        )
+        augment = bool(body.get("augment", True))
+        if self.server is not None:
+            deadline = body.get("deadline")
+            if deadline is not None:
+                deadline = float(deadline)
+                if deadline <= 0:
+                    raise ApiError(400, "deadline must be > 0")
+            answer = self.server.search(
+                str(body.get("session", "http")),
+                database,
+                query,
+                level=level,
+                config=config,
+                augment=augment,
+                deadline=deadline,
+            )
+        else:
+            answer = self.quepa.augmented_search(
+                database, query, level=level,
+                config=config, augment=augment,
+            )
         return _answer_payload(answer)
+
+    def serving(self) -> dict[str, Any]:
+        """Scheduler status, or ``enabled: false`` without a server."""
+        if self.server is None:
+            return {"serving": None, "enabled": False}
+        return {"serving": self.server.status(), "enabled": True}
 
     def open_exploration(self, body: Mapping[str, Any]) -> dict[str, Any]:
         database = _require(body, "database")

@@ -73,10 +73,19 @@ class QuepaHttpServer:
 
 
 def serve(
-    quepa: Quepa, host: str = "127.0.0.1", port: int = 8080
+    quepa: Quepa,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    server: Any | None = None,
 ) -> QuepaHttpServer:
-    """Start serving ``quepa`` over HTTP; ``port=0`` picks a free port."""
-    return QuepaHttpServer(QuepaApi(quepa), host, port).start()
+    """Start serving ``quepa`` over HTTP; ``port=0`` picks a free port.
+
+    Pass a started :class:`~repro.serving.QuepaServer` as ``server`` to
+    route ``POST /query`` through its scheduler (concurrent admission,
+    backpressure, deadlines) and expose ``GET /serving`` status.
+    """
+    api = QuepaApi(quepa, server=server)
+    return QuepaHttpServer(api, host, port).start()
 
 
 def _make_handler(api: QuepaApi) -> type[BaseHTTPRequestHandler]:

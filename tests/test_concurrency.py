@@ -1,0 +1,303 @@
+"""Concurrency stress suite (``-m concurrency``, excluded from tier 1).
+
+Many client threads hammer one shared :class:`Quepa` on the real
+runtime while a writer thread mutates stores (under ``store.lock``)
+and the A' index. The properties under stress:
+
+* no request raises, and every answer is well-formed (no torn reads);
+* :class:`FrozenAIndex` snapshot generations observed by any one
+  thread are monotonically non-decreasing (refreeze is race-free);
+* :class:`LruCache` counters stay self-consistent under a counted
+  concurrent hammering (``hits + misses == gets``);
+* the serving layer pushes >= 1000 concurrent requests with zero
+  drops: every request is accounted completed, and totals reconcile.
+
+Run with ``PYTHONPATH=src python -m pytest -q -m concurrency``.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.core import Quepa
+from repro.core.cache import LruCache
+from repro.model import GlobalKey, PRelation
+from repro.model.objects import DataObject
+from repro.network import RealRuntime, centralized_profile
+from repro.serving import LoadGenerator, QuepaServer, ServingConfig
+from repro.workloads import PolystoreScale, build_polyphony
+from repro.workloads.queries import QueryWorkload
+
+pytestmark = pytest.mark.concurrency
+
+K = GlobalKey.parse
+
+
+def _fresh_quepa():
+    """A private bundle per test: the writer thread mutates it."""
+    bundle = build_polyphony(
+        stores=4, scale=PolystoreScale(n_albums=60), seed=9
+    )
+    profile = centralized_profile(list(bundle.polystore))
+    quepa = Quepa(
+        bundle.polystore,
+        bundle.aindex,
+        profile=profile,
+        runtime=RealRuntime(profile),
+    )
+    return bundle, quepa
+
+
+def _assert_well_formed(answer) -> None:
+    """A served answer is structurally sound — never torn."""
+    assert answer.stats.original_count == len(answer.originals)
+    assert answer.stats.augmented_count == len(answer.augmented)
+    for augmented in answer.augmented:
+        assert 0.0 < augmented.probability <= 1.0
+        assert augmented.path, "augmented object lost its provenance"
+        assert augmented.source is not None
+
+
+class _Writer:
+    """Background mutator: inserts documents and grows the A' index."""
+
+    def __init__(self, bundle, quepa) -> None:
+        self.store = bundle.polystore.database("catalogue")
+        self.aindex = quepa.aindex
+        self.stop = threading.Event()
+        self.writes = 0
+        self.thread = threading.Thread(target=self._loop, daemon=True)
+
+    def _loop(self) -> None:
+        previous = None
+        while not self.stop.is_set():
+            i = self.writes
+            doc_id = f"writer-{i}"
+            with self.store.lock:
+                self.store.insert(
+                    "albums",
+                    {"_id": doc_id, "title": f"Stress {i}", "seq": -1},
+                )
+            key = K(f"catalogue.albums.{doc_id}")
+            if previous is not None:
+                # Each add bumps the index generation, forcing readers
+                # through the refreeze path over and over.
+                self.aindex.add(PRelation.identity(previous, key, 0.6))
+            previous = key
+            self.writes += 1
+            self.stop.wait(0.0005)
+
+    def __enter__(self) -> "_Writer":
+        self.thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop.set()
+        self.thread.join(timeout=10)
+
+
+def test_shared_quepa_survives_readers_plus_writer():
+    """8 reader threads x 64 searches against a mutating polystore."""
+    bundle, quepa = _fresh_quepa()
+    workload = QueryWorkload(bundle)
+    databases = [name for name, _ in bundle.databases]
+    readers, per_reader = 8, 64
+    baseline_generation = quepa.aindex.generation
+    errors: list[BaseException] = []
+    generation_regressions: list[tuple[int, int]] = []
+    lock = threading.Lock()
+
+    def reader(index: int) -> None:
+        rng = random.Random(f"reader:{index}")
+        last_generation = -1
+        for _ in range(per_reader):
+            database = rng.choice(databases)
+            query = workload.query(
+                database, rng.choice((8, 12)), variant=rng.randrange(4)
+            ).query
+            try:
+                answer = quepa.serve_search(
+                    database, query, level=rng.choice((1, 2))
+                )
+                _assert_well_formed(answer)
+                snapshot = quepa.aindex.frozen()
+                generation = snapshot.generation
+                assert generation is not None
+            except BaseException as exc:  # noqa: BLE001 - collected
+                with lock:
+                    errors.append(exc)
+                return
+            if generation < last_generation:
+                with lock:
+                    generation_regressions.append(
+                        (last_generation, generation)
+                    )
+            last_generation = generation
+
+    with _Writer(bundle, quepa) as writer:
+        threads = [
+            threading.Thread(target=reader, args=(i,))
+            for i in range(readers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    assert not errors, f"concurrent searches raised: {errors[:3]}"
+    assert not generation_regressions, (
+        f"frozen generations went backwards: {generation_regressions[:3]}"
+    )
+    assert writer.writes > 0, "the writer thread never got a turn"
+    # The writer's relations really landed while readers were active.
+    assert quepa.aindex.generation > baseline_generation
+    stats = quepa.cache.stats()
+    assert stats["hits"] + stats["misses"] >= 0
+    assert stats["size"] <= stats["capacity"]
+
+
+def test_refreeze_generations_are_monotonic_under_writes():
+    """Direct hammering of the refreeze path: concurrent frozen() calls
+    interleaved with writes never observe a generation regression and
+    never crash mid-freeze."""
+    bundle, quepa = _fresh_quepa()
+    aindex = quepa.aindex
+    stop = threading.Event()
+    errors: list[BaseException] = []
+    regressions: list[tuple[int, int]] = []
+    lock = threading.Lock()
+
+    def freezer() -> None:
+        last = -1
+        while not stop.is_set():
+            try:
+                snapshot = aindex.frozen()
+                generation = snapshot.generation
+                # The snapshot must be internally consistent: its CSR
+                # arrays were built under the index mutex.
+                assert generation is not None
+            except BaseException as exc:  # noqa: BLE001 - collected
+                with lock:
+                    errors.append(exc)
+                return
+            if generation < last:
+                with lock:
+                    regressions.append((last, generation))
+            last = generation
+
+    def mutator() -> None:
+        previous = K("catalogue.albums.freeze-0")
+        for i in range(1, 400):
+            key = K(f"catalogue.albums.freeze-{i}")
+            try:
+                aindex.add(PRelation.matching(previous, key, 0.5))
+            except BaseException as exc:  # noqa: BLE001 - collected
+                with lock:
+                    errors.append(exc)
+                return
+            previous = key
+        stop.set()
+
+    freezers = [threading.Thread(target=freezer) for _ in range(6)]
+    writer = threading.Thread(target=mutator)
+    for thread in freezers:
+        thread.start()
+    writer.start()
+    writer.join(timeout=60)
+    stop.set()
+    for thread in freezers:
+        thread.join(timeout=10)
+
+    assert not errors, f"refreeze raced: {errors[:3]}"
+    assert not regressions
+    assert aindex.frozen().generation == aindex.generation
+
+
+def test_lru_cache_counters_self_consistent_under_hammering():
+    """``hits + misses`` equals the exact number of get() calls issued,
+    even with concurrent putters evicting entries."""
+    cache = LruCache(capacity=64)
+    threads_n, gets_per_thread = 8, 2000
+    keys = [K(f"db.coll.k{i}") for i in range(256)]
+    objects = {
+        key: DataObject(key=key, value={"i": i})
+        for i, key in enumerate(keys)
+    }
+    errors: list[BaseException] = []
+    lock = threading.Lock()
+
+    def hammer(index: int) -> None:
+        rng = random.Random(index)
+        try:
+            for _ in range(gets_per_thread):
+                key = keys[rng.randrange(len(keys))]
+                if cache.get(key) is None:
+                    cache.put(objects[key])
+        except BaseException as exc:  # noqa: BLE001 - collected
+            with lock:
+                errors.append(exc)
+
+    threads = [
+        threading.Thread(target=hammer, args=(i,))
+        for i in range(threads_n)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert not errors
+    stats = cache.stats()
+    assert stats["hits"] + stats["misses"] == threads_n * gets_per_thread
+    assert stats["size"] <= stats["capacity"]
+    shard_hits = sum(s["hits"] for s in stats["shards"])
+    shard_misses = sum(s["misses"] for s in stats["shards"])
+    assert shard_hits == stats["hits"]
+    assert shard_misses == stats["misses"]
+
+
+def test_serving_layer_survives_1000_concurrent_requests():
+    """Acceptance: >= 1000 requests through the scheduler with zero
+    drops — every submission is accounted, none fail, none tear."""
+    bundle, quepa = _fresh_quepa()
+    workload = QueryWorkload(bundle)
+    clients, per_client = 8, 125  # 1000 requests total
+    with QuepaServer(
+        quepa,
+        ServingConfig(workers=8, queue_capacity=2048),
+    ) as server:
+        generator = LoadGenerator(
+            server,
+            workload,
+            sizes=(8, 12),
+            levels=(0, 1, 2),
+            seed=17,
+        )
+        report = generator.run(clients, per_client)
+        status = server.status()
+
+    assert report.completed == clients * per_client
+    assert report.shed == 0 and report.failed == 0
+    totals = status["totals"]
+    assert totals["submitted"] == clients * per_client
+    assert totals["completed"] == clients * per_client
+    assert totals["failed"] == 0
+    assert (
+        totals["submitted"]
+        == totals["admitted"] + totals["shed"]["queue_full"]
+    )
+    assert (
+        totals["admitted"]
+        == totals["completed"]
+        + totals["failed"]
+        + totals["shed"]["deadline"]
+    )
+    # Every client saw an answer for every request (nothing dropped).
+    for client_report in report.per_client:
+        assert client_report.completed == per_client
+        assert len(client_report.answer_sizes) == per_client
+        assert all(size >= 0 for size in client_report.answer_sizes)
+    assert status["latency_s"]["count"] == clients * per_client

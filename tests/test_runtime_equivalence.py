@@ -1,0 +1,104 @@
+"""Virtual and real runtimes are observationally equivalent.
+
+The virtual runtime exists so benchmarks are deterministic; the real
+runtime exists so the serving layer gets true concurrency. Neither may
+change *what* an augmented query answers — only how its time is
+accounted. This suite runs a seeded workload through all six augmenters
+under both runtimes and asserts the answer sets are identical
+object-for-object (order-insensitive, probabilities compared exactly
+after rounding away float formatting noise).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Quepa
+from repro.core.augmentation import AugmentationConfig
+from repro.core.augmenters import available_augmenters
+from repro.network import RealRuntime, VirtualRuntime, centralized_profile
+from repro.workloads.queries import QueryWorkload
+
+LEVELS = (0, 1, 2)
+
+
+def _answer_signature(answer):
+    """Order-insensitive identity of an augmented answer."""
+    originals = frozenset(str(o.key) for o in answer.originals)
+    augmented = frozenset(
+        (str(a.key), round(a.probability, 12)) for a in answer.augmented
+    )
+    return originals, augmented
+
+
+def _quepa(bundle, runtime_name: str) -> Quepa:
+    profile = centralized_profile(list(bundle.polystore))
+    runtime = (
+        VirtualRuntime(profile)
+        if runtime_name == "virtual"
+        else RealRuntime(profile)
+    )
+    return Quepa(
+        bundle.polystore, bundle.aindex, profile=profile, runtime=runtime
+    )
+
+
+def _run_workload(bundle, runtime_name: str, augmenter: str):
+    """Signatures of a fixed seeded workload under one configuration."""
+    quepa = _quepa(bundle, runtime_name)
+    workload = QueryWorkload(bundle)
+    config = AugmentationConfig(
+        augmenter=augmenter, batch_size=16, threads_size=4
+    )
+    signatures = []
+    for database, _ in bundle.databases:
+        for level in LEVELS:
+            query = workload.query(database, 12, variant=level).query
+            answer = quepa.augmented_search(
+                database, query, level=level, config=config
+            )
+            signatures.append(_answer_signature(answer))
+    return signatures
+
+
+def test_six_augmenters_registered():
+    assert sorted(available_augmenters()) == [
+        "batch", "inner", "outer", "outer_batch", "outer_inner",
+        "sequential",
+    ]
+
+
+@pytest.mark.parametrize("augmenter", sorted(available_augmenters()))
+def test_augmenter_answers_identical_across_runtimes(
+    small_bundle, augmenter
+):
+    virtual = _run_workload(small_bundle, "virtual", augmenter)
+    real = _run_workload(small_bundle, "real", augmenter)
+    assert virtual == real, (
+        f"{augmenter}: virtual and real runtimes answered differently"
+    )
+
+
+def test_all_augmenters_agree_with_each_other(small_bundle):
+    """The six strategies differ in cost, never in the answer set."""
+    per_augmenter = {
+        name: _run_workload(small_bundle, "virtual", name)
+        for name in available_augmenters()
+    }
+    reference_name = "sequential"
+    reference = per_augmenter[reference_name]
+    for name, signatures in per_augmenter.items():
+        assert signatures == reference, (
+            f"{name} disagrees with {reference_name}"
+        )
+
+
+def test_serve_search_matches_classic_search(small_bundle):
+    """The serving entry point answers exactly like the classic one."""
+    quepa = _quepa(small_bundle, "real")
+    workload = QueryWorkload(small_bundle)
+    for database, _ in small_bundle.databases:
+        query = workload.query(database, 10, variant=1).query
+        classic = quepa.augmented_search(database, query, level=1)
+        served = quepa.serve_search(database, query, level=1)
+        assert _answer_signature(classic) == _answer_signature(served)

@@ -1,0 +1,501 @@
+"""Unit tests of the serving layer: scheduler, server, loadgen, wiring.
+
+Deterministic by construction: tests that need a busy server block the
+worker pool on an Event via a stubbed ``serve_search``, so admission
+and shedding behaviour does not depend on timing.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.core import Quepa
+from repro.errors import RequestDeadlineExceeded, ServerBusy
+from repro.network import RealRuntime, centralized_profile
+from repro.serving import (
+    LoadGenerator,
+    QuepaServer,
+    ServingConfig,
+)
+from repro.workloads import PolystoreScale, build_polyphony
+from repro.workloads.queries import QueryWorkload
+
+from tests.conftest import make_mini_aindex, make_mini_polystore
+
+DOC_QUERY = {"collection": "albums", "filter": {}}
+
+
+def make_real_quepa() -> Quepa:
+    polystore = make_mini_polystore()
+    profile = centralized_profile(list(polystore))
+    return Quepa(
+        polystore,
+        make_mini_aindex(),
+        profile=profile,
+        runtime=RealRuntime(profile),
+    )
+
+
+class GatedQuepa:
+    """Fixture helper: a server whose executions block on an Event."""
+
+    def __init__(self, quepa: Quepa) -> None:
+        self.quepa = quepa
+        self.gate = threading.Event()
+        self.started = threading.Semaphore(0)
+        self.calls = 0
+        self._lock = threading.Lock()
+        self._real = quepa.serve_search
+        # Instance attribute shadows the bound method for this Quepa.
+        quepa.serve_search = self._gated  # type: ignore[method-assign]
+
+    def _gated(self, *args, **kwargs):
+        with self._lock:
+            self.calls += 1
+        self.started.release()
+        assert self.gate.wait(10), "test gate never opened"
+        return self._real(*args, **kwargs)
+
+
+# -- config validation -------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"workers": 0},
+        {"queue_capacity": 0},
+        {"max_inflight_per_session": 0},
+        {"default_deadline": 0.0},
+        {"default_deadline": -1.0},
+    ],
+)
+def test_serving_config_rejects_bad_knobs(kwargs):
+    with pytest.raises(ValueError):
+        ServingConfig(**kwargs)
+
+
+# -- basic serving -----------------------------------------------------------
+
+
+def test_search_returns_same_answer_as_direct_call():
+    quepa = make_real_quepa()
+    with QuepaServer(quepa, ServingConfig(workers=2)) as server:
+        served = server.search("alice", "catalogue", DOC_QUERY, level=1)
+    direct = quepa.serve_search("catalogue", DOC_QUERY, level=1)
+    assert {o.key for o in served.originals} == {
+        o.key for o in direct.originals
+    }
+    assert {a.object.key for a in served.augmented} == {
+        a.object.key for a in direct.augmented
+    }
+    assert not served.stats.degraded
+
+
+def test_submit_returns_ticket_and_result_blocks():
+    quepa = make_real_quepa()
+    with QuepaServer(quepa) as server:
+        ticket = server.submit_search("s1", "catalogue", DOC_QUERY, level=1)
+        answer = ticket.result(timeout=10)
+        assert ticket.done()
+        assert ticket.status == "completed"
+        assert answer.originals
+
+
+def test_submit_before_start_is_server_busy():
+    server = QuepaServer(make_real_quepa())
+    with pytest.raises(ServerBusy):
+        server.submit_search("s1", "catalogue", DOC_QUERY)
+
+
+def test_augment_request_kind():
+    quepa = make_real_quepa()
+    from repro.model import GlobalKey
+
+    with QuepaServer(quepa) as server:
+        links = server.augment("s1", GlobalKey.parse("catalogue.albums.d1"))
+    assert links, "d1 has p-relations in the mini index"
+
+
+# -- admission control / shedding -------------------------------------------
+
+
+def test_queue_full_sheds_with_server_busy():
+    quepa = make_real_quepa()
+    gated = GatedQuepa(quepa)
+    config = ServingConfig(
+        workers=1, queue_capacity=2, max_inflight_per_session=1
+    )
+    with QuepaServer(quepa, config) as server:
+        # One request occupies the worker...
+        running = server.submit_search("s1", "catalogue", DOC_QUERY)
+        assert gated.started.acquire(timeout=10)
+        # ...two fill the queue; the third is shed.
+        queued = [
+            server.submit_search("s1", "catalogue", DOC_QUERY)
+            for _ in range(2)
+        ]
+        with pytest.raises(ServerBusy):
+            server.submit_search("s1", "catalogue", DOC_QUERY)
+        gated.gate.set()
+        for ticket in [running, *queued]:
+            ticket.result(timeout=10)
+    totals = server.status()["totals"]
+    assert totals["submitted"] == 4
+    assert totals["admitted"] == 3
+    assert totals["shed"]["queue_full"] == 1
+    assert totals["completed"] == 3
+
+
+def test_deadline_expired_in_queue_is_shed():
+    quepa = make_real_quepa()
+    gated = GatedQuepa(quepa)
+    config = ServingConfig(workers=1, max_inflight_per_session=1)
+    with QuepaServer(quepa, config) as server:
+        blocker = server.submit_search("s1", "catalogue", DOC_QUERY)
+        assert gated.started.acquire(timeout=10)
+        doomed = server.submit_search(
+            "s1", "catalogue", DOC_QUERY, deadline=1e-9
+        )
+        gated.gate.set()
+        blocker.result(timeout=10)
+        with pytest.raises(RequestDeadlineExceeded):
+            doomed.result(timeout=10)
+        assert doomed.status == "shed"
+    totals = server.status()["totals"]
+    assert totals["shed"]["deadline"] == 1
+    assert totals["completed"] == 1
+
+
+def test_default_deadline_applies_to_requests_without_one():
+    quepa = make_real_quepa()
+    config = ServingConfig(workers=1, default_deadline=1e-9)
+    with QuepaServer(quepa, config) as server:
+        # Any wall time in the queue exceeds a nanosecond deadline, so
+        # the configured default sheds a request that carried none.
+        doomed = server.submit_search("s1", "catalogue", DOC_QUERY)
+        with pytest.raises(RequestDeadlineExceeded):
+            doomed.result(timeout=10)
+        assert doomed.status == "shed"
+    assert server.status()["totals"]["shed"]["deadline"] == 1
+
+
+def test_stop_without_drain_fails_queued_requests():
+    quepa = make_real_quepa()
+    gated = GatedQuepa(quepa)
+    config = ServingConfig(workers=1, max_inflight_per_session=1)
+    server = QuepaServer(quepa, config).start()
+    blocker = server.submit_search("s1", "catalogue", DOC_QUERY)
+    assert gated.started.acquire(timeout=10)
+    queued = server.submit_search("s1", "catalogue", DOC_QUERY)
+    gated.gate.set()
+    server.stop(drain=False)
+    blocker.result(timeout=10)
+    with pytest.raises(ServerBusy):
+        queued.result(timeout=10)
+
+
+# -- fairness ----------------------------------------------------------------
+
+
+def test_inflight_cap_leaves_room_for_other_sessions():
+    """A chatty session cannot monopolize the pool: with 2 workers and a
+    per-session cap of 1, a second session's request runs while the
+    first session still has queued work."""
+    quepa = make_real_quepa()
+    gated = GatedQuepa(quepa)
+    config = ServingConfig(
+        workers=2, queue_capacity=16, max_inflight_per_session=1
+    )
+    with QuepaServer(quepa, config) as server:
+        hog_tickets = [
+            server.submit_search("hog", "catalogue", DOC_QUERY)
+            for _ in range(4)
+        ]
+        # Only one hog request may start (cap), leaving a free worker.
+        assert gated.started.acquire(timeout=10)
+        assert not gated.started.acquire(timeout=0.2)
+        polite = server.submit_search("polite", "catalogue", DOC_QUERY)
+        assert gated.started.acquire(timeout=10), (
+            "second session should get the idle worker despite the "
+            "hog's queue"
+        )
+        gated.gate.set()
+        polite.result(timeout=10)
+        for ticket in hog_tickets:
+            ticket.result(timeout=10)
+    sessions = server.status()["sessions"]
+    assert sessions["hog"]["completed"] == 4
+    assert sessions["polite"]["completed"] == 1
+
+
+# -- observability -----------------------------------------------------------
+
+
+def test_metrics_and_events_record_admission_and_shedding():
+    quepa = make_real_quepa()
+    gated = GatedQuepa(quepa)
+    config = ServingConfig(
+        workers=1, queue_capacity=1, max_inflight_per_session=1
+    )
+    with QuepaServer(quepa, config) as server:
+        blocker = server.submit_search("s1", "catalogue", DOC_QUERY)
+        assert gated.started.acquire(timeout=10)
+        server.submit_search("s1", "catalogue", DOC_QUERY)
+        with pytest.raises(ServerBusy):
+            server.submit_search("s1", "catalogue", DOC_QUERY)
+        gated.gate.set()
+        blocker.result(timeout=10)
+        metrics = quepa.obs.metrics
+        assert (
+            metrics.counter(
+                "serving_requests_total", outcome="admitted"
+            ).value
+            == 2
+        )
+        assert (
+            metrics.counter("serving_shed_total", reason="queue_full").value
+            == 1
+        )
+        kinds = [event.kind for event in quepa.obs.events.events()]
+        assert "request_shed" in kinds
+    # Latency histogram fed by completions.
+    report = server.status()
+    assert report["latency_s"]["count"] == report["totals"]["completed"]
+
+
+def test_status_report_shape():
+    quepa = make_real_quepa()
+    with QuepaServer(quepa, ServingConfig(workers=2)) as server:
+        server.search("s1", "catalogue", DOC_QUERY, level=1)
+        report = server.status()
+        assert report["running"] is True
+        assert report["workers"] == 2
+        totals = report["totals"]
+        assert totals["submitted"] == totals["admitted"] + totals[
+            "shed"
+        ]["queue_full"]
+        assert (
+            totals["admitted"]
+            == totals["completed"]
+            + totals["failed"]
+            + totals["shed"]["deadline"]
+        )
+        session = report["sessions"]["s1"]
+        assert session["completed"] == 1
+        assert session["qps"] >= 0.0
+        assert json.dumps(report)  # JSON-ready
+
+
+def test_failed_request_reports_error_and_counts():
+    quepa = make_real_quepa()
+    with QuepaServer(quepa) as server:
+        ticket = server.submit_search("s1", "nosuchdb", DOC_QUERY)
+        with pytest.raises(Exception):
+            ticket.result(timeout=10)
+        assert ticket.status == "failed"
+    assert server.status()["totals"]["failed"] == 1
+
+
+# -- load generator ----------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def loadgen_bundle():
+    return build_polyphony(
+        stores=4, scale=PolystoreScale(n_albums=40), seed=11
+    )
+
+
+def test_loadgen_scripts_are_deterministic(loadgen_bundle):
+    workload = QueryWorkload(loadgen_bundle)
+    polystore = loadgen_bundle.polystore
+    profile = centralized_profile(list(polystore))
+    quepa = Quepa(
+        polystore,
+        loadgen_bundle.aindex,
+        profile=profile,
+        runtime=RealRuntime(profile),
+    )
+    server = QuepaServer(quepa)
+    gen_a = LoadGenerator(server, workload, seed=5)
+    gen_b = LoadGenerator(server, workload, seed=5)
+    gen_c = LoadGenerator(server, workload, seed=6)
+    assert gen_a.plan_for_client(0, 8) == gen_b.plan_for_client(0, 8)
+    assert gen_a.plan_for_client(0, 8) != gen_a.plan_for_client(1, 8)
+    assert gen_a.plan_for_client(0, 8) != gen_c.plan_for_client(0, 8)
+
+
+def test_loadgen_run_reconciles(loadgen_bundle):
+    workload = QueryWorkload(loadgen_bundle)
+    polystore = loadgen_bundle.polystore
+    profile = centralized_profile(list(polystore))
+    quepa = Quepa(
+        polystore,
+        loadgen_bundle.aindex,
+        profile=profile,
+        runtime=RealRuntime(profile),
+    )
+    with QuepaServer(quepa, ServingConfig(workers=4)) as server:
+        generator = LoadGenerator(server, workload, seed=5)
+        report = generator.run(clients=3, requests_per_client=4)
+        status = server.status()
+    assert report.completed + report.shed + report.failed == 12
+    assert report.failed == 0
+    totals = status["totals"]
+    assert totals["submitted"] == 12
+    assert (
+        totals["completed"]
+        == report.completed
+        == status["latency_s"]["count"]
+    )
+    assert report.qps > 0
+    assert report.latency_p50 <= report.latency_p95 <= report.latency_p99
+    payload = report.as_dict()
+    assert payload["clients"] == 3 and payload["completed"] == 12
+
+
+# -- HTTP / UI wiring --------------------------------------------------------
+
+
+def test_http_query_routes_through_scheduler_and_serving_endpoint():
+    from repro.ui.server import serve
+
+    quepa = make_real_quepa()
+    with QuepaServer(quepa, ServingConfig(workers=2)) as server:
+        endpoint = serve(quepa, port=0, server=server)
+        try:
+            body = json.dumps(
+                {
+                    "database": "catalogue",
+                    "query": DOC_QUERY,
+                    "level": 1,
+                    "session": "web",
+                }
+            ).encode()
+            request = urllib.request.Request(
+                endpoint.url + "/query",
+                data=body,
+                headers={"Content-Type": "application/json"},
+            )
+            payload = json.load(urllib.request.urlopen(request))
+            assert payload["originals"]
+            status = json.load(
+                urllib.request.urlopen(endpoint.url + "/serving")
+            )
+            assert status["enabled"] is True
+            assert status["serving"]["totals"]["completed"] == 1
+            assert "web" in status["serving"]["sessions"]
+        finally:
+            endpoint.shutdown()
+
+
+def test_http_serving_endpoint_without_server():
+    from repro.ui.server import serve
+
+    quepa = make_real_quepa()
+    endpoint = serve(quepa, port=0)
+    try:
+        status = json.load(
+            urllib.request.urlopen(endpoint.url + "/serving")
+        )
+        assert status == {"serving": None, "enabled": False}
+    finally:
+        endpoint.shutdown()
+
+
+def test_api_maps_server_busy_to_503():
+    from repro.ui.api import ApiError, QuepaApi
+
+    quepa = make_real_quepa()
+    server = QuepaServer(quepa)  # never started: submissions are busy
+    api = QuepaApi(quepa, server=server)
+    with pytest.raises(ApiError) as excinfo:
+        api.handle(
+            "POST",
+            "/query",
+            {"database": "catalogue", "query": DOC_QUERY},
+        )
+    assert excinfo.value.status == 503
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+def test_cli_loadgen_runs_and_prints_report():
+    from repro.cli import main
+
+    out = io.StringIO()
+    code = main(
+        [
+            "loadgen",
+            "--stores", "4",
+            "--albums", "30",
+            "--clients", "2",
+            "--requests", "3",
+            "--workers", "2",
+        ],
+        out=out,
+    )
+    text = out.getvalue()
+    assert code == 0
+    assert "loadgen: 2 clients x 3 requests" in text
+    assert "QPS" in text and "server:" in text
+
+
+def test_cli_loadgen_json_report():
+    from repro.cli import main
+
+    out = io.StringIO()
+    code = main(
+        [
+            "loadgen",
+            "--stores", "4",
+            "--albums", "30",
+            "--clients", "2",
+            "--requests", "2",
+            "--json",
+        ],
+        out=out,
+    )
+    assert code == 0
+    payload = json.loads(out.getvalue())
+    assert payload["load"]["completed"] + payload["load"]["shed"] == 4
+    assert payload["serving"]["totals"]["submitted"] == 4
+
+
+def test_cli_serve_binds_and_reports(tmp_path):
+    from repro.cli import main
+
+    out = io.StringIO()
+    snapshot = tmp_path / "snap"
+    assert (
+        main(
+            [
+                "generate",
+                "--stores", "4",
+                "--albums", "20",
+                "--out", str(snapshot),
+            ],
+            out=io.StringIO(),
+        )
+        == 0
+    )
+    code = main(
+        [
+            "serve",
+            "--snapshot", str(snapshot),
+            "--port", "0",
+            "--duration", "0.05",
+        ],
+        out=out,
+    )
+    text = out.getvalue()
+    assert code == 0
+    assert "serving" in text and "GET /serving" in text
+    assert "served 0 requests" in text

@@ -1,0 +1,230 @@
+"""Property tests: serving is answer-preserving and accountable.
+
+The serving layer adds scheduling, not semantics. For a seeded workload
+the properties are:
+
+1. **Equivalence** — every request that completes under concurrency K
+   returns exactly the answer the same request returns when executed
+   sequentially (order-insensitive object-for-object match).
+2. **Shed-only-missing** — requests the server shed (queue full or
+   deadline expired) are the *only* ones without answers; nothing else
+   is dropped and nothing fails.
+3. **Reconciliation** — the scheduler's meters add up exactly:
+   ``submitted == admitted + shed(queue_full)`` and, at quiescence,
+   ``admitted == completed + failed + shed(deadline)``; the client-side
+   view agrees with the server-side counters.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.core import Quepa
+from repro.errors import ServerBusy, ServingError
+from repro.network import RealRuntime, centralized_profile
+from repro.serving import QuepaServer, ServingConfig
+from repro.workloads import PolystoreScale, build_polyphony
+from repro.workloads.queries import QueryWorkload
+
+
+@pytest.fixture(scope="module")
+def props_bundle():
+    return build_polyphony(
+        stores=4, scale=PolystoreScale(n_albums=60), seed=13
+    )
+
+
+def _real_quepa(bundle) -> Quepa:
+    profile = centralized_profile(list(bundle.polystore))
+    return Quepa(
+        bundle.polystore,
+        bundle.aindex,
+        profile=profile,
+        runtime=RealRuntime(profile),
+    )
+
+
+def _plan_requests(bundle, seed: int, count: int):
+    """A seeded flat list of (database, query, level) requests."""
+    workload = QueryWorkload(bundle)
+    rng = random.Random(f"{seed}:serving-props")
+    databases = [name for name, _ in bundle.databases]
+    plan = []
+    for _ in range(count):
+        database = rng.choice(databases)
+        size = rng.choice((8, 12, 16))
+        level = rng.choice((0, 1, 2))
+        query = workload.query(database, size, variant=rng.randrange(4))
+        plan.append((database, query.query, level))
+    return plan
+
+
+def _signature(answer):
+    return (
+        frozenset(str(o.key) for o in answer.originals),
+        frozenset(
+            (str(a.key), round(a.probability, 12)) for a in answer.augmented
+        ),
+    )
+
+
+def _run_concurrently(bundle, plan, config: ServingConfig, clients: int):
+    """Fan the plan out over ``clients`` threads; collect per-request
+    outcomes as (index, status, signature-or-None)."""
+    quepa = _real_quepa(bundle)
+    outcomes: list[tuple[int, str, object]] = []
+    lock = threading.Lock()
+    with QuepaServer(quepa, config) as server:
+
+        def client(worker: int) -> None:
+            for index in range(worker, len(plan), clients):
+                database, query, level = plan[index]
+                try:
+                    answer = server.search(
+                        f"client-{worker}", database, query, level=level
+                    )
+                except (ServerBusy, ServingError):
+                    with lock:
+                        outcomes.append((index, "shed", None))
+                    continue
+                except Exception as exc:  # property 2: nothing may fail
+                    with lock:
+                        outcomes.append((index, "failed", repr(exc)))
+                    continue
+                with lock:
+                    outcomes.append(
+                        (index, "completed", _signature(answer))
+                    )
+
+        threads = [
+            threading.Thread(target=client, args=(i,))
+            for i in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        status = server.status()
+    return outcomes, status
+
+
+@pytest.mark.parametrize("seed,clients", [(0, 4), (1, 8)])
+def test_concurrent_answers_equal_sequential(props_bundle, seed, clients):
+    plan = _plan_requests(props_bundle, seed=seed, count=40)
+
+    # Sequential reference: same requests, one at a time.
+    sequential = _real_quepa(props_bundle)
+    reference = [
+        _signature(
+            sequential.serve_search(database, query, level=level)
+        )
+        for database, query, level in plan
+    ]
+
+    outcomes, status = _run_concurrently(
+        props_bundle,
+        plan,
+        ServingConfig(workers=clients, queue_capacity=len(plan)),
+        clients,
+    )
+
+    assert len(outcomes) == len(plan)
+    failures = [o for o in outcomes if o[1] == "failed"]
+    assert not failures, f"requests failed under concurrency: {failures}"
+    # Ample queue: nothing shed, so every single answer must match.
+    assert all(outcome[1] == "completed" for outcome in outcomes)
+    for index, _, signature in outcomes:
+        assert signature == reference[index], (
+            f"request {index} answered differently under concurrency"
+        )
+    totals = status["totals"]
+    assert totals["submitted"] == len(plan)
+    assert totals["completed"] == len(plan)
+    assert totals["failed"] == 0
+
+
+def test_shed_requests_are_the_only_missing_ones(props_bundle):
+    plan = _plan_requests(props_bundle, seed=2, count=60)
+    sequential = _real_quepa(props_bundle)
+    reference = [
+        _signature(sequential.serve_search(db, q, level=lvl))
+        for db, q, lvl in plan
+    ]
+
+    # A deliberately tiny server: 1 worker, 2 queue slots, 8 clients —
+    # shedding is expected, data loss is not.
+    outcomes, status = _run_concurrently(
+        props_bundle,
+        plan,
+        ServingConfig(
+            workers=1, queue_capacity=2, max_inflight_per_session=1
+        ),
+        clients=8,
+    )
+
+    assert len(outcomes) == len(plan)
+    by_status: dict[str, list] = {"completed": [], "shed": [], "failed": []}
+    for outcome in outcomes:
+        by_status[outcome[1]].append(outcome)
+    assert not by_status["failed"]
+    # Completed answers are exact; shed ones are absent, not torn.
+    for index, _, signature in by_status["completed"]:
+        assert signature == reference[index]
+    assert (
+        len(by_status["completed"]) + len(by_status["shed"]) == len(plan)
+    )
+
+    totals = status["totals"]
+    assert totals["submitted"] == len(plan)
+    assert (
+        totals["submitted"]
+        == totals["admitted"] + totals["shed"]["queue_full"]
+    )
+    assert (
+        totals["admitted"]
+        == totals["completed"]
+        + totals["failed"]
+        + totals["shed"]["deadline"]
+    )
+    # Client-side view agrees with the server-side meters.
+    assert len(by_status["completed"]) == totals["completed"]
+    assert (
+        len(by_status["shed"])
+        == totals["shed"]["queue_full"] + totals["shed"]["deadline"]
+    )
+
+
+def test_meters_reconcile_under_deadlines(props_bundle):
+    """Deadline shedding is metered exactly like queue-full shedding."""
+    plan = _plan_requests(props_bundle, seed=3, count=30)
+    outcomes, status = _run_concurrently(
+        props_bundle,
+        plan,
+        ServingConfig(
+            workers=2,
+            queue_capacity=len(plan),
+            default_deadline=1e-9,  # everything expires while queued
+        ),
+        clients=6,
+    )
+    assert len(outcomes) == len(plan)
+    assert not [o for o in outcomes if o[1] == "failed"]
+    totals = status["totals"]
+    assert totals["submitted"] == len(plan)
+    assert (
+        totals["admitted"]
+        == totals["completed"]
+        + totals["failed"]
+        + totals["shed"]["deadline"]
+    )
+    shed_client_side = sum(1 for o in outcomes if o[1] == "shed")
+    assert (
+        shed_client_side
+        == totals["shed"]["queue_full"] + totals["shed"]["deadline"]
+    )
+    # With a nanosecond deadline at least some requests must shed
+    # (a request can only survive if it started within ~0 wall time).
+    assert totals["shed"]["deadline"] >= 1
