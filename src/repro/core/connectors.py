@@ -41,14 +41,17 @@ class Connector:
         """One direct-access query for a single object."""
         # ``query`` is only stringified if a slow-query event fires, so
         # pass the key itself rather than formatting on the hot path.
-        if self.resilience is not None:
-            results = self.resilience.call(
-                ctx, self.database, lambda: self._get_list(key), query=key
+        op = lambda: self._get_list(key)  # noqa: E731
+        accelerator = ctx.accelerator
+        if accelerator is not None:
+            results = accelerator.fetch_many(
+                ctx,
+                self.database,
+                (key,),
+                lambda c: self._issue(c, op, key),
             )
         else:
-            results = ctx.store_call(
-                self.database, lambda: self._get_list(key), query=key
-            )
+            results = self._issue(ctx, op, key)
         return results[0] if results else None
 
     def fetch_many(
@@ -58,16 +61,33 @@ class Connector:
 
         This is the primitive the BATCH family of augmenters relies on:
         however many keys are in the group, it costs a single roundtrip.
+        With a store-call accelerator attached to the runtime (the
+        serving layer does this), the roundtrip may additionally be
+        coalesced with an identical concurrent fetch or hedged with a
+        backup call — either way the cache/faults/obs layers still see
+        exactly one logical call per physical roundtrip.
         """
         if not keys:
             return []
         op = lambda: self._multi_get(keys)  # noqa: E731
         query = ("multi_get", len(keys))
-        if self.resilience is not None:
+        accelerator = ctx.accelerator
+        if accelerator is not None:
             return list(
-                self.resilience.call(ctx, self.database, op, query=query)
+                accelerator.fetch_many(
+                    ctx,
+                    self.database,
+                    keys,
+                    lambda c: self._issue(c, op, query),
+                )
             )
-        return list(ctx.store_call(self.database, op, query=query))
+        return list(self._issue(ctx, op, query))
+
+    def _issue(self, ctx: ExecContext, op, query) -> Sequence[DataObject]:
+        """One physical store call, through resilience when attached."""
+        if self.resilience is not None:
+            return self.resilience.call(ctx, self.database, op, query=query)
+        return ctx.store_call(self.database, op, query=query)
 
     def _get_list(self, key: GlobalKey) -> list[DataObject]:
         # Single fetches ride the same native batch protocol as groups

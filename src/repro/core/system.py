@@ -631,27 +631,42 @@ class Quepa:
         return ExplorationSession(self, database, query)
 
     def augment_object(
-        self, key: GlobalKey, level: int = 0
+        self,
+        key: GlobalKey,
+        level: int = 0,
+        config: AugmentationConfig | None = None,
     ) -> list[AugmentedObject]:
         """Augment a single object (an exploration step at level 0).
 
         Uses the inner augmenter, which the paper singles out as the
         efficient choice when a single result is augmented at a time.
+        ``config`` overrides the batch/threads/degradation/budget knobs
+        of the step (the augmenter itself stays ``inner``).
         """
         ctx = self.runtime.root()
-        return self._augment_object_body(ctx, key, level, self._finish_timer)
+        return self._augment_object_body(
+            ctx, key, level, self._finish_timer, config=config
+        )
 
     def serve_augment_object(
-        self, key: GlobalKey, level: int = 0
+        self,
+        key: GlobalKey,
+        level: int = 0,
+        config: AugmentationConfig | None = None,
     ) -> list[AugmentedObject]:
         """Concurrency-safe :meth:`augment_object` for served sessions.
 
         Runs the exploration step on a fresh request context (no
         shared-state resets), so many exploration sessions can step
-        concurrently against one ``Quepa`` instance.
+        concurrently against one ``Quepa`` instance. ``config`` carries
+        the serving layer's effective per-request configuration — in
+        particular a deadline folded into ``timeout_budget``, which
+        must bound exploration steps exactly as it bounds searches.
         """
         ctx = self.runtime.request_context()
-        return self._augment_object_body(ctx, key, level, lambda: None)
+        return self._augment_object_body(
+            ctx, key, level, lambda: None, config=config
+        )
 
     def _augment_object_body(
         self,
@@ -659,20 +674,22 @@ class Quepa:
         key: GlobalKey,
         level: int,
         finish: Callable[[], None],
+        config: AugmentationConfig | None = None,
     ) -> list[AugmentedObject]:
         with ctx.span("plan", level=level, seeds=1) as span:
             plan = self.augmentation.plan([key], level=level)
             ctx.cpu(plan.edges_examined * ctx.cost_model.aindex_edge_cost)
             span.attrs["fetches"] = plan.total_fetches()
         augmenter = make_augmenter("inner", self.registry, self.cache)
+        base = config if config is not None else self.config
         step_config = self._apply_degradation(
             AugmentationConfig(
                 augmenter="inner",
-                batch_size=self.config.batch_size,
-                threads_size=self.config.threads_size,
+                batch_size=base.batch_size,
+                threads_size=base.threads_size,
                 cache_size=self.cache.capacity,
-                skip_unavailable=self.config.skip_unavailable,
-                timeout_budget=self.config.timeout_budget,
+                skip_unavailable=base.skip_unavailable,
+                timeout_budget=base.timeout_budget,
             )
         )
         outcome = augmenter.execute(ctx, plan, step_config)

@@ -8,9 +8,41 @@ augmentation, and the middleware baselines.
 
 from __future__ import annotations
 
+import copy
+
 
 class ReproError(Exception):
     """Base class for all errors raised by this package."""
+
+
+def clone_exception(exc: BaseException) -> BaseException:
+    """A fresh exception equivalent to ``exc``, safe to re-raise.
+
+    Re-raising a *stored* exception object (a worker's failure handed to
+    a waiting client, a coalesced flight's error shared by followers)
+    mutates its ``__traceback__`` in place, so a second re-raise shows a
+    stale, ever-growing traceback — and concurrent re-raises race on the
+    same object. Cloning gives every raise site its own object while
+    preserving the original's type, args, attributes and cause chain.
+
+    Falls back to the original object if the exception resists copying
+    (exotic ``__init__`` signatures); that keeps behaviour no worse than
+    the pre-clone world.
+    """
+    try:
+        clone = copy.copy(exc)
+    except Exception:
+        return exc
+    if clone is exc or type(clone) is not type(exc):
+        return exc
+    # Carry the chain and the original frames: the clone raises with the
+    # worker-side traceback attached, and propagation prepends the new
+    # frames onto a fresh linked list without touching the original's.
+    clone.__cause__ = exc.__cause__
+    clone.__context__ = exc.__context__
+    clone.__suppress_context__ = exc.__suppress_context__
+    clone.__traceback__ = exc.__traceback__
+    return clone
 
 
 # --------------------------------------------------------------------------

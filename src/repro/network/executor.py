@@ -128,6 +128,16 @@ class ExecContext(ABC):
         return self._runtime.obs
 
     @property
+    def accelerator(self):
+        """The runtime's store-call accelerator, or ``None``.
+
+        Connectors route ``multi_get`` fetches through it when present,
+        so coalescing/hedging apply to every fetch of every concurrent
+        request without the augmenters knowing.
+        """
+        return self._runtime.accelerator
+
+    @property
     @abstractmethod
     def now(self) -> float:
         """Current local time, in seconds (virtual or wall)."""
@@ -293,6 +303,12 @@ class Runtime(ABC):
         #: (the default) store calls take the plain hot path and the
         #: fault layer costs exactly one attribute check.
         self.faults = None
+        #: Optional store-call accelerator (single-flight coalescing +
+        #: hedging, :mod:`repro.serving.accel`). ``None`` by default:
+        #: connectors check one attribute and take the plain path. The
+        #: serving layer attaches one on :class:`RealRuntime` only —
+        #: virtual-time runs must stay deterministic.
+        self.accelerator = None
         #: Stable handle for the hot cpu() path (one lock, no lookup).
         self._cpu_seconds = self.obs.metrics.counter("cpu_seconds_total")
         self._pools_created = self.obs.metrics.counter("pools_created_total")

@@ -12,6 +12,9 @@ See docs/SERVING.md for the scheduler design, the admission and
 backpressure knobs, the metrics it publishes and the load generator.
 """
 
+from repro.serving.accel import StoreCallAccelerator
+from repro.serving.coalesce import SingleFlight
+from repro.serving.hedge import HedgePolicy
 from repro.serving.loadgen import (
     ClientReport,
     LoadGenerator,
@@ -28,6 +31,7 @@ from repro.serving.server import (
 
 __all__ = [
     "ClientReport",
+    "HedgePolicy",
     "LoadGenerator",
     "LoadReport",
     "PlannedRequest",
@@ -35,5 +39,7 @@ __all__ = [
     "Request",
     "Scheduler",
     "ServingConfig",
+    "SingleFlight",
+    "StoreCallAccelerator",
     "Ticket",
 ]

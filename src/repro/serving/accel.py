@@ -1,0 +1,81 @@
+"""The store-call accelerator: coalescing + hedging behind one handle.
+
+One :class:`StoreCallAccelerator` is attached to a
+:class:`~repro.network.executor.RealRuntime` by the scheduler
+(``runtime.accelerator``); connectors route every ``multi_get`` through
+:meth:`fetch_many` when it is present. Composition order matters:
+
+    coalesce( hedge( physical call ) )
+
+The coalescer decides whether a physical call happens at all (followers
+share the leader's flight); the hedger decides how the *one* physical
+call is raced against its backup. Virtual runtimes never get an
+accelerator — the fig09 virtual-time numbers stay bit-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.serving.coalesce import SingleFlight
+from repro.serving.hedge import HedgePolicy
+
+
+class StoreCallAccelerator:
+    """Runtime attachment combining single-flight coalescing + hedging."""
+
+    def __init__(
+        self,
+        runtime,
+        resilience=None,
+        coalesce: bool = True,
+        hedge: bool = False,
+        hedge_quantile: float = 0.95,
+        hedge_min_observations: int = 25,
+        hedge_min_delay: float = 0.0005,
+    ) -> None:
+        self.coalescer = (
+            SingleFlight(metrics=runtime.obs.metrics) if coalesce else None
+        )
+        self.closed = False
+        self.hedger = (
+            HedgePolicy(
+                runtime,
+                resilience=resilience,
+                quantile=hedge_quantile,
+                min_observations=hedge_min_observations,
+                min_delay=hedge_min_delay,
+            )
+            if hedge
+            else None
+        )
+
+    def fetch_many(
+        self,
+        ctx,
+        database: str,
+        keys: Iterable,
+        issue: Callable[[Any], Iterable],
+    ) -> list:
+        """One accelerated fetch; ``issue(ctx)`` is the physical call."""
+        hedger = self.hedger
+        if hedger is not None:
+            physical = lambda c: hedger.call(c, database, issue)  # noqa: E731
+        else:
+            physical = issue
+        if self.coalescer is not None:
+            return self.coalescer.fetch(ctx, database, keys, physical)
+        return list(physical(ctx))
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "coalesce": (
+                self.coalescer.stats() if self.coalescer else None
+            ),
+            "hedge": self.hedger.stats() if self.hedger else None,
+        }
+
+    def close(self) -> None:
+        self.closed = True
+        if self.hedger is not None:
+            self.hedger.close()

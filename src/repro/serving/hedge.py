@@ -1,0 +1,216 @@
+"""Hedged store calls: a backup request after the learned p95 delay.
+
+The tail-at-scale defence for one slow store call holding a serving
+worker hostage: once a call has been outstanding longer than the p95 of
+that store's observed latency, issue one backup call and take whichever
+finishes first. The delay is *learned* — read from the per-database
+``store_call_seconds`` histograms :mod:`repro.obs.metrics` already
+collects — so hedging arms itself only after ``min_observations``
+samples exist and fires on roughly the slowest ~5% of calls.
+
+Composition rules:
+
+* **Never hedge into an open breaker.** If the faults layer's circuit
+  breaker for the store is anything but closed, the backup is not sent
+  (``serving_hedge_skips_total{reason=breaker_open}``); the primary is
+  awaited as if hedging were off. Half-open breakers admit only counted
+  probes — a hedge would burn the probe budget.
+* Both attempts run through the full connector path (resilience,
+  fault injection, metering) on their own request contexts, so every
+  physical call is charged and observable exactly like an unhedged one.
+* Outcomes are charged to ``serving_hedges_total{outcome=...}``:
+  ``won`` (backup finished first), ``lost`` (primary finished first but
+  the backup had already started / both failed), ``cancelled`` (backup
+  revoked before it started).
+
+Hedging never changes an answer — both calls compute the same result;
+only latency (and physical call count) differs. The serving equivalence
+properties assert exactly that.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ThreadPoolExecutor,
+    TimeoutError as FutureTimeout,
+    wait as wait_futures,
+)
+from typing import Any, Callable
+
+
+def _consume(future: Future) -> None:
+    """Swallow the loser's eventual outcome (result or exception)."""
+    future.exception()
+
+
+class HedgePolicy:
+    """Issue backup store calls after a per-database learned delay."""
+
+    def __init__(
+        self,
+        runtime,
+        resilience=None,
+        quantile: float = 0.95,
+        min_observations: int = 25,
+        min_delay: float = 0.0005,
+        max_workers: int = 64,
+    ) -> None:
+        self._runtime = runtime
+        self._resilience = resilience
+        self._quantile = quantile
+        self._min_observations = min_observations
+        self._min_delay = min_delay
+        self._lock = threading.Lock()
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="quepa-hedge"
+        )
+        self._closed = False
+        self._outcomes = {"won": 0, "lost": 0, "cancelled": 0}
+        self._breaker_skips = 0
+
+    # -- the learned delay ---------------------------------------------------
+
+    def delay_for(self, database: str) -> float | None:
+        """The hedge delay for ``database``, or ``None`` to not hedge.
+
+        ``None`` until enough latency samples exist — a cold store has
+        no p95 to learn from, and hedging on a guess would double load
+        exactly when the system knows least.
+        """
+        hist = self._runtime.obs.metrics.histogram(
+            "store_call_seconds", database=database
+        )
+        if hist.count < self._min_observations:
+            return None
+        return max(hist.percentile(self._quantile), self._min_delay)
+
+    def _breaker_open(self, database: str) -> bool:
+        if self._resilience is None:
+            return False
+        breaker = self._resilience.breaker(database)
+        return breaker.state != breaker.CLOSED
+
+    # -- execution -----------------------------------------------------------
+
+    def call(
+        self, ctx, database: str, issue: Callable[[Any], Any]
+    ) -> Any:
+        """Run ``issue`` with hedging; first success wins.
+
+        ``issue(ctx)`` performs one physical call on the context it is
+        given; primary and backup each get a fresh request context
+        (inheriting the caller's active span) so their charges never
+        interleave on one context.
+        """
+        delay = self.delay_for(database)
+        if delay is None or self._closed:
+            return issue(ctx)
+        primary_ctx = self._child_ctx(ctx)
+        try:
+            primary = self._executor.submit(issue, primary_ctx)
+        except RuntimeError:  # shut down mid-call: serve unhedged
+            return issue(ctx)
+        try:
+            # A failure inside the delay window re-raises right here —
+            # identical to what the unhedged path would surface.
+            result = primary.result(timeout=delay)
+        except FutureTimeout:
+            pass
+        else:
+            self._propagate(ctx, primary_ctx)
+            return result
+        if self._breaker_open(database):
+            # The store is already suspect: one outstanding probe (or a
+            # fast-failing primary) is all the breaker allows.
+            with self._lock:
+                self._breaker_skips += 1
+            self._count_skip("breaker_open")
+            result = primary.result()
+            self._propagate(ctx, primary_ctx)
+            return result
+        backup_ctx = self._child_ctx(ctx)
+        backup = self._executor.submit(issue, backup_ctx)
+        return self._race(ctx, primary, primary_ctx, backup, backup_ctx)
+
+    def _race(self, ctx, primary, primary_ctx, backup, backup_ctx) -> Any:
+        """Wait for the first *successful* attempt; account the outcome."""
+        contexts = {primary: primary_ctx, backup: backup_ctx}
+        pending = {primary, backup}
+        primary_error: BaseException | None = None
+        backup_error: BaseException | None = None
+        while pending:
+            done, pending = wait_futures(
+                pending, return_when=FIRST_COMPLETED
+            )
+            for future in done:
+                try:
+                    result = future.result()
+                except BaseException as exc:
+                    if future is primary:
+                        primary_error = exc
+                    else:
+                        backup_error = exc
+                    continue
+                self._settle(future is backup, primary, backup)
+                self._propagate(ctx, contexts[future])
+                return result
+        # Both attempts failed: the hedge lost, the primary's error is
+        # the caller's error (same as the unhedged path would raise).
+        self._count("lost")
+        assert primary_error is not None or backup_error is not None
+        raise primary_error if primary_error is not None else backup_error
+
+    def _settle(self, backup_won: bool, primary, backup) -> None:
+        if backup_won:
+            self._count("won")
+            primary.add_done_callback(_consume)
+            return
+        if backup.cancel():
+            self._count("cancelled")
+        else:
+            self._count("lost")
+            backup.add_done_callback(_consume)
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _child_ctx(self, ctx):
+        child = self._runtime.request_context()
+        child._span_id = getattr(ctx, "_span_id", None)
+        return child
+
+    def _propagate(self, ctx, winner_ctx) -> None:
+        ctx.last_call_truncated = bool(
+            getattr(winner_ctx, "last_call_truncated", False)
+        )
+
+    def _count(self, outcome: str) -> None:
+        with self._lock:
+            self._outcomes[outcome] += 1
+        self._runtime.obs.metrics.counter(
+            "serving_hedges_total", outcome=outcome
+        ).inc()
+
+    def _count_skip(self, reason: str) -> None:
+        self._runtime.obs.metrics.counter(
+            "serving_hedge_skips_total", reason=reason
+        ).inc()
+
+    def close(self) -> None:
+        self._closed = True
+        self._executor.shutdown(wait=False)
+
+    def stats(self) -> dict[str, Any]:
+        """Hedge outcome tallies; ``win_rate`` = won / hedges issued."""
+        with self._lock:
+            outcomes = dict(self._outcomes)
+            skips = self._breaker_skips
+        issued = sum(outcomes.values())
+        return {
+            **outcomes,
+            "issued": issued,
+            "breaker_skips": skips,
+            "win_rate": outcomes["won"] / issued if issued else 0.0,
+        }

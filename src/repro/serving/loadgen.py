@@ -104,6 +104,9 @@ class LoadGenerator:
         levels: Sequence[int] = (1,),
         seed: int = 0,
         deadline: float | None = None,
+        hot_queries: int = 0,
+        hot_fraction: float = 0.0,
+        priority: str = "interactive",
     ) -> None:
         self.server = server
         self.workload = workload
@@ -114,26 +117,52 @@ class LoadGenerator:
         )
         if not self.databases:
             raise ValueError("load generator needs at least one database")
+        if not 0.0 <= hot_fraction <= 1.0:
+            raise ValueError("hot_fraction must be in [0, 1]")
         self.sizes = list(sizes)
         self.levels = list(levels)
         self.seed = seed
         self.deadline = deadline
+        #: Size of the shared hot-query pool and the probability that a
+        #: planned request is drawn from it instead of being private to
+        #: its client. A hot pool makes concurrent clients issue the
+        #: *same* queries — the workload shape single-flight coalescing
+        #: exists for. Zero (the default) keeps the legacy all-private
+        #: scripts byte-identical.
+        self.hot_queries = hot_queries
+        self.hot_fraction = hot_fraction
+        self.priority = priority
+        self._hot_pool: list[PlannedRequest] | None = None
+
+    def _planned(self, rng: random.Random) -> PlannedRequest:
+        database = rng.choice(self.databases)
+        size = rng.choice(self.sizes)
+        level = rng.choice(self.levels)
+        variant = rng.randrange(4)
+        query = self.workload.query(database, size, variant=variant)
+        return PlannedRequest(database, query.query, level, size)
+
+    def hot_pool(self) -> list[PlannedRequest]:
+        """The seeded hot-query pool, shared by every client."""
+        if self._hot_pool is None:
+            rng = random.Random(f"{self.seed}:loadgen:hot")
+            self._hot_pool = [
+                self._planned(rng) for _ in range(self.hot_queries)
+            ]
+        return self._hot_pool
 
     def plan_for_client(
         self, client_index: int, requests: int
     ) -> list[PlannedRequest]:
         """The deterministic request script of one client."""
         rng = random.Random(f"{self.seed}:loadgen:{client_index}")
+        pool = self.hot_pool()
         script: list[PlannedRequest] = []
         for _ in range(requests):
-            database = rng.choice(self.databases)
-            size = rng.choice(self.sizes)
-            level = rng.choice(self.levels)
-            variant = rng.randrange(4)
-            query = self.workload.query(database, size, variant=variant)
-            script.append(
-                PlannedRequest(database, query.query, level, size)
-            )
+            if pool and rng.random() < self.hot_fraction:
+                script.append(pool[rng.randrange(len(pool))])
+            else:
+                script.append(self._planned(rng))
         return script
 
     def run(
@@ -168,6 +197,7 @@ class LoadGenerator:
                         planned.query,
                         level=planned.level,
                         deadline=self.deadline,
+                        priority=self.priority,
                     )
                 except ServerBusy:
                     report.shed += 1

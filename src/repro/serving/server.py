@@ -17,9 +17,24 @@ layer for the reproduction:
   :class:`~repro.core.compressed.FrozenAIndex` snapshot pinned when it
   starts (see :meth:`Quepa.serve_search`), so concurrent p-relation
   writers never tear a traversal.
+* **Priority classes** — every request carries a priority class
+  (``interactive`` by default); classes share the workers by weighted
+  round-robin (default 3:1 interactive:batch), with per-session
+  fairness *within* each class. Workers sleep on real condition
+  signaling — a submission, completion or stop wakes them precisely,
+  with no polling.
 * **Per-request deadlines** — a wall-clock deadline sheds requests
   that expire while queued and is translated into the remaining
-  :attr:`AugmentationConfig.timeout_budget` for execution.
+  :attr:`AugmentationConfig.timeout_budget` for execution. Deadlines
+  that cannot possibly be met (already expired, or under
+  ``admission_deadline_floor`` while every worker is busy) are shed at
+  admission, before consuming a queue slot.
+* **Store-call acceleration** — on a :class:`RealRuntime` the
+  scheduler attaches a :class:`~repro.serving.accel.StoreCallAccelerator`
+  (single-flight coalescing of identical concurrent fetches, optional
+  hedged backup calls after the learned p95 delay) for the server's
+  lifetime. Virtual runtimes are never accelerated, keeping the
+  deterministic benchmark figures bit-identical.
 
 Everything is observable: an in-flight gauge, queue depth, admission
 counters, per-session QPS and latency histograms (feeding the existing
@@ -38,9 +53,14 @@ from typing import Any
 
 from repro.core.augmentation import AugmentationConfig
 from repro.core.system import Quepa
-from repro.errors import RequestDeadlineExceeded, ServerBusy
+from repro.errors import (
+    RequestDeadlineExceeded,
+    ServerBusy,
+    clone_exception,
+)
 from repro.model.objects import GlobalKey
 from repro.network.executor import RealRuntime
+from repro.serving.accel import StoreCallAccelerator
 
 
 @dataclass(frozen=True)
@@ -57,6 +77,30 @@ class ServingConfig:
     #: Default wall-clock deadline in seconds for requests that do not
     #: carry their own (``None`` = no deadline).
     default_deadline: float | None = None
+    #: Priority classes and their weighted-round-robin shares. Workers
+    #: take ``weight`` turns from a class before moving to the next;
+    #: within a class, sessions round-robin as before. ``interactive``
+    #: must be present — it is the default class of every request.
+    priority_weights: tuple[tuple[str, int], ...] = (
+        ("interactive", 3),
+        ("batch", 1),
+    )
+    #: Deadlines at or below this (seconds) are shed at admission when
+    #: every worker is already busy: the request could never be picked
+    #: up in time, so it should not consume a queue slot first.
+    admission_deadline_floor: float = 0.001
+    #: Coalesce identical concurrent store fetches (single-flight).
+    #: Real-runtime servers only; a no-op under virtual time.
+    coalesce: bool = True
+    #: Hedge slow store calls with a backup after the learned delay.
+    hedge: bool = False
+    #: Quantile of ``store_call_seconds`` the hedge delay is read from.
+    hedge_quantile: float = 0.95
+    #: Latency samples a store needs before hedging arms for it.
+    hedge_min_observations: int = 25
+    #: Floor on the hedge delay, seconds (avoids hedging every call
+    #: when a store is uniformly fast).
+    hedge_min_delay: float = 0.0005
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -67,6 +111,34 @@ class ServingConfig:
             raise ValueError("max_inflight_per_session must be >= 1")
         if self.default_deadline is not None and self.default_deadline <= 0:
             raise ValueError("default_deadline must be > 0")
+        if not self.priority_weights:
+            raise ValueError("priority_weights must not be empty")
+        seen: set[str] = set()
+        for name, weight in self.priority_weights:
+            if not name or not isinstance(name, str):
+                raise ValueError("priority class names must be strings")
+            if name in seen:
+                raise ValueError(f"duplicate priority class {name!r}")
+            seen.add(name)
+            if weight < 1:
+                raise ValueError("priority weights must be >= 1")
+        if "interactive" not in seen:
+            raise ValueError(
+                "priority_weights must include 'interactive' "
+                "(the default class of every request)"
+            )
+        if self.admission_deadline_floor < 0:
+            raise ValueError("admission_deadline_floor must be >= 0")
+        if not 0.0 < self.hedge_quantile < 1.0:
+            raise ValueError("hedge_quantile must be in (0, 1)")
+        if self.hedge_min_observations < 1:
+            raise ValueError("hedge_min_observations must be >= 1")
+        if self.hedge_min_delay < 0:
+            raise ValueError("hedge_min_delay must be >= 0")
+
+    @property
+    def priority_classes(self) -> tuple[str, ...]:
+        return tuple(name for name, _ in self.priority_weights)
 
 
 class Request:
@@ -74,8 +146,8 @@ class Request:
 
     __slots__ = (
         "id", "session", "kind", "database", "query", "level", "config",
-        "augment", "key", "deadline", "submitted_at", "started_at",
-        "finished_at", "status", "answer", "error", "done",
+        "augment", "key", "deadline", "priority", "submitted_at",
+        "started_at", "finished_at", "status", "answer", "error", "done",
     )
 
     def __init__(
@@ -91,6 +163,7 @@ class Request:
         augment: bool = True,
         key: GlobalKey | None = None,
         deadline: float | None = None,
+        priority: str = "interactive",
     ) -> None:
         self.id = request_id
         self.session = session
@@ -102,6 +175,7 @@ class Request:
         self.augment = augment
         self.key = key
         self.deadline = deadline
+        self.priority = priority
         self.submitted_at = 0.0
         self.started_at = 0.0
         self.finished_at = 0.0
@@ -133,14 +207,22 @@ class Ticket:
         return self._request.status
 
     def result(self, timeout: float | None = None) -> Any:
-        """Block until the request finishes; return or raise its outcome."""
+        """Block until the request finishes; return or raise its outcome.
+
+        Failures re-raise a *clone* of the stored exception, chained to
+        the original (``raise ... from``): re-raising the stored object
+        itself would mutate its ``__traceback__`` in place, so a second
+        ``result()`` call — or two clients sharing a ticket — would see
+        stale, ever-growing tracebacks.
+        """
         if not self._request.done.wait(timeout):
             raise TimeoutError(
                 f"request {self._request.id} still "
                 f"{self._request.status} after {timeout}s"
             )
-        if self._request.error is not None:
-            raise self._request.error
+        error = self._request.error
+        if error is not None:
+            raise clone_exception(error) from error
         return self._request.answer
 
 
@@ -154,11 +236,22 @@ class Scheduler:
         self.config = config or ServingConfig()
         self.obs = quepa.obs
         self._cond = threading.Condition()
-        #: session -> FIFO of queued requests.
-        self._queues: dict[str, deque[Request]] = {}
-        #: Round-robin order over sessions with queued work. A session
-        #: appears at most once; capped sessions stay in rotation.
-        self._order: deque[str] = deque()
+        #: priority class -> session -> FIFO of queued requests, plus a
+        #: per-class round-robin order over sessions with queued work (a
+        #: session appears at most once per class; capped sessions stay
+        #: in rotation). Workers sweep the classes by weighted
+        #: round-robin (see ``_rotation``).
+        self._queues: dict[str, dict[str, deque[Request]]] = {
+            name: {} for name in self.config.priority_classes
+        }
+        self._orders: dict[str, deque[str]] = {
+            name: deque() for name in self.config.priority_classes
+        }
+        #: The weighted class rotation: each class appears ``weight``
+        #: times, so a full sweep grants turns in the configured ratio.
+        self._rotation: deque[str] = deque()
+        for name, weight in self.config.priority_weights:
+            self._rotation.extend([name] * weight)
         self._queued = 0
         self._inflight = 0
         self._inflight_by_session: dict[str, int] = {}
@@ -167,13 +260,17 @@ class Scheduler:
         self._running = False
         self._draining = False
         self._started_at = 0.0
+        self._accelerator: StoreCallAccelerator | None = None
         # Reconciliation counters (also mirrored as obs metrics):
-        # submitted == admitted + shed_queue_full, and at quiescence
-        # admitted == completed + failed + shed_deadline.
+        # submitted == admitted + shed_queue_full +
+        # shed_deadline_admission, and at quiescence
+        # admitted == completed + failed + shed_deadline + shed_stopped.
         self._submitted = 0
         self._admitted = 0
         self._shed_queue_full = 0
         self._shed_deadline = 0
+        self._shed_deadline_admission = 0
+        self._shed_stopped = 0
         self._completed = 0
         self._failed = 0
         self._by_session: dict[str, dict[str, int]] = {}
@@ -192,6 +289,7 @@ class Scheduler:
             self._running = True
             self._draining = False
             self._started_at = time.monotonic()
+            self._attach_accelerator()
             self._threads = [
                 threading.Thread(
                     target=self._worker_loop,
@@ -203,42 +301,95 @@ class Scheduler:
         for thread in self._threads:
             thread.start()
 
+    def _attach_accelerator(self) -> None:
+        """Arm coalescing/hedging on the runtime for this server's life.
+
+        Real runtimes only: virtual time must stay deterministic, and a
+        virtual context cannot share flights across threads anyway.
+        """
+        config = self.config
+        if not (config.coalesce or config.hedge):
+            return
+        if not isinstance(self.quepa.runtime, RealRuntime):
+            return
+        if self._accelerator is None or self._accelerator.closed:
+            self._accelerator = StoreCallAccelerator(
+                self.quepa.runtime,
+                resilience=self.quepa.resilience,
+                coalesce=config.coalesce,
+                hedge=config.hedge,
+                hedge_quantile=config.hedge_quantile,
+                hedge_min_observations=config.hedge_min_observations,
+                hedge_min_delay=config.hedge_min_delay,
+            )
+        self.quepa.runtime.accelerator = self._accelerator
+
     def stop(self, drain: bool = True, timeout: float = 30.0) -> None:
         """Stop the workers; with ``drain`` finish queued work first."""
+        now = time.monotonic()
         with self._cond:
             if not self._running:
                 return
             self._draining = drain
             self._running = False
             if not drain:
-                # Fail whatever is still queued so no client blocks on
-                # a request that will never run.
-                for queue in self._queues.values():
-                    while queue:
-                        request = queue.popleft()
-                        self._queued -= 1
-                        request.status = "failed"
-                        request.error = ServerBusy(
-                            "server stopped before the request ran"
-                        )
-                        self._failed += 1
-                        self._session_stats(request.session)["failed"] += 1
-                        request.done.set()
-                self._order.clear()
+                # Shed whatever is still queued so no client blocks on
+                # a request that will never run. These are a distinct
+                # shed class — ``stopped`` — metered exactly like other
+                # sheds (prometheus counter + journal event) so the
+                # exported totals reconcile with ``status()``.
+                for queues in self._queues.values():
+                    for queue in queues.values():
+                        while queue:
+                            request = queue.popleft()
+                            self._queued -= 1
+                            request.status = "shed"
+                            request.error = ServerBusy(
+                                "server stopped before the request ran"
+                            )
+                            self._shed_stopped += 1
+                            self._session_stats(request.session)[
+                                "shed_stopped"
+                            ] += 1
+                            self.obs.metrics.counter(
+                                "serving_requests_total", outcome="shed"
+                            ).inc()
+                            self._emit_shed(request, "stopped", now)
+                            request.done.set()
+                for order in self._orders.values():
+                    order.clear()
                 self._depth_gauge.set(self._queued)
             self._cond.notify_all()
         for thread in self._threads:
             thread.join(timeout)
         self._threads = []
+        if self._accelerator is not None:
+            # Detach (new fetches take the plain path) but keep the
+            # object: its stats stay readable through status().
+            if self.quepa.runtime.accelerator is self._accelerator:
+                self.quepa.runtime.accelerator = None
+            self._accelerator.close()
 
     # -- submission ----------------------------------------------------------
 
     def submit(self, request: Request) -> Ticket:
-        """Admit (or shed) one request; never blocks on execution."""
+        """Admit (or shed) one request; never blocks on execution.
+
+        Sheds happen here in two ways: a full queue raises
+        :class:`ServerBusy`, and a deadline that cannot possibly be met
+        (already expired, or at/under ``admission_deadline_floor`` with
+        every worker busy) raises :class:`RequestDeadlineExceeded`
+        *before* the request consumes a queue slot and a worker pickup.
+        """
         now = time.monotonic()
         request.submitted_at = now
         if request.deadline is None:
             request.deadline = self.config.default_deadline
+        if request.priority not in self._queues:
+            raise ValueError(
+                f"unknown priority class {request.priority!r} "
+                f"(configured: {self.config.priority_classes})"
+            )
         with self._cond:
             if not self._running:
                 raise ServerBusy("server is not running")
@@ -253,13 +404,27 @@ class Scheduler:
                     f"admission queue full "
                     f"({self.config.queue_capacity} queued)"
                 )
+            if self._hopeless_deadline_locked(request.deadline):
+                self._shed_deadline_admission += 1
+                stats["shed_deadline_admission"] += 1
+                request.status = "shed"
+                request.error = RequestDeadlineExceeded(
+                    f"deadline of {request.deadline:.6f}s cannot be met "
+                    f"(all {self.config.workers} workers busy)"
+                )
+                request.done.set()
+                self._emit_shed(request, "deadline_at_admission", now)
+                raise request.error
             self._admitted += 1
             stats["admitted"] += 1
-            queue = self._queues.setdefault(request.session, deque())
+            queue = self._queues[request.priority].setdefault(
+                request.session, deque()
+            )
             queue.append(request)
             self._queued += 1
-            if len(queue) == 1 and request.session not in self._order:
-                self._order.append(request.session)
+            order = self._orders[request.priority]
+            if len(queue) == 1 and request.session not in order:
+                order.append(request.session)
             self._depth_gauge.set(self._queued)
             self.obs.metrics.counter(
                 "serving_requests_total", outcome="admitted"
@@ -274,6 +439,24 @@ class Scheduler:
             )
             self._cond.notify()
         return Ticket(request)
+
+    def _hopeless_deadline_locked(self, deadline: float | None) -> bool:
+        """Can this deadline not possibly be met? (Shed at admission.)
+
+        True when the deadline is already spent, or is at/under the
+        admission floor while every worker is busy — the request would
+        sit in the queue at least until a completion, by which point it
+        is guaranteed dead. Deadlines above the floor are admitted and
+        handled by the pickup-time check (they may still be met).
+        """
+        if deadline is None:
+            return False
+        if deadline <= 0:
+            return True
+        return (
+            deadline <= self.config.admission_deadline_floor
+            and self._inflight >= self.config.workers
+        )
 
     def next_id(self) -> int:
         return next(self._ids)
@@ -297,23 +480,43 @@ class Scheduler:
                     not self._draining or self._queued == 0
                 ):
                     return None
-                self._cond.wait(0.1)
+                # Precise wakeup: a submit, a completion (which may
+                # uncap a session) or stop() notifies; until then this
+                # worker sleeps — no polling interval to tune.
+                self._cond.wait()
 
     def _pick_locked(self) -> Request | None:
-        """Round-robin over sessions; FIFO within a session."""
+        """Weighted round-robin over classes, session RR within one.
+
+        A full sweep of the rotation visits each class ``weight``
+        times; empty classes cost one deque lookup each, so a sweep
+        with any runnable request always finds one.
+        """
+        for _ in range(len(self._rotation)):
+            name = self._rotation[0]
+            self._rotation.rotate(-1)
+            request = self._pick_class_locked(name)
+            if request is not None:
+                return request
+        return None
+
+    def _pick_class_locked(self, priority: str) -> Request | None:
+        """Round-robin over one class's sessions; FIFO within each."""
         cap = self.config.max_inflight_per_session
-        for _ in range(len(self._order)):
-            session = self._order.popleft()
-            queue = self._queues.get(session)
+        order = self._orders[priority]
+        queues = self._queues[priority]
+        for _ in range(len(order)):
+            session = order.popleft()
+            queue = queues.get(session)
             if not queue:
                 continue  # stale rotation entry
             if self._inflight_by_session.get(session, 0) >= cap:
-                self._order.append(session)  # capped: keep its turn
+                order.append(session)  # capped: keep its turn
                 continue
             request = queue.popleft()
             self._queued -= 1
             if queue:
-                self._order.append(session)
+                order.append(session)
             self._inflight_by_session[session] = (
                 self._inflight_by_session.get(session, 0) + 1
             )
@@ -385,8 +588,12 @@ class Scheduler:
     def _run(self, request: Request, waited: float) -> Any:
         config = self._effective_config(request, waited)
         if request.kind == "augment":
+            # The effective config (deadline folded into the timeout
+            # budget) applies to exploration steps exactly as it does
+            # to searches — dropping it here silently ignored per-
+            # request deadlines on the augment path.
             return self.quepa.serve_augment_object(
-                request.key, level=request.level
+                request.key, level=request.level, config=config
             )
         return self.quepa.serve_search(
             request.database,
@@ -432,6 +639,8 @@ class Scheduler:
                 "failed": 0,
                 "shed_queue_full": 0,
                 "shed_deadline": 0,
+                "shed_deadline_admission": 0,
+                "shed_stopped": 0,
             }
             self._by_session[session] = stats
         return stats
@@ -463,6 +672,10 @@ class Scheduler:
                 "shed": {
                     "queue_full": self._shed_queue_full,
                     "deadline": self._shed_deadline,
+                    "deadline_at_admission": (
+                        self._shed_deadline_admission
+                    ),
+                    "stopped": self._shed_stopped,
                 },
                 "completed": self._completed,
                 "failed": self._failed,
@@ -471,10 +684,22 @@ class Scheduler:
                 name: dict(stats)
                 for name, stats in sorted(self._by_session.items())
             }
-            queued_by_session = {
-                name: len(queue)
-                for name, queue in self._queues.items()
-                if queue
+            queued_by_session: dict[str, int] = {}
+            for queues in self._queues.values():
+                for name, queue in queues.items():
+                    if queue:
+                        queued_by_session[name] = (
+                            queued_by_session.get(name, 0) + len(queue)
+                        )
+            priorities = {
+                name: {
+                    "weight": weight,
+                    "queued": sum(
+                        len(queue)
+                        for queue in self._queues[name].values()
+                    ),
+                }
+                for name, weight in self.config.priority_weights
             }
             inflight_by_session = dict(self._inflight_by_session)
             report = {
@@ -489,6 +714,12 @@ class Scheduler:
                 "queue_depth": self._queued,
                 "inflight": self._inflight,
                 "totals": totals,
+                "priorities": priorities,
+                "accelerator": (
+                    self._accelerator.stats()
+                    if self._accelerator is not None
+                    else None
+                ),
             }
         metrics = self.obs.metrics
         latency = metrics.histogram("serving_latency_seconds")
@@ -560,6 +791,7 @@ class QuepaServer:
         config: AugmentationConfig | None = None,
         augment: bool = True,
         deadline: float | None = None,
+        priority: str = "interactive",
     ) -> Ticket:
         """Queue an augmented search; raises :class:`ServerBusy` if shed."""
         request = Request(
@@ -572,6 +804,7 @@ class QuepaServer:
             config=config,
             augment=augment,
             deadline=deadline,
+            priority=priority,
         )
         return self.scheduler.submit(request)
 
@@ -585,11 +818,13 @@ class QuepaServer:
         augment: bool = True,
         deadline: float | None = None,
         timeout: float | None = None,
+        priority: str = "interactive",
     ) -> Any:
         """Submit and wait: the synchronous client call."""
         ticket = self.submit_search(
             session, database, query,
             level=level, config=config, augment=augment, deadline=deadline,
+            priority=priority,
         )
         return ticket.result(timeout)
 
@@ -598,7 +833,9 @@ class QuepaServer:
         session: str,
         key: GlobalKey,
         level: int = 0,
+        config: AugmentationConfig | None = None,
         deadline: float | None = None,
+        priority: str = "interactive",
     ) -> Ticket:
         """Queue one exploration step (augment a single object)."""
         request = Request(
@@ -607,7 +844,9 @@ class QuepaServer:
             "augment",
             key=key,
             level=level,
+            config=config,
             deadline=deadline,
+            priority=priority,
         )
         return self.scheduler.submit(request)
 
@@ -616,11 +855,14 @@ class QuepaServer:
         session: str,
         key: GlobalKey,
         level: int = 0,
+        config: AugmentationConfig | None = None,
         deadline: float | None = None,
         timeout: float | None = None,
+        priority: str = "interactive",
     ) -> Any:
         ticket = self.submit_augment(
-            session, key, level=level, deadline=deadline
+            session, key, level=level, config=config,
+            deadline=deadline, priority=priority,
         )
         return ticket.result(timeout)
 

@@ -248,6 +248,14 @@ class QuepaApi:
                 deadline = float(deadline)
                 if deadline <= 0:
                     raise ApiError(400, "deadline must be > 0")
+            priority = str(body.get("priority", "interactive"))
+            classes = self.server.config.priority_classes
+            if priority not in classes:
+                raise ApiError(
+                    400,
+                    f"unknown priority {priority!r} "
+                    f"(one of: {', '.join(classes)})",
+                )
             answer = self.server.search(
                 str(body.get("session", "http")),
                 database,
@@ -256,6 +264,7 @@ class QuepaApi:
                 config=config,
                 augment=augment,
                 deadline=deadline,
+                priority=priority,
             )
         else:
             answer = self.quepa.augmented_search(

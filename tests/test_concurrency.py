@@ -285,15 +285,17 @@ def test_serving_layer_survives_1000_concurrent_requests():
     assert totals["submitted"] == clients * per_client
     assert totals["completed"] == clients * per_client
     assert totals["failed"] == 0
-    assert (
-        totals["submitted"]
-        == totals["admitted"] + totals["shed"]["queue_full"]
-    )
-    assert (
+    shed = totals["shed"]
+    assert totals["submitted"] == (
         totals["admitted"]
-        == totals["completed"]
+        + shed["queue_full"]
+        + shed["deadline_at_admission"]
+    )
+    assert totals["admitted"] == (
+        totals["completed"]
         + totals["failed"]
-        + totals["shed"]["deadline"]
+        + shed["deadline"]
+        + shed["stopped"]
     )
     # Every client saw an answer for every request (nothing dropped).
     for client_report in report.per_client:
@@ -301,3 +303,89 @@ def test_serving_layer_survives_1000_concurrent_requests():
         assert len(client_report.answer_sizes) == per_client
         assert all(size >= 0 for size in client_report.answer_sizes)
     assert status["latency_s"]["count"] == clients * per_client
+
+
+def test_coalescing_and_hedging_survive_hot_hammering():
+    """Stress the accelerator itself: a hot-query pool makes most of
+    the fleet issue identical requests at once (maximal single-flight
+    contention) while hedging is armed to fire on nearly every call.
+    Zero drops, zero failures, ledgers reconcile."""
+    bundle, quepa = _fresh_quepa()
+    workload = QueryWorkload(bundle)
+    clients, per_client = 8, 64
+    config = ServingConfig(
+        workers=8,
+        queue_capacity=1024,
+        coalesce=True,
+        hedge=True,
+        hedge_min_observations=1,
+        hedge_min_delay=0.0,
+    )
+    with QuepaServer(quepa, config) as server:
+        generator = LoadGenerator(
+            server,
+            workload,
+            sizes=(8, 12),
+            levels=(0, 1, 2),
+            seed=23,
+            hot_queries=6,
+            hot_fraction=0.75,
+        )
+        report = generator.run(clients, per_client)
+        status = server.status()
+
+    assert report.completed == clients * per_client
+    assert report.shed == 0 and report.failed == 0
+    accelerator = status["accelerator"]
+    assert accelerator is not None
+    coalesce = accelerator["coalesce"]
+    assert coalesce["leaders"] >= 1
+    assert coalesce["wait_timeouts"] == 0, "a leader wedged"
+    hedge = accelerator["hedge"]
+    assert hedge["issued"] == (
+        hedge["won"] + hedge["lost"] + hedge["cancelled"]
+    )
+    totals = status["totals"]
+    assert totals["admitted"] == totals["completed"]
+
+
+def test_mixed_priorities_under_stress_complete_everything():
+    """Interactive and batch fleets share the pool by weight; under
+    sustained full load neither class is starved or dropped."""
+    bundle, quepa = _fresh_quepa()
+    workload = QueryWorkload(bundle)
+    config = ServingConfig(workers=4, queue_capacity=1024)
+    with QuepaServer(quepa, config) as server:
+        interactive = LoadGenerator(
+            server, workload, sizes=(8,), levels=(0, 1), seed=31,
+            priority="interactive",
+        )
+        batch = LoadGenerator(
+            server, workload, sizes=(8,), levels=(0, 1), seed=32,
+            priority="batch",
+        )
+        reports = {}
+
+        def fleet(name, generator):
+            reports[name] = generator.run(
+                4, 40, session_prefix=name
+            )
+
+        threads = [
+            threading.Thread(
+                target=fleet, args=("interactive", interactive)
+            ),
+            threading.Thread(target=fleet, args=("batch", batch)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        status = server.status()
+
+    for name in ("interactive", "batch"):
+        assert reports[name].completed == 4 * 40, f"{name} dropped work"
+        assert reports[name].failed == 0
+    totals = status["totals"]
+    assert totals["completed"] == 2 * 4 * 40
+    assert totals["failed"] == 0

@@ -10,12 +10,19 @@ from __future__ import annotations
 import io
 import json
 import threading
+import time
 import urllib.request
 
 import pytest
 
 from repro.core import Quepa
-from repro.errors import RequestDeadlineExceeded, ServerBusy
+from repro.core.augmentation import AugmentationConfig
+from repro.errors import (
+    RequestDeadlineExceeded,
+    ServerBusy,
+    TimeoutExceeded,
+)
+from repro.model import GlobalKey
 from repro.network import RealRuntime, centralized_profile
 from repro.serving import (
     LoadGenerator,
@@ -73,6 +80,14 @@ class GatedQuepa:
         {"max_inflight_per_session": 0},
         {"default_deadline": 0.0},
         {"default_deadline": -1.0},
+        {"priority_weights": ()},
+        {"priority_weights": (("batch", 1),)},
+        {"priority_weights": (("interactive", 3), ("interactive", 1))},
+        {"priority_weights": (("interactive", 0),)},
+        {"admission_deadline_floor": -1.0},
+        {"hedge_quantile": 1.5},
+        {"hedge_min_observations": 0},
+        {"hedge_min_delay": -0.1},
     ],
 )
 def test_serving_config_rejects_bad_knobs(kwargs):
@@ -115,7 +130,6 @@ def test_submit_before_start_is_server_busy():
 
 def test_augment_request_kind():
     quepa = make_real_quepa()
-    from repro.model import GlobalKey
 
     with QuepaServer(quepa) as server:
         links = server.augment("s1", GlobalKey.parse("catalogue.albums.d1"))
@@ -159,9 +173,12 @@ def test_deadline_expired_in_queue_is_shed():
     with QuepaServer(quepa, config) as server:
         blocker = server.submit_search("s1", "catalogue", DOC_QUERY)
         assert gated.started.acquire(timeout=10)
+        # Above the admission floor, so the request is admitted; it
+        # then expires while the single worker is still blocked.
         doomed = server.submit_search(
-            "s1", "catalogue", DOC_QUERY, deadline=1e-9
+            "s1", "catalogue", DOC_QUERY, deadline=0.05
         )
+        time.sleep(0.1)
         gated.gate.set()
         blocker.result(timeout=10)
         with pytest.raises(RequestDeadlineExceeded):
@@ -170,6 +187,39 @@ def test_deadline_expired_in_queue_is_shed():
     totals = server.status()["totals"]
     assert totals["shed"]["deadline"] == 1
     assert totals["completed"] == 1
+
+
+def test_hopeless_deadline_is_shed_at_admission():
+    """A deadline at/under the floor with all workers busy is shed at
+    submit time, before consuming a queue slot — and metered as its own
+    shed class so the admission ledger still reconciles."""
+    quepa = make_real_quepa()
+    gated = GatedQuepa(quepa)
+    config = ServingConfig(workers=1, max_inflight_per_session=1)
+    with QuepaServer(quepa, config) as server:
+        blocker = server.submit_search("s1", "catalogue", DOC_QUERY)
+        assert gated.started.acquire(timeout=10)
+        with pytest.raises(RequestDeadlineExceeded):
+            server.submit_search(
+                "s1", "catalogue", DOC_QUERY, deadline=1e-9
+            )
+        gated.gate.set()
+        blocker.result(timeout=10)
+    totals = server.status()["totals"]
+    assert totals["shed"]["deadline_at_admission"] == 1
+    assert totals["shed"]["deadline"] == 0
+    assert totals["submitted"] == (
+        totals["admitted"]
+        + totals["shed"]["queue_full"]
+        + totals["shed"]["deadline_at_admission"]
+    )
+    metrics = quepa.obs.metrics
+    assert (
+        metrics.counter(
+            "serving_shed_total", reason="deadline_at_admission"
+        ).value
+        == 1
+    )
 
 
 def test_default_deadline_applies_to_requests_without_one():
@@ -185,7 +235,10 @@ def test_default_deadline_applies_to_requests_without_one():
     assert server.status()["totals"]["shed"]["deadline"] == 1
 
 
-def test_stop_without_drain_fails_queued_requests():
+def test_stop_without_drain_sheds_queued_requests_as_stopped():
+    """Non-drain stop() meters still-queued requests as shed(stopped):
+    their clients get ServerBusy, and the prometheus counter + journal
+    carry the distinct reason so the export reconciles."""
     quepa = make_real_quepa()
     gated = GatedQuepa(quepa)
     config = ServingConfig(workers=1, max_inflight_per_session=1)
@@ -193,11 +246,32 @@ def test_stop_without_drain_fails_queued_requests():
     blocker = server.submit_search("s1", "catalogue", DOC_QUERY)
     assert gated.started.acquire(timeout=10)
     queued = server.submit_search("s1", "catalogue", DOC_QUERY)
-    gated.gate.set()
-    server.stop(drain=False)
-    blocker.result(timeout=10)
+    # Stop from another thread: it sheds the queued request at once,
+    # then blocks joining the worker until the gate opens — so the
+    # shed is observed deterministically, before any pickup race.
+    stopper = threading.Thread(target=lambda: server.stop(drain=False))
+    stopper.start()
     with pytest.raises(ServerBusy):
         queued.result(timeout=10)
+    assert queued.status == "shed"
+    gated.gate.set()
+    stopper.join(timeout=30)
+    assert not stopper.is_alive()
+    blocker.result(timeout=10)
+    totals = server.status()["totals"]
+    assert totals["shed"]["stopped"] == 1
+    assert totals["failed"] == 0
+    assert totals["admitted"] == (
+        totals["completed"] + totals["shed"]["stopped"]
+    )
+    metrics = quepa.obs.metrics
+    assert (
+        metrics.counter("serving_shed_total", reason="stopped").value == 1
+    )
+    shed_events = quepa.obs.events.events(kind="request_shed")
+    assert any(
+        event.attrs.get("reason") == "stopped" for event in shed_events
+    )
 
 
 # -- fairness ----------------------------------------------------------------
@@ -277,15 +351,23 @@ def test_status_report_shape():
         assert report["running"] is True
         assert report["workers"] == 2
         totals = report["totals"]
-        assert totals["submitted"] == totals["admitted"] + totals[
-            "shed"
-        ]["queue_full"]
-        assert (
+        shed = totals["shed"]
+        assert totals["submitted"] == (
             totals["admitted"]
-            == totals["completed"]
-            + totals["failed"]
-            + totals["shed"]["deadline"]
+            + shed["queue_full"]
+            + shed["deadline_at_admission"]
         )
+        assert totals["admitted"] == (
+            totals["completed"]
+            + totals["failed"]
+            + shed["deadline"]
+            + shed["stopped"]
+        )
+        assert report["priorities"]["interactive"]["weight"] == 3
+        assert report["priorities"]["batch"]["weight"] == 1
+        # Real runtime + default coalesce=True: accelerator attached.
+        assert report["accelerator"] is not None
+        assert "coalesce" in report["accelerator"]
         session = report["sessions"]["s1"]
         assert session["completed"] == 1
         assert session["qps"] >= 0.0
@@ -300,6 +382,144 @@ def test_failed_request_reports_error_and_counts():
             ticket.result(timeout=10)
         assert ticket.status == "failed"
     assert server.status()["totals"]["failed"] == 1
+
+
+def test_failed_ticket_result_raises_a_fresh_clone_each_time():
+    """``result()`` must never re-raise the stored exception object:
+    raising mutates ``__traceback__`` in place, so a second call (or a
+    second client sharing the ticket) would see a stale, ever-growing
+    traceback. Each call raises a clone chained to the original."""
+    quepa = make_real_quepa()
+    with QuepaServer(quepa) as server:
+        ticket = server.submit_search("s1", "nosuchdb", DOC_QUERY)
+        with pytest.raises(Exception) as first:
+            ticket.result(timeout=10)
+        with pytest.raises(Exception) as second:
+            ticket.result(timeout=10)
+    stored = ticket._request.error
+    assert stored is not None
+    assert first.value is not stored
+    assert second.value is not stored
+    assert first.value is not second.value
+    assert type(first.value) is type(stored)
+    assert first.value.args == stored.args
+    # The clone is chained to the original for debuggability...
+    assert first.value.__cause__ is stored
+    # ...and raising it never rewrote the stored traceback.
+    assert stored.__traceback__ is not first.value.__traceback__
+
+
+# -- priorities --------------------------------------------------------------
+
+
+def test_submit_rejects_unknown_priority_class():
+    quepa = make_real_quepa()
+    with QuepaServer(quepa) as server:
+        with pytest.raises(ValueError, match="priority"):
+            server.submit_search(
+                "s1", "catalogue", DOC_QUERY, priority="bulk"
+            )
+
+
+def test_priority_classes_share_workers_by_weighted_round_robin():
+    """With the default 3:1 weights and one worker, queued interactive
+    and batch requests are picked in a 3-interactive-then-1-batch
+    pattern — batch shares the pool but never starves interactive."""
+    quepa = make_real_quepa()
+    order: list[str] = []
+    lock = threading.Lock()
+    gate = threading.Event()
+    started = threading.Semaphore(0)
+    real = quepa.serve_search
+
+    def tracking(database, query, **kwargs):
+        with lock:
+            order.append(
+                query.get("tag", "blocker")
+                if isinstance(query, dict)
+                else "?"
+            )
+        started.release()
+        assert gate.wait(10), "test gate never opened"
+        return real(database, DOC_QUERY, **kwargs)
+
+    quepa.serve_search = tracking  # type: ignore[method-assign]
+    config = ServingConfig(workers=1, max_inflight_per_session=16)
+    with QuepaServer(quepa, config) as server:
+        blocker = server.submit_search("s1", "catalogue", DOC_QUERY)
+        assert started.acquire(timeout=10)
+        tickets = []
+        for i in range(1, 5):
+            tickets.append(
+                server.submit_search(
+                    "s1", "catalogue",
+                    {**DOC_QUERY, "tag": f"i{i}"},
+                    priority="interactive",
+                )
+            )
+        for i in range(1, 5):
+            tickets.append(
+                server.submit_search(
+                    "s1", "catalogue",
+                    {**DOC_QUERY, "tag": f"b{i}"},
+                    priority="batch",
+                )
+            )
+        gate.set()
+        blocker.result(timeout=10)
+        for ticket in tickets:
+            ticket.result(timeout=10)
+    assert order[0] == "blocker"
+    picked = order[1:]
+    # Weighted sweep: 3 interactive turns, then 1 batch turn, until the
+    # interactive queue drains, after which batch gets every turn.
+    assert picked == ["i1", "i2", "b1", "i3", "i4", "b2", "b3", "b4"]
+
+
+# -- per-request config on the augment path ----------------------------------
+
+
+def test_augment_honours_per_request_config():
+    """Regression: the scheduler used to drop the computed effective
+    config on the augment path, silently ignoring per-request configs
+    and deadlines for exploration steps."""
+    quepa = make_real_quepa()
+    config = AugmentationConfig(timeout_budget=1e-12)
+    with QuepaServer(quepa) as server:
+        # skip_unavailable defaults to False (strict): an exhausted
+        # budget must surface as TimeoutExceeded, not complete happily.
+        with pytest.raises(TimeoutExceeded):
+            server.augment(
+                "s1",
+                GlobalKey.parse("catalogue.albums.d1"),
+                config=config,
+            )
+
+
+def test_augment_run_passes_effective_config():
+    """The deadline folded into the timeout budget reaches
+    serve_augment_object (regression: it was computed then dropped)."""
+    quepa = make_real_quepa()
+    captured = {}
+
+    def fake_augment(key, level=0, config=None):
+        captured["config"] = config
+        return []
+
+    quepa.serve_augment_object = fake_augment  # type: ignore[method-assign]
+    server = QuepaServer(quepa)
+    from repro.serving import Request
+
+    request = Request(
+        1,
+        "s1",
+        "augment",
+        key=GlobalKey.parse("catalogue.albums.d1"),
+        deadline=5.0,
+    )
+    server.scheduler._run(request, waited=1.0)
+    assert captured["config"] is not None
+    assert captured["config"].timeout_budget == pytest.approx(4.0)
 
 
 # -- load generator ----------------------------------------------------------
@@ -446,6 +666,28 @@ def test_cli_loadgen_runs_and_prints_report():
     assert code == 0
     assert "loadgen: 2 clients x 3 requests" in text
     assert "QPS" in text and "server:" in text
+
+
+def test_cli_loadgen_hedge_flag_arms_accelerator():
+    from repro.cli import main
+
+    out = io.StringIO()
+    code = main(
+        [
+            "loadgen",
+            "--stores", "4",
+            "--albums", "30",
+            "--clients", "2",
+            "--requests", "3",
+            "--workers", "2",
+            "--hedge",
+        ],
+        out=out,
+    )
+    text = out.getvalue()
+    assert code == 0
+    assert "coalesce:" in text
+    assert "hedge:" in text and "win rate" in text
 
 
 def test_cli_loadgen_json_report():

