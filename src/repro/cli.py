@@ -168,6 +168,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="workload query result-size knob")
     loadgen.add_argument("--level", type=int, default=1,
                          help="augmentation level of generated queries")
+    loadgen.add_argument("--zipf-s", type=float, default=0.0,
+                         dest="zipf_s",
+                         help="Zipf exponent for key-window skew "
+                              "(0 = legacy uniform variants)")
     loadgen.add_argument("--json", action="store_true", dest="as_json",
                          help="print the load report as JSON")
 
@@ -192,6 +196,12 @@ def _add_query_args(subparser) -> None:
     subparser.add_argument("--augmenter", default=None)
     subparser.add_argument("--batch-size", type=int, default=64)
     subparser.add_argument("--threads-size", type=int, default=4)
+    subparser.add_argument("--shards", type=int, default=1,
+                           help="partition every store and the A' index "
+                                "into this many shards (1 = unsharded)")
+    subparser.add_argument("--placement", default="hash",
+                           choices=("hash", "range"),
+                           help="shard placement scheme when --shards > 1")
 
 
 def _add_serving_args(subparser) -> None:
@@ -325,6 +335,14 @@ def _generate(args, out) -> int:
 
 def _load(args) -> Quepa:
     polystore, aindex = load_snapshot(args.snapshot)
+    shards = getattr(args, "shards", 1)
+    if shards > 1:
+        from repro.sharding import shard_aindex, shard_polystore
+
+        polystore = shard_polystore(
+            polystore, shards=shards, placement=args.placement
+        )
+        aindex = shard_aindex(aindex, shards=shards)
     return Quepa(polystore, aindex)
 
 
@@ -404,6 +422,11 @@ def _stats(args, out) -> int:
             f"{latency['max'] * 1000:9.3f}",
             file=out,
         )
+    shard_lines = _shard_metric_lines(metrics)
+    if shard_lines:
+        print("shard routing:", file=out)
+        for line in shard_lines:
+            print(line, file=out)
     print("span kinds:", file=out)
     summary = quepa.obs.tracer.summary()
     for kind in sorted(summary):
@@ -449,6 +472,42 @@ def _stats(args, out) -> int:
         for line in parse_lines:
             print(line, file=out)
     return 0
+
+
+def _shard_metric_lines(metrics) -> list[str]:
+    """Per-database shard-routing lines, empty when nothing is sharded.
+
+    Scatter fan-out comes from the ``augment_fanout_shards`` histogram,
+    pruning from the partition counters — all emitted only by sharded
+    routing, so an unsharded run prints no section at all.
+    """
+    fanout: dict[str, dict] = {}
+    scanned: dict[str, float] = {}
+    pruned: dict[str, float] = {}
+    for entry in metrics.snapshot():
+        database = entry["labels"].get("database", "")
+        if entry["name"] == "augment_fanout_shards":
+            fanout[database] = entry
+        elif entry["name"] == "shard_partitions_scanned_total":
+            scanned[database] = entry["value"]
+        elif entry["name"] == "shard_partitions_pruned_total":
+            pruned[database] = entry["value"]
+    lines = []
+    for database in sorted(set(fanout) | set(scanned) | set(pruned)):
+        histogram = fanout.get(database)
+        parts = [f"  {database:16s}"]
+        if histogram is not None and histogram["count"]:
+            parts.append(
+                f"fanout mean={histogram['mean']:.2f} "
+                f"max={histogram['max']:.0f} "
+                f"({histogram['count']} scatters)"
+            )
+        parts.append(
+            f"partitions scanned={scanned.get(database, 0):.0f} "
+            f"pruned={pruned.get(database, 0):.0f}"
+        )
+        lines.append(" ".join(parts))
+    return lines
 
 
 def _trace(args, out) -> int:
@@ -715,6 +774,7 @@ def _loadgen(args, out) -> int:
             levels=(args.level,),
             seed=args.seed,
             deadline=args.deadline,
+            zipf_s=args.zipf_s,
         )
         report = generator.run(args.clients, args.requests)
         status = server.status()

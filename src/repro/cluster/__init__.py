@@ -8,8 +8,19 @@ its own augmenter." This package implements that deployment:
 polystore, dispatches independent queries across them, keeps the
 replicas in sync on index maintenance, and accounts completion times on
 the shared virtual clock.
+:class:`~repro.cluster.sharded.ShardedCluster` grows the deployment
+from replicas to partitions: instances own disjoint shards of a
+:class:`~repro.sharding.aindex.ShardedAIndex` and index maintenance is
+routed only to owning shards.
 """
 
 from repro.cluster.cluster import ClusterResult, DispatchPolicy, QuepaCluster
+from repro.cluster.sharded import Delivery, ShardedCluster
 
-__all__ = ["ClusterResult", "DispatchPolicy", "QuepaCluster"]
+__all__ = [
+    "ClusterResult",
+    "Delivery",
+    "DispatchPolicy",
+    "QuepaCluster",
+    "ShardedCluster",
+]

@@ -185,7 +185,24 @@ class QuepaCluster:
 
     def _sync_lazy_deletions(self) -> None:
         """Re-broadcast deletions one replica discovered during a batch
-        (an object missing in the polystore is missing for everyone)."""
+        (an object missing in the polystore is missing for everyone).
+
+        Replica-only reconciliation: inferring deletions from node-set
+        differences is correct precisely because every instance holds a
+        *full* replica. A partitioned index (per-instance node sets
+        differ by design) must never run this union-diff — a key absent
+        from a non-owning partition would be mistaken for a deletion
+        and re-broadcast everywhere. ``ShardedCluster`` overrides this
+        with ownership-routed delivery of *recorded* deletions.
+        """
+        if any(
+            getattr(instance.quepa.aindex, "partitioned", False)
+            for instance in self._instances
+        ):
+            raise ConfigurationError(
+                "replica-style deletion sync cannot run over partitioned "
+                "indexes; use ShardedCluster"
+            )
         all_nodes: list[set[GlobalKey]] = [
             set(instance.quepa.aindex.nodes()) for instance in self._instances
         ]

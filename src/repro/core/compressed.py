@@ -65,16 +65,30 @@ class FrozenAIndex:
 
     @classmethod
     def freeze(cls, index: AIndex) -> "FrozenAIndex":
-        """Build a snapshot of ``index``, preserving its iteration order."""
+        """Build a snapshot of ``index``, preserving its iteration order.
+
+        Targets that are not themselves nodes of ``index`` are interned
+        as zero-degree ghost nodes appended after the real ones. A full
+        A' index never produces these (every edge endpoint is a node);
+        partition views of a sharded index do — their cross-shard
+        neighbour stubs point at nodes owned by other partitions.
+        """
         keys = list(index.nodes())
         ids = {key: i for i, key in enumerate(keys)}
         offsets = array("l", [0])
         targets = array("l")
         probabilities = array("d")
         is_identity: list[bool] = []
+        # Iterating a list while appending ghosts to it visits the
+        # ghosts too, giving them empty adjacency entries.
         for key in keys:
             for neighbor in index.neighbors(key):
-                targets.append(ids[neighbor.key])
+                target = ids.get(neighbor.key)
+                if target is None:
+                    target = len(keys)
+                    ids[neighbor.key] = target
+                    keys.append(neighbor.key)
+                targets.append(target)
                 probabilities.append(neighbor.probability)
                 is_identity.append(neighbor.type is RelationType.IDENTITY)
             offsets.append(len(targets))

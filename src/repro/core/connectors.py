@@ -104,6 +104,20 @@ class Connector:
             return self.store.multi_get(keys)
 
 
+def _make_connector(database: str, store: Store, resilience) -> Connector:
+    """The connector class appropriate for one store.
+
+    Sharded stores get the scatter-gather connector (parallel per-shard
+    ``multi_get`` with partition pruning); plain stores keep the base
+    connector, so the unsharded hot path is byte-for-byte unchanged.
+    """
+    if getattr(store, "sharded", False):
+        from repro.sharding.connector import ShardConnector
+
+        return ShardConnector(database, store, resilience)
+    return Connector(database, store, resilience)
+
+
 class ConnectorRegistry:
     """Connectors for every database of a polystore."""
 
@@ -111,7 +125,7 @@ class ConnectorRegistry:
         self.polystore = polystore
         self.resilience = resilience
         self._connectors = {
-            name: Connector(name, store, resilience)
+            name: _make_connector(name, store, resilience)
             for name, store in polystore.databases.items()
         }
 
@@ -121,7 +135,7 @@ class ConnectorRegistry:
         if cached is None or cached.store is not current:
             # The polystore may have grown, or the store may have been
             # detached and re-attached (e.g. recovery after an outage).
-            cached = Connector(database, current, self.resilience)
+            cached = _make_connector(database, current, self.resilience)
             self._connectors[database] = cached
         return cached
 

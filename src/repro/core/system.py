@@ -421,7 +421,8 @@ class Quepa:
         pooled = chosen.augmenter in (
             "inner", "outer", "outer_batch", "outer_inner",
         )
-        per_database: dict[str, dict[str, int]] = {}
+        per_database: dict[str, dict[str, Any]] = {}
+        keys_by_database: dict[str, list[Any]] = {}
         would_hit = 0
         seen: set[Any] = set()
         for fetch in plan.all_fetches():
@@ -432,14 +433,31 @@ class Quepa:
             if fetch.key in seen or self.cache.contains(fetch.key):
                 entry["cached"] += 1
                 would_hit += 1
+            else:
+                keys_by_database.setdefault(
+                    fetch.key.database, []
+                ).append(fetch.key)
             seen.add(fetch.key)
         estimated_queries = 1  # the local query
-        for entry in per_database.values():
+        for database, entry in per_database.items():
             misses = entry["fetches"] - entry["cached"]
             entry["estimated_queries"] = (
                 math.ceil(misses / chosen.batch_size) if batching else misses
             )
             estimated_queries += entry["estimated_queries"]
+            store = self.polystore.databases.get(database)
+            if getattr(store, "sharded", False):
+                # Shard routing for the keys this plan would actually
+                # fetch: which partitions the scatter must scan, and
+                # which the placement scheme provably prunes.
+                routing = store.route_keys(keys_by_database.get(database, []))
+                entry["sharding"] = {
+                    "placement": routing.placement,
+                    "shards": routing.shards,
+                    "fanout": routing.fanout,
+                    "scanned_partitions": routing.scanned,
+                    "pruned_partitions": routing.pruned,
+                }
         return {
             "augmenter": chosen.augmenter,
             "batching": batching,

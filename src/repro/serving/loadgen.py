@@ -18,6 +18,7 @@ from __future__ import annotations
 import random
 import threading
 import time
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
@@ -107,6 +108,8 @@ class LoadGenerator:
         hot_queries: int = 0,
         hot_fraction: float = 0.0,
         priority: str = "interactive",
+        zipf_s: float = 0.0,
+        zipf_variants: int = 16,
     ) -> None:
         self.server = server
         self.workload = workload
@@ -119,6 +122,10 @@ class LoadGenerator:
             raise ValueError("load generator needs at least one database")
         if not 0.0 <= hot_fraction <= 1.0:
             raise ValueError("hot_fraction must be in [0, 1]")
+        if zipf_s < 0.0:
+            raise ValueError("zipf_s must be >= 0")
+        if zipf_variants < 1:
+            raise ValueError("zipf_variants must be >= 1")
         self.sizes = list(sizes)
         self.levels = list(levels)
         self.seed = seed
@@ -132,13 +139,38 @@ class LoadGenerator:
         self.hot_queries = hot_queries
         self.hot_fraction = hot_fraction
         self.priority = priority
+        #: Seeded Zipfian key skew: with ``zipf_s > 0`` the query
+        #: *variant* (which shifts the key window, and therefore the
+        #: shards the query lands on) is drawn from a Zipf(s)
+        #: distribution over ``zipf_variants`` ranks instead of the
+        #: legacy uniform draw over 4. Rank 0 is the hottest window, so
+        #: a sharded deployment sees genuinely imbalanced partitions
+        #: rather than uniform load. Zero (the default) keeps legacy
+        #: scripts byte-identical.
+        self.zipf_s = zipf_s
+        self.zipf_variants = zipf_variants
+        if zipf_s > 0.0:
+            cumulative: list[float] = []
+            total = 0.0
+            for rank in range(1, zipf_variants + 1):
+                total += 1.0 / (rank ** zipf_s)
+                cumulative.append(total)
+            self._zipf_cdf: list[float] | None = cumulative
+        else:
+            self._zipf_cdf = None
         self._hot_pool: list[PlannedRequest] | None = None
 
     def _planned(self, rng: random.Random) -> PlannedRequest:
         database = rng.choice(self.databases)
         size = rng.choice(self.sizes)
         level = rng.choice(self.levels)
-        variant = rng.randrange(4)
+        if self._zipf_cdf is not None:
+            point = rng.random() * self._zipf_cdf[-1]
+            variant = min(
+                bisect_left(self._zipf_cdf, point), self.zipf_variants - 1
+            )
+        else:
+            variant = rng.randrange(4)
         query = self.workload.query(database, size, variant=variant)
         return PlannedRequest(database, query.query, level, size)
 

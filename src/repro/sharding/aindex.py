@@ -1,0 +1,517 @@
+"""A partitioned A' index whose p-relations may cross shard boundaries.
+
+``ShardedAIndex`` keeps the exact insertion semantics of
+:class:`~repro.core.aindex.AIndex` — supersedence, the Consistency
+Condition's identity/matching propagation, lineage, generations, lazy
+deletion — but stores each node's neighbour list in the partition that
+*owns the node*: an edge ``a -- b`` with ``shard(a) = i`` and
+``shard(b) = j`` records ``a → b`` in partition ``i`` and ``b → a`` in
+partition ``j``. Edges with ``i != j`` are additionally tracked in a
+cross-shard edge table, which is what cluster maintenance uses to route
+a deletion to every partition that holds a stub of the node.
+
+Freezing produces a :class:`ShardedFrozenAIndex`: one per-partition
+:class:`~repro.core.compressed.FrozenAIndex` CSR snapshot plus the
+cross-edge table. Because every node's full neighbour list lives in its
+owning partition (cross-shard neighbours included, as stubs), routing a
+traversal step to the owner's snapshot reproduces the unsharded
+``FrozenAIndex`` semantics edge-for-edge — per-node adjacency order is
+preserved, so the planner's tie-breaking is unchanged.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Callable, Iterable, Iterator
+from zlib import crc32
+
+from repro.core.aindex import AIndex, Neighbor, _pair
+from repro.errors import ConfigurationError
+from repro.model.objects import GlobalKey
+from repro.model.prelations import PRelation, RelationType
+
+
+def default_index_placement(shards: int) -> Callable[[GlobalKey], int]:
+    """Deterministic key→shard map for index nodes (CRC-32 of the
+    textual global key — stable across processes, like store routing)."""
+
+    def placement(key: GlobalKey) -> int:
+        return crc32(str(key).encode("utf-8")) % shards
+
+    return placement
+
+
+class ShardedAIndex:
+    """An A' index partitioned into per-shard adjacency maps."""
+
+    #: Marker for cluster machinery: node sets differ per partition by
+    #: design, so replica-style union-diff reconciliation must not run.
+    partitioned = True
+
+    def __init__(
+        self,
+        shards: int = 2,
+        enforce_consistency: bool = True,
+        placement: Callable[[GlobalKey], int] | None = None,
+    ) -> None:
+        if shards < 1:
+            raise ConfigurationError(
+                f"a sharded index needs at least one shard, got {shards}"
+            )
+        self.shards = shards
+        self._placement = placement or default_index_placement(shards)
+        #: shard -> key -> neighbour key -> (type, probability)
+        self._partitions: list[
+            dict[GlobalKey, dict[GlobalKey, tuple[RelationType, float]]]
+        ] = [{} for __ in range(shards)]
+        #: cross-shard edge table: pair -> (shard(a), shard(b))
+        self._cross: dict[
+            tuple[GlobalKey, GlobalKey], tuple[int, int]
+        ] = {}
+        self._lineage: dict[
+            tuple[GlobalKey, GlobalKey], set[tuple[GlobalKey, GlobalKey]]
+        ] = {}
+        self.enforce_consistency = enforce_consistency
+        self.generation = 0
+        self.refreezes = 0
+        self._frozen_snapshot = None
+        self._frozen_generation = -1
+        self._mutex = threading.RLock()
+
+    # -- partitioning ----------------------------------------------------------
+
+    def shard_of(self, key: GlobalKey) -> int:
+        return self._placement(key)
+
+    def owning_shards(self, key: GlobalKey) -> set[int]:
+        """Partitions holding any adjacency entry for ``key``: its home
+        shard plus every shard owning one of its neighbours (which hold
+        reverse stubs). This is the broadcast target set for a
+        deletion."""
+        with self._mutex:
+            home = self.shard_of(key)
+            owners = {home}
+            for other in self._partitions[home].get(key, {}):
+                owners.add(self.shard_of(other))
+            return owners
+
+    def cross_edges(self) -> dict[tuple[GlobalKey, GlobalKey], tuple[int, int]]:
+        with self._mutex:
+            return dict(self._cross)
+
+    def partition_node_counts(self) -> list[int]:
+        with self._mutex:
+            return [len(partition) for partition in self._partitions]
+
+    # -- size ------------------------------------------------------------------
+
+    def node_count(self) -> int:
+        return sum(len(partition) for partition in self._partitions)
+
+    def edge_count(self) -> int:
+        with self._mutex:
+            return (
+                sum(
+                    len(adjacency)
+                    for partition in self._partitions
+                    for adjacency in partition.values()
+                )
+                // 2
+            )
+
+    def __contains__(self, key: GlobalKey) -> bool:
+        return key in self._partitions[self.shard_of(key)]
+
+    def nodes(self) -> Iterator[GlobalKey]:
+        return itertools.chain.from_iterable(self._partitions)
+
+    # -- insertion (AIndex semantics, partition-aware storage) -----------------
+
+    def add(self, relation: PRelation) -> None:
+        with self._mutex:
+            inferred = self._set_edge(
+                relation.left,
+                relation.right,
+                relation.type,
+                relation.probability,
+            )
+            if not inferred or not self.enforce_consistency:
+                return
+            if relation.type is RelationType.IDENTITY:
+                self._propagate_identity(relation)
+            else:
+                self._propagate_matching(relation)
+
+    def add_all(self, relations: Iterable[PRelation]) -> None:
+        with self._mutex:
+            for relation in relations:
+                self.add(relation)
+
+    def _adjacency_of(
+        self, key: GlobalKey
+    ) -> dict[GlobalKey, tuple[RelationType, float]]:
+        return self._partitions[self.shard_of(key)].get(key, {})
+
+    def _set_edge(
+        self,
+        a: GlobalKey,
+        b: GlobalKey,
+        rel_type: RelationType,
+        probability: float,
+    ) -> bool:
+        if a == b:
+            return False
+        shard_a = self.shard_of(a)
+        shard_b = self.shard_of(b)
+        existing = self._partitions[shard_a].get(a, {}).get(b)
+        if existing is not None:
+            current_type, current_probability = existing
+            if (
+                current_type is RelationType.IDENTITY
+                and rel_type is RelationType.MATCHING
+            ):
+                return False
+            if current_type is rel_type and current_probability >= probability:
+                return False
+        self._partitions[shard_a].setdefault(a, {})[b] = (
+            rel_type, probability,
+        )
+        self._partitions[shard_b].setdefault(b, {})[a] = (
+            rel_type, probability,
+        )
+        if shard_a != shard_b:
+            self._cross[_pair(a, b)] = (shard_a, shard_b)
+        self.generation += 1
+        return True
+
+    def _propagate_identity(self, relation: PRelation) -> None:
+        for anchor, other in (
+            (relation.left, relation.right),
+            (relation.right, relation.left),
+        ):
+            for neighbor_key, (n_type, n_prob) in list(
+                self._adjacency_of(other).items()
+            ):
+                if neighbor_key == anchor:
+                    continue
+                combined = relation.probability * n_prob
+                if combined <= 0.0:
+                    continue
+                if self._set_edge(anchor, neighbor_key, n_type, combined):
+                    self._record_lineage(
+                        anchor, neighbor_key,
+                        supports=[(anchor, other), (other, neighbor_key)],
+                    )
+                    if n_type is RelationType.IDENTITY:
+                        self._propagate_identity(
+                            PRelation.identity(anchor, neighbor_key, combined)
+                        )
+
+    def _propagate_matching(self, relation: PRelation) -> None:
+        left_class = self._identity_class(relation.left)
+        right_class = self._identity_class(relation.right)
+        for x, p_left in left_class.items():
+            for y, p_right in right_class.items():
+                if x == y or (x, y) == (relation.left, relation.right):
+                    continue
+                combined = p_left * relation.probability * p_right
+                if combined <= 0.0:
+                    continue
+                if self._set_edge(x, y, RelationType.MATCHING, combined):
+                    self._record_lineage(
+                        x, y, supports=[(relation.left, relation.right)],
+                    )
+
+    def _identity_class(self, key: GlobalKey) -> dict[GlobalKey, float]:
+        members = {key: 1.0}
+        for neighbor_key, (n_type, n_prob) in self._adjacency_of(key).items():
+            if n_type is RelationType.IDENTITY:
+                members[neighbor_key] = n_prob
+        return members
+
+    def _record_lineage(
+        self,
+        a: GlobalKey,
+        b: GlobalKey,
+        supports: list[tuple[GlobalKey, GlobalKey]],
+    ) -> None:
+        self._lineage.setdefault(_pair(a, b), set()).update(
+            _pair(x, y) for x, y in supports
+        )
+
+    def copy(self) -> "ShardedAIndex":
+        replica = ShardedAIndex(
+            shards=self.shards,
+            enforce_consistency=self.enforce_consistency,
+            placement=self._placement,
+        )
+        with self._mutex:
+            replica._partitions = [
+                {key: dict(adjacency) for key, adjacency in partition.items()}
+                for partition in self._partitions
+            ]
+            replica._cross = dict(self._cross)
+            replica._lineage = {
+                pair: set(supports)
+                for pair, supports in self._lineage.items()
+            }
+        return replica
+
+    # -- read snapshot ---------------------------------------------------------
+
+    def frozen(self) -> "ShardedFrozenAIndex":
+        if self._frozen_generation == self.generation:
+            return self._frozen_snapshot
+        with self._mutex:
+            if self._frozen_generation != self.generation:
+                self._frozen_snapshot = ShardedFrozenAIndex.freeze(self)
+                self._frozen_generation = self.generation
+                self.refreezes += 1
+            return self._frozen_snapshot
+
+    # -- queries ---------------------------------------------------------------
+
+    def neighbors(
+        self, key: GlobalKey, rel_type: RelationType | None = None
+    ) -> list[Neighbor]:
+        with self._mutex:
+            adjacency = self._adjacency_of(key)
+            if not adjacency:
+                return []
+            return [
+                Neighbor(other, edge_type, probability)
+                for other, (edge_type, probability) in adjacency.items()
+                if rel_type is None or edge_type is rel_type
+            ]
+
+    def neighbor_arcs(
+        self, key: GlobalKey
+    ) -> list[tuple[GlobalKey, float]]:
+        with self._mutex:
+            adjacency = self._adjacency_of(key)
+            if not adjacency:
+                return []
+            return [
+                (other, probability)
+                for other, (__, probability) in adjacency.items()
+            ]
+
+    def relation(self, a: GlobalKey, b: GlobalKey) -> PRelation | None:
+        edge = self._adjacency_of(a).get(b)
+        if edge is None:
+            return None
+        edge_type, probability = edge
+        return PRelation(a, b, edge_type, probability)
+
+    def degree(self, key: GlobalKey) -> int:
+        return len(self._adjacency_of(key))
+
+    # -- deletion --------------------------------------------------------------
+
+    def remove_object(self, key: GlobalKey) -> int:
+        with self._mutex:
+            home = self.shard_of(key)
+            adjacency = self._partitions[home].pop(key, None)
+            if adjacency is None:
+                return 0
+            for other in adjacency:
+                owner = self.shard_of(other)
+                self._partitions[owner].get(other, {}).pop(key, None)
+                self._cross.pop(_pair(key, other), None)
+            self.generation += 1
+            return len(adjacency)
+
+    def remove_relation(
+        self, a: GlobalKey, b: GlobalKey, cascade: bool = False
+    ) -> int:
+        with self._mutex:
+            shard_a = self.shard_of(a)
+            if self._partitions[shard_a].get(a, {}).pop(b, None) is None:
+                return 0
+            shard_b = self.shard_of(b)
+            self._partitions[shard_b].get(b, {}).pop(a, None)
+            self._cross.pop(_pair(a, b), None)
+            self.generation += 1
+            removed = 1
+            removed_pair = _pair(a, b)
+            self._lineage.pop(removed_pair, None)
+            if cascade:
+                dependents = [
+                    pair
+                    for pair, supports in self._lineage.items()
+                    if removed_pair in supports
+                ]
+                for pair in dependents:
+                    removed += self.remove_relation(
+                        pair[0], pair[1], cascade=True
+                    )
+            return removed
+
+    def is_inferred(self, a: GlobalKey, b: GlobalKey) -> bool:
+        return _pair(a, b) in self._lineage
+
+
+class _PartitionView:
+    """A read adapter over one partition, shaped for
+    :meth:`FrozenAIndex.freeze` (``nodes()`` + ``neighbors()``)."""
+
+    def __init__(self, index: ShardedAIndex, shard: int) -> None:
+        self._partition = index._partitions[shard]
+        self.generation = index.generation
+
+    def nodes(self) -> Iterator[GlobalKey]:
+        return iter(self._partition)
+
+    def neighbors(self, key: GlobalKey) -> list[Neighbor]:
+        return [
+            Neighbor(other, edge_type, probability)
+            for other, (edge_type, probability) in self._partition.get(
+                key, {}
+            ).items()
+        ]
+
+
+class ShardedFrozenAIndex:
+    """Per-shard CSR snapshots plus the cross-shard edge table.
+
+    Reads route to the owner's snapshot; since each node's full
+    neighbour list (cross-shard stubs included) lives in its owning
+    partition, traversal semantics match the unsharded
+    :class:`~repro.core.compressed.FrozenAIndex` exactly.
+    """
+
+    partitioned = True
+
+    def __init__(
+        self,
+        snapshots: list,
+        placement: Callable[[GlobalKey], int],
+        cross: dict[tuple[GlobalKey, GlobalKey], tuple[int, int]],
+        generation: int | None,
+        edge_total: int,
+        owned_counts: list[int],
+    ) -> None:
+        self._snapshots = snapshots
+        self._placement = placement
+        self._cross = cross
+        self.generation = generation
+        self._edge_total = edge_total
+        #: Real (owned) nodes per partition snapshot. A snapshot's key
+        #: table additionally interns cross-shard ghost targets after
+        #: the owned nodes, so counting/iteration must stop here.
+        self._owned_counts = owned_counts
+
+    @classmethod
+    def freeze(cls, index: ShardedAIndex) -> "ShardedFrozenAIndex":
+        from repro.core.compressed import FrozenAIndex
+
+        with index._mutex:
+            snapshots = [
+                FrozenAIndex.freeze(_PartitionView(index, shard))
+                for shard in range(index.shards)
+            ]
+            return cls(
+                snapshots,
+                index._placement,
+                dict(index._cross),
+                index.generation,
+                index.edge_count(),
+                [len(partition) for partition in index._partitions],
+            )
+
+    @property
+    def shards(self) -> int:
+        return len(self._snapshots)
+
+    def _snapshot_of(self, key: GlobalKey):
+        return self._snapshots[self._placement(key)]
+
+    def shard_snapshot(self, shard: int):
+        return self._snapshots[shard]
+
+    def cross_edges(self) -> dict[tuple[GlobalKey, GlobalKey], tuple[int, int]]:
+        return dict(self._cross)
+
+    # -- AIndex read protocol --------------------------------------------------
+
+    def neighbors(
+        self, key: GlobalKey, rel_type: RelationType | None = None
+    ) -> list[Neighbor]:
+        return self._snapshot_of(key).neighbors(key, rel_type)
+
+    def neighbor_arcs(
+        self, key: GlobalKey
+    ) -> list[tuple[GlobalKey, float]]:
+        return self._snapshot_of(key).neighbor_arcs(key)
+
+    def relation(self, a: GlobalKey, b: GlobalKey) -> PRelation | None:
+        return self._snapshot_of(a).relation(a, b)
+
+    def degree(self, key: GlobalKey) -> int:
+        return self._snapshot_of(key).degree(key)
+
+    def __contains__(self, key: GlobalKey) -> bool:
+        return key in self._snapshot_of(key)
+
+    def nodes(self) -> Iterator[GlobalKey]:
+        return itertools.chain.from_iterable(
+            itertools.islice(snapshot.nodes(), owned)
+            for snapshot, owned in zip(self._snapshots, self._owned_counts)
+        )
+
+    def node_count(self) -> int:
+        return sum(self._owned_counts)
+
+    def edge_count(self) -> int:
+        return self._edge_total
+
+    def frozen(self) -> "ShardedFrozenAIndex":
+        return self
+
+    # -- immutability guards ---------------------------------------------------
+
+    def add(self, relation: PRelation) -> None:
+        raise TypeError(
+            "ShardedFrozenAIndex is read-only; mutate the live "
+            "ShardedAIndex and refreeze"
+        )
+
+    def remove_object(self, key: GlobalKey) -> int:
+        raise TypeError(
+            "ShardedFrozenAIndex is read-only; mutate the live "
+            "ShardedAIndex and refreeze"
+        )
+
+
+def shard_aindex(
+    index: AIndex,
+    shards: int,
+    placement: Callable[[GlobalKey], int] | None = None,
+) -> ShardedAIndex:
+    """Partition an existing A' index without re-running propagation.
+
+    The source index already materialized the Consistency Condition, so
+    edges are copied verbatim (first-seen per undirected pair, in node
+    iteration order). Answers are identical to the source index's;
+    per-node adjacency order may interleave differently, which can only
+    swap equal-probability tie-breaks, never probabilities or keys.
+    """
+    sharded = ShardedAIndex(
+        shards=shards, enforce_consistency=False, placement=placement
+    )
+    seen: set[tuple[GlobalKey, GlobalKey]] = set()
+    for node in index.nodes():
+        for neighbor in index.neighbors(node):
+            pair = _pair(node, neighbor.key)
+            if pair in seen:
+                continue
+            seen.add(pair)
+            sharded._set_edge(
+                node, neighbor.key, neighbor.type, neighbor.probability
+            )
+    sharded._lineage = {
+        pair: set(supports) for pair, supports in index._lineage.items()
+    }
+    sharded.enforce_consistency = index.enforce_consistency
+    return sharded

@@ -1,0 +1,408 @@
+"""A partitioned store behind the ordinary ``Store`` interface.
+
+``ShardedStore`` wraps N engine instances of the same family and routes
+every operation through a :class:`~repro.sharding.scheme.PartitionScheme`:
+
+* ``multi_get``/``get_value`` route per key — to exactly the owning
+  shard under hash placement, to every shard under range placement
+  (the token is not derivable from an opaque key);
+* ``execute`` fans out to the candidate shards and merges, pruning
+  partitions that provably cannot answer: per-key exact for a KV MGET
+  under hash placement, token-interval overlap for windowed queries
+  under range placement, no pruning otherwise.
+
+The wrapper is a real :class:`~repro.stores.base.Store`, so the
+polystore, connectors, validator and EXPLAIN all work unchanged; with
+one shard it degenerates to pass-through routing and adds no virtual
+cost (the fig09 guard covers this).
+
+``partition_store`` splits an existing single-engine store into shards
+— schema, secondary indexes and (for the graph engine) co-located edges
+are replicated per shard; cross-shard graph edges are counted and
+dropped from the per-shard engines (the A' index, not the store graph,
+carries cross-partition relations).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.errors import ConfigurationError, KeyNotFoundError, QueryError
+from repro.model.objects import DataObject, GlobalKey
+from repro.model.polystore import Polystore
+from repro.sharding.scheme import (
+    KeyRouting,
+    PartitionScheme,
+    make_scheme,
+    query_interval,
+)
+from repro.stores.base import Store, StoreCapabilities
+
+#: SQL verbs a sharded relational store refuses through ``execute``:
+#: writes must target the owning shard explicitly (the serving layer's
+#: writers hold a single shard's lock, never the whole fleet's).
+_SQL_WRITE_VERBS = {"INSERT", "UPDATE", "DELETE", "CREATE", "DROP"}
+
+
+class ShardedStore(Store):
+    """N same-engine shards behind one ``Store`` facade."""
+
+    #: Marker the connector registry and EXPLAIN dispatch on.
+    sharded = True
+
+    def __init__(
+        self,
+        shards: list[Store],
+        scheme: PartitionScheme,
+        engine: str | None = None,
+    ) -> None:
+        if not shards:
+            raise ConfigurationError("a sharded store needs at least one shard")
+        if len(shards) != scheme.shards:
+            raise ConfigurationError(
+                f"scheme expects {scheme.shards} shards, got {len(shards)}"
+            )
+        # Assigned before Store.__init__: the database_name property
+        # setter (invoked there) propagates the name to every shard.
+        self.shards = list(shards)
+        self.scheme = scheme
+        super().__init__()
+        self.engine = engine or self.shards[0].engine
+        #: Partition-pruning tallies for native scans (the connector
+        #: publishes the equivalent counters for key fetches).
+        self.partitions_scanned_total = 0
+        self.partitions_pruned_total = 0
+        #: Cross-shard graph edges dropped at split time (graph engine).
+        self.cut_edges = 0
+
+    # -- identity ------------------------------------------------------------
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.shards)
+
+    @property
+    def database_name(self) -> str:
+        return self._database_name
+
+    @database_name.setter
+    def database_name(self, name: str) -> None:
+        self._database_name = name
+        for shard in getattr(self, "shards", ()):
+            shard.database_name = name
+
+    # -- routing -------------------------------------------------------------
+
+    def route_keys(self, keys) -> KeyRouting:
+        """Group keys by the shards that must be probed for them.
+
+        Pure routing — no fetching, no counters — so EXPLAIN can call
+        it without perturbing what a later real run observes.
+        """
+        unique = list(dict.fromkeys(keys))
+        routing = KeyRouting(
+            placement=self.scheme.placement, shards=self.shard_count
+        )
+        if not unique:
+            routing.pruned = list(range(self.shard_count))
+            return routing
+        groups: dict[int, list[GlobalKey]] = {}
+        routable = True
+        for key in unique:
+            shard = self.scheme.shard_of_key(key.key)
+            if shard is None:
+                routable = False
+                break
+            groups.setdefault(shard, []).append(key)
+        if not routable:
+            # Range placement: the token is not derivable from the key,
+            # so every shard is probed with the full key list.
+            groups = {
+                shard: list(unique) for shard in range(self.shard_count)
+            }
+        routing.groups = sorted(groups.items())
+        routing.scanned = [shard for shard, __ in routing.groups]
+        routing.pruned = [
+            shard for shard in range(self.shard_count) if shard not in groups
+        ]
+        return routing
+
+    def route_scan(
+        self, query: Any
+    ) -> tuple[list[tuple[int, Any]], list[int]]:
+        """``(targets, pruned)`` for one native query.
+
+        ``targets`` is ``(shard, per-shard query)`` for every candidate
+        partition. A KV MGET under hash placement splits its key list
+        exactly; windowed queries under range placement keep only the
+        partitions whose token interval overlaps the window; anything
+        else fans out to every shard.
+        """
+        if (
+            self.engine == "keyvalue"
+            and isinstance(query, tuple)
+            and len(query) == 2
+            and str(query[0]).lower() == "mget"
+            and self.scheme.placement == "hash"
+        ):
+            groups: dict[int, list[str]] = {}
+            for local_key in query[1]:
+                shard = self.scheme.shard_of_key(local_key)
+                groups.setdefault(shard, []).append(local_key)
+            targets = [
+                (shard, ("mget", local_keys))
+                for shard, local_keys in sorted(groups.items())
+            ]
+            pruned = [
+                shard
+                for shard in range(self.shard_count)
+                if shard not in groups
+            ]
+            return targets, pruned
+        token_field = getattr(self.scheme, "token_field", "seq")
+        interval = query_interval(self.engine, query, token_field)
+        candidates = self.scheme.scan_candidates(interval)
+        pruned = [
+            shard
+            for shard in range(self.shard_count)
+            if shard not in candidates
+        ]
+        return [(shard, query) for shard in candidates], pruned
+
+    # -- native access -------------------------------------------------------
+
+    def execute(self, query: Any) -> list[DataObject]:
+        if (
+            self.engine == "relational"
+            and isinstance(query, str)
+            and query.lstrip().split(None, 1)[0].upper() in _SQL_WRITE_VERBS
+        ):
+            raise QueryError(
+                "sharded stores are read-only through execute(); "
+                "route writes to the owning shard"
+            )
+        targets, pruned = self.route_scan(query)
+        self.partitions_scanned_total += len(targets)
+        self.partitions_pruned_total += len(pruned)
+        results: list[DataObject] = []
+        seen: set[GlobalKey] = set()
+        for shard, subquery in targets:
+            for obj in self.shards[shard].execute(subquery):
+                if obj.key.collection == "_result" and len(targets) > 1:
+                    # Synthetic result rows (joins, aggregates) are
+                    # per-shard local; re-key them so rows from
+                    # different shards never collide.
+                    obj = DataObject(
+                        GlobalKey(
+                            obj.key.database,
+                            "_result",
+                            f"s{shard}-{obj.key.key}",
+                        ),
+                        obj.value,
+                        obj.probability,
+                    )
+                if obj.key in seen:
+                    continue
+                seen.add(obj.key)
+                results.append(obj)
+        self.stats.queries += 1
+        self.stats.objects_returned += len(results)
+        return results
+
+    def _explain_plan(self, query: Any) -> dict[str, Any]:
+        targets, pruned = self.route_scan(query)
+        per_shard = [
+            {"shard": shard, **self.shards[shard]._explain_plan(subquery)}
+            for shard, subquery in targets
+        ]
+        return {
+            "access_path": "sharded_fanout",
+            "index": None,
+            "placement": self.scheme.placement,
+            "shards": self.shard_count,
+            "scanned_partitions": [shard for shard, __ in targets],
+            "pruned_partitions": pruned,
+            "estimated_rows": sum(
+                plan.get("estimated_rows", 0) for plan in per_shard
+            ),
+            "estimated_cost": float(
+                sum(plan.get("estimated_cost", 0.0) for plan in per_shard)
+            ),
+            "per_shard": per_shard,
+        }
+
+    # -- key access ----------------------------------------------------------
+
+    def get_value(self, collection: str, key: str) -> Any:
+        shard = self.scheme.shard_of_key(key)
+        if shard is not None:
+            return self.shards[shard].get_value(collection, key)
+        for candidate in self.shards:
+            try:
+                return candidate.get_value(collection, key)
+            except KeyNotFoundError:
+                continue
+        raise KeyNotFoundError(f"{collection}.{key} (no shard owns it)")
+
+    def multi_get(self, keys) -> list[DataObject]:  # type: ignore[override]
+        """Batch fetch routed per key, merged in first-occurrence order.
+
+        One ``multi_gets`` on the facade regardless of fan-out; the
+        per-shard engines additionally count their own operations.
+        """
+        self.stats.multi_gets += 1
+        unique = list(dict.fromkeys(keys))
+        fetched: dict[GlobalKey, DataObject] = {}
+        for shard, shard_keys in self.route_keys(unique).groups:
+            for obj in self.shards[shard].multi_get(shard_keys):
+                fetched.setdefault(obj.key, obj)
+        found = [fetched[key] for key in unique if key in fetched]
+        self.stats.objects_returned += len(found)
+        return found
+
+    def collections(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for shard in self.shards:
+            for collection in shard.collections():
+                seen.setdefault(collection)
+        return list(seen)
+
+    def collection_keys(self, collection: str) -> Iterator[str]:
+        for shard in self.shards:
+            yield from shard.collection_keys(collection)
+
+    def count_objects(self) -> int:
+        return sum(shard.count_objects() for shard in self.shards)
+
+    def capabilities(self) -> StoreCapabilities:
+        return self.shards[0].capabilities()
+
+    def describe_sharding(self) -> dict[str, Any]:
+        report = self.scheme.describe()
+        report["engine"] = self.engine
+        report["objects_per_shard"] = [
+            shard.count_objects() for shard in self.shards
+        ]
+        report["partitions_scanned_total"] = self.partitions_scanned_total
+        report["partitions_pruned_total"] = self.partitions_pruned_total
+        if self.cut_edges:
+            report["cut_edges"] = self.cut_edges
+        return report
+
+
+# -- splitters ---------------------------------------------------------------
+
+
+def _split_relational(store, scheme: PartitionScheme) -> list[Store]:
+    from repro.stores.relational.engine import RelationalStore
+
+    shards: list[Store] = [RelationalStore() for __ in range(scheme.shards)]
+    for name in store.tables():
+        table = store.table(name)
+        for shard in shards:
+            shard_table = shard.create_table(name, table.schema)
+            for column in table._indexes:
+                shard_table.create_index(column)
+        for pk, row in table.rows():
+            owner = scheme.shard_of_object(name, pk, row)
+            shards[owner].insert_row(name, dict(row))
+    return shards
+
+
+def _split_document(store, scheme: PartitionScheme) -> list[Store]:
+    from repro.stores.document.store import DocumentStore
+
+    shards: list[Store] = [DocumentStore() for __ in range(scheme.shards)]
+    for collection in store.collections():
+        for shard in shards:
+            shard.create_collection(collection)
+        for doc_id in list(store.collection_keys(collection)):
+            document = store.get_value(collection, doc_id)
+            owner = scheme.shard_of_object(collection, doc_id, document)
+            shards[owner].insert(collection, dict(document))
+        for field in store._indexes.get(collection, {}):
+            for shard in shards:
+                shard.create_index(collection, field)
+    return shards
+
+
+def _split_keyvalue(store, scheme: PartitionScheme) -> list[Store]:
+    from repro.stores.keyvalue.store import KeyValueStore
+
+    shards: list[Store] = [
+        KeyValueStore(keyspace=store.keyspace) for __ in range(scheme.shards)
+    ]
+    for local_key in list(store.collection_keys(store.keyspace)):
+        value = store.get_value(store.keyspace, local_key)
+        owner = scheme.shard_of_object(store.keyspace, local_key, value)
+        shards[owner].set(local_key, value)
+    return shards
+
+
+def _split_graph(store, scheme: PartitionScheme) -> tuple[list[Store], int]:
+    from repro.stores.graph.store import GraphStore
+
+    shards: list[Store] = [GraphStore() for __ in range(scheme.shards)]
+    placed: dict[str, int] = {}
+    for node_id, node in store._nodes.items():
+        owner = scheme.shard_of_object(
+            node.primary_label, node_id, node.properties
+        )
+        placed[node_id] = owner
+        shards[owner].create_node(
+            node.labels, node.properties, node_id=node_id
+        )
+    cut = 0
+    for edge in store._edges.values():
+        start_owner = placed[edge.start]
+        end_owner = placed[edge.end]
+        if start_owner == end_owner:
+            shards[start_owner].create_edge(
+                edge.start, edge.type, edge.end, edge.properties
+            )
+        else:
+            # Cross-shard edges are not representable inside one engine
+            # shard; the A' index's cross-shard edge table carries
+            # cross-partition relations instead.
+            cut += 1
+    return shards, cut
+
+
+def partition_store(store: Store, scheme: PartitionScheme) -> ShardedStore:
+    """Split one engine store into shards behind a ``ShardedStore``."""
+    scheme.prepare(store)
+    cut_edges = 0
+    if store.engine == "relational":
+        shards = _split_relational(store, scheme)
+    elif store.engine == "document":
+        shards = _split_document(store, scheme)
+    elif store.engine == "keyvalue":
+        shards = _split_keyvalue(store, scheme)
+    elif store.engine == "graph":
+        shards, cut_edges = _split_graph(store, scheme)
+    else:
+        raise ConfigurationError(
+            f"no splitter for engine {store.engine!r}"
+        )
+    sharded = ShardedStore(shards, scheme, engine=store.engine)
+    sharded.cut_edges = cut_edges
+    sharded.database_name = store.database_name
+    return sharded
+
+
+def shard_polystore(
+    polystore: Polystore,
+    shards: int,
+    placement: str = "hash",
+    token_field: str = "seq",
+) -> Polystore:
+    """A parallel polystore with every database partitioned.
+
+    Each database gets its own scheme instance (range boundaries are
+    fitted per store from its observed token distribution).
+    """
+    sharded = Polystore()
+    for name, store in polystore.databases.items():
+        scheme = make_scheme(placement, shards, token_field=token_field)
+        sharded.attach(name, partition_store(store, scheme))
+    return sharded

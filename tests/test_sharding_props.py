@@ -1,0 +1,137 @@
+"""Property suite: a sharded deployment answers exactly like an
+unsharded one.
+
+The tentpole invariant of the sharding layer: partitioning is a
+*physical* change — placement scheme, shard count and scatter-gather
+routing must never alter the answer set. Originals are compared as key
+sets; augmented objects as ``(key, probability)`` pairs (rounded, since
+float summation order across shards is not fixed).
+
+Graph ``match``/``limit`` queries are deliberately absent: LIMIT over a
+fanned-out scan is not set-equivalent by construction (each shard
+truncates locally), so the suite uses the predicate-exact workload
+shapes (SQL windows, document filters, KV MGETs).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Quepa
+from repro.sharding import shard_aindex, shard_polystore
+from repro.workloads import QueryWorkload
+
+PLACEMENTS = ("hash", "range")
+SHARD_COUNTS = (1, 2, 4)
+
+#: Predicate-exact queries per database family (see module docstring on
+#: why the graph store is exercised through augmentation fetches only).
+def _queries(workload):
+    return [
+        ("transactions", workload.query("transactions", 40, variant=1).query),
+        ("catalogue", workload.query("catalogue", 40, variant=2).query),
+        ("discount", workload.query("discount", 40, variant=0).query),
+    ]
+
+
+def _signature(answer):
+    return (
+        sorted(str(obj.key) for obj in answer.originals),
+        sorted(
+            (str(obj.key), round(obj.probability, 12))
+            for obj in answer.augmented
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def baseline(small_bundle):
+    """Unsharded answers for every (query, level) the suite replays."""
+    quepa = Quepa(small_bundle.polystore, small_bundle.aindex)
+    workload = QueryWorkload(small_bundle)
+    answers = {}
+    for database, query in _queries(workload):
+        for level in (0, 1):
+            answer = quepa.augmented_search(database, query, level=level)
+            answers[(database, str(query), level)] = _signature(answer)
+    return answers
+
+
+@pytest.mark.parametrize("placement", PLACEMENTS)
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+def test_sharded_answers_match_unsharded(
+    small_bundle, baseline, placement, shards
+):
+    polystore = shard_polystore(
+        small_bundle.polystore, shards=shards, placement=placement
+    )
+    aindex = shard_aindex(small_bundle.aindex, shards=shards)
+    quepa = Quepa(polystore, aindex)
+    workload = QueryWorkload(small_bundle)
+    for database, query in _queries(workload):
+        for level in (0, 1):
+            answer = quepa.augmented_search(database, query, level=level)
+            assert _signature(answer) == baseline[
+                (database, str(query), level)
+            ], (
+                f"{placement}/{shards}-shard answer diverged on "
+                f"{database} at level {level}"
+            )
+
+
+@pytest.mark.parametrize("placement", PLACEMENTS)
+def test_single_shard_matches_unsharded_virtual_time(
+    small_bundle, placement
+):
+    """One shard is pass-through: not just the same answers, the same
+    virtual elapsed time (the fig09-guard property, asserted directly)."""
+    plain = Quepa(small_bundle.polystore, small_bundle.aindex)
+    workload = QueryWorkload(small_bundle)
+    query = workload.query("transactions", 40, variant=1).query
+    expected = plain.augmented_search("transactions", query, level=1)
+
+    polystore = shard_polystore(
+        small_bundle.polystore, shards=1, placement=placement
+    )
+    quepa = Quepa(polystore, shard_aindex(small_bundle.aindex, shards=1))
+    answer = quepa.augmented_search("transactions", query, level=1)
+    assert _signature(answer) == _signature(expected)
+    assert answer.stats.elapsed == expected.stats.elapsed
+    assert answer.stats.queries_issued == expected.stats.queries_issued
+
+
+@pytest.mark.parametrize("shards", (2, 4))
+def test_hash_point_routing_prunes_partitions(small_bundle, shards):
+    """Level-1 augmentation over hash placement scatters with per-key
+    fan-out 1 — every non-owning partition is pruned, and the metrics
+    registry records it."""
+    polystore = shard_polystore(
+        small_bundle.polystore, shards=shards, placement="hash"
+    )
+    quepa = Quepa(polystore, shard_aindex(small_bundle.aindex, shards=shards))
+    workload = QueryWorkload(small_bundle)
+    query = workload.query("transactions", 40, variant=1).query
+    quepa.augmented_search("transactions", query, level=1)
+    scanned = pruned = 0.0
+    for entry in quepa.obs.metrics.snapshot():
+        if entry["name"] == "shard_partitions_scanned_total":
+            scanned += entry["value"]
+        elif entry["name"] == "shard_partitions_pruned_total":
+            pruned += entry["value"]
+    assert scanned > 0
+    assert pruned > 0
+
+
+def test_range_point_routing_cannot_prune(small_bundle):
+    """Range placement probes every shard on key fetches (the documented
+    cost side of the trade-off) — nothing is pruned."""
+    polystore = shard_polystore(
+        small_bundle.polystore, shards=2, placement="range"
+    )
+    quepa = Quepa(polystore, shard_aindex(small_bundle.aindex, shards=2))
+    workload = QueryWorkload(small_bundle)
+    query = workload.query("transactions", 40, variant=1).query
+    quepa.augmented_search("transactions", query, level=1)
+    for entry in quepa.obs.metrics.snapshot():
+        if entry["name"] == "shard_partitions_pruned_total":
+            assert entry["value"] == 0.0
