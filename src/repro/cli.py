@@ -40,6 +40,14 @@ Commands:
     Build a Polyphony polystore in memory, start an embedded server,
     and drive it with the seeded closed-loop load generator; prints
     QPS and latency percentiles (``--json`` for machine-readable).
+``slo --clients C --requests R [--latency-threshold S] ...``
+    Drive the embedded server with seeded load, then report SLO
+    compliance: measured availability and latency against their
+    objectives, with error-budget burn rates from the live histograms.
+``record --clients C --requests R [--status S] [--session X] ...``
+    Drive the embedded server with seeded load, then dump the flight
+    recorder: the shed/failed/degraded/slow requests it retained, each
+    with trace id, queue wait, latency and critical-path breakdown.
 
 The CLI prints with :class:`~repro.ui.render.TextRenderer` (pass
 ``--color`` for the ANSI renderer, the terminal face of the paper's
@@ -157,23 +165,46 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen = commands.add_parser(
         "loadgen", help="drive an embedded server with seeded load"
     )
-    loadgen.add_argument("--stores", type=int, default=4)
-    loadgen.add_argument("--albums", type=int, default=120)
-    loadgen.add_argument("--seed", type=int, default=42)
-    _add_serving_args(loadgen)
-    loadgen.add_argument("--clients", type=int, default=4)
-    loadgen.add_argument("--requests", type=int, default=10,
-                         help="requests per client")
-    loadgen.add_argument("--size", type=int, default=16,
-                         help="workload query result-size knob")
-    loadgen.add_argument("--level", type=int, default=1,
-                         help="augmentation level of generated queries")
-    loadgen.add_argument("--zipf-s", type=float, default=0.0,
-                         dest="zipf_s",
-                         help="Zipf exponent for key-window skew "
-                              "(0 = legacy uniform variants)")
+    _add_loadgen_args(loadgen)
     loadgen.add_argument("--json", action="store_true", dest="as_json",
                          help="print the load report as JSON")
+
+    slo = commands.add_parser(
+        "slo", help="drive seeded load, then report SLO burn rates"
+    )
+    _add_loadgen_args(slo)
+    slo.add_argument("--availability-objective", type=float, default=0.99,
+                     dest="availability_objective",
+                     help="target completed/finished fraction")
+    slo.add_argument("--latency-threshold", type=float, default=1.0,
+                     dest="latency_threshold",
+                     help="completed requests must finish within this "
+                          "many seconds...")
+    slo.add_argument("--latency-objective", type=float, default=0.95,
+                     dest="latency_objective",
+                     help="...for at least this fraction of completions")
+    slo.add_argument("--json", action="store_true", dest="as_json",
+                     help="print the SLO report as JSON")
+
+    record = commands.add_parser(
+        "record", help="drive seeded load, then dump the flight recorder"
+    )
+    _add_loadgen_args(record)
+    record.add_argument("--capacity", type=int, default=256,
+                        help="digests the recorder retains")
+    record.add_argument("--slow-threshold", type=float, default=None,
+                        dest="slow_threshold",
+                        help="absolute slow cutoff in seconds "
+                             "(default: adaptive rolling p95)")
+    record.add_argument("--session", default=None,
+                        help="only digests of this session")
+    record.add_argument("--status", default=None,
+                        choices=("completed", "failed", "shed"),
+                        help="only digests with this outcome")
+    record.add_argument("--limit", type=int, default=None,
+                        help="keep only the newest N digests")
+    record.add_argument("--json", action="store_true", dest="as_json",
+                        help="print the digests as JSON")
 
     inspect = commands.add_parser("inspect", help="describe a snapshot")
     inspect.add_argument("--snapshot", required=True)
@@ -202,6 +233,26 @@ def _add_query_args(subparser) -> None:
     subparser.add_argument("--placement", default="hash",
                            choices=("hash", "range"),
                            help="shard placement scheme when --shards > 1")
+
+
+def _add_loadgen_args(subparser) -> None:
+    """Polystore + serving + workload knobs of the embedded-load family
+    (``loadgen``, ``slo``, ``record``)."""
+    subparser.add_argument("--stores", type=int, default=4)
+    subparser.add_argument("--albums", type=int, default=120)
+    subparser.add_argument("--seed", type=int, default=42)
+    _add_serving_args(subparser)
+    subparser.add_argument("--clients", type=int, default=4)
+    subparser.add_argument("--requests", type=int, default=10,
+                           help="requests per client")
+    subparser.add_argument("--size", type=int, default=16,
+                           help="workload query result-size knob")
+    subparser.add_argument("--level", type=int, default=1,
+                           help="augmentation level of generated queries")
+    subparser.add_argument("--zipf-s", type=float, default=0.0,
+                           dest="zipf_s",
+                           help="Zipf exponent for key-window skew "
+                                "(0 = legacy uniform variants)")
 
 
 def _add_serving_args(subparser) -> None:
@@ -251,6 +302,10 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             return _serve(args, out)
         if args.command == "loadgen":
             return _loadgen(args, out)
+        if args.command == "slo":
+            return _slo(args, out)
+        if args.command == "record":
+            return _record(args, out)
         if args.command == "inspect":
             return _inspect(args, out)
         if args.command == "explore":
@@ -704,6 +759,13 @@ def _serving_config(args):
         default_deadline=args.deadline,
         coalesce=args.coalesce,
         hedge=args.hedge,
+        recorder_capacity=getattr(args, "capacity", 256),
+        recorder_slow_threshold=getattr(args, "slow_threshold", None),
+        slo_availability_objective=getattr(
+            args, "availability_objective", 0.99
+        ),
+        slo_latency_threshold=getattr(args, "latency_threshold", 1.0),
+        slo_latency_objective=getattr(args, "latency_objective", 0.95),
     )
 
 
@@ -755,7 +817,14 @@ def _serve(args, out) -> int:
     return 0
 
 
-def _loadgen(args, out) -> int:
+def _drive_embedded_load(args):
+    """The embedded-load harness shared by loadgen/slo/record.
+
+    Builds the seeded polystore, starts an embedded server, runs the
+    closed-loop generator; returns ``(report, server, status)`` with
+    the server stopped but its flight recorder and SLO monitor still
+    readable.
+    """
     from repro.serving import LoadGenerator, QuepaServer
     from repro.workloads.queries import QueryWorkload
 
@@ -778,6 +847,11 @@ def _loadgen(args, out) -> int:
         )
         report = generator.run(args.clients, args.requests)
         status = server.status()
+    return report, server, status
+
+
+def _loadgen(args, out) -> int:
+    report, _, status = _drive_embedded_load(args)
     if args.as_json:
         json.dump(
             {"load": report.as_dict(), "serving": status},
@@ -828,6 +902,81 @@ def _loadgen(args, out) -> int:
                 f"(win rate {hedge['win_rate']:.1%})",
                 file=out,
             )
+    return 0
+
+
+def _slo(args, out) -> int:
+    report, server, _ = _drive_embedded_load(args)
+    slo = server.slo_report()
+    if args.as_json:
+        json.dump({"slo": slo}, out, indent=2, default=str)
+        print(file=out)
+        return 0
+    print(
+        f"slo: {report.completed} completed, {report.shed} shed, "
+        f"{report.failed} failed ({report.qps:.1f} QPS)",
+        file=out,
+    )
+    availability = slo["availability"]
+    print(
+        f"  availability: measured={availability['measured']:.4%} "
+        f"objective={availability['objective']:.2%} "
+        f"burn={availability['burn_rate']:.2f}x "
+        f"{'healthy' if availability['healthy'] else 'BREACHED'}",
+        file=out,
+    )
+    latency = slo["latency"]
+    print(
+        f"  latency<={latency['threshold_s']:.3f}s: "
+        f"measured={latency['measured']:.4%} "
+        f"objective={latency['objective']:.2%} "
+        f"burn={latency['burn_rate']:.2f}x "
+        f"{'healthy' if latency['healthy'] else 'BREACHED'}",
+        file=out,
+    )
+    print(
+        f"  overall: {'healthy' if slo['healthy'] else 'BREACHED'}",
+        file=out,
+    )
+    return 0
+
+
+def _record(args, out) -> int:
+    _, server, _ = _drive_embedded_load(args)
+    recorder = server.scheduler.recorder
+    if recorder is None:  # pragma: no cover - CLI always enables it
+        print("flight recorder disabled", file=out)
+        return 1
+    digests = recorder.as_dicts(
+        session=args.session, status=args.status, limit=args.limit
+    )
+    stats = recorder.stats()
+    if args.as_json:
+        json.dump(
+            {"requests": digests, "recorder": stats},
+            out, indent=2, default=str,
+        )
+        print(file=out)
+        return 0
+    print(
+        f"flight recorder: kept {stats['kept']} of "
+        f"{stats['observed']} requests "
+        f"(showing {len(digests)}, capacity {stats['capacity']})",
+        file=out,
+    )
+    for digest in digests:
+        line = (
+            f"  {digest['trace_id']} #{digest['request_id']} "
+            f"{digest['session']} {digest['kind']} {digest['status']} "
+            f"wait={digest['queue_wait_s'] * 1000:.2f}ms "
+            f"lat={digest['latency_s'] * 1000:.2f}ms "
+            f"kept={digest['kept_because']}"
+        )
+        if digest["shed_reason"]:
+            line += f" reason={digest['shed_reason']}"
+        if digest["error"]:
+            line += f" error={digest['error']}"
+        print(line, file=out)
     return 0
 
 

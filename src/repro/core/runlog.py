@@ -74,6 +74,14 @@ class RunRecord:
     failed_queries_by_database: dict[str, int] = field(default_factory=dict)
     #: Span kind -> {"count": n, "total_s": seconds} for this run.
     span_summary: dict[str, dict] = field(default_factory=dict)
+    #: The serving trace id this run executed under (``None`` for
+    #: classic single-session runs).
+    trace_id: str | None = None
+    #: Request-scoped critical-path breakdown (store time by database,
+    #: per-shard fetches, coalesce waits, hedge outcomes) computed by
+    #: :func:`repro.obs.requests.latency_breakdown`; empty when the run
+    #: was not request-scoped.
+    breakdown: dict = field(default_factory=dict)
 
     def query_signature(self) -> tuple:
         """Groups runs of the same logical query for label derivation."""

@@ -40,7 +40,7 @@ from repro.model.objects import AugmentedObject, DataObject, GlobalKey
 from repro.model.polystore import Polystore
 from repro.network.executor import ExecContext, RealRuntime, Runtime, VirtualRuntime
 from repro.network.latency import DeploymentProfile, centralized_profile
-from repro.obs import Observability
+from repro.obs import Observability, latency_breakdown
 from repro.stores.querycache import parse_cache_stats
 
 
@@ -144,6 +144,8 @@ class Quepa:
         level: int = 0,
         config: AugmentationConfig | None = None,
         augment: bool = True,
+        trace_id: str | None = None,
+        parent_span: int | None = None,
     ) -> AugmentedAnswer:
         """Concurrency-safe :meth:`augmented_search` for served sessions.
 
@@ -158,10 +160,17 @@ class Quepa:
         The runtime's meter and metrics accumulate across all served
         requests rather than being per-run, so a :class:`RunRecord`
         emitted here carries cumulative per-database query counts.
+
+        ``trace_id``/``parent_span`` (set by the scheduler) scope every
+        span of this request to its serving trace; the emitted record
+        then carries a request-local span summary and latency breakdown
+        instead of the cumulative one.
         """
         store = self.polystore.database(database)
         validation = self.validator.validate(store, query)
-        ctx = self.runtime.request_context()
+        ctx = self.runtime.request_context(
+            trace_id=trace_id, parent_span=parent_span
+        )
         start = ctx.now
         return self._search_body(
             ctx,
@@ -276,7 +285,7 @@ class Quepa:
         stats.cache_size = run_config.cache_size
         outcome.trace = self.obs.trace_summary()  # now includes all spans
         answer = assemble_answer(originals, outcome.objects, stats)
-        self._emit_record(features, run_config, stats, outcome)
+        self._emit_record(features, run_config, stats, outcome, ctx=ctx)
         self.obs.events.emit(
             "augmentation_completed",
             ts=stats.elapsed,
@@ -613,8 +622,26 @@ class Quepa:
         config: AugmentationConfig,
         stats: SearchStats,
         outcome=None,
+        ctx: ExecContext | None = None,
     ) -> None:
         meter = self.runtime.meter.snapshot()
+        trace_id = getattr(ctx, "_trace_id", None)
+        if trace_id is not None:
+            # Request-scoped run: summarize only this request's spans,
+            # and attach the critical-path breakdown the serving layer
+            # surfaces through the flight recorder.
+            request_spans = self.obs.tracer.spans_for(trace_id)
+            span_summary: dict[str, dict] = {}
+            for span in request_spans:
+                entry = span_summary.setdefault(
+                    span.name, {"count": 0, "total_s": 0.0}
+                )
+                entry["count"] += 1
+                entry["total_s"] += span.duration
+            breakdown = latency_breakdown(request_spans)
+        else:
+            span_summary = self.obs.tracer.summary()
+            breakdown = {}
         record = RunRecord(
             features=features,
             augmenter=config.augmenter,
@@ -631,7 +658,9 @@ class Quepa:
             queries_by_database=meter["queries_by_database"],
             objects_by_database=meter["objects_by_database"],
             failed_queries_by_database=meter["failed_queries_by_database"],
-            span_summary=self.obs.tracer.summary(),
+            span_summary=span_summary,
+            trace_id=trace_id,
+            breakdown=breakdown,
         )
         self.obs.metrics.counter("runs_recorded_total").inc()
         self.last_record = record
@@ -671,6 +700,8 @@ class Quepa:
         key: GlobalKey,
         level: int = 0,
         config: AugmentationConfig | None = None,
+        trace_id: str | None = None,
+        parent_span: int | None = None,
     ) -> list[AugmentedObject]:
         """Concurrency-safe :meth:`augment_object` for served sessions.
 
@@ -681,7 +712,9 @@ class Quepa:
         particular a deadline folded into ``timeout_budget``, which
         must bound exploration steps exactly as it bounds searches.
         """
-        ctx = self.runtime.request_context()
+        ctx = self.runtime.request_context(
+            trace_id=trace_id, parent_span=parent_span
+        )
         return self._augment_object_body(
             ctx, key, level, lambda: None, config=config
         )

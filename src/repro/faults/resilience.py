@@ -97,7 +97,7 @@ class CircuitBreaker:
         with self._lock:
             return self._state
 
-    def allow(self, now: float) -> bool:
+    def allow(self, now: float, trace_id: str | None = None) -> bool:
         """May a call go out right now? (May move open -> half-open.)"""
         with self._lock:
             if self._state == self.CLOSED:
@@ -108,13 +108,17 @@ class CircuitBreaker:
                 self._state = self.HALF_OPEN
                 self._half_open_inflight = 0
                 self._half_open_successes = 0
-                self._event("breaker_half_open", now)
+                self._event(
+                    "breaker_half_open", now, trace_id=trace_id
+                )
             if self._half_open_inflight >= self.half_open_max_calls:
                 return False
             self._half_open_inflight += 1
             return True
 
-    def record_success(self, now: float) -> None:
+    def record_success(
+        self, now: float, trace_id: str | None = None
+    ) -> None:
         with self._lock:
             if self._state == self.HALF_OPEN:
                 self._release_probe_locked()
@@ -123,21 +127,28 @@ class CircuitBreaker:
                     self._state = self.CLOSED
                     self._consecutive_failures = 0
                     self.recoveries += 1
-                    self._event("breaker_closed", now, recovered=True)
+                    self._event(
+                        "breaker_closed",
+                        now,
+                        recovered=True,
+                        trace_id=trace_id,
+                    )
             else:
                 self._consecutive_failures = 0
 
-    def record_failure(self, now: float) -> None:
+    def record_failure(
+        self, now: float, trace_id: str | None = None
+    ) -> None:
         with self._lock:
             if self._state == self.HALF_OPEN:
                 self._release_probe_locked()
-                self._trip(now, reopened=True)
+                self._trip(now, reopened=True, trace_id=trace_id)
                 return
             if self._state == self.OPEN:
                 return
             self._consecutive_failures += 1
             if self._consecutive_failures >= self.failure_threshold:
-                self._trip(now)
+                self._trip(now, trace_id=trace_id)
 
     def release(self, now: float) -> None:
         """Return a half-open probe slot without a verdict.
@@ -162,15 +173,26 @@ class CircuitBreaker:
         if self._half_open_inflight > 0:
             self._half_open_inflight -= 1
 
-    def _trip(self, now: float, reopened: bool = False) -> None:
+    def _trip(
+        self,
+        now: float,
+        reopened: bool = False,
+        trace_id: str | None = None,
+    ) -> None:
         self._state = self.OPEN
         self._opened_at = now
         self._consecutive_failures = 0
         self.trips += 1
-        self._event("breaker_open", now, reopened=reopened)
+        self._event(
+            "breaker_open", now, reopened=reopened, trace_id=trace_id
+        )
 
     def _event(self, kind: str, now: float, **attrs) -> None:
         if self._emit is not None:
+            # The transition is a store-level fact; the trace id (when
+            # present) names the request whose call tipped it over.
+            if attrs.get("trace_id") is None:
+                attrs.pop("trace_id", None)
             self._emit(kind, now, self.database, **attrs)
 
     def snapshot(self) -> dict:
@@ -214,7 +236,8 @@ class ResilienceManager:
     def call(self, ctx, database: str, fn, query=None):
         """Run one store call under the retry + breaker policy."""
         breaker = self.breaker(database)
-        if not breaker.allow(ctx.now):
+        trace_id = getattr(ctx, "_trace_id", None)
+        if not breaker.allow(ctx.now, trace_id=trace_id):
             self._count_fast_fail(database)
             raise CircuitOpenError(
                 f"{database}: circuit breaker is open"
@@ -224,14 +247,17 @@ class ResilienceManager:
             try:
                 results = ctx.store_call(database, fn, query)
             except StoreError as exc:
-                breaker.record_failure(ctx.now)
+                breaker.record_failure(ctx.now, trace_id=trace_id)
                 if (
                     attempt >= self.config.retry_max_attempts
-                    or not breaker.allow(ctx.now)
+                    or not breaker.allow(ctx.now, trace_id=trace_id)
                 ):
                     raise
                 delay = self.backoff_delay(database, attempt)
-                self._count_retry(database, attempt, delay, ctx.now, exc)
+                self._count_retry(
+                    database, attempt, delay, ctx.now, exc,
+                    trace_id=trace_id,
+                )
                 ctx.sleep(delay)
                 attempt += 1
                 continue
@@ -241,7 +267,7 @@ class ResilienceManager:
                 # cannot wedge with phantom in-flight probes.
                 breaker.release(ctx.now)
                 raise
-            breaker.record_success(ctx.now)
+            breaker.record_success(ctx.now, trace_id=trace_id)
             return results
 
     def backoff_delay(self, database: str, attempt: int) -> float:
@@ -300,7 +326,13 @@ class ResilienceManager:
         ).inc()
 
     def _count_retry(
-        self, database: str, attempt: int, delay: float, now: float, exc
+        self,
+        database: str,
+        attempt: int,
+        delay: float,
+        now: float,
+        exc,
+        trace_id: str | None = None,
     ) -> None:
         with self._lock:
             self._retries[database] = self._retries.get(database, 0) + 1
@@ -309,6 +341,7 @@ class ResilienceManager:
             obs.metrics.counter(
                 "store_retries_total", database=database
             ).inc()
+            extra = {} if trace_id is None else {"trace_id": trace_id}
             obs.events.emit(
                 "retry",
                 severity="debug",
@@ -317,6 +350,7 @@ class ResilienceManager:
                 attempt=attempt,
                 delay_s=delay,
                 error=str(exc),
+                **extra,
             )
 
     def _count_fast_fail(self, database: str) -> None:

@@ -112,6 +112,9 @@ class ExecContext(ABC):
     _runtime: "Runtime"
     #: The active span this context's operations are children of.
     _span_id: int | None = None
+    #: The owning request's trace id (serving), stamped on every span
+    #: this context records; ``None`` for classic single-run contexts.
+    _trace_id: str | None = None
     #: Whether the most recent (fault-injected) store call returned a
     #: truncated result list; augmenters read this to keep truncated
     #: keys out of the ``missing`` (lazy-deletion) accounting.
@@ -176,7 +179,9 @@ class ExecContext(ABC):
         ``span``/``store_call``/pool operations become children.
         """
         obs = self._runtime.obs
-        entry = obs.tracer.begin(name, self.now, self._span_id, **attrs)
+        entry = obs.tracer.begin(
+            name, self.now, self._span_id, self._trace_id, **attrs
+        )
         previous, self._span_id = self._span_id, entry.span_id
         try:
             yield entry
@@ -200,6 +205,7 @@ class ExecContext(ABC):
             started,
             ended,
             self._span_id,
+            self._trace_id,
             database=database,
             objects=objects,
         )
@@ -244,6 +250,7 @@ class ExecContext(ABC):
             started,
             ended,
             self._span_id,
+            self._trace_id,
             database=database,
             objects=0,
             error=True,
@@ -270,7 +277,13 @@ class ExecContext(ABC):
     ) -> None:
         obs = self._runtime.obs
         obs.tracer.record(
-            "pool", started, ended, parent_span, workers=workers, tasks=tasks
+            "pool",
+            started,
+            ended,
+            parent_span,
+            self._trace_id,
+            workers=workers,
+            tasks=tasks,
         )
         obs.metrics.histogram("pool_join_seconds").observe(ended - started)
         obs.metrics.counter("pool_tasks_total").inc(tasks)
@@ -334,7 +347,11 @@ class Runtime(ABC):
         """The main-process context; also resets timing state."""
 
     @abstractmethod
-    def request_context(self) -> ExecContext:
+    def request_context(
+        self,
+        trace_id: str | None = None,
+        parent_span: int | None = None,
+    ) -> ExecContext:
         """A fresh context for one served request.
 
         Unlike :meth:`root`, this does NOT reset the shared meter,
@@ -342,6 +359,11 @@ class Runtime(ABC):
         against one runtime (the serving layer's contract). Request
         durations are measured as ``ctx.now`` deltas on the returned
         context rather than via :attr:`elapsed`.
+
+        ``trace_id`` attributes every span the context records to one
+        served request; ``parent_span`` (usually the scheduler's root
+        span) parents them, so a request's trace stays one tree across
+        the serving thread handoff.
         """
 
     @property
@@ -536,6 +558,7 @@ class _VirtualPool(WorkerPool):
         start = max(self._parent.now, self._slots[slot])
         child = _VirtualContext(self._runtime, start)
         child._span_id = self._parent._span_id
+        child._trace_id = self._parent._trace_id
         result = task(child)
         self._slots[slot] = child.now
         self._results.append(result)
@@ -585,13 +608,20 @@ class VirtualRuntime(Runtime):
         self._root = _VirtualContext(self, 0.0)
         return self._root
 
-    def request_context(self) -> ExecContext:
+    def request_context(
+        self,
+        trace_id: str | None = None,
+        parent_span: int | None = None,
+    ) -> ExecContext:
         """A fresh virtual context at t=0 with no shared-state resets.
 
         Each served request gets its own local clock; the runtime's
         meter/tracer/metrics keep accumulating across requests.
         """
-        return _VirtualContext(self, 0.0)
+        ctx = _VirtualContext(self, 0.0)
+        ctx._trace_id = trace_id
+        ctx._span_id = parent_span
+        return ctx
 
     @property
     def elapsed(self) -> float:
@@ -684,9 +714,10 @@ class _RealPool(WorkerPool):
 
     def submit(self, task: Callable[[ExecContext], T]) -> None:
         child = _RealContext(self._runtime)
-        # Inherit the submitting context's active span (read in the
-        # submitting thread, so the tree is race-free).
+        # Inherit the submitting context's active span and trace id
+        # (read in the submitting thread, so the tree is race-free).
         child._span_id = self._parent._span_id
+        child._trace_id = self._parent._trace_id
         self._futures.append(self._executor.submit(task, child))
 
     def join(self) -> list[Any]:
@@ -720,9 +751,16 @@ class RealRuntime(Runtime):
         self._stopped = 0.0
         return _RealContext(self)
 
-    def request_context(self) -> ExecContext:
+    def request_context(
+        self,
+        trace_id: str | None = None,
+        parent_span: int | None = None,
+    ) -> ExecContext:
         """A fresh wall-clock context with no shared-state resets."""
-        return _RealContext(self)
+        ctx = _RealContext(self)
+        ctx._trace_id = trace_id
+        ctx._span_id = parent_span
+        return ctx
 
     def stop(self) -> None:
         self._stopped = time.monotonic()

@@ -40,6 +40,13 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.requests import (
+    FlightRecorder,
+    RequestDigest,
+    TraceIdAllocator,
+    latency_breakdown,
+)
+from repro.obs.slo import SloConfig, SloMonitor
 from repro.obs.trace import Span, Tracer, tree_lines
 
 
@@ -88,12 +95,18 @@ __all__ = [
     "Counter",
     "Event",
     "EventJournal",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "Observability",
+    "RequestDigest",
+    "SloConfig",
+    "SloMonitor",
     "Span",
+    "TraceIdAllocator",
     "Tracer",
+    "latency_breakdown",
     "parse_prometheus_text",
     "to_chrome_trace",
     "to_prometheus",

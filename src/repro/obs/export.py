@@ -146,8 +146,54 @@ def to_chrome_trace(spans: Iterable[Span], pid: int = 1) -> dict[str, Any]:
     still open there and fully contains it; otherwise it takes the first
     idle lane (or a fresh one). Concurrent pool fetches therefore render
     as parallel "threads" instead of corrupting the flamegraph.
+
+    Request-scoped spans (``trace_id`` set — the serving layer) are
+    grouped one *process* per request: each trace gets its own ``pid``
+    with a ``process_name`` metadata event (trace id plus the session,
+    read from the root ``request`` span), so a multi-session capture
+    renders as parallel per-request swimlanes instead of one
+    interleaved mess. Untraced spans keep ``pid`` and the classic
+    nesting behaviour, so classic single-run exports are unchanged.
     """
     ordered = sorted(spans, key=lambda s: (s.start, s.span_id))
+    untraced = [span for span in ordered if span.trace_id is None]
+    by_trace: dict[str, list[Span]] = {}
+    for span in ordered:
+        if span.trace_id is not None:
+            by_trace.setdefault(span.trace_id, []).append(span)
+    events = _lane_events(untraced, pid)
+    next_pid = pid + 1
+    for trace_id in sorted(by_trace):
+        group = by_trace[trace_id]
+        session = next(
+            (
+                span.attrs.get("session")
+                for span in group
+                if span.name == "request"
+            ),
+            None,
+        )
+        label = f"request {trace_id}" + (
+            f" [{session}]" if session else ""
+        )
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": next_pid,
+                "tid": 0,
+                "args": {"name": label},
+            }
+        )
+        events.extend(_lane_events(group, next_pid))
+        next_pid += 1
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def _lane_events(
+    ordered: list[Span], pid: int
+) -> list[dict[str, Any]]:
+    """Phase-``X`` events for pre-sorted spans, lanes nested per pid."""
     events: list[dict[str, Any]] = []
     lane_of: dict[int, int] = {}
     stacks: dict[int, list[tuple[int, float]]] = {}
@@ -184,6 +230,8 @@ def to_chrome_trace(spans: Iterable[Span], pid: int = 1) -> dict[str, Any]:
         args: dict[str, Any] = {"span_id": span.span_id}
         if span.parent_id is not None:
             args["parent_id"] = span.parent_id
+        if span.trace_id is not None:
+            args["trace_id"] = span.trace_id
         for key, value in span.attrs.items():
             args[str(key)] = (
                 value
@@ -202,4 +250,4 @@ def to_chrome_trace(spans: Iterable[Span], pid: int = 1) -> dict[str, Any]:
                 "args": args,
             }
         )
-    return {"traceEvents": events, "displayTimeUnit": "ms"}
+    return events

@@ -125,11 +125,37 @@ class Histogram:
             return self._sum / self._count if self._count else 0.0
 
     def percentile(self, q: float) -> float:
-        """Bucket-interpolated quantile estimate, ``q`` in [0, 1]."""
+        """Bucket-interpolated quantile estimate.
+
+        Documented edge cases (each unit-tested):
+
+        * empty histogram — ``0.0``, whatever ``q``;
+        * ``q <= 0`` — ``0.0`` (the distribution's lower edge, not a
+          negative extrapolation);
+        * ``q >= 1`` — the observed maximum;
+        * all mass in the overflow (+Inf) bucket — the observed maximum
+          (there is no finite upper bound to interpolate toward).
+        """
         with self._lock:
             counts = list(self._counts)
             total, biggest = self._count, self._max
         return _bucket_quantile(self.bounds, counts, total, biggest, q)
+
+    def fraction_at_or_below(self, threshold: float) -> float:
+        """The fraction of observations ``<= threshold`` (approximate).
+
+        Computed from the bucket whose bound is the smallest bound
+        ``>= threshold`` — exact when ``threshold`` is a bucket bound,
+        conservative (rounds the fraction up) otherwise. Returns 1.0
+        for an empty histogram: with no observations, no objective has
+        been violated. This is the latency-compliance read the SLO
+        monitor (:mod:`repro.obs.slo`) is built on.
+        """
+        index = bisect_left(self.bounds, threshold)
+        with self._lock:
+            if not self._count:
+                return 1.0
+            return sum(self._counts[: index + 1]) / self._count
 
     def snapshot(self) -> dict[str, Any]:
         with self._lock:
@@ -162,9 +188,15 @@ def _bucket_quantile(
 ) -> float:
     """Estimate the q-quantile by linear interpolation within the bucket
     holding rank ``q * total`` (Prometheus ``histogram_quantile`` style).
-    Observations above the last bound are pinned to the observed max."""
+    Observations above the last bound are pinned to the observed max.
+    Edge cases: empty -> 0.0, q <= 0 -> 0.0, q >= 1 -> observed max
+    (see :meth:`Histogram.percentile`)."""
     if total <= 0:
         return 0.0
+    if q <= 0.0:
+        return 0.0
+    if q >= 1.0:
+        return biggest
     rank = q * total
     cumulative = 0
     for index, count in enumerate(counts[:-1]):

@@ -1,0 +1,141 @@
+"""SLO monitoring: availability and latency error-budget burn rates.
+
+The serving layer already exports the raw series — per-outcome
+``serving_requests_total`` counters and the ``serving_latency_seconds``
+histogram. :class:`SloMonitor` turns them into the two service-level
+objectives every serving system is judged on:
+
+* **availability** — completed / (completed + failed + shed). A shed
+  request is an unavailability event: the client asked and was turned
+  away. ``admitted`` is an intermediate state and never counts.
+* **latency** — the fraction of completed requests at or under
+  ``latency_threshold`` seconds, read from the histogram via
+  :meth:`~repro.obs.metrics.Histogram.fraction_at_or_below`.
+
+For each objective the monitor reports the measured compliance, the
+error budget (``1 - objective``), and the **burn rate** — the classic
+SRE ratio ``(1 - measured) / (1 - objective)``: 1.0 means failing at
+exactly the budgeted rate, above 1.0 the budget is burning down, 0
+means no errors at all. :meth:`publish` mirrors everything as gauges so
+a Prometheus scrape (``GET /metrics?format=prometheus``) carries the
+burn rates without any extra plumbing.
+
+Reads only — the monitor never mutates the counters it watches and
+never touches a clock, so it is safe to poll from any thread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class SloConfig:
+    """The objectives (documented in docs/OBSERVABILITY.md)."""
+
+    #: Target fraction of requests that must complete (not fail or
+    #: shed), e.g. 0.999 = "three nines".
+    availability_objective: float = 0.99
+    #: Completed requests must finish within this many seconds...
+    latency_threshold: float = 1.0
+    #: ...for at least this fraction of completions.
+    latency_objective: float = 0.95
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.availability_objective < 1.0:
+            raise ValueError("availability_objective must be in (0, 1)")
+        if self.latency_threshold <= 0:
+            raise ValueError("latency_threshold must be > 0")
+        if not 0.0 < self.latency_objective < 1.0:
+            raise ValueError("latency_objective must be in (0, 1)")
+
+
+class SloMonitor:
+    """Compute objective compliance and burn rates from live metrics."""
+
+    def __init__(self, obs, config: SloConfig | None = None) -> None:
+        self._obs = obs
+        self.config = config or SloConfig()
+
+    # -- the two objectives -------------------------------------------------
+
+    def _outcome(self, outcome: str) -> float:
+        return self._obs.metrics.counter(
+            "serving_requests_total", outcome=outcome
+        ).value
+
+    def availability(self) -> dict[str, Any]:
+        """Measured availability + burn rate over all finished requests."""
+        completed = self._outcome("completed")
+        failed = self._outcome("failed")
+        shed = self._outcome("shed")
+        finished = completed + failed + shed
+        measured = completed / finished if finished else 1.0
+        return self._objective(
+            "availability",
+            measured,
+            self.config.availability_objective,
+            samples=int(finished),
+            bad=int(failed + shed),
+        )
+
+    def latency(self) -> dict[str, Any]:
+        """Measured latency compliance + burn rate over completions."""
+        hist = self._obs.metrics.histogram("serving_latency_seconds")
+        measured = hist.fraction_at_or_below(self.config.latency_threshold)
+        return self._objective(
+            "latency",
+            measured,
+            self.config.latency_objective,
+            samples=hist.count,
+            threshold_s=self.config.latency_threshold,
+        )
+
+    def _objective(
+        self,
+        name: str,
+        measured: float,
+        objective: float,
+        **extra: Any,
+    ) -> dict[str, Any]:
+        budget = 1.0 - objective
+        burn = (1.0 - measured) / budget  # budget > 0 by config contract
+        return {
+            "slo": name,
+            "objective": objective,
+            "measured": measured,
+            "error_budget": budget,
+            "burn_rate": burn,
+            "healthy": measured >= objective,
+            **extra,
+        }
+
+    # -- surfaces -----------------------------------------------------------
+
+    def report(self) -> dict[str, Any]:
+        """Both objectives, JSON-ready (CLI ``slo`` / ``GET /slo``)."""
+        availability = self.availability()
+        latency = self.latency()
+        return {
+            "availability": availability,
+            "latency": latency,
+            "healthy": availability["healthy"] and latency["healthy"],
+        }
+
+    def publish(self) -> dict[str, Any]:
+        """Set the SLO gauges from the current reads; returns the report.
+
+        Gauges (``slo_measured``, ``slo_objective``, ``slo_burn_rate``,
+        labelled by objective, plus ``slo_healthy`` 0/1) ride the normal
+        metrics snapshot into Prometheus text exposition.
+        """
+        report = self.report()
+        metrics = self._obs.metrics
+        for name in ("availability", "latency"):
+            entry = report[name]
+            metrics.gauge("slo_measured", slo=name).set(entry["measured"])
+            metrics.gauge("slo_objective", slo=name).set(entry["objective"])
+            metrics.gauge("slo_burn_rate", slo=name).set(entry["burn_rate"])
+        metrics.gauge("slo_healthy").set(1.0 if report["healthy"] else 0.0)
+        return report

@@ -25,7 +25,9 @@ from typing import Any
 class Span:
     """One finished or in-flight traced operation."""
 
-    __slots__ = ("span_id", "name", "parent_id", "start", "end", "attrs")
+    __slots__ = (
+        "span_id", "name", "parent_id", "start", "end", "attrs", "trace_id",
+    )
 
     def __init__(
         self,
@@ -34,6 +36,7 @@ class Span:
         start: float,
         parent_id: int | None = None,
         attrs: dict[str, Any] | None = None,
+        trace_id: str | None = None,
     ) -> None:
         self.span_id = span_id
         self.name = name
@@ -41,6 +44,9 @@ class Span:
         self.start = start
         self.end: float | None = None
         self.attrs: dict[str, Any] = attrs or {}
+        #: The owning request's trace id (serving), or ``None`` for
+        #: classic single-run spans.
+        self.trace_id = trace_id
 
     @property
     def duration(self) -> float:
@@ -54,6 +60,7 @@ class Span:
             "start": self.start,
             "end": self.end,
             "duration": self.duration,
+            "trace_id": self.trace_id,
             "attrs": dict(self.attrs),
         }
 
@@ -65,7 +72,17 @@ class Span:
 
 
 class Tracer:
-    """Collects spans for one run (thread-safe, bounded)."""
+    """Collects spans for one run (thread-safe, bounded).
+
+    Span ids are monotonic for the tracer's lifetime — they do NOT
+    restart on :meth:`reset`. Under the serving layer many requests
+    share one tracer, and a reset (issued by a concurrent classic run
+    via ``Runtime.root()``) must not recycle ids that in-flight spans
+    still reference: recycled ids would stitch new spans onto dead
+    parents. Instead, ``reset`` raises a *floor*: spans begun before the
+    reset are silently discarded when they end (counted as dropped from
+    the run they belonged to, which no longer exists).
+    """
 
     def __init__(self, max_spans: int = 10_000) -> None:
         if max_spans < 1:
@@ -75,24 +92,37 @@ class Tracer:
         self._spans: list[Span] = []
         self._next_id = 1
         self._dropped = 0
+        #: Spans with ``span_id < _reset_floor`` predate the last reset
+        #: and belong to a discarded run; :meth:`end` drops them.
+        self._reset_floor = 1
 
     def begin(
         self,
         name: str,
         start: float,
         parent_id: int | None = None,
+        trace_id: str | None = None,
         **attrs: Any,
     ) -> Span:
         """Open a span; it is retained once :meth:`end` closes it."""
         with self._lock:
-            span = Span(self._next_id, name, start, parent_id, attrs)
+            span = Span(
+                self._next_id, name, start, parent_id, attrs, trace_id
+            )
             self._next_id += 1
         return span
 
     def end(self, span: Span, end: float) -> None:
-        """Close ``span`` at time ``end`` and retain it (cap permitting)."""
+        """Close ``span`` at time ``end`` and retain it (cap permitting).
+
+        A span begun before the last :meth:`reset` belongs to a run
+        whose trace was discarded; it is not retained (and not counted
+        as dropped — its run's counters are gone too).
+        """
         span.end = end
         with self._lock:
+            if span.span_id < self._reset_floor:
+                return
             if len(self._spans) >= self.max_spans:
                 self._dropped += 1
             else:
@@ -104,25 +134,37 @@ class Tracer:
         start: float,
         end: float,
         parent_id: int | None = None,
+        trace_id: str | None = None,
         **attrs: Any,
     ) -> Span:
         """One-shot: open and immediately close a span."""
-        span = self.begin(name, start, parent_id, **attrs)
+        span = self.begin(name, start, parent_id, trace_id, **attrs)
         self.end(span, end)
         return span
 
     def reset(self) -> None:
-        """Drop all spans; called by ``Runtime.root()`` so each run
-        starts a fresh trace."""
+        """Start a fresh trace: drop finished spans and orphan in-flight
+        ones (they are discarded at ``end``). Called by
+        ``Runtime.root()`` so each classic run starts clean; span ids
+        keep counting up so concurrent serving requests never see their
+        parent ids recycled.
+        """
         with self._lock:
             self._spans = []
-            self._next_id = 1
             self._dropped = 0
+            self._reset_floor = self._next_id
 
     def spans(self) -> list[Span]:
         """A snapshot of the finished spans, in completion order."""
         with self._lock:
             return list(self._spans)
+
+    def spans_for(self, trace_id: str) -> list[Span]:
+        """Finished spans of one request, in completion order."""
+        with self._lock:
+            return [
+                span for span in self._spans if span.trace_id == trace_id
+            ]
 
     @property
     def dropped(self) -> int:

@@ -42,7 +42,10 @@ from repro.errors import clone_exception
 class _Flight:
     """One in-flight physical fetch, shared leader-to-followers."""
 
-    __slots__ = ("keys", "done", "result", "error", "truncated")
+    __slots__ = (
+        "keys", "done", "result", "error", "truncated",
+        "leader_trace", "leader_span",
+    )
 
     def __init__(self, keys: frozenset) -> None:
         self.keys = keys
@@ -50,6 +53,10 @@ class _Flight:
         self.result: list[Any] | None = None
         self.error: BaseException | None = None
         self.truncated = False
+        #: The leader's trace id / active span id, read by followers to
+        #: link their ``coalesce_wait`` span to the flight they shared.
+        self.leader_trace: str | None = None
+        self.leader_span: int | None = None
 
 
 class SingleFlight:
@@ -108,6 +115,8 @@ class SingleFlight:
         return self._follow(ctx, keyset, flight, subset, issue)
 
     def _lead(self, ctx, database, keyset, flight, issue) -> list:
+        flight.leader_trace = getattr(ctx, "_trace_id", None)
+        flight.leader_span = getattr(ctx, "_span_id", None)
         try:
             result = list(issue(ctx))
             flight.result = result
@@ -131,12 +140,29 @@ class SingleFlight:
         return result
 
     def _follow(self, ctx, keyset, flight, subset, issue) -> list:
+        obs = getattr(ctx, "obs", None)
+        waited_from = ctx.now if obs is not None else 0.0
         if not flight.done.wait(self._wait_timeout):
             # Defensive: never let a wedged leader hang a session.
             with self._lock:
                 self._timeouts += 1
             self._count("timeout")
             return list(issue(ctx))
+        if obs is not None:
+            # The follower's side of the link: one span covering the
+            # wait, tagged with the leader it shared a flight with —
+            # this is what stitches two requests' traces together.
+            obs.tracer.record(
+                "coalesce_wait",
+                waited_from,
+                ctx.now,
+                getattr(ctx, "_span_id", None),
+                getattr(ctx, "_trace_id", None),
+                leader_trace=flight.leader_trace,
+                leader_span=flight.leader_span,
+                subset=subset,
+                keys=len(keyset),
+            )
         if flight.error is not None:
             raise clone_exception(flight.error) from flight.error
         ctx.last_call_truncated = flight.truncated

@@ -109,6 +109,7 @@ class HedgePolicy:
         if delay is None or self._closed:
             return issue(ctx)
         primary_ctx = self._child_ctx(ctx)
+        primary_started = getattr(ctx, "now", None)
         try:
             primary = self._executor.submit(issue, primary_ctx)
         except RuntimeError:  # shut down mid-call: serve unhedged
@@ -132,10 +133,24 @@ class HedgePolicy:
             self._propagate(ctx, primary_ctx)
             return result
         backup_ctx = self._child_ctx(ctx)
+        backup_started = getattr(ctx, "now", None)
         backup = self._executor.submit(issue, backup_ctx)
-        return self._race(ctx, primary, primary_ctx, backup, backup_ctx)
+        return self._race(
+            ctx, database, primary, primary_ctx, backup, backup_ctx,
+            primary_started, backup_started,
+        )
 
-    def _race(self, ctx, primary, primary_ctx, backup, backup_ctx) -> Any:
+    def _race(
+        self,
+        ctx,
+        database,
+        primary,
+        primary_ctx,
+        backup,
+        backup_ctx,
+        primary_started,
+        backup_started,
+    ) -> Any:
         """Wait for the first *successful* attempt; account the outcome."""
         contexts = {primary: primary_ctx, backup: backup_ctx}
         pending = {primary, backup}
@@ -154,31 +169,101 @@ class HedgePolicy:
                     else:
                         backup_error = exc
                     continue
-                self._settle(future is backup, primary, backup)
+                self._settle(
+                    future is backup, primary, backup,
+                    ctx=ctx, database=database,
+                    primary_started=primary_started,
+                    backup_started=backup_started,
+                )
                 self._propagate(ctx, contexts[future])
                 return result
         # Both attempts failed: the hedge lost, the primary's error is
         # the caller's error (same as the unhedged path would raise).
         self._count("lost")
+        self._attempt_span(
+            ctx, database, "primary", "lost", primary_started
+        )
+        self._attempt_span(ctx, database, "backup", "lost", backup_started)
         assert primary_error is not None or backup_error is not None
         raise primary_error if primary_error is not None else backup_error
 
-    def _settle(self, backup_won: bool, primary, backup) -> None:
+    def _settle(
+        self,
+        backup_won: bool,
+        primary,
+        backup,
+        ctx=None,
+        database: str = "",
+        primary_started=None,
+        backup_started=None,
+    ) -> None:
         if backup_won:
             self._count("won")
             primary.add_done_callback(_consume)
+            # The savings proxy: the primary had been outstanding this
+            # long before the backup even started — tail latency the
+            # request did not wait out.
+            saved = (
+                backup_started - primary_started
+                if primary_started is not None and backup_started is not None
+                else None
+            )
+            self._attempt_span(
+                ctx, database, "backup", "won", backup_started, saved=saved
+            )
+            self._attempt_span(
+                ctx, database, "primary", "lost", primary_started
+            )
             return
+        self._attempt_span(
+            ctx, database, "primary", "won", primary_started
+        )
         if backup.cancel():
             self._count("cancelled")
+            self._attempt_span(
+                ctx, database, "backup", "cancelled", backup_started
+            )
         else:
             self._count("lost")
             backup.add_done_callback(_consume)
+            self._attempt_span(
+                ctx, database, "backup", "lost", backup_started
+            )
+
+    def _attempt_span(
+        self, ctx, database, attempt, outcome, started, saved=None
+    ) -> None:
+        """One ``hedge_attempt`` span on the caller's clock and trace.
+
+        Observational only (reads ``ctx.now``, charges nothing), and
+        skipped when the context exposes no clock (bare test stubs).
+        """
+        now = getattr(ctx, "now", None)
+        if now is None or started is None:
+            return
+        attrs: dict[str, Any] = {
+            "attempt": attempt,
+            "outcome": outcome,
+            "database": database,
+        }
+        if saved is not None:
+            attrs["saved_s"] = saved
+        self._runtime.obs.tracer.record(
+            "hedge_attempt",
+            started,
+            now,
+            getattr(ctx, "_span_id", None),
+            getattr(ctx, "_trace_id", None),
+            **attrs,
+        )
 
     # -- plumbing ------------------------------------------------------------
 
     def _child_ctx(self, ctx):
+        # Argless call: StubRuntime.request_context takes no parameters.
         child = self._runtime.request_context()
         child._span_id = getattr(ctx, "_span_id", None)
+        child._trace_id = getattr(ctx, "_trace_id", None)
         return child
 
     def _propagate(self, ctx, winner_ctx) -> None:

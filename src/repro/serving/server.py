@@ -60,6 +60,14 @@ from repro.errors import (
 )
 from repro.model.objects import GlobalKey
 from repro.network.executor import RealRuntime
+from repro.obs import (
+    FlightRecorder,
+    RequestDigest,
+    SloConfig,
+    SloMonitor,
+    TraceIdAllocator,
+    latency_breakdown,
+)
 from repro.serving.accel import StoreCallAccelerator
 
 
@@ -101,6 +109,20 @@ class ServingConfig:
     #: Floor on the hedge delay, seconds (avoids hedging every call
     #: when a store is uniformly fast).
     hedge_min_delay: float = 0.0005
+    #: Keep a bounded flight recorder of shed/failed/degraded/slow
+    #: requests (tail-based retention; see repro.obs.requests).
+    flight_recorder: bool = True
+    #: Digests the recorder retains before evicting the oldest.
+    recorder_capacity: int = 256
+    #: Absolute slow threshold, seconds; ``None`` = adaptive (rolling
+    #: p95 of completed latencies once enough samples exist).
+    recorder_slow_threshold: float | None = None
+    #: Availability SLO: completed / finished must stay at or above.
+    slo_availability_objective: float = 0.99
+    #: Latency SLO: this fraction of completed requests at or under
+    #: ``slo_latency_threshold`` seconds.
+    slo_latency_threshold: float = 1.0
+    slo_latency_objective: float = 0.95
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -135,6 +157,19 @@ class ServingConfig:
             raise ValueError("hedge_min_observations must be >= 1")
         if self.hedge_min_delay < 0:
             raise ValueError("hedge_min_delay must be >= 0")
+        if self.recorder_capacity < 1:
+            raise ValueError("recorder_capacity must be >= 1")
+        if (
+            self.recorder_slow_threshold is not None
+            and self.recorder_slow_threshold <= 0
+        ):
+            raise ValueError("recorder_slow_threshold must be > 0")
+        for name in ("slo_availability_objective", "slo_latency_objective"):
+            value = getattr(self, name)
+            if not 0.0 < value < 1.0:
+                raise ValueError(f"{name} must be in (0, 1)")
+        if self.slo_latency_threshold <= 0:
+            raise ValueError("slo_latency_threshold must be > 0")
 
     @property
     def priority_classes(self) -> tuple[str, ...]:
@@ -148,6 +183,7 @@ class Request:
         "id", "session", "kind", "database", "query", "level", "config",
         "augment", "key", "deadline", "priority", "submitted_at",
         "started_at", "finished_at", "status", "answer", "error", "done",
+        "trace_id", "root_span", "breakdown",
     )
 
     def __init__(
@@ -183,6 +219,10 @@ class Request:
         self.answer: Any = None
         self.error: BaseException | None = None
         self.done = threading.Event()
+        #: Assigned at submission; rides every span the request records.
+        self.trace_id: str | None = None
+        self.root_span: Any = None
+        self.breakdown: dict[str, Any] = {}
 
 
 class Ticket:
@@ -198,6 +238,10 @@ class Ticket:
     @property
     def session(self) -> str:
         return self._request.session
+
+    @property
+    def trace_id(self) -> str | None:
+        return self._request.trace_id
 
     def done(self) -> bool:
         return self._request.done.is_set()
@@ -274,6 +318,28 @@ class Scheduler:
         self._completed = 0
         self._failed = 0
         self._by_session: dict[str, dict[str, int]] = {}
+        self._trace_ids = TraceIdAllocator()
+        #: Always-on bounded record of the requests worth keeping
+        #: (tail-based retention); ``None`` when disabled for overhead
+        #: comparisons.
+        self.recorder: FlightRecorder | None = (
+            FlightRecorder(
+                capacity=self.config.recorder_capacity,
+                slow_threshold=self.config.recorder_slow_threshold,
+            )
+            if self.config.flight_recorder
+            else None
+        )
+        self.slo = SloMonitor(
+            self.obs,
+            SloConfig(
+                availability_objective=(
+                    self.config.slo_availability_objective
+                ),
+                latency_threshold=self.config.slo_latency_threshold,
+                latency_objective=self.config.slo_latency_objective,
+            ),
+        )
         metrics = self.obs.metrics
         self._inflight_gauge = metrics.gauge("serving_inflight")
         self._depth_gauge = metrics.gauge("serving_queue_depth")
@@ -355,6 +421,9 @@ class Scheduler:
                                 "serving_requests_total", outcome="shed"
                             ).inc()
                             self._emit_shed(request, "stopped", now)
+                            self._observe_shed(
+                                request, "stopped", now, request.error
+                            )
                             request.done.set()
                 for order in self._orders.values():
                     order.clear()
@@ -383,6 +452,8 @@ class Scheduler:
         """
         now = time.monotonic()
         request.submitted_at = now
+        if request.trace_id is None:
+            request.trace_id = self._trace_ids.next_id()
         if request.deadline is None:
             request.deadline = self.config.default_deadline
         if request.priority not in self._queues:
@@ -400,10 +471,12 @@ class Scheduler:
                 self._shed_queue_full += 1
                 stats["shed_queue_full"] += 1
                 self._emit_shed(request, "queue_full", now)
-                raise ServerBusy(
+                error = ServerBusy(
                     f"admission queue full "
                     f"({self.config.queue_capacity} queued)"
                 )
+                self._observe_shed(request, "queue_full", now, error)
+                raise error
             if self._hopeless_deadline_locked(request.deadline):
                 self._shed_deadline_admission += 1
                 stats["shed_deadline_admission"] += 1
@@ -414,9 +487,25 @@ class Scheduler:
                 )
                 request.done.set()
                 self._emit_shed(request, "deadline_at_admission", now)
+                self._observe_shed(
+                    request, "deadline_at_admission", now, request.error
+                )
                 raise request.error
             self._admitted += 1
             stats["admitted"] += 1
+            # The request's root span: open for its whole queued+running
+            # life, on the scheduler's wall clock (the same timebase
+            # RealRuntime contexts stamp their spans with).
+            request.root_span = self.obs.tracer.begin(
+                "request",
+                now,
+                None,
+                request.trace_id,
+                request_id=request.id,
+                session=request.session,
+                kind=request.kind,
+                priority=request.priority,
+            )
             queue = self._queues[request.priority].setdefault(
                 request.session, deque()
             )
@@ -435,6 +524,7 @@ class Scheduler:
                 ts=now - self._started_at,
                 session=request.session,
                 request_id=request.id,
+                trace_id=request.trace_id,
                 queue_depth=self._queued,
             )
             self._cond.notify()
@@ -583,17 +673,27 @@ class Scheduler:
             ).observe(latency)
         elif request.status == "shed":
             self._emit_shed(request, "deadline", request.finished_at)
+        self._finish_trace(request, waited, latency)
         request.done.set()
 
     def _run(self, request: Request, waited: float) -> Any:
         config = self._effective_config(request, waited)
+        parent = (
+            request.root_span.span_id
+            if request.root_span is not None
+            else None
+        )
         if request.kind == "augment":
             # The effective config (deadline folded into the timeout
             # budget) applies to exploration steps exactly as it does
             # to searches — dropping it here silently ignored per-
             # request deadlines on the augment path.
             return self.quepa.serve_augment_object(
-                request.key, level=request.level, config=config
+                request.key,
+                level=request.level,
+                config=config,
+                trace_id=request.trace_id,
+                parent_span=parent,
             )
         return self.quepa.serve_search(
             request.database,
@@ -601,6 +701,8 @@ class Scheduler:
             level=request.level,
             config=config,
             augment=request.augment,
+            trace_id=request.trace_id,
+            parent_span=parent,
         )
 
     def _effective_config(
@@ -645,6 +747,83 @@ class Scheduler:
             self._by_session[session] = stats
         return stats
 
+    def _finish_trace(
+        self, request: Request, waited: float, latency: float
+    ) -> None:
+        """Close the root span and feed the flight recorder.
+
+        Runs after the scheduler's own accounting — purely
+        observational, so a recorder left detached skips everything but
+        the span close.
+        """
+        span = request.root_span
+        if span is not None:
+            span.attrs.update(status=request.status, queue_wait_s=waited)
+            self.obs.tracer.end(span, request.finished_at)
+            request.root_span = None
+        if self.recorder is None:
+            return
+        if request.trace_id is not None:
+            request.breakdown = latency_breakdown(
+                self.obs.tracer.spans_for(request.trace_id)
+            )
+        degraded = bool(
+            getattr(getattr(request.answer, "stats", None), "degraded", False)
+        )
+        self.recorder.observe(
+            RequestDigest(
+                trace_id=request.trace_id or "",
+                request_id=request.id,
+                session=request.session,
+                kind=request.kind,
+                priority=request.priority,
+                status=request.status,
+                shed_reason=(
+                    "deadline" if request.status == "shed" else None
+                ),
+                degraded=degraded,
+                queue_wait_s=waited,
+                latency_s=latency,
+                error=(
+                    str(request.error)
+                    if request.error is not None
+                    else None
+                ),
+                breakdown=request.breakdown,
+            )
+        )
+
+    def _observe_shed(
+        self,
+        request: Request,
+        reason: str,
+        now: float,
+        error: BaseException | None,
+    ) -> None:
+        """One digest for a request shed outside the execution path."""
+        span = request.root_span
+        if span is not None:
+            span.attrs.update(status="shed", shed_reason=reason)
+            self.obs.tracer.end(span, now)
+            request.root_span = None
+        if self.recorder is None:
+            return
+        waited = max(now - request.submitted_at, 0.0)
+        self.recorder.observe(
+            RequestDigest(
+                trace_id=request.trace_id or "",
+                request_id=request.id,
+                session=request.session,
+                kind=request.kind,
+                priority=request.priority,
+                status="shed",
+                shed_reason=reason,
+                queue_wait_s=waited,
+                latency_s=waited,
+                error=str(error) if error is not None else None,
+            )
+        )
+
     def _emit_shed(self, request: Request, reason: str, now: float) -> None:
         self.obs.metrics.counter(
             "serving_shed_total", reason=reason
@@ -655,6 +834,7 @@ class Scheduler:
             ts=max(now - self._started_at, 0.0),
             session=request.session,
             request_id=request.id,
+            trace_id=request.trace_id,
             reason=reason,
         )
 
@@ -720,7 +900,13 @@ class Scheduler:
                     if self._accelerator is not None
                     else None
                 ),
+                "recorder": (
+                    self.recorder.stats()
+                    if self.recorder is not None
+                    else None
+                ),
             }
+        report["slo"] = self.slo.report()
         metrics = self.obs.metrics
         latency = metrics.histogram("serving_latency_seconds")
         report["latency_s"] = {
@@ -868,3 +1054,12 @@ class QuepaServer:
 
     def status(self) -> dict[str, Any]:
         return self.scheduler.status()
+
+    def records(self, **filters: Any) -> list[dict[str, Any]]:
+        """Flight-recorder digests (empty when the recorder is off)."""
+        recorder = self.scheduler.recorder
+        return recorder.as_dicts(**filters) if recorder is not None else []
+
+    def slo_report(self) -> dict[str, Any]:
+        """The SLO monitor's verdict, with gauges published."""
+        return self.scheduler.slo.publish()

@@ -57,15 +57,23 @@ class ShardConnector(Connector):
             # with the exact cost/accelerator behaviour of the base path.
             return super().fetch_many(ctx, keys)
         self.store.stats.multi_gets += 1
-        pool = ctx.pool(routing.fanout)
-        for shard, shard_keys in routing.groups:
-            pool.submit(self._shard_task(shard, shard_keys))
-        fetched: dict[GlobalKey, DataObject] = {}
-        for chunk in pool.join():
-            if not chunk:
-                continue
-            for obj in chunk:
-                fetched.setdefault(obj.key, obj)
+        with ctx.span(
+            "scatter_gather",
+            database=self.database,
+            fanout=routing.fanout,
+            keys=len(keys),
+            scanned=len(routing.scanned),
+            pruned=len(routing.pruned),
+        ):
+            pool = ctx.pool(routing.fanout)
+            for shard, shard_keys in routing.groups:
+                pool.submit(self._shard_task(shard, shard_keys))
+            fetched: dict[GlobalKey, DataObject] = {}
+            for chunk in pool.join():
+                if not chunk:
+                    continue
+                for obj in chunk:
+                    fetched.setdefault(obj.key, obj)
         found = [
             fetched[key] for key in dict.fromkeys(keys) if key in fetched
         ]
@@ -83,7 +91,19 @@ class ShardConnector(Connector):
                 return engine.multi_get(shard_keys)
 
         query = ("multi_get", len(shard_keys), f"shard={shard}")
-        return lambda child_ctx: self._issue(child_ctx, op, query)
+
+        def task(child_ctx):
+            # One child span per owning shard: the scatter's fan-out
+            # becomes visible per partition in the request's trace.
+            with child_ctx.span(
+                "shard_fetch",
+                database=self.database,
+                shard=shard,
+                keys=len(shard_keys),
+            ):
+                return self._issue(child_ctx, op, query)
+
+        return task
 
     def _record_routing(self, ctx: ExecContext, routing: KeyRouting) -> None:
         metrics = ctx.obs.metrics

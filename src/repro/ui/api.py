@@ -26,6 +26,12 @@ GET      /events                    the event journal (``?kind=``,
 GET      /faults                    fault/resilience state: injected
                                     schedules and counters, breaker
                                     states, retries, failed calls
+GET      /serving                   scheduler status (requires a server)
+GET      /requests                  flight-recorder digests of kept
+                                    requests (``?session=``,
+                                    ``?status=``, ``?limit=``)
+GET      /slo                       availability/latency SLO compliance
+                                    and error-budget burn rates
 POST     /explain                   EXPLAIN/ANALYZE an augmented query; body:
                                     database, query, level, analyze, config
 =======  =========================  ===========================================
@@ -230,6 +236,10 @@ class QuepaApi:
                 return self.faults()
             case ("GET", ["serving"]):
                 return self.serving()
+            case ("GET", ["requests"]):
+                return self.requests(params)
+            case ("GET", ["slo"]):
+                return self.slo()
         raise ApiError(404, f"no route for {method} /{'/'.join(parts)}")
 
     # -- endpoints ---------------------------------------------------------------
@@ -278,6 +288,42 @@ class QuepaApi:
         if self.server is None:
             return {"serving": None, "enabled": False}
         return {"serving": self.server.status(), "enabled": True}
+
+    def requests(
+        self, params: Mapping[str, str] | None = None
+    ) -> dict[str, Any]:
+        """Flight-recorder digests (``?session=``, ``?status=``,
+        ``?limit=`` keep the newest N)."""
+        if self.server is None:
+            return {"requests": [], "enabled": False, "recorder": None}
+        params = params or {}
+        limit_text = params.get("limit")
+        try:
+            limit = int(limit_text) if limit_text is not None else None
+        except ValueError as exc:
+            raise ApiError(
+                400, f"limit must be an integer, got {limit_text!r}"
+            ) from exc
+        recorder = self.server.scheduler.recorder
+        if recorder is None:
+            return {"requests": [], "enabled": False, "recorder": None}
+        return {
+            "requests": recorder.as_dicts(
+                session=params.get("session"),
+                status=params.get("status"),
+                limit=limit,
+            ),
+            "enabled": True,
+            "recorder": recorder.stats(),
+        }
+
+    def slo(self) -> dict[str, Any]:
+        """SLO compliance + burn rates; 404 without a serving layer."""
+        if self.server is None:
+            raise ApiError(
+                404, "no serving layer attached (start a QuepaServer)"
+            )
+        return {"slo": self.server.slo_report()}
 
     def open_exploration(self, body: Mapping[str, Any]) -> dict[str, Any]:
         database = _require(body, "database")

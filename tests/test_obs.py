@@ -66,7 +66,23 @@ class TestTracer:
         tracer.reset()
         assert len(tracer) == 0
         assert tracer.dropped == 0
-        assert tracer.record("c", 0.0, 1.0).span_id == 1  # ids restart
+        # Ids are monotonic across resets: recycling them would let a
+        # new span claim a dead span's id while concurrent serving
+        # requests still hold references to it as a parent.
+        assert tracer.record("c", 0.0, 1.0).span_id == 3
+
+    def test_reset_discards_in_flight_spans_of_older_runs(self):
+        # A span begun before reset() belongs to a discarded run: when
+        # it finally ends it must not leak into the fresh trace (and
+        # must not count as dropped — its run's counters are gone).
+        tracer = Tracer()
+        stale = tracer.begin("augment", 0.0)
+        tracer.reset()
+        fresh = tracer.begin("augment", 1.0)
+        tracer.end(stale, 2.0)
+        tracer.end(fresh, 2.0)
+        assert [span.span_id for span in tracer.spans()] == [fresh.span_id]
+        assert tracer.dropped == 0
 
     def test_cap_counts_drops(self):
         tracer = Tracer(max_spans=2)

@@ -502,7 +502,7 @@ def test_augment_run_passes_effective_config():
     quepa = make_real_quepa()
     captured = {}
 
-    def fake_augment(key, level=0, config=None):
+    def fake_augment(key, level=0, config=None, **kwargs):
         captured["config"] = config
         return []
 
