@@ -24,6 +24,11 @@ Commands:
     EXPLAIN (or EXPLAIN ANALYZE) an augmented query: store access path,
     A' index traversal, pool/batching decisions, optimizer rule
     firings, estimated vs actual rows and queries.
+``plan --snapshot DIR --database DB --query Q [--targets A,B] [--execute]``
+    Enumerate the cross-store physical plans of one query (A'-index
+    push-down, collect-and-join, ETL cast, multi-model import), print
+    each plan's estimated cost and the planner's pick; ``--execute``
+    also runs the winner (see :mod:`repro.planner`).
 ``events --snapshot DIR --database DB --query Q [--slow-ms T] ...``
     Run one augmented query with the event journal armed and print the
     recorded events (slow queries, lazy deletions, run completions).
@@ -116,6 +121,18 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also execute and report actual rows/time")
     explain.add_argument("--json", action="store_true", dest="as_json",
                          help="print the report as JSON")
+
+    plan = commands.add_parser(
+        "plan", help="enumerate and cost cross-store physical plans"
+    )
+    _add_query_args(plan)
+    plan.add_argument("--targets", default=None,
+                      help="comma-separated augmentation target databases "
+                           "(default: every database)")
+    plan.add_argument("--execute", action="store_true",
+                      help="also execute the chosen plan and report its run")
+    plan.add_argument("--json", action="store_true", dest="as_json",
+                      help="print the plan report as JSON")
 
     events = commands.add_parser(
         "events", help="run one query and print the event journal"
@@ -294,6 +311,8 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             return _trace(args, out)
         if args.command == "explain":
             return _explain(args, out)
+        if args.command == "plan":
+            return _plan(args, out)
         if args.command == "events":
             return _events(args, out)
         if args.command == "faults":
@@ -639,6 +658,42 @@ def _explain(args, out) -> int:
         config=config,
         analyze=args.analyze,
     )
+    if args.as_json:
+        json.dump(report, out, indent=2, default=str)
+        print(file=out)
+    else:
+        _print_report(report, out)
+    return 0
+
+
+def _plan(args, out) -> int:
+    from repro.planner import LogicalQuery
+
+    quepa = _load(args)
+    targets = None
+    if args.targets:
+        targets = tuple(
+            name.strip() for name in args.targets.split(",") if name.strip()
+        )
+    logical = LogicalQuery(
+        database=args.database,
+        query=_parse_query(args.query),
+        level=args.level,
+        targets=targets,
+    )
+    engine = quepa.planner_engine()
+    report = engine.explain_section(logical)
+    if args.execute:
+        execution = engine.execute(logical)
+        result = execution.result
+        report["executed"] = {
+            "strategy": execution.chosen,
+            "elapsed_s": result.elapsed,
+            "queries_issued": result.queries_issued,
+            "answer_size": len(result.answer),
+            "out_of_memory": result.out_of_memory,
+            "degraded": result.degraded,
+        }
     if args.as_json:
         json.dump(report, out, indent=2, default=str)
         print(file=out)

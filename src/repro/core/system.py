@@ -96,6 +96,9 @@ class Quepa:
         self.cache = LruCache(self.config.cache_size)
         self.augmentation = Augmentation(aindex)
         self.paths = PathRepository(aindex, promotion_policy)
+        #: Lazily built cost-based cross-store planner (repro.planner);
+        #: shares this system's profile, resilience and fault layers.
+        self._planner_engine = None
         #: Listeners invoked with each completed RunRecord.
         self.run_listeners: list[Callable[[RunRecord], None]] = []
         self.last_record: RunRecord | None = None
@@ -361,6 +364,15 @@ class Quepa:
         report["execution"] = self._explain_execution(
             chosen, seeds, level, min_probability
         )
+        report["planner"] = self._explain_planner(
+            database,
+            validation.query,
+            level,
+            min_probability,
+            originals,
+            report["query"]["store"],
+            analyze,
+        )
         if analyze:
             answer = self.augmented_search(
                 database, query, level=level, config=config
@@ -379,6 +391,64 @@ class Quepa:
                 "trace": self.obs.trace_summary(),
             }
         return report
+
+    def planner_engine(self):
+        """The cost-based cross-store planner bound to this system.
+
+        Built lazily on first use (explain's ``planner`` section, the
+        ``plan`` CLI/API endpoints) and cached; it shares this system's
+        deployment profile, resilience manager (so breaker state is
+        common) and fault injector. See :mod:`repro.planner`.
+        """
+        if self._planner_engine is None:
+            from repro.planner import FederatedEngine
+
+            degrade = (
+                self.resilience.config.degrade
+                if self.resilience is not None
+                else True
+            )
+            self._planner_engine = FederatedEngine(
+                self.polystore,
+                self.aindex,
+                profile=self.profile,
+                config=self.config,
+                resilience=self.resilience,
+                faults=self.faults,
+                degrade=degrade,
+            )
+        return self._planner_engine
+
+    def _explain_planner(
+        self,
+        database: str,
+        query: Any,
+        level: int,
+        min_probability: float,
+        originals,
+        store_report: dict,
+        analyze: bool,
+    ) -> dict:
+        """The ``planner`` section: enumerated plans, costs, the pick.
+
+        Reuses the originals and store report explain already computed,
+        so the section adds zero extra store executions (``analyze=True``
+        additionally runs the chosen plan, like the rest of ANALYZE).
+        """
+        from repro.planner import LogicalQuery
+
+        logical = LogicalQuery(
+            database=database,
+            query=query,
+            level=level,
+            min_probability=min_probability,
+        )
+        return self.planner_engine().explain_section(
+            logical,
+            originals=originals,
+            store_report=store_report,
+            analyze=analyze,
+        )
 
     def _explain_config(
         self, explicit: AugmentationConfig | None, features: QueryFeatures

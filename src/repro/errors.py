@@ -203,3 +203,16 @@ class OutOfMemoryError(MiddlewareError):
         super().__init__(message)
         self.footprint = footprint
         self.budget = budget
+
+
+# ---------------------------------------------------------------------------
+# Planner
+# ---------------------------------------------------------------------------
+
+
+class PlannerError(ReproError):
+    """Base for cross-store planner errors (see repro.planner)."""
+
+
+class UnknownStrategyError(PlannerError):
+    """A physical-plan strategy name that no enumerated plan carries."""

@@ -18,9 +18,13 @@ same stores, the same A' index and the same virtual-time cost model:
   the A' index at start-up (warm-up), then answers natively (one
   AQL-style traversal) or in QUEPA style; degrades and finally OOMs as
   the polystore grows.
+
+Each architecture is also exposed as an execution strategy of the
+cost-based cross-store planner (:mod:`repro.planner`) — see each class's
+``PLAN_STRATEGY`` and docs/PLANNING.md.
 """
 
-from repro.middleware.base import MiddlewareResult, MiddlewareSystem
+from repro.middleware.base import MiddlewareResult, MiddlewareSystem, page_scan
 from repro.middleware.etl import EtlWorkflow
 from repro.middleware.federated import FederatedMiddleware
 from repro.middleware.multimodel import MultiModelStore
@@ -31,4 +35,5 @@ __all__ = [
     "MiddlewareResult",
     "MiddlewareSystem",
     "MultiModelStore",
+    "page_scan",
 ]

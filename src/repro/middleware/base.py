@@ -1,11 +1,20 @@
-"""Shared machinery of the middleware emulators."""
+"""Shared machinery of the middleware emulators.
+
+The emulators double as the execution cores of the cross-store planner
+(:mod:`repro.planner`): each one's architecture — collect-and-join,
+staged ETL cast, in-memory multi-model import — is exposed there as a
+:class:`~repro.planner.plans.PhysicalPlan` strategy competing against
+QUEPA's A'-index push-down. The page-scan primitive both layers share
+lives here as :func:`page_scan`.
+"""
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from typing import Callable
 
-from repro.errors import OutOfMemoryError
+from repro.errors import OutOfMemoryError, StoreUnavailableError
 from repro.model.objects import GlobalKey
 from repro.network.executor import ExecContext, VirtualRuntime
 from repro.network.latency import DeploymentProfile
@@ -14,6 +23,37 @@ from repro.workloads.queries import WorkloadQuery
 
 #: Page size of bulk collection scans through a middleware connector.
 SCAN_PAGE = 1000
+
+
+def page_scan(
+    ctx: ExecContext,
+    store,
+    database: str,
+    collection: str,
+    page_size: int = SCAN_PAGE,
+    issue: Callable | None = None,
+) -> list[GlobalKey]:
+    """Pull a whole collection through a middleware connector, paged.
+
+    Charges one store roundtrip per page of ``page_size`` objects and
+    returns the global keys (middleware layers track footprints and
+    join keys; payloads live in the underlying stores either way).
+    ``issue`` optionally replaces the plain ``ctx.store_call`` — the
+    planner routes pages through the resilience layer with it, so an
+    open circuit breaker fails a scan exactly as it fails a fetch.
+    """
+    keys = [
+        GlobalKey(database, collection, local)
+        for local in store.collection_keys(collection)
+    ]
+    for page_start in range(0, len(keys), page_size):
+        page = keys[page_start:page_start + page_size]
+        op = lambda page=page: page  # noqa: E731
+        if issue is not None:
+            issue(ctx, database, op)
+        else:
+            ctx.store_call(database, op)
+    return keys
 
 
 @dataclass
@@ -25,6 +65,9 @@ class MiddlewareResult:
     answer_size: int
     out_of_memory: bool = False
     footprint: int = 0
+    #: Reason string when a source store was unreachable mid-run (the
+    #: run reports instead of raising, like the OOM case).
+    unavailable: str | None = None
 
     @property
     def marker(self) -> str:
@@ -56,7 +99,9 @@ class MiddlewareSystem(ABC):
     # -- public entry point ----------------------------------------------------
 
     def run(self, query: WorkloadQuery, level: int = 0) -> MiddlewareResult:
-        """Answer the augmented query; never raises on OOM, reports it."""
+        """Answer the augmented query; OOM and unreachable stores are
+        reported on the result rather than raised (the middleware has no
+        degraded half-answers — its run simply fails and says why)."""
         ctx = self.runtime.root()
         try:
             answer_size = self._execute(ctx, query, level)
@@ -67,6 +112,13 @@ class MiddlewareSystem(ABC):
                 answer_size=0,
                 out_of_memory=True,
                 footprint=oom.footprint,
+            )
+        except StoreUnavailableError as exc:
+            return MiddlewareResult(
+                system=self.name,
+                elapsed=self.runtime.elapsed,
+                answer_size=0,
+                unavailable=str(exc),
             )
         return MiddlewareResult(
             system=self.name,
@@ -106,14 +158,7 @@ class MiddlewareSystem(ABC):
         keys; payloads live in the underlying stores either way).
         """
         store = self.bundle.polystore.database(database)
-        keys = [
-            GlobalKey(database, collection, local)
-            for local in store.collection_keys(collection)
-        ]
-        for page_start in range(0, len(keys), SCAN_PAGE):
-            page = keys[page_start:page_start + SCAN_PAGE]
-            ctx.store_call(database, lambda page=page: page)
-        return keys
+        return page_scan(ctx, store, database, collection)
 
     def run_local_query(self, ctx: ExecContext, query: WorkloadQuery):
         """The user's original query, through the middleware connector."""

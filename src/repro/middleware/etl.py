@@ -33,7 +33,15 @@ LOOKUP_BUILD_CPU = 0.000002
 
 
 class EtlWorkflow(MiddlewareSystem):
-    """TALEND: staged extract -> lookup-join -> output workflow."""
+    """TALEND: staged extract -> lookup-join -> output workflow.
+
+    Inside the cross-store planner this architecture competes as the
+    ``etl_cast`` strategy (:class:`repro.planner.plans.EtlCastPlan`),
+    built from the same startup/staging/pipeline cost constants above.
+    """
+
+    #: Planner strategy this emulator's architecture is exposed as.
+    PLAN_STRATEGY = "etl_cast"
 
     name = "TALEND"
     supported_engines = frozenset({"relational", "document", "graph"})

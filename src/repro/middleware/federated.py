@@ -34,7 +34,15 @@ PROBE_CPU = 0.00002
 
 
 class FederatedMiddleware(MiddlewareSystem):
-    """META: common-interface federation over SQL/document/graph."""
+    """META: common-interface federation over SQL/document/graph.
+
+    Inside the cross-store planner this architecture competes as the
+    ``collect_join`` strategy (:class:`repro.planner.plans.CollectJoinPlan`),
+    built from the same scan/convert/probe cost constants above.
+    """
+
+    #: Planner strategy this emulator's architecture is exposed as.
+    PLAN_STRATEGY = "collect_join"
 
     supported_engines = frozenset({"relational", "document", "graph"})
 

@@ -37,7 +37,16 @@ PRESSURE_FACTOR = 6.0
 
 
 class MultiModelStore(MiddlewareSystem):
-    """ARANGO: all-in-one in-memory engine."""
+    """ARANGO: all-in-one in-memory engine.
+
+    Inside the cross-store planner this architecture competes as the
+    ``multimodel_import`` strategy
+    (:class:`repro.planner.plans.MultiModelPlan`), built from the same
+    import/lookup/pressure cost constants above.
+    """
+
+    #: Planner strategy this emulator's architecture is exposed as.
+    PLAN_STRATEGY = "multimodel_import"
 
     supported_engines = frozenset({"document", "graph", "keyvalue"})
 

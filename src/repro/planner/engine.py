@@ -1,0 +1,314 @@
+"""The federated engine: enumerate, cost, pick, execute.
+
+:class:`FederatedEngine` is the planner's front door. Given a
+:class:`~repro.planner.logical.LogicalQuery` it
+
+1. *prepares* the query off-clock (local answer, per-store EXPLAIN,
+   A' index plan restricted to the targets),
+2. *enumerates* admissible physical plans,
+3. *costs* each one — analytic raw formula times the strategy's learned
+   calibration factor — and
+4. *executes* the cheapest (or a named strategy) on a fresh virtual
+   runtime, feeding the measured time back into calibration.
+
+``execute_all`` runs every enumerated plan, which is what the
+plan-equivalence suite and the best-of-all-plans oracle benchmark use;
+``explain_section`` renders the whole decision for ``Quepa.explain()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.augmentation import Augmentation, AugmentationConfig
+from repro.core.cache import LruCache
+from repro.core.connectors import ConnectorRegistry
+from repro.core.search import AugmentedAnswer, SearchStats
+from repro.errors import OutOfMemoryError, UnknownStrategyError
+from repro.faults.resilience import ResilienceConfig, ResilienceManager
+from repro.model.polystore import Polystore
+from repro.network.executor import VirtualRuntime
+from repro.network.latency import DeploymentProfile, centralized_profile
+from repro.planner.costs import CalibrationStore, CostEstimate, PlanCostModel
+from repro.planner.enumerator import enumerate_plans
+from repro.planner.logical import (
+    LogicalQuery,
+    PlanResult,
+    QueryContext,
+)
+from repro.planner.plans import (
+    ExecutionEnv,
+    PhysicalPlan,
+    restrict_plan,
+    result_seeds,
+)
+
+
+@dataclass
+class PlannerExecution:
+    """One planner decision plus the execution it led to."""
+
+    query: LogicalQuery
+    chosen: str
+    estimates: list[CostEstimate] = field(default_factory=list)
+    rejected: list[dict] = field(default_factory=list)
+    result: PlanResult | None = None
+
+
+class FederatedEngine:
+    """Cost-based cross-store planner over one polystore + A' index.
+
+    ``resilience`` accepts a :class:`ResilienceConfig` (a manager is
+    built), a ready :class:`ResilienceManager` (shared with a Quepa
+    instance, so breaker state is common), or ``None`` (no retry/breaker
+    layer). ``faults`` is an optional fault injector armed on every
+    execution runtime, mirroring ``Quepa``.
+    """
+
+    def __init__(
+        self,
+        polystore: Polystore,
+        aindex,
+        profile: DeploymentProfile | None = None,
+        memory_budget: int = 200_000,
+        config: AugmentationConfig | None = None,
+        resilience=None,
+        faults=None,
+        calibration: CalibrationStore | None = None,
+        degrade: bool = True,
+    ) -> None:
+        self.polystore = polystore
+        self.aindex = aindex
+        self.profile = profile or centralized_profile(
+            sorted(polystore.databases)
+        )
+        self.memory_budget = memory_budget
+        self.config = config or AugmentationConfig()
+        if isinstance(resilience, ResilienceConfig):
+            resilience = ResilienceManager(resilience)
+        self.resilience = resilience
+        self.faults = faults
+        self.calibration = calibration or CalibrationStore()
+        self.degrade = degrade
+        self.augmentation = Augmentation(aindex)
+        self.model = PlanCostModel(
+            self.profile,
+            polystore,
+            aindex=aindex,
+            memory_budget=memory_budget,
+        )
+
+    # -- preparation -----------------------------------------------------------
+
+    def prepare(
+        self,
+        q: LogicalQuery,
+        originals=None,
+        store_report: dict | None = None,
+    ) -> QueryContext:
+        """Prepare ``q`` off-clock: originals, EXPLAIN, restricted plan.
+
+        ``originals``/``store_report`` may be passed in when the caller
+        already ran them (``Quepa.explain`` does), so preparation adds
+        zero extra store executions there.
+        """
+        store = self.polystore.database(q.database)
+        if originals is None:
+            with store.lock:
+                originals = store.execute(q.query)
+        originals = list(originals)
+        if store_report is None:
+            with store.lock:
+                store_report = store.estimate_query(q.query)
+        seeds = result_seeds(originals)
+        plan = self.augmentation.plan(seeds, q.level, q.min_probability)
+        targets = q.resolve_targets(self.polystore)
+        return QueryContext(
+            query=q,
+            targets=targets,
+            originals=originals,
+            seeds=seeds,
+            plan=restrict_plan(plan, targets),
+            store_report=store_report,
+        )
+
+    # -- enumeration + costing ---------------------------------------------------
+
+    def candidates(
+        self, q: LogicalQuery, qctx: QueryContext | None = None
+    ) -> tuple[list[tuple[PhysicalPlan, CostEstimate]], list[dict]]:
+        """Admissible plans with estimates, cheapest first, plus rejections.
+
+        Ties break on strategy name so the ranking is deterministic.
+        """
+        if qctx is None:
+            qctx = self.prepare(q)
+        plans, rejected = enumerate_plans(
+            qctx, self.model, self.memory_budget
+        )
+        ranked: list[tuple[PhysicalPlan, CostEstimate]] = []
+        for plan in plans:
+            raw, breakdown = plan.estimate(self.model, qctx)
+            factor = self.calibration.factor(plan.strategy)
+            ranked.append(
+                (
+                    plan,
+                    CostEstimate(
+                        strategy=plan.strategy,
+                        raw=raw,
+                        calibration=factor,
+                        total=raw * factor,
+                        breakdown=breakdown,
+                    ),
+                )
+            )
+        ranked.sort(key=lambda pair: (pair[1].total, pair[1].strategy))
+        return ranked, rejected
+
+    # -- execution ------------------------------------------------------------
+
+    def execute(
+        self,
+        q: LogicalQuery,
+        strategy: str | None = None,
+        record: bool = True,
+    ) -> PlannerExecution:
+        """Plan and run ``q``; ``strategy`` forces a named plan.
+
+        ``record`` feeds the measured time back into the calibration
+        store (skipped automatically for faulted/OOM runs, whose times
+        do not reflect the formula's fault-free assumption).
+        """
+        qctx = self.prepare(q)
+        ranked, rejected = self.candidates(q, qctx)
+        if not ranked:
+            raise UnknownStrategyError(
+                f"no admissible plan for query on {q.database!r}"
+            )
+        if strategy is None:
+            plan, estimate = ranked[0]
+        else:
+            for plan, estimate in ranked:
+                if plan.strategy == strategy:
+                    break
+            else:
+                known = [p.strategy for p, __ in ranked]
+                raise UnknownStrategyError(
+                    f"unknown or inadmissible strategy {strategy!r}; "
+                    f"admissible: {known}"
+                )
+        result = self._run_plan(plan, q)
+        if (
+            record
+            and not result.out_of_memory
+            and not result.degraded
+            and not result.errors
+        ):
+            self.calibration.observe(
+                plan.strategy, estimate.raw, result.elapsed
+            )
+        return PlannerExecution(
+            query=q,
+            chosen=plan.strategy,
+            estimates=[entry for __, entry in ranked],
+            rejected=rejected,
+            result=result,
+        )
+
+    def execute_all(
+        self, q: LogicalQuery, record: bool = False
+    ) -> dict[str, PlanResult]:
+        """Run EVERY admissible plan (equivalence suite / oracle input)."""
+        qctx = self.prepare(q)
+        ranked, __ = self.candidates(q, qctx)
+        results: dict[str, PlanResult] = {}
+        for plan, estimate in ranked:
+            result = self._run_plan(plan, q)
+            results[plan.strategy] = result
+            if (
+                record
+                and not result.out_of_memory
+                and not result.degraded
+                and not result.errors
+            ):
+                self.calibration.observe(
+                    plan.strategy, estimate.raw, result.elapsed
+                )
+        return results
+
+    def _run_plan(self, plan: PhysicalPlan, q: LogicalQuery) -> PlanResult:
+        """One plan on a fresh virtual runtime; OOM reported, not raised."""
+        runtime = VirtualRuntime(self.profile)
+        runtime.faults = self.faults
+        ctx = runtime.root()
+        env = ExecutionEnv(
+            ctx=ctx,
+            polystore=self.polystore,
+            aindex=self.aindex,
+            augmentation=self.augmentation,
+            registry=ConnectorRegistry(self.polystore, self.resilience),
+            cache=LruCache(self.config.cache_size),
+            resilience=self.resilience,
+            memory_budget=self.memory_budget,
+            degrade=self.degrade,
+            base_config=self.config,
+        )
+        try:
+            result = plan.execute(env, q)
+        except OutOfMemoryError as oom:
+            result = PlanResult(
+                strategy=plan.strategy,
+                answer=AugmentedAnswer(
+                    [], [], SearchStats(database=q.database, level=q.level)
+                ),
+                footprint=oom.footprint,
+                out_of_memory=True,
+                errors={"memory": str(oom)},
+            )
+        result.elapsed = runtime.elapsed
+        result.queries_issued = runtime.meter.total_queries
+        return result
+
+    # -- explain ---------------------------------------------------------------
+
+    def explain_section(
+        self,
+        q: LogicalQuery,
+        originals=None,
+        store_report: dict | None = None,
+        analyze: bool = False,
+    ) -> dict:
+        """The ``planner`` section of ``Quepa.explain()``: JSON-ready.
+
+        ``analyze=True`` additionally executes the chosen plan and
+        reports measured time next to the estimate.
+        """
+        qctx = self.prepare(q, originals=originals, store_report=store_report)
+        ranked, rejected = self.candidates(q, qctx)
+        section = {
+            "targets": list(qctx.targets),
+            "planned_fetches": qctx.fetch_count,
+            "unique_fetches": qctx.unique_fetch_count,
+            "fetches_by_database": qctx.fetches_by_database(),
+            "strategies": [entry.as_dict() for __, entry in ranked],
+            "inadmissible": rejected,
+            "chosen": ranked[0][0].strategy if ranked else None,
+            "calibration": self.calibration.snapshot(),
+        }
+        if analyze and ranked:
+            plan, estimate = ranked[0]
+            result = self._run_plan(plan, q)
+            ratio = (
+                result.elapsed / estimate.raw if estimate.raw > 0 else None
+            )
+            section["actual"] = {
+                "strategy": plan.strategy,
+                "elapsed_s": result.elapsed,
+                "estimated_cost_s": estimate.total,
+                "ratio_to_raw": ratio,
+                "queries_issued": result.queries_issued,
+                "answer_size": len(result.answer),
+                "out_of_memory": result.out_of_memory,
+                "degraded": result.degraded,
+            }
+        return section

@@ -183,6 +183,45 @@ class Store(ABC):
             for __ in self.collection_keys(collection)
         )
 
+    def collection_stats(self) -> dict[str, int]:
+        """Per-collection object counts (the planner's cardinalities).
+
+        The cross-store planner prices full scans and import footprints
+        from these counts; callers that need a stable snapshot take the
+        store's lock around the call.
+        """
+        return {
+            collection: sum(1 for __ in self.collection_keys(collection))
+            for collection in self.collections()
+        }
+
+    def estimate_query(self, query: Any) -> dict[str, Any]:
+        """The EXPLAIN estimates of a query, never raising.
+
+        Planner-facing wrapper over :meth:`explain`: a query the engine
+        cannot explain (malformed for EXPLAIN purposes, unsupported
+        feature) degrades to the base full-scan assumption instead of
+        failing the estimate pass.
+        """
+        try:
+            return self.explain(query)
+        except Exception:
+            report: dict[str, Any] = {
+                "engine": self.engine,
+                "database": self.database_name or None,
+                "query": describe_query(query),
+            }
+            total = self.count_objects()
+            report.update(
+                {
+                    "access_path": "scan",
+                    "index": None,
+                    "estimated_rows": total,
+                    "estimated_cost": float(total),
+                }
+            )
+            return report
+
     def iter_objects(self) -> Iterator[DataObject]:
         """Iterate every data object in the store (collector input)."""
         if not self.database_name:

@@ -34,6 +34,9 @@ GET      /slo                       availability/latency SLO compliance
                                     and error-budget burn rates
 POST     /explain                   EXPLAIN/ANALYZE an augmented query; body:
                                     database, query, level, analyze, config
+POST     /plan                      enumerate + cost cross-store physical
+                                    plans (see :mod:`repro.planner`); body:
+                                    database, query, level, targets, execute
 =======  =========================  ===========================================
 
 Requests and responses are plain dicts that serialize to JSON as-is;
@@ -212,6 +215,8 @@ class QuepaApi:
                 return self.query(body)
             case ("POST", ["explain"]):
                 return self.explain(body)
+            case ("POST", ["plan"]):
+                return self.plan(body)
             case ("POST", ["explore"]):
                 return self.open_exploration(body)
             case ("GET", ["explore", sid]):
@@ -484,6 +489,48 @@ class QuepaApi:
             config=config, analyze=bool(body.get("analyze", False)),
         )
         return {"explain": report}
+
+    def plan(self, body: Mapping[str, Any]) -> dict[str, Any]:
+        """Enumerate and cost the cross-store physical plans of a query.
+
+        ``targets`` optionally restricts the augmentation target
+        databases; ``execute=true`` also runs the chosen plan and
+        reports the measured run next to the estimates.
+        """
+        from repro.planner import LogicalQuery
+
+        database = _require(body, "database")
+        query = _require(body, "query")
+        level = int(body.get("level", 0))
+        if level < 0:
+            raise ApiError(400, "level must be >= 0")
+        targets = body.get("targets")
+        if targets is not None:
+            if not isinstance(targets, (list, tuple)) or not all(
+                isinstance(name, str) for name in targets
+            ):
+                raise ApiError(400, "targets must be a list of database names")
+            targets = tuple(targets)
+        logical = LogicalQuery(
+            database=database, query=query, level=level, targets=targets
+        )
+        engine = self.quepa.planner_engine()
+        try:
+            report = engine.explain_section(logical)
+            if bool(body.get("execute", False)):
+                execution = engine.execute(logical)
+                result = execution.result
+                report["executed"] = {
+                    "strategy": execution.chosen,
+                    "elapsed_s": result.elapsed,
+                    "queries_issued": result.queries_issued,
+                    "answer_size": len(result.answer),
+                    "out_of_memory": result.out_of_memory,
+                    "degraded": result.degraded,
+                }
+        except UnknownDatabaseError as exc:
+            raise ApiError(404, str(exc)) from exc
+        return {"plan": report}
 
     # -- internals ------------------------------------------------------------------
 

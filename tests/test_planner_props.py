@@ -1,0 +1,254 @@
+"""Plan-equivalence properties of the cost-based cross-store planner.
+
+The planner's core invariant (docs/PLANNING.md): every enumerated
+physical plan of a logical query — push-down through the connectors,
+collect-and-join, ETL cast, multi-model import — returns a
+*bit-identical* result set. Strategies may only disagree on cost.
+
+The suite executes EVERY admissible plan for a mix of queries across
+three generator seeds and compares :func:`answer_signature`
+fingerprints exactly (keys, payloads, probabilities bit-for-bit, ranked
+order). A second group checks degraded mode: with one store down —
+always-fail fault or a tripped circuit breaker — every surviving plan
+skips that store the same way and the answers still agree.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Quepa
+from repro.faults import FaultInjector, ResilienceConfig, ResilienceManager
+from repro.planner import (
+    FederatedEngine,
+    LogicalQuery,
+    answer_signature,
+)
+from repro.workloads import PolystoreScale, QueryWorkload, build_polyphony
+
+#: Budget high enough that no strategy is rejected or OOMs — equivalence
+#: is about answers, not admission.
+BIG_BUDGET = 10_000_000
+
+SEEDS = (3, 11, 27)
+
+ALL_STRATEGIES = {
+    "pushdown:sequential",
+    "pushdown:batch",
+    "pushdown:outer_batch",
+    "collect_join",
+    "etl_cast",
+    "multimodel_import",
+}
+
+_BUNDLES: dict[int, object] = {}
+
+
+def bundle_for(seed: int):
+    bundle = _BUNDLES.get(seed)
+    if bundle is None:
+        bundle = build_polyphony(
+            stores=4, scale=PolystoreScale(n_albums=100), seed=seed
+        )
+        _BUNDLES[seed] = bundle
+    return bundle
+
+
+def make_engine(bundle, **kwargs):
+    kwargs.setdefault("memory_budget", BIG_BUDGET)
+    return FederatedEngine(bundle.polystore, bundle.aindex, **kwargs)
+
+
+def assert_equivalent(results):
+    """All plan results carry the same answer fingerprint."""
+    assert results, "no plan executed"
+    signatures = {
+        strategy: result.signature() for strategy, result in results.items()
+    }
+    reference = next(iter(signatures.values()))
+    mismatched = [
+        strategy
+        for strategy, signature in signatures.items()
+        if signature != reference
+    ]
+    assert not mismatched, f"plans disagree with the rest: {mismatched}"
+    return reference
+
+
+class TestPlanEquivalence:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("level", [0, 1, 2])
+    def test_all_plans_bit_identical(self, seed, level):
+        bundle = bundle_for(seed)
+        engine = make_engine(bundle)
+        query = QueryWorkload(bundle).query("catalogue", 15)
+        logical = LogicalQuery(
+            database=query.database, query=query.query, level=level
+        )
+        results = engine.execute_all(logical)
+        assert set(results) == ALL_STRATEGIES
+        assert all(not r.out_of_memory for r in results.values())
+        assert all(not r.degraded for r in results.values())
+        reference = assert_equivalent(results)
+        originals, augmented = reference
+        assert len(originals) == 15
+        # Level 0 already augments with direct neighbours (Definition 5).
+        assert len(augmented) > 0
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_relational_seed_database(self, seed):
+        bundle = bundle_for(seed)
+        engine = make_engine(bundle)
+        query = QueryWorkload(bundle).query("transactions", 10)
+        logical = LogicalQuery(
+            database=query.database, query=query.query, level=1
+        )
+        assert_equivalent(engine.execute_all(logical))
+
+    def test_pushdown_matches_quepa_search(self):
+        """The pushdown plan IS the classic QUEPA path: same answer."""
+        bundle = bundle_for(3)
+        engine = make_engine(bundle)
+        query = QueryWorkload(bundle).query("catalogue", 20)
+        logical = LogicalQuery(
+            database=query.database, query=query.query, level=1
+        )
+        execution = engine.execute(logical, strategy="pushdown:sequential")
+        quepa = Quepa(bundle.polystore, bundle.aindex)
+        answer = quepa.augmented_search(query.database, query.query, level=1)
+        assert execution.result.signature() == answer_signature(answer)
+
+    def test_targets_restrict_augmentation_consistently(self):
+        bundle = bundle_for(3)
+        engine = make_engine(bundle)
+        query = QueryWorkload(bundle).query("catalogue", 20)
+        logical = LogicalQuery(
+            database=query.database,
+            query=query.query,
+            level=1,
+            targets=("discount",),
+        )
+        results = engine.execute_all(logical)
+        __, augmented = assert_equivalent(results)
+        assert augmented, "expected discount augmentation"
+        assert all(key.startswith("discount.") for key, *__ in augmented)
+
+    def test_min_probability_floor_consistently_applied(self):
+        bundle = bundle_for(3)
+        engine = make_engine(bundle)
+        query = QueryWorkload(bundle).query("catalogue", 20)
+        results = engine.execute_all(
+            LogicalQuery(
+                database=query.database,
+                query=query.query,
+                level=2,
+                min_probability=0.6,
+            )
+        )
+        __, augmented = assert_equivalent(results)
+        assert all(probability >= 0.6 for __, probability, __ in augmented)
+
+    def test_forced_strategy_equals_execute_all_entry(self):
+        bundle = bundle_for(3)
+        engine = make_engine(bundle)
+        query = QueryWorkload(bundle).query("catalogue", 10)
+        logical = LogicalQuery(
+            database=query.database, query=query.query, level=1
+        )
+        all_results = engine.execute_all(logical)
+        for strategy in sorted(ALL_STRATEGIES):
+            execution = engine.execute(logical, strategy=strategy)
+            assert execution.chosen == strategy
+            assert (
+                execution.result.signature()
+                == all_results[strategy].signature()
+            )
+
+
+class TestDegradedEquivalence:
+    """One store down: every surviving plan agrees on the smaller answer."""
+
+    def _down_database(self, bundle, query):
+        """A target database the plan actually fetches from."""
+        engine = make_engine(bundle)
+        qctx = engine.prepare(
+            LogicalQuery(database=query.database, query=query.query, level=2)
+        )
+        by_database = qctx.fetches_by_database()
+        by_database.pop(query.database, None)
+        assert by_database, "query plans no cross-store fetches"
+        return max(by_database, key=by_database.get)
+
+    def test_always_fail_fault_keeps_plans_equivalent(self):
+        bundle = bundle_for(3)
+        query = QueryWorkload(bundle).query("catalogue", 20)
+        down = self._down_database(bundle, query)
+        faults = FaultInjector(seed=7)
+        faults.inject(down, "fail", rate=1.0)
+        engine = make_engine(bundle, faults=faults, degrade=True)
+        logical = LogicalQuery(
+            database=query.database, query=query.query, level=2
+        )
+        results = engine.execute_all(logical)
+        assert set(results) == ALL_STRATEGIES
+        __, augmented = assert_equivalent(results)
+        assert all(not key.startswith(f"{down}.") for key, *__ in augmented)
+        for result in results.values():
+            assert result.degraded
+            assert down in result.unavailable
+
+    def test_degraded_answer_is_subset_of_healthy_answer(self):
+        bundle = bundle_for(3)
+        query = QueryWorkload(bundle).query("catalogue", 20)
+        down = self._down_database(bundle, query)
+        logical = LogicalQuery(
+            database=query.database, query=query.query, level=2
+        )
+        healthy = make_engine(bundle).execute(logical).result
+        faults = FaultInjector(seed=7)
+        faults.inject(down, "fail", rate=1.0)
+        degraded = make_engine(bundle, faults=faults).execute(logical).result
+        healthy_keys = {str(e.key) for e in healthy.answer.augmented}
+        degraded_keys = {str(e.key) for e in degraded.answer.augmented}
+        assert degraded_keys < healthy_keys
+        assert any(key.startswith(f"{down}.") for key in healthy_keys)
+
+    def test_open_breaker_keeps_plans_equivalent(self):
+        bundle = bundle_for(3)
+        query = QueryWorkload(bundle).query("catalogue", 20)
+        down = self._down_database(bundle, query)
+        manager = ResilienceManager(
+            ResilienceConfig(
+                retry_max_attempts=1,
+                breaker_failure_threshold=1,
+                breaker_recovery_timeout=1e9,
+            )
+        )
+        # Trip the breaker before any plan runs: the store is down for
+        # the whole suite of executions.
+        manager.breaker(down).record_failure(0.0)
+        assert manager.breaker(down).state == "open"
+        engine = make_engine(bundle, resilience=manager, degrade=True)
+        results = engine.execute_all(
+            LogicalQuery(database=query.database, query=query.query, level=2)
+        )
+        assert set(results) == ALL_STRATEGIES
+        __, augmented = assert_equivalent(results)
+        assert all(not key.startswith(f"{down}.") for key, *__ in augmented)
+        for result in results.values():
+            assert result.degraded
+            assert down in result.unavailable
+
+    def test_home_store_down_yields_empty_answers_everywhere(self):
+        bundle = bundle_for(3)
+        query = QueryWorkload(bundle).query("catalogue", 10)
+        faults = FaultInjector(seed=7)
+        faults.inject(query.database, "fail", rate=1.0)
+        engine = make_engine(bundle, faults=faults, degrade=True)
+        results = engine.execute_all(
+            LogicalQuery(database=query.database, query=query.query, level=1)
+        )
+        assert_equivalent(results)
+        for result in results.values():
+            assert result.degraded
+            assert len(result.answer) == 0
