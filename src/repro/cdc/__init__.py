@@ -1,0 +1,31 @@
+"""Change-data-capture and incremental A' maintenance.
+
+The batch pipeline (``repro.collector``) re-blocks the world; this
+package keeps the system fresh under live writes instead:
+
+* :mod:`repro.cdc.feed` — per-store change feeds: every engine write
+  emits an append/update/delete event with a per-store sequence number;
+* :mod:`repro.cdc.maintainer` — the incremental collector: consumes
+  CDC batches, re-blocks only dirty entities and their blocking
+  neighborhoods, and applies p-relation deltas to a live A' index
+  (sharded or not) so the result is equivalent to a batch rebuild;
+* :mod:`repro.cdc.materialize` — materialized level-k augmentation
+  answers for hot keys, invalidated off the same CDC stream;
+* :mod:`repro.cdc.hub` — the pump tying feeds, WAL, maintainer and
+  materialized tier together, with a delivery seam for fault injection.
+"""
+
+from repro.cdc.feed import ChangeEvent, ChangeFeed
+from repro.cdc.hub import ChangeHub, HubReport
+from repro.cdc.maintainer import IncrementalCollector, IngestReport
+from repro.cdc.materialize import MaterializedAugmentations
+
+__all__ = [
+    "ChangeEvent",
+    "ChangeFeed",
+    "ChangeHub",
+    "HubReport",
+    "IncrementalCollector",
+    "IngestReport",
+    "MaterializedAugmentations",
+]

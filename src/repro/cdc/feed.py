@@ -1,0 +1,167 @@
+"""Per-store change feeds: the CDC source of truth.
+
+Every engine write path calls :meth:`~repro.stores.base.Store._emit_change`,
+which records a :class:`ChangeEvent` on the store's attached
+:class:`ChangeFeed` (attaching is opt-in; unattached stores pay a single
+``None`` check per write). Events carry:
+
+* a **per-store sequence number**, monotonically increasing from 1 —
+  the replay cursor for the WAL and the staleness unit for monitoring;
+* the **post-state payload** of the object (``None`` for deletes), so a
+  WAL of events is sufficient to re-apply the write on a restarted
+  store without consulting the producer.
+
+Delivery is **ack-based**: consumers read everything past the last
+acknowledged sequence number and ack only after applying, so a crashed
+or faulty consumer naturally re-reads the same events on its next pump
+— the redelivery discipline the chaos suite leans on (dropped batches
+are retried, duplicated batches are harmless because the maintainer
+recomputes from current store state).
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.model.objects import GlobalKey
+
+#: The three CDC operations. ``append`` covers inserts; ``update`` and
+#: ``delete`` are what they say. Collections whose name starts with an
+#: underscore (``_edge``, ``_result``) are infrastructure payloads, not
+#: data objects — consumers maintaining the A' index skip them.
+OPS = ("append", "update", "delete")
+
+
+@dataclass(frozen=True, slots=True)
+class ChangeEvent:
+    """One captured write: (seq, database, op, collection, key, value)."""
+
+    seq: int
+    database: str
+    op: str
+    collection: str
+    key: str
+    value: Any = None
+
+    @property
+    def global_key(self) -> GlobalKey:
+        return GlobalKey(self.database, self.collection, self.key)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "database": self.database,
+            "op": self.op,
+            "collection": self.collection,
+            "key": self.key,
+            "value": self.value,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict[str, Any]) -> "ChangeEvent":
+        return cls(
+            seq=payload["seq"],
+            database=payload["database"],
+            op=payload["op"],
+            collection=payload["collection"],
+            key=payload["key"],
+            value=payload.get("value"),
+        )
+
+
+class ChangeFeed:
+    """The CDC outbox of one store: an ordered, ack-trimmed event queue.
+
+    Thread-safe independently of the store lock — writers typically
+    already hold ``store.lock``, but the feed protects itself so a
+    consumer draining events concurrently never tears the queue.
+    """
+
+    def __init__(self, database: str, journal: Any = None) -> None:
+        self.database = database
+        #: Sequence number of the latest recorded event (0 = none yet).
+        self.last_seq = 0
+        #: Highest sequence number acknowledged by the consumer.
+        self.acked_seq = 0
+        self._events: deque[ChangeEvent] = deque()
+        self._lock = threading.Lock()
+        #: Optional :class:`repro.obs.events.EventJournal` mirror.
+        self.journal = journal
+
+    # -- producer side -------------------------------------------------------
+
+    def record(
+        self, op: str, collection: str, key: str, value: Any = None
+    ) -> ChangeEvent:
+        """Capture one write. Payloads are copied, because the engines
+        mutate documents/rows in place and the event must pin the state
+        at capture time."""
+        if op not in OPS:
+            raise ValueError(f"unknown CDC op {op!r}")
+        with self._lock:
+            self.last_seq += 1
+            event = ChangeEvent(
+                seq=self.last_seq,
+                database=self.database,
+                op=op,
+                collection=collection,
+                key=key,
+                value=copy.deepcopy(value),
+            )
+            self._events.append(event)
+        if self.journal is not None:
+            self.journal.emit(
+                "cdc_event",
+                severity="debug",
+                database=self.database,
+                op=op,
+                collection=collection,
+                key=key,
+                seq=event.seq,
+            )
+        return event
+
+    def seed(self, seq: int) -> None:
+        """Warm-restart entry point: resume numbering after ``seq``
+        (everything at or below is considered applied and acked)."""
+        with self._lock:
+            self.last_seq = max(self.last_seq, seq)
+            self.acked_seq = max(self.acked_seq, seq)
+            while self._events and self._events[0].seq <= self.acked_seq:
+                self._events.popleft()
+
+    # -- consumer side -------------------------------------------------------
+
+    def read_since(self, seq: int | None = None) -> list[ChangeEvent]:
+        """Events with sequence number greater than ``seq`` (defaults to
+        the acked cursor), in order. Does not ack."""
+        cursor = self.acked_seq if seq is None else seq
+        with self._lock:
+            return [event for event in self._events if event.seq > cursor]
+
+    def ack(self, seq: int) -> None:
+        """Acknowledge everything up to and including ``seq``; acked
+        events are trimmed from the queue."""
+        with self._lock:
+            if seq <= self.acked_seq:
+                return
+            self.acked_seq = seq
+            while self._events and self._events[0].seq <= seq:
+                self._events.popleft()
+
+    def pending(self) -> int:
+        """Events recorded but not yet acknowledged (the staleness lag)."""
+        with self._lock:
+            return self.last_seq - self.acked_seq
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def __iter__(self) -> Iterator[ChangeEvent]:
+        with self._lock:
+            return iter(list(self._events))

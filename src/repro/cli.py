@@ -49,6 +49,11 @@ Commands:
     Drive the embedded server with seeded load, then report SLO
     compliance: measured availability and latency against their
     objectives, with error-budget burn rates from the live histograms.
+``ingest --stores N --albums M --updates U [--batch B] [--workdir DIR]``
+    Stream seeded store mutations through the CDC pipeline
+    (:mod:`repro.cdc`): bootstrap an incremental collector, pump change
+    batches through the WAL into A' index deltas, take an incremental
+    snapshot and finish with a warm restart that replays only the delta.
 ``record --clients C --requests R [--status S] [--session X] ...``
     Drive the embedded server with seeded load, then dump the flight
     recorder: the shed/failed/degraded/slow requests it retained, each
@@ -72,7 +77,7 @@ from repro.errors import ReproError
 from repro.persistence import load_snapshot, save_snapshot
 from repro.stores.querycache import parse_cache_stats
 from repro.ui.render import AnsiRenderer, TextRenderer
-from repro.workloads import PolystoreScale, build_polyphony
+from repro.workloads import MusicGenerator, PolystoreScale, build_polyphony
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -223,6 +228,23 @@ def build_parser() -> argparse.ArgumentParser:
     record.add_argument("--json", action="store_true", dest="as_json",
                         help="print the digests as JSON")
 
+    ingest = commands.add_parser(
+        "ingest",
+        help="incremental ingestion demo: CDC feeds -> WAL -> A' deltas",
+    )
+    ingest.add_argument("--stores", type=int, default=4)
+    ingest.add_argument("--albums", type=int, default=60)
+    ingest.add_argument("--seed", type=int, default=42)
+    ingest.add_argument("--updates", type=int, default=30,
+                        help="seeded store mutations to stream through CDC")
+    ingest.add_argument("--batch", type=int, default=10,
+                        help="mutations between hub pumps")
+    ingest.add_argument("--workdir", default=None,
+                        help="directory for the WAL and the incremental "
+                             "snapshot; also demonstrates a warm restart")
+    ingest.add_argument("--json", action="store_true", dest="as_json",
+                        help="machine-readable ingest report")
+
     inspect = commands.add_parser("inspect", help="describe a snapshot")
     inspect.add_argument("--snapshot", required=True)
 
@@ -325,6 +347,8 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             return _slo(args, out)
         if args.command == "record":
             return _record(args, out)
+        if args.command == "ingest":
+            return _ingest(args, out)
         if args.command == "inspect":
             return _inspect(args, out)
         if args.command == "explore":
@@ -1033,6 +1057,169 @@ def _record(args, out) -> int:
             line += f" error={digest['error']}"
         print(line, file=out)
     return 0
+
+
+def _ingest(args, out) -> int:
+    """Stream seeded mutations through the CDC pipeline and report.
+
+    Builds a Polyphony polystore, bootstraps an incremental collector
+    (batch-equivalent full scan), then applies ``--updates`` seeded
+    writes in pump batches. With ``--workdir`` the run also keeps a
+    WAL, takes an incremental snapshot halfway, and finishes with a
+    warm restart that replays only the delta.
+    """
+    import random
+    import shutil
+    import tempfile
+    import time
+    from pathlib import Path
+
+    from repro.cdc import ChangeHub, IncrementalCollector
+    from repro.collector import JaroWinklerComparator, PairwiseMatcher
+    from repro.collector.matching import AttributeRule
+    from repro.core.aindex import AIndex
+    from repro.persistence import WriteAheadLog
+
+    def matcher() -> PairwiseMatcher:
+        return PairwiseMatcher(
+            [AttributeRule("name", "title", JaroWinklerComparator())],
+            identity_threshold=0.9,
+            matching_threshold=0.6,
+        )
+
+    bundle = build_polyphony(
+        args.stores,
+        PolystoreScale(n_albums=args.albums),
+        seed=args.seed,
+        with_aindex=False,
+    )
+    polystore = bundle.polystore
+    workdir = Path(args.workdir) if args.workdir else None
+    scratch = None
+    if workdir is None:
+        scratch = tempfile.mkdtemp(prefix="repro-ingest-")
+        workdir = Path(scratch)
+    try:
+        wal = WriteAheadLog(workdir / "wal.jsonl")
+        aindex = AIndex()
+        hub = ChangeHub(
+            polystore, aindex, IncrementalCollector(matcher()), wal=wal
+        )
+        started = time.perf_counter()
+        boot = hub.bootstrap()
+        bootstrap_s = time.perf_counter() - started
+
+        rng = random.Random(args.seed)
+        catalogue = polystore.database("catalogue")
+        transactions = polystore.database("transactions")
+        pumps = 0
+        applied = {"added": 0, "removed": 0, "events": 0}
+        for step in range(args.updates):
+            kind = rng.randrange(3)
+            seq = rng.randrange(args.albums)
+            doc_key = MusicGenerator.album_doc_key(seq)
+            if kind == 0:
+                try:
+                    catalogue.update_one(
+                        "albums", doc_key,
+                        {"$set": {"title": f"Edition {step} Reissue"}},
+                    )
+                except ReproError:
+                    pass  # a previous seeded delete removed this album
+            elif kind == 1:
+                new_id = args.albums + step
+                title = f"Bonus Disc {new_id}"
+                transactions.table("inventory").insert({
+                    "id": MusicGenerator.inventory_key(new_id),
+                    "seq": new_id,
+                    "name": title,
+                    "price": 9.99,
+                })
+                catalogue.insert(
+                    "albums",
+                    {"_id": MusicGenerator.album_doc_key(new_id),
+                     "title": title},
+                )
+            else:
+                catalogue.delete_one("albums", doc_key)
+            if (step + 1) % max(args.batch, 1) == 0:
+                report = hub.pump()
+                pumps += 1
+                applied["added"] += report.relations_added
+                applied["removed"] += report.relations_removed
+                applied["events"] += report.events
+        final = hub.pump()
+        pumps += 1
+        applied["added"] += final.relations_added
+        applied["removed"] += final.relations_removed
+        applied["events"] += final.events
+
+        snapdir = workdir / "snapshot"
+        hub.snapshot(snapdir)
+        # Post-snapshot delta: what the warm restart will replay.
+        catalogue.insert(
+            "albums",
+            {"_id": MusicGenerator.album_doc_key(args.albums + args.updates),
+             "title": "After The Snapshot"},
+        )
+        hub.pump()
+        started = time.perf_counter()
+        hub2, restart = ChangeHub.warm_restart(snapdir, matcher(), wal=wal)
+        restart_s = time.perf_counter() - started
+
+        status = hub.status()
+        payload = {
+            "bootstrap": {
+                "objects_scanned": boot.objects_scanned,
+                "candidate_pairs": boot.candidate_pairs,
+                "relations": boot.relations_added,
+                "seconds": bootstrap_s,
+            },
+            "ingest": {
+                "updates": args.updates,
+                "pumps": pumps,
+                "events": applied["events"],
+                "relations_added": applied["added"],
+                "relations_removed": applied["removed"],
+                "lag": status["lag"],
+            },
+            "warm_restart": {
+                "replayed_events": restart["replayed_events"],
+                "seconds": restart_s,
+                "index_edges": hub2.aindex.edge_count(),
+            },
+        }
+        if args.as_json:
+            json.dump(payload, out, indent=2)
+            print(file=out)
+            return 0
+        boot_info = payload["bootstrap"]
+        print(
+            f"bootstrap: {boot_info['objects_scanned']} objects, "
+            f"{boot_info['candidate_pairs']} candidate pairs -> "
+            f"{boot_info['relations']} base relations "
+            f"in {boot_info['seconds']:.3f}s",
+            file=out,
+        )
+        ing = payload["ingest"]
+        print(
+            f"ingest: {ing['updates']} writes in {ing['pumps']} pumps "
+            f"({ing['events']} events) -> +{ing['relations_added']} / "
+            f"-{ing['relations_removed']} base relations, lag={ing['lag']}",
+            file=out,
+        )
+        warm = payload["warm_restart"]
+        print(
+            f"warm restart: replayed {warm['replayed_events']} events "
+            f"in {warm['seconds']:.3f}s "
+            f"({warm['index_edges']} index edges) — "
+            f"vs {boot_info['seconds']:.3f}s cold bootstrap",
+            file=out,
+        )
+        return 0
+    finally:
+        if scratch is not None:
+            shutil.rmtree(scratch, ignore_errors=True)
 
 
 def _inspect(args, out) -> int:

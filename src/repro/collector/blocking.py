@@ -20,6 +20,19 @@ from repro.model.objects import DataObject
 _TOKEN_RE = re.compile(r"[a-z0-9]+")
 
 
+def _oriented(
+    left: DataObject, right: DataObject
+) -> tuple[DataObject, DataObject]:
+    """Canonical pair orientation (by key text).
+
+    Blockers emit every pair in this orientation so matching scores are
+    independent of scan order — incremental maintenance (:mod:`repro.cdc`)
+    re-scores pairs out of scan context and must land on the same score
+    a full batch run computes.
+    """
+    return (left, right) if str(left.key) <= str(right.key) else (right, left)
+
+
 def tokenize_value(value: object) -> set[str]:
     """Normalized alphanumeric tokens of one attribute value."""
     if value is None:
@@ -70,7 +83,7 @@ class TokenBlocker:
                     if pair_ids in emitted:
                         continue
                     emitted.add(pair_ids)  # type: ignore[arg-type]
-                    yield left, right
+                    yield _oriented(left, right)
 
     def _object_tokens(self, obj: DataObject) -> set[str]:
         tokens: set[str] = set()
@@ -123,4 +136,4 @@ class SortedNeighborhoodBlocker:
                 if pair_ids in emitted:
                     continue
                 emitted.add(pair_ids)  # type: ignore[arg-type]
-                yield left, right
+                yield _oriented(left, right)

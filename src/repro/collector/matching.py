@@ -82,6 +82,13 @@ class PairwiseMatcher:
             a = _field_value(left, rule.left_field)
             b = _field_value(right, rule.right_field)
             if a is None and b is None:
+                # The rule's fields may live on the opposite sides (the
+                # blocker orients pairs canonically, not by schema), so
+                # heterogeneous rules like ("name", "title") apply in
+                # whichever direction finds the evidence.
+                a = _field_value(right, rule.left_field)
+                b = _field_value(left, rule.right_field)
+            if a is None and b is None:
                 continue
             total += rule.weight * rule.comparator.compare(a, b)
             total_weight += rule.weight
@@ -118,6 +125,13 @@ def enforce_local_dedup(relations: list[PRelation]) -> list[PRelation]:
     Matching p-relations are unaffected: the rule only concerns
     identities, because deduplication within a database is assumed to be
     a local responsibility.
+
+    The winner of each slot is chosen by probability, with exact ties
+    broken by the canonically smaller endpoint pair — so the surviving
+    set depends only on the relations themselves, never on the order
+    they were discovered in. Order-independence is what lets the
+    incremental collector (``repro.cdc``) recompute deduplication from
+    its pair set and land on the same base relations as a batch run.
     """
     best: dict[tuple[GlobalKey, str], PRelation] = {}
     kept: list[PRelation] = []
@@ -131,7 +145,7 @@ def enforce_local_dedup(relations: list[PRelation]) -> list[PRelation]:
         ):
             slot = (target, source.database)
             current = best.get(slot)
-            if current is None or relation.probability > current.probability:
+            if current is None or _outranks(relation, current):
                 best[slot] = relation
 
     # An identity occupies two slots (one per endpoint); it survives
@@ -146,3 +160,13 @@ def enforce_local_dedup(relations: list[PRelation]) -> list[PRelation]:
         ):
             kept.append(relation)
     return kept
+
+
+def _outranks(candidate: PRelation, incumbent: PRelation) -> bool:
+    """Deterministic slot ordering: higher probability wins; exact ties
+    go to the canonically smaller endpoint pair."""
+    if candidate.probability != incumbent.probability:
+        return candidate.probability > incumbent.probability
+    return (str(candidate.left), str(candidate.right)) < (
+        str(incumbent.left), str(incumbent.right)
+    )

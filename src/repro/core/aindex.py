@@ -316,6 +316,50 @@ class AIndex:
             self.generation += 1
             return len(adjacency)
 
+    def excise(self, keys: Iterable[GlobalKey]) -> int:
+        """Surgically remove a set of nodes, their incident edges, and
+        every lineage record touching them, in one generation bump.
+
+        Unlike :meth:`remove_object` (the paper's lazy deletion, which
+        keeps inferred edges and their lineage), ``excise`` is the
+        rebuild primitive of incremental maintenance: the caller removes
+        a whole affected region and re-inserts its current base
+        relations, so stale inferred edges and stale lineage must go
+        with the nodes. Returns the number of nodes removed.
+        """
+        targets = set(keys)
+        if not targets:
+            return 0
+        with self._mutex:
+            removed = 0
+            for key in targets:
+                adjacency = self._adjacency.pop(key, None)
+                if adjacency is None:
+                    continue
+                removed += 1
+                for other in adjacency:
+                    if other not in targets:
+                        self._adjacency.get(other, {}).pop(key, None)
+            changed = removed > 0
+            for pair in list(self._lineage):
+                if pair[0] in targets or pair[1] in targets:
+                    del self._lineage[pair]
+                    changed = True
+                    continue
+                supports = self._lineage[pair]
+                stale = [
+                    s for s in supports
+                    if s[0] in targets or s[1] in targets
+                ]
+                if stale:
+                    supports.difference_update(stale)
+                    changed = True
+                    if not supports:
+                        del self._lineage[pair]
+            if changed:
+                self.generation += 1
+            return removed
+
     def remove_relation(
         self, a: GlobalKey, b: GlobalKey, cascade: bool = False
     ) -> int:

@@ -77,6 +77,10 @@ class SearchStats:
     degraded: bool = False
     #: Database -> reason for every store that misbehaved during the run.
     errors: dict[str, str] = field(default_factory=dict)
+    #: True iff this answer was served from the materialized
+    #: augmentation tier (:mod:`repro.cdc.materialize`) instead of
+    #: being planned and traversed for this request.
+    materialized: bool = False
 
 
 def assemble_answer(

@@ -1,12 +1,32 @@
-"""Snapshots: save/load a polystore and its A' index as JSON files.
+"""Persistence: snapshots plus the CDC write-ahead log.
 
 Operational tooling for the reproduction: a generated polystore (or a
 hand-built one) can be written to a directory and reloaded later, so
 experiments and demos do not have to regenerate data. One file per
 database plus ``aindex.json`` and a ``manifest.json``; everything is
 plain JSON, diff-able and engine-agnostic.
+
+Version-2 snapshots are *incremental*: they record per-store CDC
+sequence numbers, the A' lineage, and the incremental collector's
+state, so a restarted server loads the snapshot and replays only the
+write-ahead-log delta (:mod:`repro.persistence.wal`) — O(changes)
+instead of a full rebuild.
 """
 
-from repro.persistence.snapshot import load_snapshot, save_snapshot
+from repro.persistence.snapshot import (
+    SnapshotBundle,
+    load_snapshot,
+    load_snapshot_bundle,
+    save_snapshot,
+)
+from repro.persistence.wal import WriteAheadLog, apply_change, replay
 
-__all__ = ["load_snapshot", "save_snapshot"]
+__all__ = [
+    "SnapshotBundle",
+    "WriteAheadLog",
+    "apply_change",
+    "load_snapshot",
+    "load_snapshot_bundle",
+    "replay",
+    "save_snapshot",
+]

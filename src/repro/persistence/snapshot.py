@@ -1,22 +1,32 @@
 """JSON serialization of stores, polystores and A' indexes.
 
-Layout of a snapshot directory::
+Layout of a version-2 snapshot directory::
 
-    manifest.json        {"version": 1, "databases": [{"name", "engine"}]}
+    manifest.json        {"version": 2, "databases": [{"name", "engine"}],
+                          "applied_seqs": {db: seq}}
     db_<name>.json       engine-specific payload (see serializers below)
-    aindex.json          {"relations": [{"left", "right", "type", "p"}]}
+    aindex.json          {"relations": [{"left", "right", "type", "p"}],
+                          "lineage": [{"left", "right", "supports"}]}
+    cdc_state.json       incremental-collector state (optional; see
+                          :meth:`repro.cdc.maintainer.IncrementalCollector.dump_state`)
 
 Round-trips preserve: every data object (keys and payloads), schemas
 and secondary indexes of relational tables, document-store indexes,
-graph labels/edges/properties, and every p-relation with its type and
-probability. Inferred-edge lineage is *not* persisted (it only drives
-the optional cascade deletion) — reloading re-adds edges with
-consistency enforcement off, so the stored closure is kept verbatim.
+graph labels/edges/properties, every p-relation with its type and
+probability, and — since version 2 — the inferred-edge lineage, so
+cascade deletion (:meth:`AIndex.remove_relation` with ``cascade=True``)
+behaves identically on a reloaded index and a never-restarted one.
+Version-1 directories still load (without lineage or CDC cursors).
+
+``applied_seqs`` records the per-store CDC sequence number the snapshot
+captured; a warm restart replays only WAL events past it — O(changes),
+not O(world) (see :mod:`repro.persistence.wal`).
 """
 
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
@@ -32,7 +42,9 @@ from repro.stores.keyvalue.store import KeyValueStore
 from repro.stores.relational.engine import RelationalStore
 from repro.stores.relational.types import Column, ColumnType, TableSchema
 
-SNAPSHOT_VERSION = 1
+SNAPSHOT_VERSION = 2
+#: Versions :func:`load_snapshot` understands.
+SUPPORTED_VERSIONS = (1, 2)
 
 
 class SnapshotError(ReproError):
@@ -180,13 +192,41 @@ _LOADERS = {
 # ---------------------------------------------------------------------------
 
 
+@dataclass
+class SnapshotBundle:
+    """Everything a version-2 snapshot directory holds."""
+
+    polystore: Polystore
+    aindex: AIndex
+    version: int = SNAPSHOT_VERSION
+    #: Per-database CDC sequence number captured by the snapshot
+    #: (empty for version-1 snapshots and CDC-less systems).
+    applied_seqs: dict[str, int] = field(default_factory=dict)
+    #: Incremental-collector state, if the snapshot carried one.
+    cdc_state: dict[str, Any] | None = None
+
+
 def save_snapshot(
-    directory: str | Path, polystore: Polystore, aindex: AIndex | None = None
+    directory: str | Path,
+    polystore: Polystore,
+    aindex: AIndex | None = None,
+    applied_seqs: dict[str, int] | None = None,
+    cdc_state: dict[str, Any] | None = None,
 ) -> Path:
-    """Write ``polystore`` (and optionally ``aindex``) to ``directory``."""
+    """Write ``polystore`` (and optionally ``aindex``) to ``directory``.
+
+    ``applied_seqs`` and ``cdc_state`` make the snapshot *incremental*:
+    a warm restart loads it, replays only WAL events past the recorded
+    sequence numbers, and resumes incremental maintenance from the
+    persisted collector state.
+    """
     path = Path(directory)
     path.mkdir(parents=True, exist_ok=True)
-    manifest = {"version": SNAPSHOT_VERSION, "databases": []}
+    manifest: dict[str, Any] = {
+        "version": SNAPSHOT_VERSION,
+        "databases": [],
+        "applied_seqs": dict(applied_seqs or {}),
+    }
     for name in sorted(polystore):
         store = polystore.database(name)
         dumper = _DUMPERS.get(store.engine)
@@ -195,7 +235,8 @@ def save_snapshot(
                 f"cannot snapshot engine {store.engine!r} of {name!r}"
             )
         manifest["databases"].append({"name": name, "engine": store.engine})
-        _write_json(path / f"db_{name}.json", dumper(store))
+        with store.lock:
+            _write_json(path / f"db_{name}.json", dumper(store))
     if aindex is not None:
         relations = []
         seen: set[tuple[str, str]] = set()
@@ -214,7 +255,23 @@ def save_snapshot(
                     }
                 )
         relations.sort(key=lambda r: (r["left"], r["right"]))
-        _write_json(path / "aindex.json", {"relations": relations})
+        lineage = [
+            {
+                "left": str(pair[0]),
+                "right": str(pair[1]),
+                "supports": sorted(
+                    [str(s[0]), str(s[1])] for s in supports
+                ),
+            }
+            for pair, supports in aindex._lineage.items()
+        ]
+        lineage.sort(key=lambda entry: (entry["left"], entry["right"]))
+        _write_json(
+            path / "aindex.json",
+            {"relations": relations, "lineage": lineage},
+        )
+    if cdc_state is not None:
+        _write_json(path / "cdc_state.json", cdc_state)
     _write_json(path / "manifest.json", manifest)
     return path
 
@@ -222,19 +279,29 @@ def save_snapshot(
 def load_snapshot(directory: str | Path) -> tuple[Polystore, AIndex]:
     """Load a snapshot; returns the polystore and its A' index.
 
+    Thin compatibility wrapper over :func:`load_snapshot_bundle`.
+    """
+    bundle = load_snapshot_bundle(directory)
+    return bundle.polystore, bundle.aindex
+
+
+def load_snapshot_bundle(directory: str | Path) -> SnapshotBundle:
+    """Load a snapshot directory (version 1 or 2) in full.
+
     The returned index has consistency enforcement disabled so the
     persisted edge set is restored verbatim (it was already closed when
-    saved, if it was built that way).
+    saved, if it was built that way); version-2 snapshots also restore
+    the inferred-edge lineage, so post-reload cascade deletion matches
+    a never-restarted instance.
     """
     path = Path(directory)
     manifest_path = path / "manifest.json"
     if not manifest_path.exists():
         raise SnapshotError(f"no snapshot manifest in {path}")
     manifest = _read_json(manifest_path)
-    if manifest.get("version") != SNAPSHOT_VERSION:
-        raise SnapshotError(
-            f"unsupported snapshot version {manifest.get('version')!r}"
-        )
+    version = manifest.get("version")
+    if version not in SUPPORTED_VERSIONS:
+        raise SnapshotError(f"unsupported snapshot version {version!r}")
     polystore = Polystore()
     for entry in manifest["databases"]:
         loader = _LOADERS.get(entry["engine"])
@@ -245,7 +312,8 @@ def load_snapshot(directory: str | Path) -> tuple[Polystore, AIndex]:
     aindex = AIndex(enforce_consistency=False)
     aindex_path = path / "aindex.json"
     if aindex_path.exists():
-        for relation in _read_json(aindex_path)["relations"]:
+        payload = _read_json(aindex_path)
+        for relation in payload["relations"]:
             aindex.add(
                 PRelation(
                     GlobalKey.parse(relation["left"]),
@@ -254,7 +322,26 @@ def load_snapshot(directory: str | Path) -> tuple[Polystore, AIndex]:
                     relation["p"],
                 )
             )
-    return polystore, aindex
+        for entry in payload.get("lineage", ()):
+            pair = (
+                GlobalKey.parse(entry["left"]),
+                GlobalKey.parse(entry["right"]),
+            )
+            aindex._lineage[pair] = {
+                (GlobalKey.parse(a), GlobalKey.parse(b))
+                for a, b in entry["supports"]
+            }
+    cdc_path = path / "cdc_state.json"
+    return SnapshotBundle(
+        polystore=polystore,
+        aindex=aindex,
+        version=version,
+        applied_seqs={
+            name: int(seq)
+            for name, seq in (manifest.get("applied_seqs") or {}).items()
+        },
+        cdc_state=_read_json(cdc_path) if cdc_path.exists() else None,
+    )
 
 
 def _write_json(path: Path, payload: dict[str, Any]) -> None:

@@ -296,6 +296,10 @@ class Scheduler:
         self._rotation: deque[str] = deque()
         for name, weight in self.config.priority_weights:
             self._rotation.extend([name] * weight)
+        #: Optional :class:`repro.cdc.materialize.MaterializedAugmentations`
+        #: tier, consulted before planning (see :meth:`_run`). Attached
+        #: by the operator that owns the CDC hub; ``None`` = disabled.
+        self.materialized: Any = None
         self._queued = 0
         self._inflight = 0
         self._inflight_by_session: dict[str, int] = {}
@@ -695,7 +699,25 @@ class Scheduler:
                 trace_id=request.trace_id,
                 parent_span=parent,
             )
-        return self.quepa.serve_search(
+        # The materialized tier only serves vanilla searches: a custom
+        # config or a deadline changes what the planner would produce,
+        # so those requests always plan. CDC invalidation keeps entries
+        # no staler than the hub's unapplied lag.
+        use_materialized = (
+            self.materialized is not None
+            and request.config is None
+            and request.deadline is None
+        )
+        if use_materialized:
+            hit = self.materialized.lookup(
+                request.database,
+                request.query,
+                request.level,
+                request.augment,
+            )
+            if hit is not None:
+                return hit
+        answer = self.quepa.serve_search(
             request.database,
             request.query,
             level=request.level,
@@ -704,6 +726,15 @@ class Scheduler:
             trace_id=request.trace_id,
             parent_span=parent,
         )
+        if use_materialized:
+            self.materialized.observe(
+                request.database,
+                request.query,
+                request.level,
+                request.augment,
+                answer,
+            )
+        return answer
 
     def _effective_config(
         self, request: Request, waited: float

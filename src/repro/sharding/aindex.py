@@ -322,6 +322,48 @@ class ShardedAIndex:
             self.generation += 1
             return len(adjacency)
 
+    def excise(self, keys: Iterable[GlobalKey]) -> int:
+        """Remove a set of nodes, their incident edges (cross-shard
+        stubs included), and every lineage record touching them, in one
+        generation bump — the partition-aware twin of
+        :meth:`repro.core.aindex.AIndex.excise`. Returns the number of
+        nodes removed."""
+        targets = set(keys)
+        if not targets:
+            return 0
+        with self._mutex:
+            removed = 0
+            for key in targets:
+                home = self.shard_of(key)
+                adjacency = self._partitions[home].pop(key, None)
+                if adjacency is None:
+                    continue
+                removed += 1
+                for other in adjacency:
+                    if other not in targets:
+                        owner = self.shard_of(other)
+                        self._partitions[owner].get(other, {}).pop(key, None)
+                    self._cross.pop(_pair(key, other), None)
+            changed = removed > 0
+            for pair in list(self._lineage):
+                if pair[0] in targets or pair[1] in targets:
+                    del self._lineage[pair]
+                    changed = True
+                    continue
+                supports = self._lineage[pair]
+                stale = [
+                    s for s in supports
+                    if s[0] in targets or s[1] in targets
+                ]
+                if stale:
+                    supports.difference_update(stale)
+                    changed = True
+                    if not supports:
+                        del self._lineage[pair]
+            if changed:
+                self.generation += 1
+            return removed
+
     def remove_relation(
         self, a: GlobalKey, b: GlobalKey, cascade: bool = False
     ) -> int:

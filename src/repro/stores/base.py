@@ -79,6 +79,23 @@ class Store(ABC):
         #: Reentrant, so an engine method may call another locked
         #: method on the same store.
         self.lock = threading.RLock()
+        #: Optional change-data-capture outbox
+        #: (:class:`repro.cdc.feed.ChangeFeed`). ``None`` until a
+        #: consumer attaches one; unattached stores pay one ``None``
+        #: check per write.
+        self.changes: Any = None
+
+    def _emit_change(
+        self, op: str, collection: str, key: str, value: Any = None
+    ) -> None:
+        """Record one write on the attached CDC feed, if any.
+
+        ``value`` is the post-state payload (``None`` for deletes);
+        the feed copies it, so engines may keep mutating in place.
+        """
+        feed = self.changes
+        if feed is not None:
+            feed.record(op, collection, key, value)
 
     # -- native access ------------------------------------------------------
 

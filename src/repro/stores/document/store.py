@@ -65,6 +65,7 @@ class DocumentStore(Store):
         documents[doc_id] = doc
         self._index_add(collection, doc_id, doc)
         self.stats.writes += 1
+        self._emit_change("append", collection, doc_id, doc)
         return doc_id
 
     def insert_many(
@@ -90,6 +91,7 @@ class DocumentStore(Store):
         documents[doc_id]["_id"] = doc_id
         self._index_add(collection, doc_id, documents[doc_id])
         self.stats.writes += 1
+        self._emit_change("update", collection, doc_id, documents[doc_id])
 
     def update_many(
         self,
@@ -127,6 +129,7 @@ class DocumentStore(Store):
             return False
         self._index_remove(collection, doc_id, document)
         self.stats.writes += 1
+        self._emit_change("delete", collection, doc_id)
         return True
 
     # -- reads ------------------------------------------------------------------

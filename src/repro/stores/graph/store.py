@@ -84,6 +84,36 @@ class GraphStore(Store):
         for label in labels:
             self._by_label.setdefault(label, set()).add(node_id)
         self.stats.writes += 1
+        self._emit_change(
+            "append", node.primary_label, node_id, node.payload()
+        )
+        return node
+
+    def update_node(
+        self,
+        node_id: str,
+        properties: Mapping[str, Any],
+        replace: bool = False,
+    ) -> Node:
+        """SET properties on an existing node.
+
+        With ``replace=False`` (the Cypher ``SET n.k = v`` shape) the
+        given properties are merged into the current map; with
+        ``replace=True`` (``SET n = {..}``) they replace it entirely —
+        which is what WAL replay uses, since CDC captures post-state.
+        Labels are immutable (they define the node's collection).
+        """
+        node = self._nodes.get(node_id)
+        if node is None:
+            raise KeyNotFoundError(f"node {node_id!r}")
+        if replace:
+            node.properties = dict(properties)
+        else:
+            node.properties.update(properties)
+        self.stats.writes += 1
+        self._emit_change(
+            "update", node.primary_label, node_id, node.payload()
+        )
         return node
 
     def create_edge(
@@ -103,6 +133,20 @@ class GraphStore(Store):
         self._outgoing[start].append(edge_id)
         self._incoming[end].append(edge_id)
         self.stats.writes += 1
+        # Edges are not data objects (no collection of their own); the
+        # underscore collection marks the event as infrastructure so A'
+        # maintenance skips it, while WAL replay still restores it.
+        self._emit_change(
+            "append",
+            "_edge",
+            edge_id,
+            {
+                "type": rel_type,
+                "start": start,
+                "end": end,
+                "properties": dict(properties or {}),
+            },
+        )
         return edge
 
     def delete_node(self, node_id: str) -> bool:
@@ -120,6 +164,7 @@ class GraphStore(Store):
         for label in node.labels:
             self._by_label.get(label, set()).discard(node_id)
         self.stats.writes += 1
+        self._emit_change("delete", node.primary_label, node_id)
         return True
 
     # -- reads ------------------------------------------------------------------

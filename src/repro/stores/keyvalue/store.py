@@ -31,7 +31,9 @@ class KeyValueStore(Store):
 
     def set(self, key: str, value: Any) -> None:
         self.stats.writes += 1
+        op = "update" if key in self._data else "append"
         self._data[key] = value
+        self._emit_change(op, self.keyspace, key, value)
 
     def get_command(self, key: str) -> Any:
         """GET: the value at ``key`` or ``None`` (Redis semantics)."""
@@ -39,7 +41,10 @@ class KeyValueStore(Store):
 
     def delete(self, key: str) -> bool:
         self.stats.writes += 1
-        return self._data.pop(key, _MISSING) is not _MISSING
+        removed = self._data.pop(key, _MISSING) is not _MISSING
+        if removed:
+            self._emit_change("delete", self.keyspace, key)
+        return removed
 
     def mget(self, keys: list[str]) -> list[Any]:
         """MGET: values in order, ``None`` for missing keys."""

@@ -42,6 +42,10 @@ class Table:
         self.schema = schema
         self._rows: dict[str, dict[str, Any]] = {}
         self._indexes: dict[str, dict[Any, set[str]]] = {}
+        #: Change listener ``(op, table, pk, row)`` installed by the
+        #: owning store; ``None`` for standalone tables. Rows reported
+        #: are the post-write validated state (``None`` for deletes).
+        self.listener: Any = None
 
     # -- writes ----------------------------------------------------------------
 
@@ -52,6 +56,8 @@ class Table:
             raise DuplicateKeyError(f"{self.name}.{pk}")
         self._rows[pk] = validated
         self._index_add(pk, validated)
+        if self.listener is not None:
+            self.listener("append", self.name, pk, validated)
         return pk
 
     def update(self, pk: str, changes: Mapping[str, Any]) -> None:
@@ -65,12 +71,16 @@ class Table:
         self._index_remove(pk, self._rows[pk])
         self._rows[pk] = validated
         self._index_add(pk, validated)
+        if self.listener is not None:
+            self.listener("update", self.name, pk, validated)
 
     def delete(self, pk: str) -> bool:
         row = self._rows.pop(pk, None)
         if row is None:
             return False
         self._index_remove(pk, row)
+        if self.listener is not None:
+            self.listener("delete", self.name, pk, None)
         return True
 
     # -- reads -----------------------------------------------------------------
@@ -145,8 +155,15 @@ class RelationalStore(Store):
         if name in self._tables:
             raise SchemaError(f"table {name!r} already exists")
         table = Table(name, schema)
+        table.listener = self._table_change
         self._tables[name] = table
         return table
+
+    def _table_change(
+        self, op: str, table: str, pk: str, row: Any
+    ) -> None:
+        """Forward table-level writes to the CDC outbox, if attached."""
+        self._emit_change(op, table, pk, row)
 
     def drop_table(self, name: str) -> None:
         self._tables.pop(name, None)

@@ -27,6 +27,9 @@ GET      /faults                    fault/resilience state: injected
                                     schedules and counters, breaker
                                     states, retries, failed calls
 GET      /serving                   scheduler status (requires a server)
+GET      /ingest                    CDC ingestion status: per-store
+                                    cursors, lag, WAL size, materialized
+                                    tier (requires a change hub)
 GET      /requests                  flight-recorder digests of kept
                                     requests (``?session=``,
                                     ``?status=``, ``?limit=``)
@@ -149,13 +152,17 @@ def _answer_payload(answer: AugmentedAnswer) -> dict[str, Any]:
 class QuepaApi:
     """Routes REST-shaped requests onto a :class:`Quepa` instance."""
 
-    def __init__(self, quepa: Quepa, server=None) -> None:
+    def __init__(self, quepa: Quepa, server=None, hub=None) -> None:
         self.quepa = quepa
         #: Optional :class:`~repro.serving.QuepaServer`. When attached,
         #: POST /query runs through its scheduler — concurrently, with
         #: admission control — instead of under the global lock, and
         #: GET /serving reports scheduler status.
         self.server = server
+        #: Optional :class:`~repro.cdc.hub.ChangeHub`. When attached,
+        #: GET /ingest reports per-store CDC cursors, lag, WAL size and
+        #: materialized-tier statistics.
+        self.hub = hub
         self._sessions: dict[str, ExplorationSession] = {}
         self._session_ids = itertools.count(1)
         # Without a serving layer, one QUEPA instance serves one query
@@ -243,6 +250,8 @@ class QuepaApi:
                 return self.serving()
             case ("GET", ["requests"]):
                 return self.requests(params)
+            case ("GET", ["ingest"]):
+                return self.ingest()
             case ("GET", ["slo"]):
                 return self.slo()
         raise ApiError(404, f"no route for {method} /{'/'.join(parts)}")
@@ -293,6 +302,12 @@ class QuepaApi:
         if self.server is None:
             return {"serving": None, "enabled": False}
         return {"serving": self.server.status(), "enabled": True}
+
+    def ingest(self) -> dict[str, Any]:
+        """CDC ingestion status, or ``enabled: false`` without a hub."""
+        if self.hub is None:
+            return {"ingest": None, "enabled": False}
+        return {"ingest": self.hub.status(), "enabled": True}
 
     def requests(
         self, params: Mapping[str, str] | None = None

@@ -77,14 +77,16 @@ def serve(
     host: str = "127.0.0.1",
     port: int = 8080,
     server: Any | None = None,
+    hub: Any | None = None,
 ) -> QuepaHttpServer:
     """Start serving ``quepa`` over HTTP; ``port=0`` picks a free port.
 
     Pass a started :class:`~repro.serving.QuepaServer` as ``server`` to
     route ``POST /query`` through its scheduler (concurrent admission,
-    backpressure, deadlines) and expose ``GET /serving`` status.
+    backpressure, deadlines) and expose ``GET /serving`` status. Pass a
+    :class:`~repro.cdc.ChangeHub` as ``hub`` to expose ``GET /ingest``.
     """
-    api = QuepaApi(quepa, server=server)
+    api = QuepaApi(quepa, server=server, hub=hub)
     return QuepaHttpServer(api, host, port).start()
 
 

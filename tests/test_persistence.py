@@ -20,7 +20,7 @@ class TestRoundTrip:
         assert "aindex.json" in names
         assert "db_transactions.json" in names
         manifest = json.loads((path / "manifest.json").read_text())
-        assert manifest["version"] == 1
+        assert manifest["version"] == 2
         assert len(manifest["databases"]) == 4
 
     def test_objects_survive(self, tmp_path, mini_polystore, mini_aindex):

@@ -1,0 +1,248 @@
+"""WAL + incremental snapshot suite: crash anywhere, recover to truth.
+
+The recovery invariant, swept across kill points: whatever prefix of
+the write-ahead log survives a crash, a warm restart from the last
+incremental snapshot plus that prefix yields a polystore whose
+incrementally restored A' index equals a from-scratch batch rebuild
+over that same recovered polystore. Plus: torn-tail tolerance, replay
+idempotence, the version-2 snapshot round-trip (lineage now persisted —
+cascade deletion survives restarts) and version-1 back-compat.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cdc import ChangeHub, IncrementalCollector
+from repro.core.aindex import AIndex
+from repro.model.objects import GlobalKey
+from repro.model.prelations import PRelation
+from repro.persistence import (
+    WriteAheadLog,
+    load_snapshot,
+    load_snapshot_bundle,
+    replay,
+    save_snapshot,
+)
+from repro.persistence.snapshot import SnapshotError
+
+from tests.test_cdc_props import (
+    Driver,
+    batch_signature,
+    build_polystore,
+    index_signature,
+    make_matcher,
+)
+
+import random
+
+
+def make_hub(polystore, wal=None):
+    hub = ChangeHub(
+        polystore, AIndex(), IncrementalCollector(make_matcher()), wal=wal
+    )
+    hub.bootstrap()
+    return hub
+
+
+def run_scenario(tmp_path, writes=25, seed=11):
+    """Bootstrap, snapshot, then stream ``writes`` logged mutations."""
+    polystore = build_polystore()
+    wal = WriteAheadLog(tmp_path / "wal.jsonl")
+    hub = make_hub(polystore, wal=wal)
+    snapdir = tmp_path / "snap"
+    hub.snapshot(snapdir)
+    driver = Driver(polystore, random.Random(seed))
+    for step in range(writes):
+        driver.step()
+        if (step + 1) % 5 == 0:
+            hub.pump()
+    hub.pump()
+    return polystore, wal, snapdir, hub
+
+
+class TestWalFormat:
+    def test_torn_tail_tolerated(self, tmp_path):
+        __, wal, __, __ = run_scenario(tmp_path)
+        complete = list(wal.records())
+        assert complete
+        # Crash artifact: the last record only half made it to disk.
+        text = wal.path.read_text()
+        wal.path.write_text(text[: len(text) - 17])
+        recovered = list(wal.records())
+        assert recovered == complete[:-1]
+
+    def test_checksum_detects_corruption(self, tmp_path):
+        __, wal, __, __ = run_scenario(tmp_path)
+        complete = list(wal.records())
+        lines = wal.path.read_text().splitlines(keepends=True)
+        corrupted = lines[-1].replace('"op"', '"0p"', 1)
+        wal.path.write_text("".join(lines[:-1]) + corrupted)
+        recovered = list(wal.records())
+        assert recovered == complete[:-1]
+
+    def test_empty_and_missing_wal(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "missing.jsonl")
+        assert list(wal.records()) == []
+        assert wal.last_seqs() == {}
+        assert wal.size_bytes() == 0
+
+
+class TestReplay:
+    def test_replay_is_idempotent(self, tmp_path):
+        live, wal, snapdir, __ = run_scenario(tmp_path)
+        bundle = load_snapshot_bundle(snapdir)
+        applied, events = replay(bundle.polystore, wal, bundle.applied_seqs)
+        assert events
+        once = {
+            name: sorted(
+                str(obj.key)
+                for obj in bundle.polystore.database(name).scan_objects()
+            )
+            for name in bundle.polystore
+        }
+        # Replaying the very same WAL again must change nothing: the
+        # cursor skips everything...
+        applied_again, second = replay(bundle.polystore, wal, applied)
+        assert second == []
+        assert applied_again == applied
+        # ...and even a cursor-less re-replay lands on the same state
+        # (upsert semantics), which is what makes a crash between
+        # apply and snapshot harmless.
+        replay(bundle.polystore, wal, None)
+        again = {
+            name: sorted(
+                str(obj.key)
+                for obj in bundle.polystore.database(name).scan_objects()
+            )
+            for name in bundle.polystore
+        }
+        assert again == once
+
+    def test_kill_point_sweep(self, tmp_path):
+        """Crash after any prefix of WAL records: warm restart is
+        always self-consistent (incremental index == batch rebuild of
+        the recovered polystore)."""
+        __, wal, snapdir, __ = run_scenario(tmp_path, writes=15)
+        lines = wal.path.read_text().splitlines(keepends=True)
+        assert len(lines) >= 3
+        for kill_point in range(len(lines) + 1):
+            partial = WriteAheadLog(tmp_path / f"wal_{kill_point}.jsonl")
+            partial.path.write_text("".join(lines[:kill_point]))
+            hub, stats = ChangeHub.warm_restart(
+                snapdir, make_matcher(), wal=partial
+            )
+            assert index_signature(hub.aindex) == batch_signature(
+                hub.polystore
+            ), f"diverged at kill point {kill_point}/{len(lines)}"
+
+    def test_snapshot_plus_delta_equals_full_state(self, tmp_path):
+        live, wal, snapdir, hub = run_scenario(tmp_path)
+        restarted, stats = ChangeHub.warm_restart(
+            snapdir, make_matcher(), wal=wal
+        )
+        assert stats["replayed_events"] > 0
+        assert index_signature(restarted.aindex) == index_signature(
+            hub.aindex
+        )
+        for name in live:
+            assert sorted(
+                str(obj.key)
+                for obj in restarted.polystore.database(name).scan_objects()
+            ) == sorted(
+                str(obj.key) for obj in live.database(name).scan_objects()
+            )
+        # The restarted hub keeps maintaining incrementally.
+        restarted.polystore.database("catalogue").insert(
+            "albums", {"_id": "d_new", "title": "Silver Sessions"}
+        )
+        restarted.pump()
+        assert index_signature(restarted.aindex) == batch_signature(
+            restarted.polystore
+        )
+
+    def test_restart_does_not_reemit_replayed_events(self, tmp_path):
+        """Feeds attach after replay, seeded past it: the WAL delta is
+        not captured again (no echo loop)."""
+        __, wal, snapdir, __ = run_scenario(tmp_path)
+        restarted, stats = ChangeHub.warm_restart(
+            snapdir, make_matcher(), wal=wal
+        )
+        for database, feed in restarted.feeds.items():
+            assert feed.pending() == 0
+            assert feed.acked_seq == stats["applied_seqs"].get(database, 0)
+
+
+class TestSnapshotV2:
+    def test_lineage_round_trip_preserves_cascade(self, tmp_path):
+        """The PR's persistence fix: inferred-edge lineage is part of
+        the snapshot, so cascade deletion works after a reload exactly
+        as it does on a never-restarted index."""
+        a = GlobalKey.parse("transactions.inventory.a0")
+        b = GlobalKey.parse("catalogue.albums.d0")
+        c = GlobalKey.parse("similar.Item.i0")
+        index = AIndex()
+        index.add(PRelation.identity(a, b, 0.95))
+        index.add(PRelation.identity(b, c, 0.9))  # infers a -- c
+        assert index.is_inferred(a, c)
+
+        polystore = build_polystore()
+        save_snapshot(tmp_path / "snap", polystore, index)
+        __, reloaded = load_snapshot(tmp_path / "snap")
+        assert reloaded.is_inferred(a, c)
+
+        expected = index.remove_relation(a, b, cascade=True)
+        removed = reloaded.remove_relation(a, b, cascade=True)
+        assert removed == expected > 1
+        assert reloaded.relation(a, c) is None
+
+    def test_bundle_round_trip(self, tmp_path):
+        polystore = build_polystore()
+        hub = make_hub(polystore)
+        hub.snapshot(tmp_path / "snap")
+        bundle = load_snapshot_bundle(tmp_path / "snap")
+        assert bundle.version == 2
+        assert bundle.applied_seqs == {
+            name: hub.feeds[name].acked_seq for name in polystore
+        }
+        assert bundle.cdc_state is not None
+        assert bundle.cdc_state["scored"]
+        assert index_signature(bundle.aindex) == index_signature(hub.aindex)
+
+    def test_version_1_still_loads(self, tmp_path):
+        polystore = build_polystore()
+        index = AIndex()
+        index.add(
+            PRelation.identity(
+                GlobalKey.parse("transactions.inventory.a0"),
+                GlobalKey.parse("catalogue.albums.d0"),
+                0.95,
+            )
+        )
+        path = save_snapshot(tmp_path / "snap", polystore, index)
+        # Rewrite the directory as a version-1 snapshot (no lineage,
+        # no cursors) — the layout older releases produced.
+        manifest = json.loads((path / "manifest.json").read_text())
+        manifest["version"] = 1
+        manifest.pop("applied_seqs", None)
+        (path / "manifest.json").write_text(json.dumps(manifest))
+        aindex_payload = json.loads((path / "aindex.json").read_text())
+        aindex_payload.pop("lineage", None)
+        (path / "aindex.json").write_text(json.dumps(aindex_payload))
+
+        bundle = load_snapshot_bundle(path)
+        assert bundle.version == 1
+        assert bundle.applied_seqs == {}
+        assert bundle.cdc_state is None
+        assert index_signature(bundle.aindex) == index_signature(index)
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        polystore = build_polystore()
+        path = save_snapshot(tmp_path / "snap", polystore)
+        manifest = json.loads((path / "manifest.json").read_text())
+        manifest["version"] = 99
+        (path / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(SnapshotError):
+            load_snapshot_bundle(path)
